@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: multi-LUT bootstrapping — the transform-domain-reuse idea
+ * applied at the algorithm level. Packing nu functions into one test
+ * polynomial shares the expensive blind rotation across nu outputs
+ * (only the cheap extractions and key switches multiply), at the price
+ * of an nu-fold smaller noise margin.
+ *
+ * Reports host-measured amortization of this library and the simulated
+ * accelerator throughput in LUT evaluations per second.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "arch/accelerator.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/encoding.h"
+
+using namespace morphling;
+using namespace morphling::tfhe;
+
+int
+main()
+{
+    bench::banner("Ablation (multi-LUT bootstrapping)",
+                  "several functions per blind rotation");
+
+    // Host measurement on set I.
+    const TfheParams &params = paramsSetI();
+    Rng rng(0x171717);
+    std::cout << "keys for " << params.summary() << "...\n";
+    const KeySet keys = KeySet::generate(params, rng);
+    const std::uint32_t space = 4;
+
+    Table t({"Functions per rotation", "Host ms/rotation",
+             "Host ms/LUT output", "Amortization"});
+    double single_per_output = 0;
+    for (unsigned nu : {1u, 2u, 4u, 8u}) {
+        std::vector<std::vector<Torus32>> luts;
+        for (unsigned k = 0; k < nu; ++k) {
+            luts.push_back(makePaddedLut(space, [k](std::uint32_t m) {
+                return (m + k) % 4;
+            }));
+        }
+        auto ct = encryptPadded(keys, 1, space, rng);
+        const int reps = 3;
+        const auto t0 = std::chrono::steady_clock::now();
+        unsigned outputs = 0;
+        for (int r = 0; r < reps; ++r) {
+            const auto out = multiLutBootstrap(keys, ct, luts);
+            outputs += static_cast<unsigned>(out.size());
+            ct = out[0];
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double per_rotation =
+            std::chrono::duration<double, std::milli>(t1 - t0).count() /
+            reps;
+        const double per_output = per_rotation * reps / outputs;
+        if (nu == 1)
+            single_per_output = per_output;
+        t.addRow({std::to_string(nu), Table::fmt(per_rotation, 2),
+                  Table::fmt(per_output, 2),
+                  bench::times(single_per_output / per_output, 2)});
+    }
+    t.print(std::cout);
+
+    // Accelerator view: a workload of L LUT evaluations costs L/nu
+    // blind rotations (the SE/KS stages still run per output, on the
+    // VPU, overlapped).
+    const arch::ArchConfig cfg = arch::ArchConfig::morphlingDefault();
+    arch::Accelerator acc(cfg, params);
+    Table s({"Functions per rotation", "Simulated rotations",
+             "LUT outputs/s (sim)"});
+    const std::uint64_t outputs_wanted = 4096;
+    for (unsigned nu : {1u, 2u, 4u}) {
+        const std::uint64_t rotations = outputs_wanted / nu;
+        const auto r = acc.runBootstrapBatch(rotations);
+        s.addRow({std::to_string(nu), Table::fmtCount(rotations),
+                  Table::fmtCount(static_cast<std::uint64_t>(
+                      r.throughputBs * nu))});
+    }
+    s.print(std::cout);
+    bench::note("a Morphling running multi-LUT workloads multiplies "
+                "its effective LUT throughput by the packing factor; "
+                "the margin cost bounds nu by the noise budget "
+                "(tfhe/noise.h).");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablations of the SW-HW co-optimization (Sections IV-C, V-E): KSK
+ * reuse, batching width, and BSK stream-set reuse. Each row disables
+ * one mechanism on set I and reports the throughput impact.
+ */
+
+#include <iostream>
+
+#include "arch/accelerator.h"
+#include "bench_util.h"
+#include "compiler/sw_scheduler.h"
+
+using namespace morphling;
+using namespace morphling::arch;
+
+namespace {
+
+SimReport
+runWith(const ArchConfig &cfg, const compiler::SchedulerConfig &sched,
+        const tfhe::TfheParams &params, std::uint64_t count = 1024)
+{
+    compiler::SwScheduler sw(params, sched);
+    Accelerator acc(cfg, params);
+    return acc.run(sw.scheduleBootstrapBatch(count));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation (Sections IV-C / V-E)",
+                  "scheduler and reuse mechanisms, set I");
+
+    const auto &params = tfhe::paramsByName("I");
+    const ArchConfig base_cfg = ArchConfig::morphlingDefault();
+    const compiler::SchedulerConfig base_sched;
+
+    const SimReport baseline = runWith(base_cfg, base_sched, params);
+
+    Table t({"Configuration", "Throughput (BS/s)", "vs full design",
+             "HBM traffic (GiB)"});
+    auto add = [&](const std::string &name, const SimReport &r) {
+        t.addRow({name,
+                  Table::fmtCount(
+                      static_cast<std::uint64_t>(r.throughputBs)),
+                  Table::fmt(100.0 * r.throughputBs /
+                                 baseline.throughputBs,
+                             1) +
+                      "%",
+                  Table::fmt(r.hbmBytes / 1073741824.0, 2)});
+    };
+
+    add("full design (64-way KSK reuse, 4 groups x 16, 4 stream sets)",
+        baseline);
+
+    {
+        // No KSK reuse: every ciphertext fetches its own KSK slice.
+        compiler::SchedulerConfig sched = base_sched;
+        sched.kskReuse = 1;
+        add("no KSK reuse", runWith(base_cfg, sched, params));
+    }
+    {
+        // No BSK stream reuse: Private-A1 only holds one stream set.
+        ArchConfig cfg = base_cfg;
+        cfg.maxStreamSets = 1;
+        add("no BSK stream reuse (1 stream set)",
+            runWith(cfg, base_sched, params));
+    }
+    {
+        // Narrow batching: groups of 4 ciphertexts leave VPE rows idle.
+        compiler::SchedulerConfig sched = base_sched;
+        sched.groupSize = 4;
+        add("narrow batching (groups of 4)",
+            runWith(base_cfg, sched, params));
+    }
+    {
+        // Single scheduling group: no group-level overlap at all.
+        compiler::SchedulerConfig sched = base_sched;
+        sched.numGroups = 1;
+        add("single scheduling group",
+            runWith(base_cfg, sched, params));
+    }
+    {
+        // Everything off.
+        compiler::SchedulerConfig sched = base_sched;
+        sched.kskReuse = 1;
+        sched.groupSize = 4;
+        sched.numGroups = 1;
+        ArchConfig cfg = base_cfg;
+        cfg.maxStreamSets = 1;
+        add("all mechanisms disabled", runWith(cfg, sched, params));
+    }
+    t.print(std::cout);
+
+    bench::note("the full design's 64-fold BSK reuse = 4 VPE rows x 4 "
+                "XPUs x 4 buffered streams; KSK reuse spans the same "
+                "64-ciphertext superbatch (Section IV-C).");
+    return 0;
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Microbenchmarks of this repository's TFHE primitives on the host CPU
+ * (google-benchmark): negacyclic FFT, external product, blind-rotation
+ * step, key switching, and full programmable bootstrapping. These are
+ * the "Concrete-equivalent" numbers the CPU rows of the comparison
+ * tables are grounded in.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "tfhe/batch.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/encoding.h"
+#include "tfhe/fft.h"
+
+using namespace morphling;
+using namespace morphling::tfhe;
+
+namespace {
+
+/** Key material shared across benchmark iterations (expensive to
+ *  generate). */
+const KeySet &
+keysFor(const std::string &name)
+{
+    static std::map<std::string, KeySet> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        Rng rng(0xBE27C4);
+        it = cache.emplace(name,
+                           KeySet::generate(paramsByName(name), rng))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+BM_ForwardFft(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const auto &fft = NegacyclicFft::forDegree(n);
+    Rng rng(1);
+    TorusPolynomial poly(n);
+    for (unsigned i = 0; i < n; ++i)
+        poly[i] = rng.nextU32();
+    FourierPolynomial out(n);
+    for (auto _ : state) {
+        fft.forward(poly, out);
+        benchmark::DoNotOptimize(out.re(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardFft)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void
+BM_InverseFft(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    const auto &fft = NegacyclicFft::forDegree(n);
+    Rng rng(2);
+    FourierPolynomial in(n);
+    for (unsigned i = 0; i < in.size(); ++i) {
+        in.re(i) = rng.nextDouble() * 1e6;
+        in.im(i) = rng.nextDouble() * 1e6;
+    }
+    TorusPolynomial out(n);
+    for (auto _ : state) {
+        fft.inverse(in, out);
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InverseFft)->Arg(512)->Arg(1024)->Arg(2048);
+
+void
+BM_ExternalProduct(benchmark::State &state)
+{
+    const auto &keys = keysFor("I");
+    Rng rng(3);
+    const auto tp = constantTestPolynomial(
+        keys.params.polyDegree, doubleToTorus32(0.125));
+    GlweCiphertext acc = GlweCiphertext::trivial(
+        keys.params.glweDimension, tp);
+    for (auto _ : state) {
+        acc = externalProductFourier(keys.bsk.entry(0), acc);
+        benchmark::DoNotOptimize(acc.body()[0]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExternalProduct);
+
+void
+BM_CmuxRotate(benchmark::State &state)
+{
+    const auto &keys = keysFor("I");
+    const auto tp = constantTestPolynomial(
+        keys.params.polyDegree, doubleToTorus32(0.125));
+    GlweCiphertext acc = GlweCiphertext::trivial(
+        keys.params.glweDimension, tp);
+    unsigned power = 1;
+    for (auto _ : state) {
+        acc = cmuxRotate(keys.bsk.entry(0), acc, power);
+        power = power % (2 * keys.params.polyDegree - 1) + 1;
+        benchmark::DoNotOptimize(acc.body()[0]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CmuxRotate);
+
+void
+BM_KeySwitch(benchmark::State &state)
+{
+    const auto &keys = keysFor("I");
+    Rng rng(4);
+    const auto glwe_ct = GlweCiphertext::encrypt(
+        keys.glweKey,
+        constantTestPolynomial(keys.params.polyDegree, 0),
+        keys.params.glweNoiseStd, rng);
+    const auto extracted = glwe_ct.sampleExtract();
+    for (auto _ : state) {
+        auto out = keys.ksk.apply(extracted);
+        benchmark::DoNotOptimize(out.body());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeySwitch);
+
+void
+BM_ProgrammableBootstrap(benchmark::State &state)
+{
+    // Per-set full bootstrap: these are the Table V "CPU" equivalents
+    // for this host.
+    static const char *kSets[] = {"I", "II", "III"};
+    const auto &keys = keysFor(kSets[state.range(0)]);
+    Rng rng(5);
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    auto ct = encryptPadded(keys, 1, 4, rng);
+    for (auto _ : state) {
+        ct = programmableBootstrap(keys, ct, lut);
+        benchmark::DoNotOptimize(ct.body());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string("set ") + kSets[state.range(0)]);
+}
+BENCHMARK(BM_ProgrammableBootstrap)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelBatchBootstrap(benchmark::State &state)
+{
+    // Multicore scaling of this library (the basis of the CPU cost
+    // model's parallel-efficiency assumption).
+    const auto &keys = keysFor("I");
+    const auto threads = static_cast<unsigned>(state.range(0));
+    Rng rng(7);
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    std::vector<LweCiphertext> batch;
+    for (unsigned i = 0; i < 2 * threads; ++i)
+        batch.push_back(encryptPadded(keys, i % 4, 4, rng));
+    for (auto _ : state) {
+        auto out = parallelBatchBootstrap(keys, batch, lut, threads);
+        benchmark::DoNotOptimize(out.back().body());
+    }
+    state.SetItemsProcessed(state.iterations() * batch.size());
+    state.SetLabel(std::to_string(threads) + " threads, set I");
+}
+BENCHMARK(BM_ParallelBatchBootstrap)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+
+void
+BM_GateBootstrap(benchmark::State &state)
+{
+    const auto &keys = keysFor("I");
+    Rng rng(6);
+    auto a = encryptBit(keys, true, rng);
+    const auto b = encryptBit(keys, false, rng);
+    for (auto _ : state) {
+        a = gateNand(keys, a, b);
+        benchmark::DoNotOptimize(a.body());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel("NAND, set I");
+}
+BENCHMARK(BM_GateBootstrap)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

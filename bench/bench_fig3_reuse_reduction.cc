@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 3: reduction in the number of domain-transform
+ * operations during bootstrapping for the three reuse types on the
+ * 4x4 VPE array, across (k, l_b) = (1,1), (2,2), (3,3) (sets A, B, C).
+ */
+
+#include <iostream>
+
+#include "arch/analysis.h"
+#include "bench_util.h"
+#include "tfhe/params.h"
+
+using namespace morphling;
+using namespace morphling::arch;
+
+int
+main()
+{
+    bench::banner("Figure 3",
+                  "domain-transform count per bootstrap by reuse type");
+
+    Table t({"Set", "(k, l_b)", "No-Reuse", "Input-Reuse",
+             "reduction", "In+Out-Reuse", "reduction",
+             "Paper reduction"});
+    struct Row
+    {
+        const char *set;
+        const char *paper;
+    };
+    // The paper quotes: input reuse 25% at (1,1) and 37.5% at (3,3);
+    // input+output reuse up to 83.3% at (3,3).
+    const Row rows[] = {
+        {"A", "25% / -"},
+        {"B", "- / -"},
+        {"C", "37.5% / 83.3%"},
+    };
+    for (const auto &row : rows) {
+        const auto &p = tfhe::paramsByName(row.set);
+        const auto none = transformsPerBootstrap(p, ReuseMode::None);
+        const auto input = transformsPerBootstrap(p, ReuseMode::Input);
+        const auto io =
+            transformsPerBootstrap(p, ReuseMode::InputOutput);
+        t.addRow({row.set,
+                  "(" + std::to_string(p.glweDimension) + ", " +
+                      std::to_string(p.bskLevels) + ")",
+                  Table::fmtCount(none), Table::fmtCount(input),
+                  Table::fmt(100.0 * (1.0 - double(input) / none), 1) +
+                      "%",
+                  Table::fmtCount(io),
+                  Table::fmt(100.0 * (1.0 - double(io) / none), 1) +
+                      "%",
+                  row.paper});
+    }
+    t.print(std::cout);
+
+    std::cout << "headline: no-reuse bootstrap at set C needs "
+              << Table::fmtCount(transformsPerBootstrap(
+                     tfhe::paramsSetC(), ReuseMode::None))
+              << " transforms (paper: 46,752)\n";
+
+    // Per-external-product reuse opportunity (Section IV-B).
+    Table r({"Set", "ACC-input reuse (k+1)", "BSK reuse",
+             "ACC-output partial-sum reuse (k+1)l_b"});
+    for (const char *name : {"A", "B", "C"}) {
+        const auto &p = tfhe::paramsByName(name);
+        const auto op = reuseOpportunity(p);
+        r.addRow({name, std::to_string(op.accInputReuse),
+                  std::to_string(op.bskReuse),
+                  std::to_string(op.accOutputReuse)});
+    }
+    r.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Figure 7-a: the latency breakdown of one bootstrap across
+ * Morphling's components for sets I-IV. The paper reports the XPU
+ * (blind rotation) at 88-93% of the total; the VPU stages (MS, SE, KS)
+ * make up the rest.
+ */
+
+#include <iostream>
+
+#include "arch/accelerator.h"
+#include "bench_util.h"
+
+using namespace morphling;
+using namespace morphling::arch;
+
+int
+main()
+{
+    bench::banner("Figure 7-a",
+                  "per-bootstrap latency breakdown across components");
+
+    const ArchConfig cfg = ArchConfig::morphlingDefault();
+    Table t({"Set", "XPU (BR)", "VPU (MS)", "VPU (SE)", "VPU (KS)",
+             "XPU share", "Paper XPU share"});
+
+    for (const char *set : {"I", "II", "III", "IV"}) {
+        const auto &params = tfhe::paramsByName(set);
+        Accelerator acc(cfg, params);
+        const SimReport r = acc.runBootstrapBatch(64);
+
+        double total = 0;
+        for (const auto &[stage, cycles] : r.latencyBreakdown)
+            total += cycles;
+        const double br = r.latencyBreakdown.at("XPU (blind rotation)");
+        auto cyc = [&](const char *key) {
+            return Table::fmtCount(static_cast<std::uint64_t>(
+                r.latencyBreakdown.at(key)));
+        };
+        t.addRow({set, cyc("XPU (blind rotation)"),
+                  cyc("VPU (mod switch)"), cyc("VPU (sample extract)"),
+                  cyc("VPU (key switch)"),
+                  Table::fmt(100.0 * br / total, 1) + "%", "88-93%"});
+    }
+    t.print(std::cout);
+    bench::note("cycles for one ciphertext through the MS -> BR -> SE "
+                "-> KS pipeline; the programmable VPU overlaps its "
+                "stages with other ciphertexts' blind rotations at "
+                "full load.");
+
+    // Measured component activity in a steady-state run (set I).
+    Accelerator acc(cfg, tfhe::paramsByName("I"));
+    const SimReport r = acc.runBootstrapBatch(2048);
+    Table u({"Component", "Busy fraction of makespan"});
+    u.addRow({"XPU complex (compute)", Table::fmt(r.xpuBusyFrac, 3)});
+    u.addRow({"XPU complex (BSK stall)",
+              Table::fmt(r.xpuStallFrac, 3)});
+    u.addRow({"VPU lane-groups (mean)", Table::fmt(r.vpuBusyFrac, 3)});
+    u.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Figure 7-b: throughput and speedup of the transform-
+ * domain-reuse architecture types on sets A, B, C, with identical
+ * compute resources. The baseline is the No-Reuse type (MATCHA-style);
+ * Input-Reuse is Strix-style; Input+Output-Reuse is Morphling, with
+ * the merge-split FFT as the final additive technique.
+ */
+
+#include <iostream>
+
+#include "arch/accelerator.h"
+#include "bench_util.h"
+
+using namespace morphling;
+using namespace morphling::arch;
+
+namespace {
+
+double
+throughput(const ArchConfig &cfg, const tfhe::TfheParams &params)
+{
+    Accelerator acc(cfg, params);
+    return acc.runBootstrapBatch(512).throughputBs;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 7-b",
+                  "throughput/speedup by transform-domain reuse type "
+                  "(same compute resources)");
+
+    const ArchConfig base = ArchConfig::morphlingDefault();
+
+    Table t({"Set", "Variant", "Throughput (BS/s)", "Speedup",
+             "Paper speedup"});
+    struct PaperNumbers
+    {
+        const char *set;
+        const char *input;
+        const char *io;
+        const char *overall; // IO + merge-split
+    };
+    const PaperNumbers paper[] = {
+        {"A", "~1.3x", "2.0x", "2.6x"},
+        {"B", "~1.5x", "2.9x", "~3.8x"},
+        {"C", "~1.6x", "3.9x", "5.3x"},
+    };
+
+    for (const auto &pn : paper) {
+        const auto &params = tfhe::paramsByName(pn.set);
+        const double none = throughput(
+            base.withReuse(ReuseMode::None, false), params);
+        const double input = throughput(
+            base.withReuse(ReuseMode::Input, false), params);
+        const double io = throughput(
+            base.withReuse(ReuseMode::InputOutput, false), params);
+        const double io_ms = throughput(
+            base.withReuse(ReuseMode::InputOutput, true), params);
+
+        t.addRow({pn.set, "No-Reuse (MATCHA-style)",
+                  Table::fmtCount(static_cast<std::uint64_t>(none)),
+                  "1.0x", "1.0x"});
+        t.addRow({pn.set, "Input-Reuse (Strix-style)",
+                  Table::fmtCount(static_cast<std::uint64_t>(input)),
+                  bench::times(input / none, 2), pn.input});
+        t.addRow({pn.set, "Input+Output-Reuse",
+                  Table::fmtCount(static_cast<std::uint64_t>(io)),
+                  bench::times(io / none, 2), pn.io});
+        t.addRow({pn.set, "  + merge-split FFT",
+                  Table::fmtCount(static_cast<std::uint64_t>(io_ms)),
+                  bench::times(io_ms / none, 2), pn.overall});
+        t.addSeparator();
+    }
+    t.print(std::cout);
+
+    bench::note("input+output-reuse speedups reproduce the paper "
+                "(2.0/2.9/3.9x); our Input-Reuse model shares forward "
+                "transforms perfectly and lands near 2x where the "
+                "paper measures 1.3-1.6x — the paper's Strix-style "
+                "baseline pays extra inverse-path overheads we do not "
+                "model. Merge-split gains are correspondingly larger "
+                "here (see EXPERIMENTS.md).");
+    return 0;
+}

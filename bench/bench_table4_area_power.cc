@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates Table IV: the area and power breakdown of Morphling in
+ * 28nm, from the calibrated component model, side by side with the
+ * paper's published values.
+ */
+
+#include <iostream>
+
+#include "arch/area_power.h"
+#include "bench_util.h"
+
+using namespace morphling;
+using namespace morphling::arch;
+
+int
+main()
+{
+    bench::banner("Table IV", "area and power breakdown (28nm model)");
+    const ArchConfig cfg = ArchConfig::morphlingDefault();
+
+    struct PaperRow
+    {
+        const char *component;
+        double area;
+        double power;
+    };
+
+    Table t({"Component", "Area (mm^2)", "Power (W)",
+             "Paper area", "Paper power"});
+
+    const auto xpu = xpuAreaPower(cfg);
+    const PaperRow xpu_rows[] = {
+        {"decomposition units", 0.01, 0.004},
+        {"FFT units", 1.22, 0.91},
+        {"coef buffers", 0.06, 0.03},
+        {"twiddle buffer", 0.75, 0.37},
+        {"VPE array", 4.71, 3.13},
+        {"IFFT units", 2.45, 1.82},
+    };
+    for (const auto &row : xpu_rows) {
+        const auto &v = xpu.entry(row.component);
+        t.addRow({std::string("  ") + row.component,
+                  Table::fmt(v.areaMm2), Table::fmt(v.powerW),
+                  Table::fmt(row.area), Table::fmt(row.power)});
+    }
+    t.addRow({"XPU (one)", Table::fmt(xpu.total().areaMm2),
+              Table::fmt(xpu.total().powerW), "9.23", "6.23"});
+    t.addSeparator();
+
+    const auto chip = chipAreaPower(cfg);
+    const PaperRow chip_rows[] = {
+        {"XPUs", 36.95, 25.11},       {"VPU", 0.22, 0.13},
+        {"NoC", 0.21, 0.17},          {"Private-A1", 8.31, 4.27},
+        {"Private-A2", 8.10, 3.99},   {"Private-B", 4.05, 2.42},
+        {"Shared", 2.02, 0.99},       {"HBM2e PHY", 14.90, 15.90},
+    };
+    for (const auto &row : chip_rows) {
+        const auto &v = chip.entry(row.component);
+        t.addRow({row.component, Table::fmt(v.areaMm2),
+                  Table::fmt(v.powerW), Table::fmt(row.area),
+                  Table::fmt(row.power)});
+    }
+    t.addSeparator();
+    t.addRow({"Total", Table::fmt(chip.total().areaMm2),
+              Table::fmt(chip.total().powerW), "74.79", "53.00"});
+    t.print(std::cout);
+
+    bench::note("densities are calibrated to the paper's synthesis "
+                "(we cannot run TSMC 28nm); the model's value is "
+                "consistent scaling across configuration sweeps.");
+
+    // Demonstrate scaling for the Figure 8-b configurations.
+    Table s({"#XPUs", "Chip area (mm^2)", "Chip power (W)"});
+    for (unsigned x : {1u, 2u, 4u, 6u, 8u}) {
+        ArchConfig v = cfg;
+        v.numXpus = x;
+        const auto a = chipAreaPower(v).total();
+        s.addRow({std::to_string(x), Table::fmt(a.areaMm2),
+                  Table::fmt(a.powerW)});
+    }
+    s.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates Table VI: application execution time of Morphling vs a
+ * 64-core CPU for the XGBoost classifier, DeepCNN-20/50/100 and VGG-9.
+ *
+ * Morphling times come from simulating the SW-scheduled workload on
+ * the cycle-level model. CPU times come from the calibrated 64-core
+ * Concrete model (per-bootstrap cost from Table V, bootstraps
+ * parallelized across cores). All applications run at 128-bit
+ * security; the sign-comparison workloads (XGBoost, VGG-9 ReLUs) map
+ * onto the single-level set IV, the CNN LUT workloads onto set III —
+ * the decomposition that reproduces the paper's published times (see
+ * EXPERIMENTS.md for the VGG-9 activation-count discussion).
+ */
+
+#include <iostream>
+
+#include "apps/cpu_cost_model.h"
+#include "apps/workloads.h"
+#include "arch/accelerator.h"
+#include "bench_util.h"
+#include "compiler/sw_scheduler.h"
+
+using namespace morphling;
+
+int
+main()
+{
+    bench::banner("Table VI",
+                  "application execution time: Morphling vs CPU "
+                  "(128-bit sets)");
+
+    const arch::ArchConfig cfg = arch::ArchConfig::morphlingDefault();
+
+    struct AppRow
+    {
+        compiler::Workload workload;
+        const char *set;
+        const char *paperCpu;
+        const char *paperMorphling;
+        const char *paperSpeedup;
+    };
+    const AppRow rows[] = {
+        {apps::xgboostWorkload(100, 6), "IV", "9.59", "0.06", "144x"},
+        {apps::deepCnnWorkload(20), "III", "33.32", "0.34", "95x"},
+        {apps::deepCnnWorkload(50), "III", "74.94", "0.84", "88x"},
+        {apps::deepCnnWorkload(100), "III", "180.09", "1.72", "104x"},
+        {apps::vgg9Workload(), "IV", "94.78", "0.67", "140x"},
+    };
+
+    Table t({"Application", "Set", "PBS count", "CPU model (s)",
+             "Morphling sim (s)", "Speedup", "Paper CPU (s)",
+             "Paper Morphling (s)", "Paper speedup"});
+
+    for (const auto &row : rows) {
+        const auto &params = tfhe::paramsByName(row.set);
+        const apps::CpuCostModel cpu = apps::paperConcreteCpu(params);
+        compiler::SwScheduler scheduler(params);
+        arch::Accelerator accelerator(cfg, params);
+
+        const double cpu_s =
+            cpu.workloadSeconds(row.workload, params.lweDimension);
+        const auto program = scheduler.schedule(row.workload);
+        const auto report = accelerator.run(program);
+
+        t.addRow({row.workload.name, row.set,
+                  Table::fmtCount(row.workload.totalBootstraps()),
+                  Table::fmt(cpu_s), Table::fmt(report.seconds),
+                  bench::times(cpu_s / report.seconds, 0),
+                  row.paperCpu, row.paperMorphling, row.paperSpeedup});
+    }
+    t.print(std::cout);
+
+    bench::note("CPU model: Concrete per-bootstrap latency (Table V, "
+                "op-count-extrapolated for set IV) over 64 cores at "
+                "70% parallel efficiency, plus linear ops at 3 "
+                "GMAC/s/core over (n+1)-word ciphertexts.");
+    bench::note("our VGG-9 counts one PBS per post-conv activation "
+                "(230k); the paper's published times imply ~65k "
+                "activations (pruned/quantized ReLU schedule), so both "
+                "our CPU and Morphling columns scale up together and "
+                "the speedup — the architecture claim — is preserved.");
+    return 0;
+}

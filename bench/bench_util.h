@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration binaries.
+ *
+ * Every bench prints: a banner naming the paper artifact it
+ * regenerates, the parameter sets involved, the regenerated rows, and —
+ * where the paper publishes numbers — the paper's values alongside for
+ * comparison. Output is plain text so `bench_output.txt` diffs cleanly.
+ */
+
+#ifndef MORPHLING_BENCH_BENCH_UTIL_H
+#define MORPHLING_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace morphling::bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::cout << "\n=================================================="
+                 "====================\n"
+              << artifact << " -- " << description << "\n"
+              << "===================================================="
+                 "==================\n";
+}
+
+/** Print a note line (methodology caveats, calibration notes). */
+inline void
+note(const std::string &text)
+{
+    std::cout << "note: " << text << "\n";
+}
+
+/** Format a ratio like "14.7x". */
+inline std::string
+times(double ratio, int precision = 1)
+{
+    return Table::fmt(ratio, precision) + "x";
+}
+
+} // namespace morphling::bench
+
+#endif // MORPHLING_BENCH_BENCH_UTIL_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The deployment split every FHE service uses: the client keeps the
+ * secret key; the server receives only evaluation keys (BSK + KSK) and
+ * ciphertexts over the wire, computes blindly, and returns a ciphertext
+ * only the client can open. Wire format: this library's versioned
+ * binary serialization (tfhe/serialize.h).
+ *
+ * Build & run:  ./build/examples/client_server
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "tfhe/encoding.h"
+#include "tfhe/serialize.h"
+
+using namespace morphling;
+using namespace morphling::tfhe;
+
+namespace {
+
+/** What the untrusted server runs: no KeySet, no secret bits. */
+std::string
+serverSide(const std::string &eval_keys_wire,
+           const std::string &query_wire)
+{
+    std::istringstream keys_in(eval_keys_wire);
+    const EvaluationKeys keys = loadEvaluationKeys(keys_in);
+    std::istringstream query_in(query_wire);
+    const LweCiphertext query = loadCiphertext(query_in);
+
+    // The service: a private threshold check, f(m) = (m >= 4), plus a
+    // noise refresh — one programmable bootstrap.
+    const auto lut = makePaddedLut(8, [](std::uint32_t m) {
+        return m >= 4 ? 1u : 0u;
+    });
+    const LweCiphertext answer = serverBootstrap(keys, query, lut);
+
+    std::ostringstream out;
+    saveCiphertext(out, answer);
+    return out.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- Client: key ceremony ----------------------------------------
+    const TfheParams &params = paramsTest();
+    Rng rng(0xC11E47);
+    std::cout << "client: generating keys for " << params.summary()
+              << "\n";
+    const KeySet keys = KeySet::generate(params, rng);
+
+    std::ostringstream eval_wire;
+    saveEvaluationKeys(eval_wire, EvaluationKeys::fromKeySet(keys));
+    std::cout << "client: evaluation keys serialized ("
+              << eval_wire.str().size() / 1024
+              << " KiB; the secret key never leaves)\n";
+
+    // --- Client: encrypt queries --------------------------------------
+    for (std::uint32_t m : {2u, 6u}) {
+        std::ostringstream query_wire;
+        saveCiphertext(query_wire, encryptPadded(keys, m, 8, rng));
+
+        // --- Server: blind computation --------------------------------
+        const std::string answer_wire =
+            serverSide(eval_wire.str(), query_wire.str());
+
+        // --- Client: decrypt the response ------------------------------
+        std::istringstream answer_in(answer_wire);
+        const LweCiphertext answer = loadCiphertext(answer_in);
+        const std::uint32_t verdict = decryptPadded(keys, answer, 8);
+        std::cout << "client: is " << m << " >= 4?  server says "
+                  << (verdict ? "yes" : "no") << " (expect "
+                  << (m >= 4 ? "yes" : "no") << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Encrypted boolean logic: the classic TFHE gate-bootstrapping API.
+ *
+ * Demonstrates every two-input gate and then runs a 4-bit ripple-carry
+ * adder entirely on encrypted bits — the style of circuit the paper's
+ * XGBoost comparators decompose into.
+ *
+ * Build & run:  ./build/examples/gate_logic
+ */
+
+#include <array>
+#include <iostream>
+
+#include "common/rng.h"
+#include "tfhe/encoding.h"
+#include "tfhe/params.h"
+
+using namespace morphling;
+using namespace morphling::tfhe;
+
+namespace {
+
+/** Encrypted full adder: returns (sum, carry_out). */
+std::pair<LweCiphertext, LweCiphertext>
+fullAdder(const KeySet &keys, const LweCiphertext &a,
+          const LweCiphertext &b, const LweCiphertext &carry_in)
+{
+    const LweCiphertext a_xor_b = gateXor(keys, a, b);
+    LweCiphertext sum = gateXor(keys, a_xor_b, carry_in);
+    LweCiphertext carry =
+        gateOr(keys, gateAnd(keys, a, b),
+               gateAnd(keys, a_xor_b, carry_in));
+    return {std::move(sum), std::move(carry)};
+}
+
+} // namespace
+
+int
+main()
+{
+    // The reduced TEST set keeps this demo snappy; swap in
+    // paramsSetI() for paper-scale parameters.
+    const TfheParams &params = paramsTest();
+    Rng rng(77);
+    std::cout << "generating keys for " << params.summary() << "\n";
+    const KeySet keys = KeySet::generate(params, rng);
+
+    // --- Truth tables -------------------------------------------------
+    std::cout << "\n a b | NAND AND OR XOR\n";
+    for (int a = 0; a <= 1; ++a) {
+        for (int b = 0; b <= 1; ++b) {
+            const auto ca = encryptBit(keys, a != 0, rng);
+            const auto cb = encryptBit(keys, b != 0, rng);
+            std::cout << " " << a << " " << b << " |    "
+                      << decryptBit(keys, gateNand(keys, ca, cb))
+                      << "   "
+                      << decryptBit(keys, gateAnd(keys, ca, cb))
+                      << "  "
+                      << decryptBit(keys, gateOr(keys, ca, cb)) << "   "
+                      << decryptBit(keys, gateXor(keys, ca, cb))
+                      << "\n";
+        }
+    }
+
+    // --- Encrypted 4-bit addition --------------------------------------
+    const unsigned x = 11, y = 6; // 11 + 6 = 17 = 0b10001
+    std::array<LweCiphertext, 4> xa, ya;
+    for (unsigned i = 0; i < 4; ++i) {
+        xa[i] = encryptBit(keys, (x >> i) & 1, rng);
+        ya[i] = encryptBit(keys, (y >> i) & 1, rng);
+    }
+
+    std::cout << "\nadding " << x << " + " << y
+              << " on encrypted bits (12 gate bootstraps)...\n";
+    LweCiphertext carry = trivialBit(keys, false);
+    unsigned result = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        auto [sum, carry_out] = fullAdder(keys, xa[i], ya[i], carry);
+        result |= static_cast<unsigned>(decryptBit(keys, sum)) << i;
+        carry = std::move(carry_out);
+    }
+    result |= static_cast<unsigned>(decryptBit(keys, carry)) << 4;
+    std::cout << "decrypted sum = " << result << " (expect " << x + y
+              << ")\n";
+
+    // --- MUX: encrypted select between two encrypted values ------------
+    const auto sel = encryptBit(keys, true, rng);
+    const auto picked =
+        gateMux(keys, sel, encryptBit(keys, true, rng),
+                encryptBit(keys, false, rng));
+    std::cout << "MUX(1, 1, 0) = " << decryptBit(keys, picked)
+              << " (expect 1)\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Watching the noise: measure ciphertext noise growth under
+ * homomorphic additions, compare it with the analytic model, and show
+ * bootstrapping resetting it — the phenomenon that makes bootstrapping
+ * "an essential operation" (Section I) and Morphling's entire reason
+ * to exist.
+ *
+ * Build & run:  ./build/examples/noise_budget
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "tfhe/encoding.h"
+#include "tfhe/noise.h"
+
+using namespace morphling;
+using namespace morphling::tfhe;
+
+int
+main()
+{
+    const TfheParams &params = paramsTest();
+    Rng rng(0xB0B);
+    std::cout << "generating keys for " << params.summary() << "\n";
+    const KeySet keys = KeySet::generate(params, rng);
+    const NoiseModel model(params);
+
+    std::cout << "analytic model:\n"
+              << "  fresh LWE noise std        = "
+              << params.lweNoiseStd << "\n"
+              << "  bootstrap output noise std = "
+              << std::sqrt(model.bootstrapOutputVariance()) << "\n"
+              << "  mod-switch input noise std = "
+              << std::sqrt(model.modSwitchVariance()) << "\n"
+              << "  LUT margin at p=4          = "
+              << model.slotSigmas(4, model.bootstrapOutputVariance())
+              << " sigmas\n\n";
+
+    // Accumulate encryptions of zero onto an encryption of 1 and watch
+    // the phase error grow as sqrt(#additions).
+    const Torus32 target = encodePadded(1, 4);
+    auto ct = encryptPadded(keys, 1, 4, rng);
+    Table t({"Additions", "Measured noise", "Predicted (sqrt growth)",
+             "Still decrypts?"});
+    int additions = 0;
+    for (int step : {0, 4, 16, 64, 256}) {
+        while (additions < step) {
+            auto zero = encryptPadded(keys, 0, 4, rng);
+            ct.addAssign(zero);
+            ++additions;
+        }
+        const double measured =
+            torusDistance(ct.phase(keys.lweKey), target);
+        const double predicted =
+            std::sqrt(1.0 + additions) * params.lweNoiseStd;
+        t.addRow({std::to_string(additions),
+                  Table::fmt(measured, 7), Table::fmt(predicted, 7),
+                  decryptPadded(keys, ct, 4) == 1 ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    // One bootstrap resets the accumulated noise.
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto refreshed = programmableBootstrap(keys, ct, lut);
+    std::cout << "after bootstrap: noise = "
+              << Table::fmt(
+                     torusDistance(refreshed.phase(keys.lweKey), target),
+                     7)
+              << " (model predicts ~"
+              << Table::fmt(std::sqrt(model.bootstrapOutputVariance()),
+                            7)
+              << "), decrypts to "
+              << decryptPadded(keys, refreshed, 4) << "\n";
+
+    // Empirical vs predicted bootstrap output noise over many samples.
+    const double measured_bs =
+        measureBootstrapNoiseStd(keys, 4, 40, rng);
+    std::cout << "bootstrap output noise over 40 samples: measured "
+              << Table::fmt(measured_bs, 7) << " vs predicted "
+              << Table::fmt(std::sqrt(model.bootstrapOutputVariance()),
+                            7)
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A sealed-bid auction on encrypted bids: the auctioneer learns the
+ * winning bid (and nothing about the losers) by running comparator +
+ * multiplexer circuits over encrypted bit vectors — the gate-level
+ * workload class the paper's XGBoost benchmark belongs to.
+ *
+ * Also compiles the tournament to a Morphling workload and reports the
+ * simulated accelerator time next to the host time, closing the loop
+ * between the functional circuit and the performance model.
+ *
+ * Build & run:  ./build/examples/private_auction
+ */
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "apps/circuit.h"
+#include "arch/accelerator.h"
+#include "common/rng.h"
+#include "compiler/sw_scheduler.h"
+#include "tfhe/params.h"
+
+using namespace morphling;
+using namespace morphling::apps;
+
+namespace {
+
+/** Build max(a, b) over `bits`-wide inputs: compare, then mux each
+ *  output bit. */
+void
+buildMax(Circuit &c, const std::vector<Circuit::Wire> &a,
+         const std::vector<Circuit::Wire> &b,
+         std::vector<Circuit::Wire> &out)
+{
+    const auto a_ge_b = buildGreaterEqual(c, a, b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.push_back(c.mux(a_ge_b, a[i], b[i]));
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned bits = 4;
+    const std::vector<unsigned> bids = {9, 3, 14, 7};
+
+    // Build the tournament circuit: max(max(b0,b1), max(b2,b3)).
+    Circuit c;
+    std::vector<std::vector<Circuit::Wire>> in(bids.size());
+    for (auto &bid_wires : in) {
+        for (unsigned i = 0; i < bits; ++i)
+            bid_wires.push_back(c.input());
+    }
+    std::vector<Circuit::Wire> semi1, semi2, winner;
+    buildMax(c, in[0], in[1], semi1);
+    buildMax(c, in[2], in[3], semi2);
+    buildMax(c, semi1, semi2, winner);
+    for (auto w : winner)
+        c.markOutput(w);
+
+    std::cout << "tournament circuit: " << c.numGates() << " gates, "
+              << c.bootstrapCount() << " bootstraps, depth "
+              << c.bootstrapDepth() << "\n";
+
+    // Sanity on plaintext first.
+    std::vector<bool> plain_in;
+    for (auto bid : bids) {
+        for (unsigned i = 0; i < bits; ++i)
+            plain_in.push_back((bid >> i) & 1);
+    }
+    const auto plain_out = c.evaluatePlain(plain_in);
+    unsigned plain_max = 0;
+    for (unsigned i = 0; i < bits; ++i)
+        plain_max |= static_cast<unsigned>(plain_out[i]) << i;
+    std::cout << "plaintext check: max bid = " << plain_max << "\n";
+
+    // Encrypted run.
+    const auto &params = tfhe::paramsTest();
+    Rng rng(0xB1D5);
+    std::cout << "generating keys for " << params.summary() << "\n";
+    const tfhe::KeySet keys = tfhe::KeySet::generate(params, rng);
+
+    std::vector<tfhe::LweCiphertext> enc_in;
+    for (bool b : plain_in)
+        enc_in.push_back(tfhe::encryptBit(keys, b, rng));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto enc_out = c.evaluateEncrypted(keys, enc_in);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    unsigned enc_max = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        enc_max |= static_cast<unsigned>(
+                       tfhe::decryptBit(keys, enc_out[i]))
+                   << i;
+    }
+    std::cout << "encrypted auction: winning bid = " << enc_max
+              << " (host time "
+              << std::chrono::duration<double>(t1 - t0).count()
+              << " s)\n";
+
+    // Paper-scale batch on the accelerator model: 1024 concurrent
+    // auctions at the 128-bit set III.
+    const auto &big = tfhe::paramsByName("III");
+    const auto workload = c.toWorkload("auction-batch", 1024);
+    compiler::SwScheduler scheduler(big);
+    arch::Accelerator accelerator(
+        arch::ArchConfig::morphlingDefault(), big);
+    const auto report = accelerator.run(scheduler.schedule(workload));
+    std::cout << "Morphling (simulated): 1024 auctions ("
+              << workload.totalBootstraps() << " bootstraps) in "
+              << report.seconds << " s = "
+              << report.seconds / 1024 * 1e3 << " ms per auction\n";
+
+    return enc_max == plain_max ? 0 : 1;
+}

@@ -1,0 +1,297 @@
+#include "circuit.h"
+
+#include "common/logging.h"
+
+namespace morphling::apps {
+
+using tfhe::KeySet;
+using tfhe::LweCiphertext;
+
+Circuit::Wire
+Circuit::input()
+{
+    Gate g;
+    g.op = GateOp::Input;
+    gates_.push_back(g);
+    ++numInputs_;
+    return static_cast<Wire>(gates_.size() - 1);
+}
+
+Circuit::Wire
+Circuit::constant(bool value)
+{
+    Gate g;
+    g.op = GateOp::Const;
+    g.constValue = value;
+    gates_.push_back(g);
+    return static_cast<Wire>(gates_.size() - 1);
+}
+
+Circuit::Wire
+Circuit::gate(GateOp op, Wire a, Wire b)
+{
+    panic_if(op == GateOp::Input || op == GateOp::Const ||
+                 op == GateOp::Mux,
+             "use input()/constant()/mux()");
+    panic_if(a < 0 || a >= static_cast<Wire>(gates_.size()),
+             "dangling wire a");
+    const bool unary = op == GateOp::Not;
+    panic_if(!unary && (b < 0 || b >= static_cast<Wire>(gates_.size())),
+             "dangling wire b");
+    Gate g;
+    g.op = op;
+    g.a = a;
+    g.b = unary ? -1 : b;
+    gates_.push_back(g);
+    return static_cast<Wire>(gates_.size() - 1);
+}
+
+Circuit::Wire
+Circuit::mux(Wire select, Wire on_true, Wire on_false)
+{
+    panic_if(select < 0 || on_true < 0 || on_false < 0 ||
+                 select >= static_cast<Wire>(gates_.size()) ||
+                 on_true >= static_cast<Wire>(gates_.size()) ||
+                 on_false >= static_cast<Wire>(gates_.size()),
+             "dangling mux wire");
+    Gate g;
+    g.op = GateOp::Mux;
+    g.a = select;
+    g.b = on_true;
+    g.c = on_false;
+    gates_.push_back(g);
+    return static_cast<Wire>(gates_.size() - 1);
+}
+
+void
+Circuit::markOutput(Wire wire)
+{
+    panic_if(wire < 0 || wire >= static_cast<Wire>(gates_.size()),
+             "dangling output wire");
+    outputs_.push_back(wire);
+}
+
+unsigned
+Circuit::costOf(GateOp op)
+{
+    switch (op) {
+      case GateOp::Input:
+      case GateOp::Const:
+      case GateOp::Not:
+        return 0;
+      case GateOp::Mux:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+std::uint64_t
+Circuit::bootstrapCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &g : gates_)
+        total += costOf(g.op);
+    return total;
+}
+
+std::vector<unsigned>
+Circuit::levels() const
+{
+    // Level of a gate = number of bootstrapped gates on its longest
+    // input path, counting itself if it bootstraps. Linear gates stay
+    // on their inputs' level.
+    std::vector<unsigned> level(gates_.size(), 0);
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const auto &g = gates_[i];
+        unsigned in_level = 0;
+        for (Wire w : {g.a, g.b, g.c}) {
+            if (w >= 0)
+                in_level = std::max(in_level, level[w]);
+        }
+        level[i] = in_level + (costOf(g.op) > 0 ? 1 : 0);
+    }
+    return level;
+}
+
+unsigned
+Circuit::bootstrapDepth() const
+{
+    unsigned depth = 0;
+    const auto lv = levels();
+    for (auto l : lv)
+        depth = std::max(depth, l);
+    return depth;
+}
+
+std::vector<bool>
+Circuit::evaluatePlain(const std::vector<bool> &inputs) const
+{
+    panic_if(inputs.size() != numInputs_, "expected ", numInputs_,
+             " inputs, got ", inputs.size());
+    std::vector<bool> value(gates_.size());
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const auto &g = gates_[i];
+        switch (g.op) {
+          case GateOp::Input:
+            value[i] = inputs[next_input++];
+            break;
+          case GateOp::Const:
+            value[i] = g.constValue;
+            break;
+          case GateOp::Not:
+            value[i] = !value[g.a];
+            break;
+          case GateOp::And:
+            value[i] = value[g.a] && value[g.b];
+            break;
+          case GateOp::Or:
+            value[i] = value[g.a] || value[g.b];
+            break;
+          case GateOp::Xor:
+            value[i] = value[g.a] != value[g.b];
+            break;
+          case GateOp::Nand:
+            value[i] = !(value[g.a] && value[g.b]);
+            break;
+          case GateOp::Nor:
+            value[i] = !(value[g.a] || value[g.b]);
+            break;
+          case GateOp::Xnor:
+            value[i] = value[g.a] == value[g.b];
+            break;
+          case GateOp::Mux:
+            value[i] = value[g.a] ? value[g.b] : value[g.c];
+            break;
+        }
+    }
+    std::vector<bool> out;
+    out.reserve(outputs_.size());
+    for (Wire w : outputs_)
+        out.push_back(value[w]);
+    return out;
+}
+
+std::vector<LweCiphertext>
+Circuit::evaluateEncrypted(const KeySet &keys,
+                           const std::vector<LweCiphertext> &inputs)
+    const
+{
+    panic_if(inputs.size() != numInputs_, "expected ", numInputs_,
+             " input ciphertexts, got ", inputs.size());
+    std::vector<LweCiphertext> value(gates_.size());
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const auto &g = gates_[i];
+        switch (g.op) {
+          case GateOp::Input:
+            value[i] = inputs[next_input++];
+            break;
+          case GateOp::Const:
+            value[i] = tfhe::trivialBit(keys, g.constValue);
+            break;
+          case GateOp::Not:
+            value[i] = tfhe::gateNot(value[g.a]);
+            break;
+          case GateOp::And:
+            value[i] = tfhe::gateAnd(keys, value[g.a], value[g.b]);
+            break;
+          case GateOp::Or:
+            value[i] = tfhe::gateOr(keys, value[g.a], value[g.b]);
+            break;
+          case GateOp::Xor:
+            value[i] = tfhe::gateXor(keys, value[g.a], value[g.b]);
+            break;
+          case GateOp::Nand:
+            value[i] = tfhe::gateNand(keys, value[g.a], value[g.b]);
+            break;
+          case GateOp::Nor:
+            value[i] = tfhe::gateNor(keys, value[g.a], value[g.b]);
+            break;
+          case GateOp::Xnor:
+            value[i] = tfhe::gateXnor(keys, value[g.a], value[g.b]);
+            break;
+          case GateOp::Mux:
+            value[i] = tfhe::gateMux(keys, value[g.a], value[g.b],
+                                     value[g.c]);
+            break;
+        }
+    }
+    std::vector<LweCiphertext> out;
+    out.reserve(outputs_.size());
+    for (Wire w : outputs_)
+        out.push_back(value[w]);
+    return out;
+}
+
+compiler::Workload
+Circuit::toWorkload(const std::string &name, std::uint64_t count) const
+{
+    // One stage per bootstrap level; all `count` evaluations of the
+    // circuit run the same level concurrently.
+    const auto lv = levels();
+    std::vector<std::uint64_t> per_level(bootstrapDepth() + 1, 0);
+    for (std::size_t i = 0; i < gates_.size(); ++i)
+        per_level[lv[i]] += costOf(gates_[i].op);
+
+    compiler::Workload w;
+    w.name = name;
+    for (std::size_t level = 1; level < per_level.size(); ++level) {
+        if (per_level[level] == 0)
+            continue;
+        w.stages.push_back({per_level[level] * count, 0});
+    }
+    return w;
+}
+
+Circuit::Wire
+buildRippleAdder(Circuit &circuit, const std::vector<Circuit::Wire> &a,
+                 const std::vector<Circuit::Wire> &b,
+                 std::vector<Circuit::Wire> &sum)
+{
+    panic_if(a.size() != b.size(), "operand width mismatch");
+    Circuit::Wire carry = circuit.constant(false);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto a_xor_b = circuit.gate(GateOp::Xor, a[i], b[i]);
+        sum.push_back(circuit.gate(GateOp::Xor, a_xor_b, carry));
+        const auto gen = circuit.gate(GateOp::And, a[i], b[i]);
+        const auto prop = circuit.gate(GateOp::And, a_xor_b, carry);
+        carry = circuit.gate(GateOp::Or, gen, prop);
+    }
+    return carry;
+}
+
+Circuit::Wire
+buildGreaterEqual(Circuit &circuit, const std::vector<Circuit::Wire> &a,
+                  const std::vector<Circuit::Wire> &b)
+{
+    panic_if(a.size() != b.size(), "operand width mismatch");
+    // From LSB up: ge = (a_i > b_i) | ((a_i == b_i) & ge_below);
+    // a_i > b_i  ==  a_i & !b_i.
+    Circuit::Wire ge = circuit.constant(true);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto not_b = circuit.gate(GateOp::Not, b[i]);
+        const auto gt = circuit.gate(GateOp::And, a[i], not_b);
+        const auto eq = circuit.gate(GateOp::Xnor, a[i], b[i]);
+        const auto keep = circuit.gate(GateOp::And, eq, ge);
+        ge = circuit.gate(GateOp::Or, gt, keep);
+    }
+    return ge;
+}
+
+Circuit::Wire
+buildEqual(Circuit &circuit, const std::vector<Circuit::Wire> &a,
+           const std::vector<Circuit::Wire> &b)
+{
+    panic_if(a.size() != b.size() || a.empty(),
+             "operand width mismatch");
+    Circuit::Wire acc = circuit.gate(GateOp::Xnor, a[0], b[0]);
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const auto bit_eq = circuit.gate(GateOp::Xnor, a[i], b[i]);
+        acc = circuit.gate(GateOp::And, acc, bit_eq);
+    }
+    return acc;
+}
+
+} // namespace morphling::apps

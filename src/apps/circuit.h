@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Boolean circuits over encrypted bits.
+ *
+ * The XGBoost comparators and any non-LUT-shaped logic decompose into
+ * gate circuits, each two-input gate one bootstrap (the TFHE gate
+ * API in tfhe/encoding.h). This module provides:
+ *  - a netlist representation with plaintext and encrypted evaluation
+ *    (the encrypted path is the ground truth the tests check against),
+ *  - circuit builders (ripple-carry adder, comparator, equality),
+ *  - compilation to a scheduler Workload: one stage per topological
+ *    level of bootstrapped gates, so the accelerator model can batch
+ *    each level's independent bootstraps (Figure 6's grouping).
+ */
+
+#ifndef MORPHLING_APPS_CIRCUIT_H
+#define MORPHLING_APPS_CIRCUIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/program.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::apps {
+
+/** Gate kinds. Input/Const are sources; Not is linear (free); Mux
+ *  costs three bootstraps; the rest cost one each. */
+enum class GateOp
+{
+    Input,
+    Const,
+    Not,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+    Mux,
+};
+
+/** A boolean netlist; wire ids are gate indices (SSA-style, inputs
+ *  created before use by construction). */
+class Circuit
+{
+  public:
+    using Wire = int;
+
+    /** Add a primary input; returns its wire. */
+    Wire input();
+
+    /** Add a constant wire. */
+    Wire constant(bool value);
+
+    /** Add a unary/binary gate. */
+    Wire gate(GateOp op, Wire a, Wire b = -1);
+
+    /** Add a multiplexer: select ? on_true : on_false. */
+    Wire mux(Wire select, Wire on_true, Wire on_false);
+
+    /** Mark a wire as a circuit output. */
+    void markOutput(Wire wire);
+
+    unsigned numInputs() const { return numInputs_; }
+    unsigned numGates() const
+    {
+        return static_cast<unsigned>(gates_.size());
+    }
+    const std::vector<Wire> &outputs() const { return outputs_; }
+
+    /** Total bootstraps one evaluation costs. */
+    std::uint64_t bootstrapCount() const;
+
+    /** Depth in bootstrapped-gate levels (the critical path the
+     *  scheduler cannot parallelize across). */
+    unsigned bootstrapDepth() const;
+
+    /** Evaluate on plaintext bits; returns the output wires' values. */
+    std::vector<bool> evaluatePlain(const std::vector<bool> &inputs) const;
+
+    /** Evaluate homomorphically; returns output ciphertexts. */
+    std::vector<tfhe::LweCiphertext>
+    evaluateEncrypted(const tfhe::KeySet &keys,
+                      const std::vector<tfhe::LweCiphertext> &inputs)
+        const;
+
+    /**
+     * Compile to a schedulable workload: one stage per bootstrap
+     * level, `count` independent evaluations batched together.
+     */
+    compiler::Workload toWorkload(const std::string &name,
+                                  std::uint64_t count = 1) const;
+
+  private:
+    struct Gate
+    {
+        GateOp op;
+        Wire a = -1, b = -1, c = -1;
+        bool constValue = false;
+    };
+
+    /** Bootstraps this gate costs. */
+    static unsigned costOf(GateOp op);
+
+    /** Topological bootstrap level of every gate. */
+    std::vector<unsigned> levels() const;
+
+    std::vector<Gate> gates_;
+    std::vector<Wire> outputs_;
+    unsigned numInputs_ = 0;
+};
+
+/**
+ * Ripple-carry adder over little-endian bit vectors; appends sum wires
+ * (same width) to `sum` and returns the carry-out wire.
+ */
+Circuit::Wire buildRippleAdder(Circuit &circuit,
+                               const std::vector<Circuit::Wire> &a,
+                               const std::vector<Circuit::Wire> &b,
+                               std::vector<Circuit::Wire> &sum);
+
+/** a >= b over little-endian unsigned bit vectors (one output wire). */
+Circuit::Wire buildGreaterEqual(Circuit &circuit,
+                                const std::vector<Circuit::Wire> &a,
+                                const std::vector<Circuit::Wire> &b);
+
+/** a == b over bit vectors (one output wire). */
+Circuit::Wire buildEqual(Circuit &circuit,
+                         const std::vector<Circuit::Wire> &a,
+                         const std::vector<Circuit::Wire> &b);
+
+} // namespace morphling::apps
+
+#endif // MORPHLING_APPS_CIRCUIT_H

@@ -1,0 +1,100 @@
+#include "cpu_cost_model.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/encoding.h"
+#include "tfhe/opcount.h"
+
+namespace morphling::apps {
+
+double
+CpuCostModel::pbsSeconds(std::uint64_t count) const
+{
+    const double parallel = cores * parallelEff;
+    return static_cast<double>(count) * perPbsMs / 1000.0 / parallel;
+}
+
+double
+CpuCostModel::linearSeconds(std::uint64_t macs, unsigned lwe_dim) const
+{
+    const double ops =
+        static_cast<double>(macs) * (lwe_dim + 1); // word MACs
+    const double rate = macGops * 1e9 * cores * parallelEff;
+    return ops / rate;
+}
+
+double
+CpuCostModel::workloadSeconds(const compiler::Workload &workload,
+                              unsigned lwe_dim) const
+{
+    double seconds = 0;
+    for (const auto &stage : workload.stages) {
+        seconds += pbsSeconds(stage.bootstraps);
+        seconds += linearSeconds(stage.linearMacs, lwe_dim);
+    }
+    return seconds;
+}
+
+CpuCostModel
+paperConcreteCpu(const tfhe::TfheParams &params)
+{
+    CpuCostModel cpu;
+    cpu.source = "paper(Concrete)";
+
+    // Table V, Concrete rows.
+    if (params.name == "I") {
+        cpu.perPbsMs = 15.65;
+        return cpu;
+    }
+    if (params.name == "II") {
+        cpu.perPbsMs = 27.26;
+        return cpu;
+    }
+    if (params.name == "III") {
+        cpu.perPbsMs = 82.19;
+        return cpu;
+    }
+
+    // Extrapolate by total multiplication count relative to set III.
+    const auto ref_ops = tfhe::bootstrapOps(
+        tfhe::paramsSetIII(), tfhe::CostModel::CpuReference);
+    const auto ops =
+        tfhe::bootstrapOps(params, tfhe::CostModel::CpuReference);
+    cpu.perPbsMs = 82.19 * static_cast<double>(ops.total()) /
+                   static_cast<double>(ref_ops.total());
+    cpu.source += "+extrapolated";
+    return cpu;
+}
+
+CpuCostModel
+measuredCpu(const tfhe::TfheParams &params, unsigned samples)
+{
+    fatal_if(samples == 0, "need at least one sample");
+    Rng rng(0xC0FFEE);
+    const tfhe::KeySet keys = tfhe::KeySet::generate(params, rng);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    auto ct = tfhe::encryptPadded(keys, 1, 4, rng);
+
+    // One warm-up bootstrap (FFT table setup etc.).
+    auto out = tfhe::programmableBootstrap(keys, ct, lut);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < samples; ++i)
+        out = tfhe::programmableBootstrap(keys, out, lut);
+    const auto stop = std::chrono::steady_clock::now();
+
+    CpuCostModel cpu;
+    cpu.source = "measured";
+    cpu.perPbsMs = std::chrono::duration<double, std::milli>(
+                       stop - start)
+                       .count() /
+                   samples;
+    return cpu;
+}
+
+} // namespace morphling::apps

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CPU execution-time model for the Table V / Table VI comparisons.
+ *
+ * The paper compares against Concrete on a 64-core Xeon Gold 6226R. We
+ * cannot reproduce that machine, so CPU times come from two calibrated
+ * sources (both reported by the benches):
+ *
+ *  - paperConcrete(): per-bootstrap latencies published in Table V for
+ *    sets I-III, extrapolated to the other sets by the closed-form
+ *    operation count ratio (opcount.h).
+ *  - measured(): one programmable bootstrap of *this repository's* TFHE
+ *    library timed on the current host (single thread).
+ *
+ * Application time = bootstraps * perPbs / (cores * efficiency)
+ *                  + linear-op time, with bootstraps parallelized
+ * across cores (they are independent within a stage) and linear MACs
+ * running at a calibrated per-core MAC rate over (n+1)-word LWE
+ * ciphertexts.
+ */
+
+#ifndef MORPHLING_APPS_CPU_COST_MODEL_H
+#define MORPHLING_APPS_CPU_COST_MODEL_H
+
+#include "compiler/program.h"
+#include "tfhe/params.h"
+
+namespace morphling::apps {
+
+/** A calibrated CPU. */
+struct CpuCostModel
+{
+    double perPbsMs = 0;       //!< single-thread ms per bootstrap
+    unsigned cores = 64;       //!< Xeon Gold 6226R of the paper
+    double parallelEff = 0.7;  //!< multicore scaling efficiency
+    double macGops = 3.0;      //!< per-core 32-bit MACs/s (GHz-ish)
+    std::string source;        //!< "paper(Concrete)" or "measured"
+
+    /** Seconds to run `count` independent bootstraps. */
+    double pbsSeconds(std::uint64_t count) const;
+
+    /** Seconds for ciphertext-scalar MACs over (n+1)-word LWEs. */
+    double linearSeconds(std::uint64_t macs, unsigned lwe_dim) const;
+
+    /** Seconds for a full staged workload. */
+    double workloadSeconds(const compiler::Workload &workload,
+                           unsigned lwe_dim) const;
+
+    /** Single-thread bootstrap latency in ms (Table V CPU rows). */
+    double
+    latencyMs() const
+    {
+        return perPbsMs;
+    }
+
+    /** Single-thread throughput in bootstraps/s (Table V CPU rows). */
+    double
+    throughputBs() const
+    {
+        return 1000.0 / perPbsMs;
+    }
+};
+
+/** CPU model from the paper's published Concrete numbers (Table V),
+ *  op-count-extrapolated for sets the paper does not list. */
+CpuCostModel paperConcreteCpu(const tfhe::TfheParams &params);
+
+/** CPU model measured from this repository's TFHE implementation on
+ *  the current host (runs `samples` bootstraps; expensive). */
+CpuCostModel measuredCpu(const tfhe::TfheParams &params,
+                         unsigned samples = 3);
+
+} // namespace morphling::apps
+
+#endif // MORPHLING_APPS_CPU_COST_MODEL_H

@@ -1,0 +1,217 @@
+#include "quantized_mlp.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::apps {
+
+using tfhe::KeySet;
+using tfhe::LweCiphertext;
+
+void
+QuantizedMlp::addLayer(DenseLayer layer)
+{
+    fatal_if(layer.outputs() == 0 || layer.inputs() == 0,
+             "empty layer");
+    for (const auto &row : layer.weights)
+        fatal_if(row.size() != layer.inputs(),
+                 "ragged weight matrix");
+    fatal_if(!layer.reluAfter && layer.shift != 0,
+             "rescale without an activation bootstrap is not "
+             "homomorphically computable");
+    if (!layers_.empty()) {
+        fatal_if(layer.inputs() != layers_.back().outputs(),
+                 "layer width mismatch: ", layer.inputs(), " vs ",
+                 layers_.back().outputs());
+    }
+    layers_.push_back(std::move(layer));
+}
+
+std::uint64_t
+QuantizedMlp::bootstrapCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.reluAfter ? layer.outputs() : 0;
+    return total;
+}
+
+QuantizedMlp
+QuantizedMlp::random(std::uint32_t space,
+                     const std::vector<unsigned> &widths,
+                     int weight_range, unsigned shift, Rng &rng)
+{
+    fatal_if(widths.size() < 2, "need input and output widths");
+    QuantizedMlp mlp(space);
+    for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+        DenseLayer layer;
+        layer.weights.assign(widths[l + 1],
+                             std::vector<int>(widths[l], 0));
+        for (auto &row : layer.weights) {
+            for (auto &w : row) {
+                w = static_cast<int>(rng.nextBelow(
+                        2 * weight_range + 1)) -
+                    weight_range;
+            }
+        }
+        const bool last = l + 2 == widths.size();
+        layer.reluAfter = !last;
+        layer.shift = last ? 0 : shift;
+        mlp.addLayer(std::move(layer));
+    }
+    return mlp;
+}
+
+std::uint32_t
+QuantizedMlp::encodeSigned(int value) const
+{
+    // Signed values live on the full 2p torus grid: v -> v/(2p), so
+    // negatives sit just below the seam and the padding bit survives
+    // as long as |v| < p/2.
+    const int two_p = 2 * static_cast<int>(space_);
+    return static_cast<std::uint32_t>(((value % two_p) + two_p) %
+                                      two_p);
+}
+
+int
+QuantizedMlp::decodeSigned(std::uint32_t message) const
+{
+    // message in [0, 2p) -> centered [-p, p).
+    return message < space_
+               ? static_cast<int>(message)
+               : static_cast<int>(message) -
+                     2 * static_cast<int>(space_);
+}
+
+LweCiphertext
+QuantizedMlp::encryptSigned(const KeySet &keys, int value, Rng &rng)
+    const
+{
+    return LweCiphertext::encrypt(
+        keys.lweKey, tfhe::encodeMessage(encodeSigned(value), 2 * space_),
+        keys.params.lweNoiseStd, rng);
+}
+
+int
+QuantizedMlp::decryptSigned(const KeySet &keys,
+                            const LweCiphertext &ct) const
+{
+    return decodeSigned(tfhe::lweDecrypt(keys.lweKey, ct, 2 * space_));
+}
+
+int
+QuantizedMlp::activate(long long acc, const DenseLayer &layer) const
+{
+    // Emulate the torus exactly: the sum wraps mod 2p into [-p, p);
+    // the LUT covers the signed window [-p/2, p/2) directly and the
+    // outer halves through the negacyclic wrap (value -f(w -+ p)).
+    const int p = static_cast<int>(space_);
+    const int two_p = 2 * p;
+    int w = static_cast<int>(((acc % two_p) + two_p) % two_p);
+    if (w >= p)
+        w -= two_p; // [-p, p)
+
+    auto f = [&](int v) {
+        if (!layer.reluAfter)
+            return v;
+        return v >= 0 ? (v >> layer.shift) : 0;
+    };
+    if (!layer.reluAfter)
+        return w;
+    if (w >= p / 2)
+        return -f(w - p);
+    if (w < -p / 2)
+        return -f(w + p);
+    return f(w);
+}
+
+std::vector<int>
+QuantizedMlp::inferPlain(const std::vector<int> &inputs) const
+{
+    panic_if(layers_.empty(), "empty model");
+    panic_if(inputs.size() != layers_.front().inputs(),
+             "input width mismatch");
+    std::vector<int> acts(inputs);
+    for (const auto &layer : layers_) {
+        std::vector<int> next(layer.outputs());
+        for (unsigned j = 0; j < layer.outputs(); ++j) {
+            long long acc = 0;
+            for (unsigned i = 0; i < layer.inputs(); ++i)
+                acc += static_cast<long long>(layer.weights[j][i]) *
+                       acts[i];
+            next[j] = activate(acc, layer);
+        }
+        acts = std::move(next);
+    }
+    return acts;
+}
+
+std::vector<LweCiphertext>
+QuantizedMlp::inferEncrypted(const KeySet &keys,
+                             const std::vector<LweCiphertext> &inputs)
+    const
+{
+    panic_if(layers_.empty(), "empty model");
+    panic_if(inputs.size() != layers_.front().inputs(),
+             "input width mismatch");
+
+    std::vector<LweCiphertext> acts(inputs);
+    for (const auto &layer : layers_) {
+        // The activation LUT over p slots: the lower half holds
+        // f(v) for v in [0, p/2); the upper half holds the negacyclic
+        // extension -f(v - p) for v in [p/2, p), which is what the
+        // blind rotation reads for negative inputs. All outputs are
+        // re-encoded on the signed 2p grid.
+        auto f = [&layer](int v) {
+            return v >= 0 ? (v >> layer.shift) : 0;
+        };
+        std::vector<tfhe::Torus32> lut(space_);
+        const int p = static_cast<int>(space_);
+        for (int s = 0; s < p; ++s) {
+            const int value = s < p / 2
+                                  ? f(s)
+                                  : -f(s - p);
+            lut[static_cast<std::size_t>(s)] = tfhe::encodeMessage(
+                encodeSigned(value), 2 * space_);
+        }
+
+        std::vector<LweCiphertext> next;
+        next.reserve(layer.outputs());
+        for (unsigned j = 0; j < layer.outputs(); ++j) {
+            LweCiphertext acc(keys.params.lweDimension);
+            for (unsigned i = 0; i < layer.inputs(); ++i) {
+                if (layer.weights[j][i] == 0)
+                    continue;
+                LweCiphertext term = acts[i];
+                term.scaleAssign(layer.weights[j][i]);
+                acc.addAssign(term);
+            }
+            if (layer.reluAfter)
+                next.push_back(
+                    tfhe::programmableBootstrap(keys, acc, lut));
+            else
+                next.push_back(std::move(acc));
+        }
+        acts = std::move(next);
+    }
+    return acts;
+}
+
+compiler::Workload
+QuantizedMlp::workload(const std::string &name, std::uint64_t batch)
+    const
+{
+    compiler::Workload w;
+    w.name = name;
+    for (const auto &layer : layers_) {
+        compiler::WorkloadStage stage;
+        stage.linearMacs = layer.macs() * batch;
+        stage.bootstraps =
+            (layer.reluAfter ? layer.outputs() : 0) * batch;
+        w.stages.push_back(stage);
+    }
+    return w;
+}
+
+} // namespace morphling::apps

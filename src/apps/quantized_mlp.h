@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Quantized multi-layer perceptrons over TFHE — the programmable-
+ * bootstrapping inference pattern behind the paper's DeepCNN and VGG-9
+ * benchmarks: linear layers accumulate homomorphically (free), every
+ * activation is one programmable bootstrap implementing
+ * rescale + ReLU + noise refresh in a single LUT.
+ *
+ * Messages use the padded signed convention of tfhe/encoding.h: values
+ * in [-p/2, p/2) over a p-value space; the LUT clamps negatives (ReLU)
+ * and right-shifts to keep activations in range.
+ */
+
+#ifndef MORPHLING_APPS_QUANTIZED_MLP_H
+#define MORPHLING_APPS_QUANTIZED_MLP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/program.h"
+#include "tfhe/bootstrap.h"
+
+namespace morphling::apps {
+
+/** One dense layer: out[j] = act(sum_i w[j][i] * in[i] >> shift). */
+struct DenseLayer
+{
+    std::vector<std::vector<int>> weights; //!< [out][in], small ints
+    unsigned shift = 0;                    //!< rescale after the sum
+    bool reluAfter = true;                 //!< bootstrap activation
+
+    unsigned
+    outputs() const
+    {
+        return static_cast<unsigned>(weights.size());
+    }
+    unsigned
+    inputs() const
+    {
+        return weights.empty()
+                   ? 0
+                   : static_cast<unsigned>(weights[0].size());
+    }
+    std::uint64_t
+    macs() const
+    {
+        return std::uint64_t{outputs()} * inputs();
+    }
+};
+
+/** A quantized MLP over a p-value signed message space. */
+class QuantizedMlp
+{
+  public:
+    /**
+     * @param space message space p (power of two; signed values in
+     *              [-p/2, p/2))
+     */
+    explicit QuantizedMlp(std::uint32_t space) : space_(space) {}
+
+    void addLayer(DenseLayer layer);
+
+    const std::vector<DenseLayer> &layers() const { return layers_; }
+    std::uint32_t space() const { return space_; }
+
+    /** Activation bootstraps one inference costs. */
+    std::uint64_t bootstrapCount() const;
+
+    /** Random model with weights in [-w, w] (deterministic). */
+    static QuantizedMlp random(std::uint32_t space,
+                               const std::vector<unsigned> &widths,
+                               int weight_range, unsigned shift,
+                               Rng &rng);
+
+    /** Plaintext inference (signed), the reference. */
+    std::vector<int> inferPlain(const std::vector<int> &inputs) const;
+
+    /** Homomorphic inference over encrypted signed inputs. */
+    std::vector<tfhe::LweCiphertext>
+    inferEncrypted(const tfhe::KeySet &keys,
+                   const std::vector<tfhe::LweCiphertext> &inputs)
+        const;
+
+    /** @{ Signed padded encode/decode helpers for this space. */
+    std::uint32_t encodeSigned(int value) const;
+    int decodeSigned(std::uint32_t message) const;
+    tfhe::LweCiphertext encryptSigned(const tfhe::KeySet &keys,
+                                      int value, Rng &rng) const;
+    int decryptSigned(const tfhe::KeySet &keys,
+                      const tfhe::LweCiphertext &ct) const;
+    /** @} */
+
+    /** Compile `batch` inferences to a scheduler workload: one stage
+     *  per layer (bootstraps = activations, MACs = weights). */
+    compiler::Workload workload(const std::string &name,
+                                std::uint64_t batch = 1) const;
+
+  private:
+    /** Plaintext activation: rescale then ReLU-clamp into range. */
+    int activate(long long acc, const DenseLayer &layer) const;
+
+    std::uint32_t space_;
+    std::vector<DenseLayer> layers_;
+};
+
+} // namespace morphling::apps
+
+#endif // MORPHLING_APPS_QUANTIZED_MLP_H

@@ -1,0 +1,137 @@
+#include "workloads.h"
+
+#include "common/logging.h"
+
+namespace morphling::apps {
+
+unsigned
+LayerSpec::outHeight() const
+{
+    panic_if(inHeight < kernel, "kernel larger than input");
+    return (inHeight - kernel) / stride + 1;
+}
+
+unsigned
+LayerSpec::outWidth() const
+{
+    panic_if(inWidth < kernel, "kernel larger than input");
+    return (inWidth - kernel) / stride + 1;
+}
+
+std::uint64_t
+LayerSpec::outputs() const
+{
+    return std::uint64_t{outHeight()} * outWidth() * filters;
+}
+
+std::uint64_t
+LayerSpec::macs() const
+{
+    return outputs() * kernel * kernel * inChannels;
+}
+
+compiler::Workload
+cnnWorkload(const std::string &name, const std::vector<LayerSpec> &layers)
+{
+    compiler::Workload w;
+    w.name = name;
+    for (const auto &layer : layers) {
+        compiler::WorkloadStage stage;
+        stage.linearMacs = layer.macs();
+        stage.bootstraps = layer.reluAfter ? layer.outputs() : 0;
+        w.stages.push_back(stage);
+    }
+    return w;
+}
+
+compiler::Workload
+xgboostWorkload(unsigned estimators, unsigned depth)
+{
+    compiler::Workload w;
+    w.name = "xgboost-" + std::to_string(estimators) + "x" +
+             std::to_string(depth);
+    // Oblivious evaluation: every internal node compares the encrypted
+    // feature against its threshold -> one sign bootstrap per node.
+    const std::uint64_t internal_nodes =
+        std::uint64_t{estimators} * ((1ull << depth) - 1);
+    w.stages.push_back({internal_nodes, 0});
+    // Leaf aggregation: path-indicator products summed into per-class
+    // scores (one MAC per leaf per tree).
+    const std::uint64_t leaves = std::uint64_t{estimators}
+                                 << depth;
+    w.stages.push_back({0, leaves});
+    return w;
+}
+
+compiler::Workload
+deepCnnWorkload(unsigned x_layers)
+{
+    std::vector<LayerSpec> layers;
+    // 8x8x1 input, 3x3 conv with 2 filters.
+    layers.push_back({8, 8, 1, 3, 2, 1, true});
+    // 3x3 conv with 92 filters, stride 2 -> 2x2x92 (368 ReLUs).
+    const auto &l1 = layers.back();
+    layers.push_back(
+        {l1.outHeight(), l1.outWidth(), 2, 3, 92, 2, true});
+    // X 1x1 conv layers with 92 filters.
+    for (unsigned i = 0; i < x_layers; ++i) {
+        const auto &prev = layers.back();
+        layers.push_back(
+            {prev.outHeight(), prev.outWidth(), 92, 1, 92, 1, true});
+    }
+    // 2x2 conv with 16 filters.
+    const auto &last_conv = layers.back();
+    layers.push_back({last_conv.outHeight(), last_conv.outWidth(), 92,
+                      2, 16, 1, true});
+    // FC with 10 neurons (no activation on logits).
+    const auto &pre_fc = layers.back();
+    layers.push_back({1, 1,
+                      static_cast<unsigned>(pre_fc.outputs()), 1, 10, 1,
+                      false});
+    return cnnWorkload("deepcnn-" + std::to_string(x_layers), layers);
+}
+
+compiler::Workload
+vgg9Workload()
+{
+    compiler::Workload w;
+    w.name = "vgg-9";
+    auto add_conv = [&w](const LayerSpec &layer) {
+        w.stages.push_back({layer.reluAfter ? layer.outputs() : 0,
+                            layer.macs()});
+        return layer;
+    };
+    auto add_pool = [&w](const PoolSpec &pool) {
+        w.stages.push_back({0, pool.macs()});
+    };
+
+    // Same-padded 3x3 convolutions: model with kernel-sized padding by
+    // keeping the spatial size (the paper reports full 32x32 maps).
+    auto same_conv = [](unsigned hw, unsigned in_c, unsigned filters) {
+        LayerSpec l;
+        l.inHeight = l.inWidth = hw + 2; // zero padding
+        l.inChannels = in_c;
+        l.kernel = 3;
+        l.filters = filters;
+        l.stride = 1;
+        l.reluAfter = true;
+        return l;
+    };
+
+    add_conv(same_conv(32, 3, 64));    // conv1: 32x32x64
+    add_conv(same_conv(32, 64, 64));   // conv2
+    add_pool({16, 16, 64, 2});         // avg pool 2x2
+    add_conv(same_conv(16, 64, 128));  // conv3
+    add_conv(same_conv(16, 128, 128)); // conv4
+    add_pool({8, 8, 128, 2});          // avg pool 2x2
+    add_conv(same_conv(8, 128, 256));  // conv5
+    add_conv(same_conv(8, 256, 256));  // conv6
+
+    // FC 512 / 512 / 10.
+    w.stages.push_back({512, std::uint64_t{8} * 8 * 256 * 512});
+    w.stages.push_back({512, std::uint64_t{512} * 512});
+    w.stages.push_back({0, std::uint64_t{512} * 10});
+    return w;
+}
+
+} // namespace morphling::apps

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's application benchmarks (Section VI-A) expressed as
+ * schedulable workloads: per-stage programmable-bootstrap counts and
+ * ciphertext-scalar MAC counts.
+ *
+ * - XGBoost classifier: 100 estimators, depth 6. Oblivious tree
+ *   evaluation bootstraps one encrypted comparison per internal node
+ *   (100 * (2^6 - 1) = 6,300) and aggregates leaves linearly.
+ * - DeepCNN-X (X = 20/50/100): 8x8x1 input; 3x3 conv (2 filters);
+ *   3x3 conv (92 filters, stride 2); X 1x1 conv layers (92 filters);
+ *   2x2 conv (16 filters); 10-neuron FC. Bootstrapping implements the
+ *   ReLUs ("each with a filter size of 92, which requires 368 ReLU
+ *   operations" — our shape calculator reproduces that 368).
+ * - VGG-9: 32x32x3 input, six 3x3 convs (64,64,128,128,256,256),
+ *   2x2 average pooling after conv2 and conv4, FC 512/512/10.
+ */
+
+#ifndef MORPHLING_APPS_WORKLOADS_H
+#define MORPHLING_APPS_WORKLOADS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/program.h"
+
+namespace morphling::apps {
+
+/** Shape of one convolutional / FC layer for workload accounting. */
+struct LayerSpec
+{
+    unsigned inHeight = 1;
+    unsigned inWidth = 1;
+    unsigned inChannels = 1;
+    unsigned kernel = 1;  //!< square kernel side (1 for FC over flat in)
+    unsigned filters = 1; //!< output channels (neurons for FC)
+    unsigned stride = 1;
+    bool reluAfter = true; //!< bootstrapped activation on each output
+
+    unsigned outHeight() const;
+    unsigned outWidth() const;
+    /** Output activations = outH * outW * filters. */
+    std::uint64_t outputs() const;
+    /** Plain MACs: outputs * kernel^2 * inChannels. */
+    std::uint64_t macs() const;
+};
+
+/** Average-pool stage: linear, no bootstraps. */
+struct PoolSpec
+{
+    unsigned outHeight, outWidth, channels, window;
+
+    std::uint64_t
+    macs() const
+    {
+        return std::uint64_t{outHeight} * outWidth * channels * window *
+               window;
+    }
+};
+
+/** One workload stage per layer: ReLU bootstraps + that layer's MACs. */
+compiler::Workload cnnWorkload(const std::string &name,
+                               const std::vector<LayerSpec> &layers);
+
+/** XGBoost: `estimators` trees of the given depth. */
+compiler::Workload xgboostWorkload(unsigned estimators = 100,
+                                   unsigned depth = 6);
+
+/** DeepCNN-X from the paper's description. */
+compiler::Workload deepCnnWorkload(unsigned x_layers);
+
+/** VGG-9 for CIFAR-10 from the paper's description. */
+compiler::Workload vgg9Workload();
+
+} // namespace morphling::apps
+
+#endif // MORPHLING_APPS_WORKLOADS_H

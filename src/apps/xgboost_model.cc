@@ -1,0 +1,149 @@
+#include "xgboost_model.h"
+
+#include "common/logging.h"
+
+namespace morphling::apps {
+
+std::int32_t
+Tree::predict(const std::vector<std::uint32_t> &features) const
+{
+    unsigned node = 0;
+    for (unsigned level = 0; level < depth; ++level) {
+        const bool go_right =
+            features[featureIndex[node]] >= threshold[node];
+        node = 2 * node + (go_right ? 2 : 1);
+    }
+    return leafScore[node - internalNodes()];
+}
+
+XgboostModel
+XgboostModel::random(unsigned estimators, unsigned depth,
+                     unsigned num_features, unsigned feature_bits,
+                     Rng &rng)
+{
+    fatal_if(depth == 0 || estimators == 0 || num_features == 0,
+             "degenerate model");
+    XgboostModel model;
+    model.featureBits = feature_bits;
+    model.numFeatures = num_features;
+    model.trees.reserve(estimators);
+    const std::uint32_t feature_range = 1u << feature_bits;
+    for (unsigned t = 0; t < estimators; ++t) {
+        Tree tree;
+        tree.depth = depth;
+        for (unsigned n = 0; n < tree.internalNodes(); ++n) {
+            tree.featureIndex.push_back(static_cast<unsigned>(
+                rng.nextBelow(num_features)));
+            tree.threshold.push_back(static_cast<std::uint32_t>(
+                rng.nextBelow(feature_range)));
+        }
+        for (unsigned l = 0; l < tree.leaves(); ++l) {
+            // Small signed leaf scores, XGBoost-style.
+            tree.leafScore.push_back(
+                static_cast<std::int32_t>(rng.nextBelow(7)) - 3);
+        }
+        model.trees.push_back(std::move(tree));
+    }
+    return model;
+}
+
+std::int32_t
+XgboostModel::predict(const std::vector<std::uint32_t> &features) const
+{
+    std::int32_t score = 0;
+    for (const auto &tree : trees)
+        score += tree.predict(features);
+    return score;
+}
+
+namespace {
+
+/** Constant wires for a two's-complement value. */
+std::vector<Circuit::Wire>
+constantBits(Circuit &c, std::int32_t value, unsigned bits)
+{
+    std::vector<Circuit::Wire> out;
+    for (unsigned i = 0; i < bits; ++i)
+        out.push_back(c.constant(((value >> i) & 1) != 0));
+    return out;
+}
+
+/** Mux two bit vectors. */
+std::vector<Circuit::Wire>
+muxBits(Circuit &c, Circuit::Wire select,
+        const std::vector<Circuit::Wire> &on_true,
+        const std::vector<Circuit::Wire> &on_false)
+{
+    std::vector<Circuit::Wire> out;
+    for (std::size_t i = 0; i < on_true.size(); ++i)
+        out.push_back(c.mux(select, on_true[i], on_false[i]));
+    return out;
+}
+
+/** Recursive oblivious descent: the selected leaf's score bits. */
+std::vector<Circuit::Wire>
+selectLeaf(Circuit &c, const Tree &tree,
+           const std::vector<Circuit::Wire> &decisions, unsigned node,
+           unsigned score_bits)
+{
+    if (node >= tree.internalNodes()) {
+        return constantBits(
+            c, tree.leafScore[node - tree.internalNodes()],
+            score_bits);
+    }
+    const auto left =
+        selectLeaf(c, tree, decisions, 2 * node + 1, score_bits);
+    const auto right =
+        selectLeaf(c, tree, decisions, 2 * node + 2, score_bits);
+    // decision true = feature >= threshold = go right.
+    return muxBits(c, decisions[node], right, left);
+}
+
+} // namespace
+
+Circuit
+XgboostModel::buildCircuit(unsigned score_bits) const
+{
+    Circuit c;
+    // Feature inputs, LSB first per feature.
+    std::vector<std::vector<Circuit::Wire>> feature_wires(numFeatures);
+    for (auto &bits : feature_wires) {
+        for (unsigned i = 0; i < featureBits; ++i)
+            bits.push_back(c.input());
+    }
+
+    std::vector<Circuit::Wire> score =
+        constantBits(c, 0, score_bits);
+    for (const auto &tree : trees) {
+        // All node comparisons of a tree are independent (oblivious
+        // evaluation touches every node).
+        std::vector<Circuit::Wire> decisions;
+        decisions.reserve(tree.internalNodes());
+        for (unsigned n = 0; n < tree.internalNodes(); ++n) {
+            const auto threshold_bits = constantBits(
+                c, static_cast<std::int32_t>(tree.threshold[n]),
+                featureBits);
+            decisions.push_back(buildGreaterEqual(
+                c, feature_wires[tree.featureIndex[n]],
+                threshold_bits));
+        }
+        const auto leaf =
+            selectLeaf(c, tree, decisions, 0, score_bits);
+        std::vector<Circuit::Wire> sum;
+        buildRippleAdder(c, score, leaf, sum); // carry-out dropped:
+                                               // mod 2^score_bits
+        score = std::move(sum);
+    }
+    for (auto w : score)
+        c.markOutput(w);
+    return c;
+}
+
+compiler::Workload
+XgboostModel::workload(unsigned score_bits, std::uint64_t batch) const
+{
+    return buildCircuit(score_bits)
+        .toWorkload("xgboost-circuit", batch);
+}
+
+} // namespace morphling::apps

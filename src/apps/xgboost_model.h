@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A functional XGBoost-style tree-ensemble model evaluated obliviously
+ * over TFHE (the paper's first application benchmark: "100 estimators
+ * with a maximum tree depth of six, bootstrapping utilized during
+ * comparison operations").
+ *
+ * Oblivious evaluation: every internal node's comparison
+ * feature[f] >= threshold runs as an encrypted comparator circuit (one
+ * bootstrap per bit level); the leaf value is selected by a mux tree
+ * descending the decisions. The server learns neither the feature
+ * values nor the path taken.
+ */
+
+#ifndef MORPHLING_APPS_XGBOOST_MODEL_H
+#define MORPHLING_APPS_XGBOOST_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/circuit.h"
+#include "common/rng.h"
+#include "compiler/program.h"
+
+namespace morphling::apps {
+
+/** One regression tree: a perfect binary tree of the given depth.
+ *  Node i's children are 2i+1 / 2i+2; leaves carry integer scores. */
+struct Tree
+{
+    unsigned depth = 0;
+    std::vector<unsigned> featureIndex;   //!< per internal node
+    std::vector<std::uint32_t> threshold; //!< per internal node
+    std::vector<std::int32_t> leafScore;  //!< 2^depth leaves
+
+    unsigned
+    internalNodes() const
+    {
+        return (1u << depth) - 1;
+    }
+    unsigned
+    leaves() const
+    {
+        return 1u << depth;
+    }
+
+    /** Plaintext prediction. */
+    std::int32_t predict(const std::vector<std::uint32_t> &features)
+        const;
+};
+
+/** The ensemble. */
+struct XgboostModel
+{
+    unsigned featureBits = 4; //!< quantized feature width
+    unsigned numFeatures = 0;
+    std::vector<Tree> trees;
+
+    /** Random model for tests/demos (deterministic from the seed). */
+    static XgboostModel random(unsigned estimators, unsigned depth,
+                               unsigned num_features,
+                               unsigned feature_bits, Rng &rng);
+
+    /** Plaintext ensemble score: sum of tree predictions. */
+    std::int32_t predict(const std::vector<std::uint32_t> &features)
+        const;
+
+    /**
+     * Build the oblivious evaluation circuit: inputs are the feature
+     * bits (numFeatures * featureBits wires, LSB first per feature);
+     * outputs are the two's-complement bits of the ensemble score.
+     *
+     * @param score_bits output width (must fit the score range)
+     */
+    Circuit buildCircuit(unsigned score_bits) const;
+
+    /** Scheduler workload for `batch` parallel inferences of the
+     *  compiled circuit. */
+    compiler::Workload workload(unsigned score_bits,
+                                std::uint64_t batch = 1) const;
+};
+
+} // namespace morphling::apps
+
+#endif // MORPHLING_APPS_XGBOOST_MODEL_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The top-level Morphling model: buffers, DMA engines, HBM, XPU
+ * complex, VPU and HW scheduler wired per Figure 4, plus the simulation
+ * report the benchmarks consume.
+ */
+
+#ifndef MORPHLING_ARCH_ACCELERATOR_H
+#define MORPHLING_ARCH_ACCELERATOR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arch/config.h"
+#include "arch/timing.h"
+#include "compiler/program.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/** Results of one simulated program execution. */
+struct SimReport
+{
+    // Makespan
+    std::uint64_t cycles = 0;
+    double seconds = 0;
+
+    // Bootstrapping
+    std::uint64_t bootstraps = 0;
+    double throughputBs = 0; //!< bootstraps per second (measured)
+
+    /** Closed-form single-bootstrap pipeline latency (the Table V
+     *  latency metric: one un-batched bootstrap through MS -> BR ->
+     *  SE -> KS with BSK streaming keeping up). */
+    double pipelineLatencyMs = 0;
+
+    /** Measured mean latency of a scheduled chunk (includes stream
+     *  interleaving; >= pipelineLatencyMs by design). */
+    double meanChunkLatencyMs = 0;
+
+    // Component activity
+    double xpuBusyFrac = 0;  //!< XPU compute / makespan
+    double xpuStallFrac = 0; //!< XPU waiting on BSK / makespan
+    double vpuBusyFrac = 0;  //!< mean lane-group utilization
+    std::uint64_t vpuKsCycles = 0;
+    std::uint64_t vpuMsCycles = 0;
+    std::uint64_t vpuSeCycles = 0;
+    std::uint64_t vpuPaluCycles = 0;
+    std::uint64_t xpuBusyCycles = 0;
+    std::uint64_t xpuStallCycles = 0;
+
+    // Memory system
+    std::uint64_t hbmBytes = 0;
+    double hbmAchievedGBs = 0;
+    std::uint64_t bskBytes = 0; //!< XPU-path traffic
+    std::uint64_t vpuDmaBytes = 0;
+
+    // Network-on-chip (Section V-D): per-link occupancy over the run
+    // and the chip-wide provisioned bandwidth.
+    std::map<std::string, double> nocUtilization;
+    double nocAggregateTBs = 0;
+
+    // Energy (from the Table IV power model over the makespan)
+    double chipPowerW = 0;
+    double energyPerBsUj = 0; //!< microjoules per bootstrap
+
+    // Configuration echo
+    unsigned streamSets = 0;
+    std::string paramSet;
+
+    /** Latency breakdown per pipeline stage (cycles for one
+     *  ciphertext, closed form) — the Figure 7-a decomposition. */
+    std::map<std::string, double> latencyBreakdown;
+};
+
+/** The simulated chip. */
+class Accelerator
+{
+  public:
+    Accelerator(ArchConfig config, const tfhe::TfheParams &params);
+
+    const ArchConfig &config() const { return config_; }
+    const tfhe::TfheParams &params() const { return params_; }
+
+    /** Simulate one compiled program to completion. */
+    SimReport run(const compiler::Program &program) const;
+
+    /** Convenience: schedule and run `count` independent bootstraps
+     *  (the Table V measurement). */
+    SimReport runBootstrapBatch(std::uint64_t count) const;
+
+  private:
+    ArchConfig config_;
+    const tfhe::TfheParams &params_;
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_ACCELERATOR_H

@@ -1,0 +1,52 @@
+#include "analysis.h"
+
+namespace morphling::arch {
+
+std::uint64_t
+transformsPerExternalProduct(unsigned glwe_dimension, unsigned bsk_levels,
+                             ReuseMode mode)
+{
+    const std::uint64_t kp1 = glwe_dimension + 1;
+    const std::uint64_t lb = bsk_levels;
+    switch (mode) {
+      case ReuseMode::None:
+        return 2 * kp1 * kp1 * lb;
+      case ReuseMode::Input:
+        return kp1 * lb + kp1 * kp1 * lb;
+      case ReuseMode::InputOutput:
+        return kp1 * lb + kp1;
+    }
+    return 0;
+}
+
+std::uint64_t
+transformsPerBootstrap(const tfhe::TfheParams &params, ReuseMode mode)
+{
+    return params.lweDimension *
+           transformsPerExternalProduct(params.glweDimension,
+                                        params.bskLevels, mode);
+}
+
+double
+transformReduction(unsigned glwe_dimension, unsigned bsk_levels,
+                   ReuseMode mode)
+{
+    const auto base = transformsPerExternalProduct(
+        glwe_dimension, bsk_levels, ReuseMode::None);
+    const auto with =
+        transformsPerExternalProduct(glwe_dimension, bsk_levels, mode);
+    return 1.0 - static_cast<double>(with) / static_cast<double>(base);
+}
+
+ReuseOpportunity
+reuseOpportunity(const tfhe::TfheParams &params)
+{
+    ReuseOpportunity r;
+    r.accInputReuse = params.glweDimension + 1;
+    r.bskReuse = 1;
+    r.accOutputReuse =
+        std::uint64_t{params.glweDimension + 1} * params.bskLevels;
+    return r;
+}
+
+} // namespace morphling::arch

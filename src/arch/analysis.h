@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Closed-form transform-count analysis of the reuse types (Section III,
+ * Figures 2 and 3).
+ *
+ * Per external product and per ciphertext, the number of domain
+ * transforms is:
+ *
+ *   No-Reuse:            2 (k+1)^2 l_b   (F and F^-1 per product)
+ *   Input-Reuse:         (k+1) l_b + (k+1)^2 l_b
+ *   Input+Output-Reuse:  (k+1) l_b + (k+1)
+ *
+ * At set C (N, n, k, l_b) = (512, 487, 3, 3) the no-reuse bootstrap
+ * needs 2 * 16 * 3 * 487 = 46,752 transforms — the paper's headline —
+ * and the reductions of Figure 3 (25% at (1,1) for input reuse, up to
+ * 83.3% at (3,3) for input+output reuse) follow from the same
+ * formulas.
+ */
+
+#ifndef MORPHLING_ARCH_ANALYSIS_H
+#define MORPHLING_ARCH_ANALYSIS_H
+
+#include <cstdint>
+
+#include "arch/config.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/** Domain transforms per external product per ciphertext. */
+std::uint64_t transformsPerExternalProduct(unsigned glwe_dimension,
+                                           unsigned bsk_levels,
+                                           ReuseMode mode);
+
+/** Domain transforms for one full bootstrap (n external products). */
+std::uint64_t transformsPerBootstrap(const tfhe::TfheParams &params,
+                                     ReuseMode mode);
+
+/** Fractional reduction of `mode` relative to No-Reuse, in [0, 1). */
+double transformReduction(unsigned glwe_dimension, unsigned bsk_levels,
+                          ReuseMode mode);
+
+/**
+ * How many times each operand is reusable inside one external product
+ * (Section IV-B's reuse-opportunity analysis).
+ */
+struct ReuseOpportunity
+{
+    std::uint64_t accInputReuse;  //!< each decomposed polynomial: k+1
+    std::uint64_t bskReuse;       //!< within one ciphertext: 1 (none)
+    std::uint64_t accOutputReuse; //!< partial-sum reuse: (k+1) l_b
+};
+
+ReuseOpportunity reuseOpportunity(const tfhe::TfheParams &params);
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_ANALYSIS_H

@@ -1,0 +1,89 @@
+#include "area_power.h"
+
+#include "common/logging.h"
+
+namespace morphling::arch {
+
+namespace {
+
+// 28nm densities implied by Table IV at the default configuration.
+constexpr AreaPower kDecompUnit{0.0025, 0.0010};   // x4 = 0.01 mm^2
+constexpr AreaPower kFftUnit{0.61, 0.455};         // x2 = 1.22 / 0.91
+constexpr AreaPower kCoefBuffer{0.03, 0.015};      // x2 = 0.06 / 0.03
+constexpr AreaPower kTwiddleBuffer{0.75, 0.37};
+constexpr AreaPower kVpe{0.294375, 0.195625};      // x16 = 4.71 / 3.13
+constexpr AreaPower kIfftUnit{0.6125, 0.455};      // x4 = 2.45 / 1.82
+constexpr AreaPower kXpuControl{0.03, 0.0};        // rotator ports etc.
+constexpr AreaPower kVpuPerLane{0.22 / 128, 0.13 / 128};
+constexpr AreaPower kNocPerXpu{0.21 / 4, 0.17 / 4};
+constexpr AreaPower kHbmPhy{14.90, 15.90};
+
+// Buffer densities per MiB (paper values at the default sizes).
+constexpr AreaPower kA1PerMiB{8.31 / 4, 4.27 / 4};
+constexpr AreaPower kA2PerMiB{8.10 / 4, 3.99 / 4};
+constexpr AreaPower kBPerMiB{4.05 / 2, 2.42 / 2};
+constexpr AreaPower kSharedPerMiB{2.02, 0.99};
+
+} // namespace
+
+AreaPower
+AreaPowerBreakdown::total() const
+{
+    AreaPower sum;
+    for (const auto &e : entries)
+        sum += e.value;
+    return sum;
+}
+
+const AreaPower &
+AreaPowerBreakdown::entry(const std::string &component) const
+{
+    for (const auto &e : entries) {
+        if (e.component == component)
+            return e.value;
+    }
+    fatal("no area/power entry '", component, "'");
+}
+
+AreaPowerBreakdown
+xpuAreaPower(const ArchConfig &config)
+{
+    AreaPowerBreakdown b;
+    const unsigned vpes = config.vpeRows * config.vpeCols;
+    // One decomposition unit per VPE row (Figure 5 shows four).
+    b.entries.push_back(
+        {"decomposition units", kDecompUnit.scaled(config.vpeRows)});
+    b.entries.push_back(
+        {"FFT units", kFftUnit.scaled(config.fftUnitsPerXpu)});
+    b.entries.push_back(
+        {"coef buffers", kCoefBuffer.scaled(config.fftUnitsPerXpu)});
+    b.entries.push_back({"twiddle buffer", kTwiddleBuffer});
+    b.entries.push_back({"VPE array", kVpe.scaled(vpes)});
+    b.entries.push_back(
+        {"IFFT units", kIfftUnit.scaled(config.ifftUnitsPerXpu)});
+    b.entries.push_back({"control/rotator ports", kXpuControl});
+    return b;
+}
+
+AreaPowerBreakdown
+chipAreaPower(const ArchConfig &config)
+{
+    AreaPowerBreakdown b;
+    const AreaPower xpu = xpuAreaPower(config).total();
+    b.entries.push_back({"XPUs", xpu.scaled(config.numXpus)});
+    b.entries.push_back(
+        {"VPU", kVpuPerLane.scaled(config.totalVpuLanes())});
+    b.entries.push_back({"NoC", kNocPerXpu.scaled(config.numXpus)});
+    b.entries.push_back(
+        {"Private-A1", kA1PerMiB.scaled(config.privateA1KiB / 1024.0)});
+    b.entries.push_back(
+        {"Private-A2", kA2PerMiB.scaled(config.privateA2KiB / 1024.0)});
+    b.entries.push_back(
+        {"Private-B", kBPerMiB.scaled(config.privateBKiB / 1024.0)});
+    b.entries.push_back(
+        {"Shared", kSharedPerMiB.scaled(config.sharedKiB / 1024.0)});
+    b.entries.push_back({"HBM2e PHY", kHbmPhy});
+    return b;
+}
+
+} // namespace morphling::arch

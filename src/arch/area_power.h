@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Area and power model (Table IV).
+ *
+ * We cannot run TSMC 28nm synthesis, so per-component area/power
+ * densities are calibrated constants derived from Table IV of the
+ * paper: each structural component (decomposition unit, FFT/IFFT unit,
+ * VPE, buffers per MiB, VPU per lane, NoC per XPU, HBM2e PHY) carries
+ * the density implied by the paper's breakdown. The model therefore
+ * reproduces Table IV at the default configuration and scales
+ * consistently for the architecture sweeps (Figure 8), which is exactly
+ * what the sweeps need it for.
+ */
+
+#ifndef MORPHLING_ARCH_AREA_POWER_H
+#define MORPHLING_ARCH_AREA_POWER_H
+
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+
+namespace morphling::arch {
+
+/** Area (mm^2) and power (W) of one component. */
+struct AreaPower
+{
+    double areaMm2 = 0;
+    double powerW = 0;
+
+    AreaPower &
+    operator+=(const AreaPower &other)
+    {
+        areaMm2 += other.areaMm2;
+        powerW += other.powerW;
+        return *this;
+    }
+    AreaPower
+    scaled(double factor) const
+    {
+        return {areaMm2 * factor, powerW * factor};
+    }
+};
+
+/** A named line of the breakdown table. */
+struct AreaPowerEntry
+{
+    std::string component;
+    AreaPower value;
+};
+
+/** The full chip breakdown. */
+struct AreaPowerBreakdown
+{
+    std::vector<AreaPowerEntry> entries;
+
+    AreaPower total() const;
+
+    /** Value of a named entry; fatal() if absent. */
+    const AreaPower &entry(const std::string &component) const;
+};
+
+/** Per-XPU breakdown (the upper half of Table IV). */
+AreaPowerBreakdown xpuAreaPower(const ArchConfig &config);
+
+/** Whole-chip breakdown (Table IV). */
+AreaPowerBreakdown chipAreaPower(const ArchConfig &config);
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_AREA_POWER_H

@@ -1,0 +1,72 @@
+#include "buffers.h"
+
+#include "arch/timing.h"
+#include "common/logging.h"
+
+namespace morphling::arch {
+
+OnChipBuffer::OnChipBuffer(std::string name, std::uint64_t capacity_bytes,
+                           unsigned banks)
+    : name_(std::move(name)), capacity_(capacity_bytes), banks_(banks)
+{
+    fatal_if(capacity_ == 0, "buffer '", name_, "' has zero capacity");
+    fatal_if(banks_ == 0, "buffer '", name_, "' needs banks");
+}
+
+double
+OnChipBuffer::occupancy() const
+{
+    return static_cast<double>(allocated_) /
+           static_cast<double>(capacity_);
+}
+
+bool
+OnChipBuffer::canFit(std::uint64_t bytes) const
+{
+    return allocated_ + bytes <= capacity_;
+}
+
+void
+OnChipBuffer::allocate(std::uint64_t bytes)
+{
+    panic_if(!canFit(bytes), "buffer '", name_, "' overflow: ",
+             allocated_, " + ", bytes, " > ", capacity_);
+    allocated_ += bytes;
+    peak_ = std::max(peak_, allocated_);
+}
+
+void
+OnChipBuffer::release(std::uint64_t bytes)
+{
+    panic_if(bytes > allocated_, "buffer '", name_,
+             "' releasing more than allocated");
+    allocated_ -= bytes;
+}
+
+BufferSet::BufferSet(const ArchConfig &config)
+    : privateA1("private_a1", std::uint64_t{config.privateA1KiB} * 1024,
+                16),
+      privateA2("private_a2", std::uint64_t{config.privateA2KiB} * 1024,
+                4),
+      privateB("private_b", std::uint64_t{config.privateBKiB} * 1024, 8),
+      shared("shared", std::uint64_t{config.sharedKiB} * 1024, 4)
+{
+}
+
+bool
+BufferSet::a2FitsDoubleBuffer(const tfhe::TfheParams &params) const
+{
+    // Twiddle factors: one set of N/2 complex values per ring degree.
+    const std::uint64_t twiddle_bytes = params.polyDegree / 2 * 8;
+    const std::uint64_t demand =
+        2 * bskBytesPerIteration(params) + twiddle_bytes;
+    if (demand > privateA2.capacityBytes()) {
+        warn("Private-A2 (", privateA2.capacityBytes() / 1024,
+             " KiB) cannot double-buffer BSK iterations of set ",
+             params.name, " (needs ", demand / 1024, " KiB)");
+        return false;
+    }
+    return true;
+}
+
+} // namespace morphling::arch

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The four specialized on-chip buffers (Section V-C): capacity
+ * accounting and occupancy tracking.
+ *
+ * - Private-A1: ACC ciphertexts + LWE masks; hosts the double-pointer
+ *   rotator. Its capacity bounds how many consecutive ciphertext
+ *   streams can share one BSK fetch.
+ * - Private-A2: transform-domain BSK + twiddle factors; a double buffer
+ *   that prefetches BSK_{i+1} while BSK_i streams to the VPE arrays.
+ * - Shared: XPU<->VPU decoupling buffer for blind-rotation results.
+ * - Private-B: VPU-side data (LWE ciphertexts, KSK slices, operands).
+ */
+
+#ifndef MORPHLING_ARCH_BUFFERS_H
+#define MORPHLING_ARCH_BUFFERS_H
+
+#include <cstdint>
+#include <string>
+
+#include "arch/config.h"
+#include "sim/stats.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/** One multibank SRAM buffer with allocation bookkeeping. */
+class OnChipBuffer
+{
+  public:
+    OnChipBuffer(std::string name, std::uint64_t capacity_bytes,
+                 unsigned banks);
+
+    const std::string &name() const { return name_; }
+    std::uint64_t capacityBytes() const { return capacity_; }
+    unsigned banks() const { return banks_; }
+
+    std::uint64_t allocatedBytes() const { return allocated_; }
+    std::uint64_t freeBytes() const { return capacity_ - allocated_; }
+    double occupancy() const;
+
+    bool canFit(std::uint64_t bytes) const;
+
+    /** Reserve bytes; panics on overflow (models must size checks
+     *  before allocating). */
+    void allocate(std::uint64_t bytes);
+    void release(std::uint64_t bytes);
+
+    /** Peak occupancy seen so far. */
+    std::uint64_t peakBytes() const { return peak_; }
+
+  private:
+    std::string name_;
+    std::uint64_t capacity_;
+    unsigned banks_;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t peak_ = 0;
+};
+
+/** The chip's buffer complement, built from an ArchConfig. */
+struct BufferSet
+{
+    OnChipBuffer privateA1;
+    OnChipBuffer privateA2;
+    OnChipBuffer privateB;
+    OnChipBuffer shared;
+
+    explicit BufferSet(const ArchConfig &config);
+
+    /**
+     * Private-A2 demand for double-buffered BSK streaming: two
+     * iterations' worth of transform-domain GGSW plus the twiddle
+     * tables. Returns true (and warns otherwise) when the configured
+     * A2 fits it.
+     */
+    bool a2FitsDoubleBuffer(const tfhe::TfheParams &params) const;
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_BUFFERS_H

@@ -1,0 +1,74 @@
+#include "config.h"
+
+#include "common/logging.h"
+
+namespace morphling::arch {
+
+std::string
+reuseModeName(ReuseMode mode)
+{
+    switch (mode) {
+      case ReuseMode::None:
+        return "No-Reuse";
+      case ReuseMode::Input:
+        return "Input-Reuse";
+      case ReuseMode::InputOutput:
+        return "Input+Output-Reuse";
+    }
+    panic("unknown reuse mode");
+}
+
+unsigned
+ArchConfig::streamSetsFor(const tfhe::TfheParams &params) const
+{
+    const std::uint64_t set_bytes = std::uint64_t{numXpus} * vpeRows *
+                                    params.accBytes() *
+                                    a1StreamSetFactor;
+    const std::uint64_t capacity = std::uint64_t{privateA1KiB} * 1024;
+    const std::uint64_t sets = capacity / set_bytes;
+    if (sets == 0)
+        return 1;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(sets, maxStreamSets));
+}
+
+void
+ArchConfig::validate() const
+{
+    fatal_if(numXpus == 0 || vpeRows == 0 || vpeCols == 0,
+             "XPU geometry must be nonzero");
+    fatal_if(fftUnitsPerXpu == 0 || ifftUnitsPerXpu == 0,
+             "need at least one transform unit of each kind");
+    fatal_if(vectorLanes == 0, "vector lanes must be nonzero");
+    fatal_if(totalVpuLanes() == 0, "VPU must have lanes");
+    fatal_if(clockGHz <= 0, "clock must be positive");
+    fatal_if(privateA1KiB == 0 || privateA2KiB == 0,
+             "private buffers must be nonzero");
+    fatal_if(xpuHbmChannels + vpuHbmChannels > hbm.channels,
+             "channel partition exceeds HBM channels: ",
+             xpuHbmChannels, " + ", vpuHbmChannels, " > ",
+             hbm.channels);
+    fatal_if(xpuHbmChannels == 0 || vpuHbmChannels == 0,
+             "both DMA paths need channels");
+    fatal_if(maxStreamSets == 0, "maxStreamSets must be >= 1");
+}
+
+ArchConfig
+ArchConfig::morphlingDefault()
+{
+    ArchConfig cfg;
+    cfg.validate();
+    return cfg;
+}
+
+ArchConfig
+ArchConfig::withReuse(ReuseMode mode, bool merge_split) const
+{
+    ArchConfig cfg = *this;
+    cfg.reuse = mode;
+    cfg.mergeSplitFft = merge_split;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace morphling::arch

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Morphling architecture configuration (Figure 4, Section VI-B).
+ *
+ * The default configuration is the paper's: four XPUs with 4x4 VPE
+ * arrays (two merge-split FFT units and four IFFT units each), one VPU
+ * of four 32-lane groups, the four specialized buffers (Private-A1 4MB,
+ * Private-A2 4MB, Private-B 2MB, Shared 1MB), one HBM2e stack at a
+ * moderate 310 GB/s average with 2 channels prioritized for the XPU/BSK
+ * path and 6 for the VPU/KSK path, all at 1.2 GHz in 28nm.
+ *
+ * Architecture *variants* — the reuse-type ablation of Figure 7-b and
+ * the sweeps of Figure 8 — are expressed as modified copies of this
+ * struct.
+ */
+
+#ifndef MORPHLING_ARCH_CONFIG_H
+#define MORPHLING_ARCH_CONFIG_H
+
+#include <string>
+
+#include "sim/hbm.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/**
+ * Which transform-domain reuse the XPU dataflow implements (Figure 2).
+ *
+ * - None:        every VPE transforms its own inputs and inverse-
+ *                transforms every product (MATCHA-style).
+ * - Input:       input transforms are shared along a VPE row, but each
+ *                product is inverse-transformed individually
+ *                (Strix-style).
+ * - InputOutput: inputs shared along rows AND products accumulated in
+ *                the transform domain, one inverse transform per output
+ *                component (Morphling).
+ */
+enum class ReuseMode
+{
+    None,
+    Input,
+    InputOutput,
+};
+
+/** Short display name of a reuse mode. */
+std::string reuseModeName(ReuseMode mode);
+
+/** Full architecture configuration. */
+struct ArchConfig
+{
+    // Compute complex
+    unsigned numXpus = 4;
+    unsigned vpeRows = 4;         //!< concurrent ciphertexts per XPU
+    unsigned vpeCols = 4;         //!< output components in flight
+    unsigned fftUnitsPerXpu = 2;  //!< forward (input) transform units
+    unsigned ifftUnitsPerXpu = 4; //!< inverse (output) transform units
+    bool mergeSplitFft = true;    //!< two polynomials per FFT pass
+    ReuseMode reuse = ReuseMode::InputOutput;
+    unsigned vectorLanes = 8; //!< transform elements per cycle per unit
+
+    // Vector processing unit
+    unsigned vpuLaneGroups = 4;
+    unsigned vpuLanesPerGroup = 32;
+
+    // Clock
+    double clockGHz = 1.2;
+
+    // On-chip buffers (KiB)
+    unsigned privateA1KiB = 4096;
+    unsigned privateA2KiB = 4096;
+    unsigned privateBKiB = 2048;
+    unsigned sharedKiB = 1024;
+
+    // External memory
+    sim::HbmConfig hbm{};         //!< 8 channels, 310 GB/s, 1.2 GHz
+    unsigned xpuHbmChannels = 2;  //!< BSK streaming channels
+    unsigned vpuHbmChannels = 6;  //!< KSK / data channels (prioritized)
+
+    /**
+     * BSK reuse across consecutive ciphertext streams is bounded by 4
+     * (Section IV-C) and by how many in-flight ACC stream sets fit in
+     * Private-A1.
+     */
+    unsigned maxStreamSets = 4;
+
+    /**
+     * XPUs one Private-A2 bank multicast reaches (Section V-D: "each
+     * bank establishing a multicast connection to four XPUs").
+     * Configurations with more XPUs need one BSK stream per multicast
+     * domain, which is what saturates the BSK path beyond four XPUs
+     * (Figure 8-b).
+     */
+    unsigned multicastDomainXpus = 4;
+
+    /**
+     * Modelled Private-A1 footprint of one in-flight stream set, as a
+     * multiple of numXpus * vpeRows * accBytes: double-buffered ACC
+     * plus rotation staging, LWE masks and bank-conflict padding.
+     * Calibrated so the 128-bit sets need the paper's 4096 KiB for full
+     * stream reuse (Figure 8-a).
+     */
+    unsigned a1StreamSetFactor = 4;
+
+    /**
+     * How long the XPU complex waits to gather additional
+     * blind-rotation jobs into a wave before starting short-handed
+     * (cycles). Small against a wave (hundreds of thousands of
+     * cycles); large enough to absorb scheduling jitter between the
+     * four group streams (DMA serialization, VPU drain skew).
+     */
+    unsigned waveGatherCycles = 32768;
+
+    /** Total VPU MAC lanes. */
+    unsigned
+    totalVpuLanes() const
+    {
+        return vpuLaneGroups * vpuLanesPerGroup;
+    }
+
+    /** Bootstrapping "cores": concurrently blind-rotated ciphertexts. */
+    unsigned
+    bootstrapCores() const
+    {
+        return numXpus * vpeRows;
+    }
+
+    /** Polynomials one FFT pass slot can carry. */
+    unsigned
+    polysPerFftPass() const
+    {
+        return mergeSplitFft ? 2 : 1;
+    }
+
+    /** In-flight stream sets Private-A1 sustains for this parameter
+     *  set: clamp(floor(A1 / setBytes), 1, maxStreamSets). */
+    unsigned streamSetsFor(const tfhe::TfheParams &params) const;
+
+    /** Total forward + inverse transform units on the chip. */
+    unsigned
+    totalTransformUnits() const
+    {
+        return numXpus * (fftUnitsPerXpu + ifftUnitsPerXpu);
+    }
+
+    /** fatal() on inconsistent configuration. */
+    void validate() const;
+
+    /** The paper's shipping configuration. */
+    static ArchConfig morphlingDefault();
+
+    /** Copy with a different reuse mode / merge-split setting (the
+     *  Figure 7-b variants; resources unchanged). */
+    ArchConfig withReuse(ReuseMode mode, bool merge_split) const;
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_CONFIG_H

@@ -1,0 +1,60 @@
+#include "fft_unit.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::arch {
+
+PipelinedFftUnit::PipelinedFftUnit(unsigned ring_degree, unsigned lanes)
+    : ringDegree_(ring_degree), lanes_(lanes)
+{
+    fatal_if(!isPowerOfTwo(ring_degree) || !isPowerOfTwo(lanes),
+             "FFT unit sizes must be powers of two");
+    fatal_if(lanes == 0 || lanes > ring_degree / 2,
+             "bad lane count ", lanes);
+}
+
+unsigned
+PipelinedFftUnit::stages() const
+{
+    return log2Floor(ringDegree_ / 2);
+}
+
+sim::Tick
+PipelinedFftUnit::issueInterval() const
+{
+    return (ringDegree_ / 2) / lanes_;
+}
+
+sim::Tick
+PipelinedFftUnit::fillLatency() const
+{
+    // One cycle per butterfly stage plus the total depth of the
+    // delay-commutator memories. An MDC pipeline reordering N/2
+    // points for lanes-wide consumption needs (N/2 - lanes)/lanes
+    // groups of buffering across its shuffling stages.
+    return stages() + (ringDegree_ / 2 - lanes_) / lanes_;
+}
+
+PipelinedFftUnit::PassTiming
+PipelinedFftUnit::issuePass(sim::Tick ready)
+{
+    PassTiming t;
+    t.issueStart = std::max(ready, inputBusyUntil_);
+    t.issueEnd = t.issueStart + issueInterval();
+    t.firstOutput = t.issueStart + fillLatency();
+    t.lastOutput = t.firstOutput + issueInterval();
+    inputBusyUntil_ = t.issueEnd;
+    ++passes_;
+    return t;
+}
+
+std::uint64_t
+PipelinedFftUnit::throughputCycles(unsigned ring_degree, unsigned lanes,
+                                   std::uint64_t pass_count)
+{
+    return pass_count *
+           (static_cast<std::uint64_t>(ring_degree / 2) / lanes);
+}
+
+} // namespace morphling::arch

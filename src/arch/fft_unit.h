@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cycle-stepped model of one fully-pipelined FFT unit (Section V-A3):
+ * the 8-coefficient-parallel multi-delay-commutator architecture with
+ * all log2(N/2) butterfly stages and shuffling buffers instantiated,
+ * so a new polynomial pass can be issued every (N/2)/lanes cycles and
+ * transform-domain data streams out every cycle after the pipeline
+ * fills.
+ *
+ * The wave/round models in timing.h charge exactly one "pass slot" of
+ * (N/2)/lanes cycles per polynomial (two with merge-split); this unit
+ * model verifies that abstraction: back-to-back passes sustain that
+ * issue interval, and the fill latency (butterfly stages plus
+ * commutator delay memories) is a constant that pipelining hides in
+ * steady state.
+ */
+
+#ifndef MORPHLING_ARCH_FFT_UNIT_H
+#define MORPHLING_ARCH_FFT_UNIT_H
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace morphling::arch {
+
+/** One pipelined FFT/IFFT unit. */
+class PipelinedFftUnit
+{
+  public:
+    /**
+     * @param ring_degree N (the unit transforms N/2 complex points)
+     * @param lanes       elements accepted/produced per cycle
+     */
+    PipelinedFftUnit(unsigned ring_degree, unsigned lanes = 8);
+
+    unsigned ringDegree() const { return ringDegree_; }
+    unsigned lanes() const { return lanes_; }
+
+    /** Number of butterfly stages: log2(N/2). */
+    unsigned stages() const;
+
+    /** Cycles one pass occupies the input port: (N/2)/lanes. */
+    sim::Tick issueInterval() const;
+
+    /**
+     * Pipeline fill latency from first input to first output:
+     * one cycle per butterfly stage plus the delay-commutator
+     * memories, which hold (N/2 - lanes)/lanes element-groups in
+     * total across the stages.
+     */
+    sim::Tick fillLatency() const;
+
+    /** Timing of one polynomial pass through the unit. */
+    struct PassTiming
+    {
+        sim::Tick issueStart;  //!< first input group accepted
+        sim::Tick issueEnd;    //!< input port free again
+        sim::Tick firstOutput; //!< first transform-domain group out
+        sim::Tick lastOutput;  //!< pass fully drained
+    };
+
+    /**
+     * Issue a pass whose input is ready at `ready`; serializes behind
+     * the previous pass's input occupancy (NOT its drain — the pipe
+     * overlaps them).
+     */
+    PassTiming issuePass(sim::Tick ready);
+
+    /** Tick at which the input port frees. */
+    sim::Tick inputFreeAt() const { return inputBusyUntil_; }
+
+    std::uint64_t passes() const { return passes_; }
+
+    /**
+     * Steady-state cycles to stream `pass_count` back-to-back passes
+     * (the quantity the round-timing model charges).
+     */
+    static std::uint64_t throughputCycles(unsigned ring_degree,
+                                          unsigned lanes,
+                                          std::uint64_t pass_count);
+
+  private:
+    unsigned ringDegree_;
+    unsigned lanes_;
+    sim::Tick inputBusyUntil_ = 0;
+    std::uint64_t passes_ = 0;
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_FFT_UNIT_H

@@ -1,0 +1,139 @@
+#include "ms_fft.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::arch::functional {
+
+using tfhe::FourierPolynomial;
+using tfhe::IntPolynomial;
+using tfhe::Torus32;
+using tfhe::TorusPolynomial;
+
+MergeSplitFft::MergeSplitFft(unsigned ring_degree)
+    : n_(ring_degree), fft_(ring_degree)
+{
+    panic_if(!isPowerOfTwo(n_) || n_ < 4, "bad ring degree ", n_);
+    twistRe_.resize(n_);
+    twistIm_.resize(n_);
+    for (unsigned j = 0; j < n_; ++j) {
+        const double angle = M_PI * static_cast<double>(j) /
+                             static_cast<double>(n_);
+        twistRe_[j] = std::cos(angle);
+        twistIm_[j] = std::sin(angle);
+    }
+    scratchRe_.resize(n_);
+    scratchIm_.resize(n_);
+}
+
+void
+MergeSplitFft::forwardReals(const double *a, const double *b,
+                            FourierPolynomial &a_out,
+                            FourierPolynomial &b_out) const
+{
+    panic_if(a_out.ringDegree() != n_ || b_out.ringDegree() != n_,
+             "spectrum degree mismatch");
+    auto &re = scratchRe_;
+    auto &im = scratchIm_;
+    // Merge + twist: z_j = (a_j + i b_j) * zeta^j.
+    for (unsigned j = 0; j < n_; ++j) {
+        re[j] = a[j] * twistRe_[j] - b[j] * twistIm_[j];
+        im[j] = a[j] * twistIm_[j] + b[j] * twistRe_[j];
+    }
+    fft_.forward(re.data(), im.data());
+    ++passes_;
+
+    // Split: recover both spectra from C and its conjugate mirror.
+    for (unsigned k = 0; k < n_ / 2; ++k) {
+        const unsigned m1 = (n_ - k) % n_;
+        const unsigned m2 = (k + 1) % n_;
+        const double c1r = re[m1], c1i = im[m1];
+        const double c2r = re[m2], c2i = -im[m2]; // conj(C[m2])
+        a_out.re(k) = 0.5 * (c1r + c2r);
+        a_out.im(k) = 0.5 * (c1i + c2i);
+        // (C1 - conj(C2)) / (2i) = (imag part, -real part) / 2.
+        b_out.re(k) = 0.5 * (c1i - c2i);
+        b_out.im(k) = -0.5 * (c1r - c2r);
+    }
+}
+
+void
+MergeSplitFft::forwardPair(const IntPolynomial &a, const IntPolynomial &b,
+                           FourierPolynomial &a_out,
+                           FourierPolynomial &b_out) const
+{
+    panic_if(a.degree() != n_ || b.degree() != n_, "degree mismatch");
+    std::vector<double> da(n_), db(n_);
+    for (unsigned j = 0; j < n_; ++j) {
+        da[j] = static_cast<double>(a[j]);
+        db[j] = static_cast<double>(b[j]);
+    }
+    forwardReals(da.data(), db.data(), a_out, b_out);
+}
+
+void
+MergeSplitFft::forwardPair(const TorusPolynomial &a,
+                           const TorusPolynomial &b,
+                           FourierPolynomial &a_out,
+                           FourierPolynomial &b_out) const
+{
+    panic_if(a.degree() != n_ || b.degree() != n_, "degree mismatch");
+    std::vector<double> da(n_), db(n_);
+    for (unsigned j = 0; j < n_; ++j) {
+        da[j] =
+            static_cast<double>(static_cast<std::int32_t>(a[j]));
+        db[j] =
+            static_cast<double>(static_cast<std::int32_t>(b[j]));
+    }
+    forwardReals(da.data(), db.data(), a_out, b_out);
+}
+
+void
+MergeSplitFft::inversePair(const FourierPolynomial &a_in,
+                           const FourierPolynomial &b_in,
+                           TorusPolynomial &a_out,
+                           TorusPolynomial &b_out) const
+{
+    panic_if(a_in.ringDegree() != n_ || b_in.ringDegree() != n_,
+             "spectrum degree mismatch");
+    panic_if(a_out.degree() != n_ || b_out.degree() != n_,
+             "degree mismatch");
+    auto &re = scratchRe_;
+    auto &im = scratchIm_;
+
+    // Rebuild the merged spectrum C_m = a^_k + i b^_k at
+    // k = (N - m) mod N, using conjugate symmetry for k >= N/2.
+    for (unsigned m = 0; m < n_; ++m) {
+        const unsigned k = (n_ - m) % n_;
+        if (k < n_ / 2) {
+            re[m] = a_in.re(k) - b_in.im(k);
+            im[m] = a_in.im(k) + b_in.re(k);
+        } else {
+            const unsigned kk = n_ - 1 - k;
+            // conj(a^_kk) + i conj(b^_kk)
+            //   = (a.re + b.im) + i (b.re - a.im)
+            re[m] = a_in.re(kk) + b_in.im(kk);
+            im[m] = b_in.re(kk) - a_in.im(kk);
+        }
+    }
+    fft_.inverse(re.data(), im.data());
+    ++passes_;
+
+    const double scale = 1.0 / static_cast<double>(n_);
+    const double modulus = 4294967296.0;
+    for (unsigned j = 0; j < n_; ++j) {
+        // Untwist: z_j * zeta^{-j}; real part -> a, imaginary -> b.
+        const double zr = re[j] * scale;
+        const double zi = im[j] * scale;
+        const double ar = zr * twistRe_[j] + zi * twistIm_[j];
+        const double bi = zi * twistRe_[j] - zr * twistIm_[j];
+        a_out[j] = static_cast<Torus32>(static_cast<std::int64_t>(
+            std::llround(std::remainder(ar, modulus))));
+        b_out[j] = static_cast<Torus32>(static_cast<std::int64_t>(
+            std::llround(std::remainder(bi, modulus))));
+    }
+}
+
+} // namespace morphling::arch::functional

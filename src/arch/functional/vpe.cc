@@ -1,0 +1,51 @@
+#include "vpe.h"
+
+#include "common/logging.h"
+
+namespace morphling::arch::functional {
+
+Vpe::Vpe(unsigned ring_degree)
+    : ringDegree_(ring_degree),
+      regs_{tfhe::FourierPolynomial(ring_degree),
+            tfhe::FourierPolynomial(ring_degree)}
+{
+}
+
+void
+Vpe::clearAccumulator()
+{
+    regs_[active_].clear();
+}
+
+void
+Vpe::multiplyAccumulate(const tfhe::FourierPolynomial &acc_input,
+                        const tfhe::FourierPolynomial &bsk_column)
+{
+    regs_[active_].mulAddAssign(acc_input, bsk_column);
+    macOps_ += acc_input.size();
+}
+
+void
+Vpe::addPartialFrom(const Vpe &neighbour)
+{
+    panic_if(neighbour.ringDegree_ != ringDegree_,
+             "VPE degree mismatch");
+    regs_[active_].addAssign(neighbour.regs_[neighbour.active_]);
+}
+
+const tfhe::FourierPolynomial &
+Vpe::accumulator() const
+{
+    return regs_[active_];
+}
+
+const tfhe::FourierPolynomial &
+Vpe::retireForIfft()
+{
+    const unsigned retired = active_;
+    active_ ^= 1;
+    regs_[active_].clear();
+    return regs_[retired];
+}
+
+} // namespace morphling::arch::functional

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional model of one Vector Processing Element (Section V-A2).
+ *
+ * A VPE performs element-wise multiply-accumulate on transform-domain
+ * vectors: the streamed ACC input meets the streamed BSK column and the
+ * partial sum stays resident in POLY-ACC-REG ("the ACC output
+ * stationary dataflow"). Two register instances let the finished dot
+ * product queue for the IFFT while the next accumulation starts — and
+ * the row-neighbour adder supports the flexible column mapping.
+ */
+
+#ifndef MORPHLING_ARCH_FUNCTIONAL_VPE_H
+#define MORPHLING_ARCH_FUNCTIONAL_VPE_H
+
+#include <cstdint>
+
+#include "tfhe/fft.h"
+
+namespace morphling::arch::functional {
+
+/** One VPE: a pair of POLY-ACC registers plus a complex MAC. */
+class Vpe
+{
+  public:
+    explicit Vpe(unsigned ring_degree);
+
+    unsigned ringDegree() const { return ringDegree_; }
+
+    /** Begin a new dot product in the active register. */
+    void clearAccumulator();
+
+    /** One streamed multiply-accumulate:
+     *  POLY-ACC += acc_input (*) bsk_column (element-wise). */
+    void multiplyAccumulate(const tfhe::FourierPolynomial &acc_input,
+                            const tfhe::FourierPolynomial &bsk_column);
+
+    /** Row-neighbour partial-sum addition (the adder on the right side
+     *  of the VPE, used for flexible mapping). */
+    void addPartialFrom(const Vpe &neighbour);
+
+    /** The active accumulation register. */
+    const tfhe::FourierPolynomial &accumulator() const;
+
+    /**
+     * Retire the finished dot product: returns the register now queued
+     * for the IFFT and switches accumulation to the other instance
+     * (which is cleared).
+     */
+    const tfhe::FourierPolynomial &retireForIfft();
+
+    /** MAC operations performed (element-wise complex mults). */
+    std::uint64_t macOps() const { return macOps_; }
+
+  private:
+    unsigned ringDegree_;
+    tfhe::FourierPolynomial regs_[2];
+    unsigned active_ = 0;
+    std::uint64_t macOps_ = 0;
+};
+
+} // namespace morphling::arch::functional
+
+#endif // MORPHLING_ARCH_FUNCTIONAL_VPE_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The HW scheduler (Section V-E): consumes the SW scheduler's
+ * per-group instruction streams and dispatches to the XPU complex, the
+ * VPU lane-groups and the DMA engines.
+ *
+ * The unit of scheduling is a *chunk chain*: the dependent instruction
+ * sequence of one batch of ciphertexts (LD_LWE -> MS -> LD_BSK -> BR ->
+ * SE -> LD_KSK -> KS -> ST_LWE). Chains of the same group execute with
+ * a small in-flight window (double buffering: chunk t+1 may start its
+ * head while chunk t drains its tail through the VPU — the decoupling
+ * the Shared buffer provides). Barrier instructions rendezvous all
+ * groups at application-stage boundaries.
+ */
+
+#ifndef MORPHLING_ARCH_HW_SCHEDULER_H
+#define MORPHLING_ARCH_HW_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/config.h"
+#include "arch/vpu.h"
+#include "arch/xpu.h"
+#include "compiler/program.h"
+#include "sim/dma.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace morphling::arch {
+
+/** Dispatches one compiled program over the modelled resources. */
+class HwScheduler
+{
+  public:
+    HwScheduler(sim::EventQueue &eq, const compiler::Program &program,
+                const ArchConfig &config, XpuComplex &xpu, VpuModel &vpu,
+                sim::DmaEngine &vpu_dma, sim::DmaEngine &xpu_dma,
+                std::function<void()> on_all_done = nullptr);
+
+    /** Kick off every group's first chain. */
+    void start();
+
+    bool finished() const
+    {
+        return chainsCompleted_ == totalChains_;
+    }
+
+    /** Per-chunk latency (first instruction issue to last completion),
+     *  in cycles. */
+    const sim::Histogram &chunkLatency() const { return chunkLatency_; }
+
+    sim::StatSet &stats() { return statSet_; }
+    const sim::StatSet &statSet() const { return statSet_; }
+
+  private:
+    struct Chain
+    {
+        std::vector<compiler::Instruction> instrs;
+        std::size_t pc = 0;
+        sim::Tick startTick = 0;
+        bool isBarrier = false;
+    };
+
+    struct GroupState
+    {
+        std::vector<Chain> chains;
+        std::size_t nextChain = 0;
+        unsigned inflight = 0;
+        bool waitingAtBarrier = false;
+    };
+
+    void buildChains(const compiler::Program &program);
+    void pump(unsigned g);
+    void step(unsigned g, Chain &chain);
+    void dispatch(unsigned g, Chain &chain,
+                  const compiler::Instruction &inst);
+    void chainDone(unsigned g, Chain &chain);
+    void releaseBarrier();
+
+    sim::EventQueue &eq_;
+    const ArchConfig &config_;
+    XpuComplex &xpu_;
+    VpuModel &vpu_;
+    sim::DmaEngine &vpuDma_;
+    sim::DmaEngine &xpuDma_;
+    std::function<void()> onAllDone_;
+
+    std::vector<GroupState> groups_;
+    /** Chunk chains a group may have in flight: 3 = the staged chunk's
+     *  head may run while the previous blind-rotates and the one
+     *  before drains through SE/KS (Shared-buffer decoupling). */
+    unsigned inflightLimit_;
+    std::size_t totalChains_ = 0;
+    std::size_t chainsCompleted_ = 0;
+    unsigned barrierArrivals_ = 0;
+    unsigned barrierExpected_ = 0;
+
+    sim::StatSet statSet_{"scheduler"};
+    sim::Histogram &chunkLatency_;
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_HW_SCHEDULER_H

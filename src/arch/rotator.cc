@@ -1,0 +1,66 @@
+#include "rotator.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::arch {
+
+Rotator::Rotator(unsigned poly_degree, unsigned lanes)
+    : polyDegree_(poly_degree), lanes_(lanes)
+{
+    fatal_if(!isPowerOfTwo(poly_degree) || !isPowerOfTwo(lanes),
+             "rotator sizes must be powers of two");
+    fatal_if(lanes == 0 || lanes > poly_degree,
+             "bad vector width ", lanes);
+}
+
+tfhe::TorusPolynomial
+Rotator::rotate(const tfhe::TorusPolynomial &poly, unsigned power) const
+{
+    panic_if(poly.degree() != polyDegree_, "degree mismatch");
+    panic_if(power >= 2 * polyDegree_, "power out of range");
+
+    tfhe::TorusPolynomial out(polyDegree_);
+    const unsigned n = polyDegree_;
+    // Output coefficient j comes from source index (j - power) mod 2N;
+    // a source index in [N, 2N) addresses coefficient (idx - N) with a
+    // sign flip. This is exactly the second pointer's address
+    // arithmetic: base pointer minus rotation, with the sign mask
+    // derived from the wrap count.
+    for (unsigned j = 0; j < n; ++j) {
+        const unsigned src = (j + 2 * n - power) % (2 * n);
+        if (src < n) {
+            out[j] = poly[src];
+        } else {
+            out[j] = 0 - poly[src - n];
+        }
+    }
+    return out;
+}
+
+RotatorAccess
+Rotator::accessFor(unsigned vector_idx, unsigned power) const
+{
+    panic_if(vector_idx >= numVectors(), "vector index out of range");
+    const unsigned n = polyDegree_;
+    // First source coefficient feeding this output vector.
+    const unsigned first_src =
+        (vector_idx * lanes_ + 2 * n - power) % (2 * n) % n;
+
+    RotatorAccess acc;
+    acc.offset = first_src % lanes_;
+    acc.firstVector = first_src / lanes_;
+    acc.split = acc.offset != 0;
+    acc.secondVector =
+        acc.split ? (acc.firstVector + 1) % numVectors()
+                  : acc.firstVector;
+    return acc;
+}
+
+bool
+Rotator::needsReorder(unsigned power) const
+{
+    return power % lanes_ != 0;
+}
+
+} // namespace morphling::arch

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional model of the Private-A1 double-pointer rotator
+ * (Section V-C).
+ *
+ * Instead of physically shifting the accumulator polynomial (variable
+ * latency, pipeline stalls), the hardware keeps ACC in place and walks
+ * two read pointers: ptrA follows the original layout, ptrB follows the
+ * layout rotated by X^a~. Coefficients are packed eight to a vector in
+ * fixed bank locations, so a rotation that is not a multiple of the
+ * vector width needs the reorder unit to stitch each output vector from
+ * two adjacent stored vectors; coefficients that wrap past X^N come
+ * back negated (X^N = -1).
+ *
+ * The functional model reproduces mulByXPower exactly (tested) while
+ * exposing the address-generation behaviour (split accesses, sign
+ * masks) that makes the hardware single-cycle-per-vector.
+ */
+
+#ifndef MORPHLING_ARCH_ROTATOR_H
+#define MORPHLING_ARCH_ROTATOR_H
+
+#include <cstdint>
+
+#include "tfhe/polynomial.h"
+
+namespace morphling::arch {
+
+/** Address-generation result for one output vector of the rotated
+ *  stream. */
+struct RotatorAccess
+{
+    unsigned firstVector;  //!< stored vector holding the first source
+    unsigned secondVector; //!< neighbour vector (== firstVector when
+                           //!< aligned)
+    unsigned offset;       //!< element offset into firstVector
+    bool split;            //!< true when the reorder unit must merge
+                           //!< two stored vectors
+};
+
+/** The double-pointer rotator for one ring degree / vector width. */
+class Rotator
+{
+  public:
+    Rotator(unsigned poly_degree, unsigned lanes);
+
+    unsigned polyDegree() const { return polyDegree_; }
+    unsigned lanes() const { return lanes_; }
+    unsigned numVectors() const { return polyDegree_ / lanes_; }
+
+    /**
+     * Produce X^power * poly (power in [0, 2N)) by double-pointer
+     * reads, without moving the stored polynomial. Bit-identical to
+     * Polynomial::mulByXPower.
+     */
+    tfhe::TorusPolynomial rotate(const tfhe::TorusPolynomial &poly,
+                                 unsigned power) const;
+
+    /** Address generation for output vector `vector_idx` of a rotation
+     *  by `power`. */
+    RotatorAccess accessFor(unsigned vector_idx, unsigned power) const;
+
+    /** True when every output vector of this rotation needs the
+     *  reorder unit (unaligned rotation). */
+    bool needsReorder(unsigned power) const;
+
+  private:
+    unsigned polyDegree_;
+    unsigned lanes_;
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_ROTATOR_H

@@ -1,0 +1,122 @@
+#include "timing.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::arch {
+
+EpRoundTiming
+epRoundTiming(const tfhe::TfheParams &params, const ArchConfig &config,
+              unsigned ciphertexts)
+{
+    const std::uint64_t kp1 = params.glweDimension + 1;
+    const std::uint64_t lb = params.bskLevels;
+
+    EpRoundTiming t;
+    t.rowsActive = std::min(ciphertexts, config.vpeRows);
+    panic_if(t.rowsActive == 0, "round with zero ciphertexts");
+
+    // One polynomial pass: N/2 transform-domain elements at
+    // vectorLanes elements per cycle.
+    t.passCycles = divCeil<std::uint64_t>(params.polyDegree / 2,
+                                          config.vectorLanes);
+
+    // Per-ciphertext polynomial counts by reuse mode (Figure 2).
+    std::uint64_t fwd_polys, inv_polys;
+    switch (config.reuse) {
+      case ReuseMode::None:
+        fwd_polys = kp1 * lb * kp1; // re-transformed per column
+        inv_polys = kp1 * lb * kp1; // every product inverted
+        break;
+      case ReuseMode::Input:
+        fwd_polys = kp1 * lb;       // shared along the VPE row
+        inv_polys = kp1 * lb * kp1; // every product inverted
+        break;
+      case ReuseMode::InputOutput:
+        fwd_polys = kp1 * lb; // shared along the VPE row
+        inv_polys = kp1;      // Fourier accumulation: one per column
+        break;
+      default:
+        panic("unknown reuse mode");
+    }
+
+    // A ciphertext with more output components than VPE columns
+    // multiplexes the array in column passes.
+    const std::uint64_t col_passes =
+        divCeil<std::uint64_t>(kp1, config.vpeCols);
+
+    const std::uint64_t per_pass = config.polysPerFftPass();
+    t.fwdCycles = divCeil<std::uint64_t>(t.rowsActive * fwd_polys,
+                                         config.fftUnitsPerXpu * per_pass) *
+                  t.passCycles;
+    t.invCycles = divCeil<std::uint64_t>(t.rowsActive * inv_polys,
+                                         config.ifftUnitsPerXpu * per_pass) *
+                  t.passCycles;
+    t.vpeCycles = kp1 * lb * t.passCycles * col_passes;
+    return t;
+}
+
+std::uint64_t
+bskBytesPerIteration(const tfhe::TfheParams &params)
+{
+    // (k+1) l_b x (k+1) polynomials, N/2 complex elements of 8 bytes
+    // (32-bit real + 32-bit imaginary, Section V-A).
+    return params.polysPerGgsw() * (params.polyDegree / 2) * 8;
+}
+
+VpuTaskCycles
+vpuTaskCycles(const tfhe::TfheParams &params, const ArchConfig &config)
+{
+    const std::uint64_t lanes = config.totalVpuLanes();
+    const std::uint64_t n = params.lweDimension;
+    const std::uint64_t kn = params.extractedLweDimension();
+
+    VpuTaskCycles c;
+    // Mod switch: scale+round every element of the (n+1)-tuple.
+    c.modSwitch = divCeil<std::uint64_t>(n + 1, lanes);
+    // Sample extraction: data regrouping of the kN+1 extracted words.
+    c.sampleExtract = divCeil<std::uint64_t>(kn + 1, lanes);
+    // Key switch: kN masks x l_k digits, each scaling an (n+1)-word
+    // LWE ciphertext (Algorithm 1, line 6).
+    c.keySwitch =
+        divCeil<std::uint64_t>(kn * params.kskLevels * (n + 1), lanes);
+    return c;
+}
+
+std::uint64_t
+vpuPAluCycles(const tfhe::TfheParams &params, const ArchConfig &config,
+              std::uint64_t macs)
+{
+    // One ciphertext-scalar MAC touches all n+1 words.
+    return divCeil<std::uint64_t>(macs * (params.lweDimension + 1),
+                                  std::uint64_t{config.totalVpuLanes()});
+}
+
+BootstrapEstimate
+estimateBootstrap(const tfhe::TfheParams &params, const ArchConfig &config)
+{
+    const auto round = epRoundTiming(params, config, config.vpeRows);
+    const auto vpu = vpuTaskCycles(params, config);
+
+    BootstrapEstimate est;
+    // Latency: n sequential rounds plus the per-ciphertext VPU stages.
+    est.latencyCycles = params.lweDimension * round.roundCycles() +
+                        vpu.modSwitch + vpu.sampleExtract +
+                        vpu.keySwitch;
+    est.latencyMs = static_cast<double>(est.latencyCycles) /
+                    (config.clockGHz * 1e6);
+
+    const double hz = config.clockGHz * 1e9;
+    const double xpu_batch_cycles = static_cast<double>(
+        params.lweDimension * round.roundCycles());
+    est.xpuThroughputBs = static_cast<double>(config.numXpus) *
+                          round.rowsActive * hz / xpu_batch_cycles;
+    const double vpu_per_ct = static_cast<double>(
+        vpu.modSwitch + vpu.sampleExtract + vpu.keySwitch);
+    est.vpuThroughputBs = hz / vpu_per_ct;
+    est.throughputBs =
+        std::min(est.xpuThroughputBs, est.vpuThroughputBs);
+    return est;
+}
+
+} // namespace morphling::arch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The XPU external-product round timing model.
+ *
+ * One "round" is one blind-rotation iteration for the ciphertexts an
+ * XPU holds in its VPE rows. The streaming pipeline moves 8
+ * transform-domain elements per cycle, so one polynomial pass through a
+ * transform unit takes (N/2)/8 cycles; merge-split FFT packs two
+ * polynomials into one pass. Per round the demands are:
+ *
+ *   forward:  rows * fwdPolysPerCiphertext over fftUnits slots
+ *   inverse:  rows * invPolysPerCiphertext over ifftUnits slots
+ *   VPE:      (k+1) l_b passes of occupancy per VPE (columns parallel)
+ *
+ * with the per-ciphertext polynomial counts depending on the reuse mode
+ * (see arch/analysis.h). The round time is the maximum of the three,
+ * scaled by ceil((k+1)/vpeCols) when a ciphertext needs more output
+ * columns than the array has.
+ *
+ * This closed-form model is validated against Table V: with the default
+ * configuration it reproduces the paper's bootstrap latencies for sets
+ * I-IV to within a few percent (see tests/test_timing.cc).
+ */
+
+#ifndef MORPHLING_ARCH_TIMING_H
+#define MORPHLING_ARCH_TIMING_H
+
+#include <cstdint>
+
+#include "arch/config.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/** Cycle breakdown of one external-product round on one XPU. */
+struct EpRoundTiming
+{
+    std::uint64_t passCycles = 0; //!< one polynomial through one unit
+    std::uint64_t fwdCycles = 0;  //!< input-transform stream time
+    std::uint64_t invCycles = 0;  //!< output-transform stream time
+    std::uint64_t vpeCycles = 0;  //!< VPE occupancy
+    unsigned rowsActive = 0;      //!< ciphertexts served this round
+
+    /** The pipelined round time: the slowest stage. */
+    std::uint64_t
+    roundCycles() const
+    {
+        return std::max({fwdCycles, invCycles, vpeCycles});
+    }
+};
+
+/**
+ * Timing of one round serving `ciphertexts` on one XPU (clamped to the
+ * row count; the caller accounts for multiple passes if it oversubmits).
+ */
+EpRoundTiming epRoundTiming(const tfhe::TfheParams &params,
+                            const ArchConfig &config,
+                            unsigned ciphertexts);
+
+/** Bytes of BSK (transform domain) streamed per blind-rotation
+ *  iteration; shared by all XPUs via the Private-A2 multicast. */
+std::uint64_t bskBytesPerIteration(const tfhe::TfheParams &params);
+
+/** VPU cycle costs of the non-blind-rotation tasks, per ciphertext. */
+struct VpuTaskCycles
+{
+    std::uint64_t modSwitch = 0;
+    std::uint64_t sampleExtract = 0;
+    std::uint64_t keySwitch = 0;
+};
+
+VpuTaskCycles vpuTaskCycles(const tfhe::TfheParams &params,
+                            const ArchConfig &config);
+
+/** VPU cycles for `macs` ciphertext-scalar MACs (P-ALU linear ops):
+ *  each MAC touches an (n+1)-word LWE ciphertext. */
+std::uint64_t vpuPAluCycles(const tfhe::TfheParams &params,
+                            const ArchConfig &config, std::uint64_t macs);
+
+/**
+ * Closed-form steady-state estimate for one full bootstrap batch:
+ * per-bootstrap latency in cycles (n rounds plus pipeline fill) and
+ * ideal chip throughput in bootstraps per second, before memory
+ * bandwidth effects (the event-driven simulator refines this).
+ */
+struct BootstrapEstimate
+{
+    std::uint64_t latencyCycles = 0;
+    double latencyMs = 0;
+    double xpuThroughputBs = 0; //!< compute-side ceiling
+    double vpuThroughputBs = 0; //!< key-switch-side ceiling
+    double throughputBs = 0;    //!< min of the two
+};
+
+BootstrapEstimate estimateBootstrap(const tfhe::TfheParams &params,
+                                    const ArchConfig &config);
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_TIMING_H

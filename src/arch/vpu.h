@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The programmable Vector Processing Unit (Section V-B).
+ *
+ * Four lane-groups of 32 lanes execute the memory-bound tasks: modulus
+ * switching, sample extraction, key switching, and application-level
+ * P-ALU vector work. Each lane-group is programmed individually and
+ * serves one scheduling group ("each group can be programmed
+ * individually based on the scheduled computations"), which is what
+ * keeps the four group streams phase-aligned: their key switches run
+ * concurrently on separate lane-groups instead of serializing.
+ *
+ * cyclesFor() reports costs at full 128-lane width (the whole-VPU view
+ * used for latency estimates); a submission to one lane-group scales by
+ * the group count since each group has 1/groups of the lanes.
+ */
+
+#ifndef MORPHLING_ARCH_VPU_H
+#define MORPHLING_ARCH_VPU_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "arch/timing.h"
+#include "compiler/isa.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/** Cycle-level VPU model: one server per lane-group. */
+class VpuModel
+{
+  public:
+    VpuModel(sim::EventQueue &eq, const ArchConfig &config,
+             const tfhe::TfheParams &params);
+
+    /**
+     * Cycle cost of one VPU instruction at full VPU width
+     * (all lane-groups cooperating).
+     *
+     * @param op      a VPU-class opcode
+     * @param count   ciphertexts covered
+     * @param operand op-specific (MAC count for P-ALU)
+     */
+    std::uint64_t cyclesFor(compiler::Opcode op, unsigned count,
+                            std::uint64_t operand) const;
+
+    /**
+     * Enqueue an instruction on one lane-group; `on_done` runs at
+     * completion. Work within a lane-group is serialized; different
+     * lane-groups run concurrently.
+     *
+     * @return completion tick
+     */
+    sim::Tick submit(unsigned lane_group, compiler::Opcode op,
+                     unsigned count, std::uint64_t operand,
+                     sim::EventQueue::Callback on_done);
+
+    /** Total lane-group busy cycles (sum over groups). */
+    std::uint64_t busyCycles() const { return busyCycles_; }
+
+    /** Busy cycles attributed to one opcode kind. */
+    std::uint64_t busyCyclesFor(compiler::Opcode op) const;
+
+    /** Max busy-until across lane-groups (VPU drain time). */
+    sim::Tick drainTick() const;
+
+    sim::StatSet &stats() { return stats_; }
+    const sim::StatSet &stats() const { return stats_; }
+
+  private:
+    sim::EventQueue &eq_;
+    const ArchConfig &config_;
+    const tfhe::TfheParams &params_;
+    VpuTaskCycles taskCycles_; //!< full-width per-ciphertext costs
+    std::vector<sim::Tick> groupBusyUntil_;
+    std::uint64_t busyCycles_ = 0;
+    sim::StatSet stats_{"vpu"};
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_VPU_H

@@ -1,0 +1,202 @@
+#include "xpu.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "sim/trace.h"
+
+namespace morphling::arch {
+
+XpuComplex::XpuComplex(sim::EventQueue &eq, const ArchConfig &config,
+                       const tfhe::TfheParams &params,
+                       sim::DmaEngine &bsk_dma)
+    : eq_(eq), config_(config), params_(params), bskDma_(bsk_dma),
+      streamSets_(config.streamSetsFor(params))
+{
+    stats_.scalar("stream_sets", "BSK reuse across consecutive streams")
+        .set(streamSets_);
+}
+
+std::uint64_t
+XpuComplex::jobRoundCycles(const Job &job) const
+{
+    // Ciphertexts are spread across the XPUs; a job larger than the
+    // total row capacity multiplexes the arrays in extra passes.
+    const unsigned capacity = config_.numXpus * config_.vpeRows;
+    const unsigned per_xpu = divCeil(
+        std::min(job.count, capacity), config_.numXpus);
+    const unsigned passes = divCeil(job.count, capacity);
+    const auto t =
+        epRoundTiming(params_, config_, std::max(1u, per_xpu));
+    return t.roundCycles() * passes;
+}
+
+void
+XpuComplex::submitBlindRotate(unsigned group, unsigned count,
+                              std::uint64_t iterations,
+                              sim::EventQueue::Callback on_done)
+{
+    panic_if(count == 0, "empty blind rotation");
+    if (group >= pending_.size())
+        pending_.resize(group + 1);
+    pending_[group].push_back(
+        Job{count, iterations, std::move(on_done), eq_.now()});
+    ++pendingJobs_;
+    ++stats_.scalar("jobs", "blind-rotation jobs submitted");
+    tryStartWave();
+}
+
+void
+XpuComplex::tryStartWave()
+{
+    if (waveActive_ || pendingJobs_ == 0)
+        return;
+
+    // A wave takes the head job of each group queue so the stream sets
+    // stay phase-aligned with the SW scheduler's groups. Start when
+    // enough distinct groups are ready; the gather timer fires a
+    // forced start so a trailing partial batch never waits forever.
+    unsigned ready_groups = 0;
+    for (const auto &q : pending_)
+        ready_groups += q.empty() ? 0 : 1;
+
+    if (ready_groups < streamSets_ && !gatherExpired_) {
+        if (!gatherArmed_) {
+            gatherArmed_ = true;
+            eq_.scheduleIn(config_.waveGatherCycles, [this]() {
+                gatherArmed_ = false;
+                gatherExpired_ = true;
+                tryStartWave();
+                gatherExpired_ = false;
+            });
+        }
+        return;
+    }
+
+    // One job per ready group first, then round-robin refill from the
+    // remaining queues up to the stream-set width.
+    wave_.clear();
+    for (auto &q : pending_) {
+        if (wave_.size() >= streamSets_)
+            break;
+        if (!q.empty()) {
+            wave_.push_back(std::move(q.front()));
+            q.pop_front();
+            --pendingJobs_;
+        }
+    }
+    bool took_one = true;
+    while (wave_.size() < streamSets_ && pendingJobs_ > 0 && took_one) {
+        took_one = false;
+        for (auto &q : pending_) {
+            if (wave_.size() >= streamSets_)
+                break;
+            if (!q.empty()) {
+                wave_.push_back(std::move(q.front()));
+                q.pop_front();
+                --pendingJobs_;
+                took_one = true;
+            }
+        }
+    }
+    waveActive_ = true;
+    waveIter_ = 0;
+    waveIterations_ = 0;
+    for (const auto &job : wave_)
+        waveIterations_ = std::max(waveIterations_, job.iterations);
+    ++wavesStarted_;
+    ++stats_.scalar("waves", "waves started");
+    DTRACE(eq_, "xpu", "wave ", wavesStarted_, " starts with ",
+           wave_.size(), " stream set(s), ", waveIterations_,
+           " iterations");
+    stats_.histogram("wave_jobs", "jobs per wave")
+        .sample(static_cast<double>(wave_.size()));
+
+    // Cold start: fetch BSK_0; compute begins when it lands.
+    bskReady_ = false;
+    waitingForBsk_ = true;
+    stallStart_ = eq_.now();
+    issuePrefetch(0);
+}
+
+void
+XpuComplex::issuePrefetch(std::uint64_t iteration)
+{
+    if (iteration >= waveIterations_)
+        return;
+    // One BSK stream per multicast domain: the A2 multicast reaches
+    // multicastDomainXpus XPUs, so wider chips fetch the same GGSW
+    // once per domain.
+    const std::uint64_t domains = divCeil(
+        config_.numXpus, config_.multicastDomainXpus);
+    bskDma_.load(bskBytesPerIteration(params_) * domains, [this]() {
+        bskArrived();
+    });
+}
+
+void
+XpuComplex::bskArrived()
+{
+    bskReady_ = true;
+    if (waitingForBsk_ && waveActive_) {
+        stallCycles_ += eq_.now() - stallStart_;
+        stats_.scalar("stall_cycles", "cycles stalled on BSK")
+            .set(static_cast<double>(stallCycles_));
+        waitingForBsk_ = false;
+        beginIteration();
+    }
+}
+
+void
+XpuComplex::beginIteration()
+{
+    panic_if(!bskReady_, "iteration started without BSK");
+    bskReady_ = false;
+
+    // Process every stream set back-to-back against the resident
+    // BSK_i; prefetch BSK_{i+1} under the compute.
+    std::uint64_t cycles = 0;
+    for (const auto &job : wave_) {
+        if (job.iterations > waveIter_)
+            cycles += jobRoundCycles(job);
+    }
+    panic_if(cycles == 0, "iteration with no active jobs");
+    busyCycles_ += cycles;
+
+    issuePrefetch(waveIter_ + 1);
+    eq_.scheduleIn(cycles, [this]() { finishIteration(); });
+}
+
+void
+XpuComplex::finishIteration()
+{
+    ++waveIter_;
+    if (waveIter_ >= waveIterations_) {
+        stats_.scalar("iterations", "blind-rotation iterations run") +=
+            static_cast<double>(waveIter_);
+        stats_.scalar("busy_cycles", "XPU compute cycles")
+            .set(static_cast<double>(busyCycles_));
+        // Wave complete: release the jobs.
+        std::vector<Job> done;
+        done.swap(wave_);
+        waveActive_ = false;
+        DTRACE(eq_, "xpu", "wave complete (", done.size(), " job(s))");
+        for (auto &job : done) {
+            stats_.scalar("ciphertexts", "ciphertexts blind-rotated") +=
+                job.count;
+            if (job.onDone)
+                job.onDone();
+        }
+        tryStartWave();
+        return;
+    }
+    if (bskReady_) {
+        beginIteration();
+    } else {
+        waitingForBsk_ = true;
+        stallStart_ = eq_.now();
+        DTRACE(eq_, "xpu", "stall: BSK_", waveIter_,
+               " not yet in Private-A2");
+    }
+}
+
+} // namespace morphling::arch

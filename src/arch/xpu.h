@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cycle-level model of the external-product complex: all XPUs plus the
+ * Private-A2 BSK streaming path (Sections IV-B, IV-C, V-A).
+ *
+ * Blind-rotation jobs (one per scheduling group, up to 16 ciphertexts
+ * spread over the four XPUs' VPE rows) are gathered into *waves* of up
+ * to S jobs, where S is the number of consecutive ciphertext streams
+ * Private-A1 can hold (streamSetsFor). Jobs in a wave advance in
+ * lockstep: each blind-rotation iteration processes every job
+ * back-to-back against the same BSK_i, so one BSK fetch from HBM is
+ * shared by (rows x XPUs x S) ciphertexts — up to the paper's 64-fold
+ * reuse. BSK_{i+1} is prefetched into the double-buffered Private-A2
+ * while iteration i computes; if the prefetch has not landed when the
+ * compute finishes, the complex stalls (counted separately).
+ */
+
+#ifndef MORPHLING_ARCH_XPU_H
+#define MORPHLING_ARCH_XPU_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "arch/config.h"
+#include "arch/timing.h"
+#include "sim/dma.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/** The four XPUs plus BSK streaming, as one schedulable resource. */
+class XpuComplex
+{
+  public:
+    XpuComplex(sim::EventQueue &eq, const ArchConfig &config,
+               const tfhe::TfheParams &params, sim::DmaEngine &bsk_dma);
+
+    /**
+     * Submit one group's blind rotation.
+     *
+     * @param group      scheduling group (waves take one job per group
+     *                   so stream sets stay phase-aligned)
+     * @param count      ciphertexts (<= rows * XPUs for one round per
+     *                   iteration; larger counts multiplex rounds)
+     * @param iterations n, the LWE dimension
+     * @param on_done    completion callback
+     */
+    void submitBlindRotate(unsigned group, unsigned count,
+                           std::uint64_t iterations,
+                           sim::EventQueue::Callback on_done);
+
+    bool idle() const { return !waveActive_ && pendingJobs_ == 0; }
+
+    std::uint64_t busyCycles() const { return busyCycles_; }
+    std::uint64_t stallCycles() const { return stallCycles_; }
+    std::uint64_t wavesStarted() const { return wavesStarted_; }
+
+    /** Stream sets Private-A1 sustains for this parameter set. */
+    unsigned streamSets() const { return streamSets_; }
+
+    sim::StatSet &stats() { return stats_; }
+    const sim::StatSet &stats() const { return stats_; }
+
+  private:
+    struct Job
+    {
+        unsigned count;
+        std::uint64_t iterations;
+        sim::EventQueue::Callback onDone;
+        sim::Tick submitted;
+    };
+
+    /** Cycles one iteration takes for one job across the XPUs. */
+    std::uint64_t jobRoundCycles(const Job &job) const;
+
+    void tryStartWave();
+    void beginIteration();
+    void finishIteration();
+    void bskArrived();
+    void issuePrefetch(std::uint64_t iteration);
+
+    sim::EventQueue &eq_;
+    const ArchConfig &config_;
+    const tfhe::TfheParams &params_;
+    sim::DmaEngine &bskDma_;
+
+    std::vector<std::deque<Job>> pending_; //!< one queue per group
+    std::size_t pendingJobs_ = 0;
+    std::vector<Job> wave_;
+    std::uint64_t waveIter_ = 0;
+    std::uint64_t waveIterations_ = 0;
+    bool waveActive_ = false;
+    bool bskReady_ = false;
+    bool waitingForBsk_ = false;
+    bool gatherArmed_ = false;
+    bool gatherExpired_ = false;
+    sim::Tick stallStart_ = 0;
+
+    unsigned streamSets_;
+    std::uint64_t busyCycles_ = 0;
+    std::uint64_t stallCycles_ = 0;
+    std::uint64_t wavesStarted_ = 0;
+    sim::StatSet stats_{"xpu"};
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_XPU_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the TFHE library (gadget
+ * decomposition, modulus switching) and the simulator (alignment,
+ * sizing).
+ */
+
+#ifndef MORPHLING_COMMON_BITS_H
+#define MORPHLING_COMMON_BITS_H
+
+#include <cstdint>
+#include <type_traits>
+
+namespace morphling {
+
+/** True iff x is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr unsigned
+log2Floor(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(x)) for x > 0. */
+constexpr unsigned
+log2Ceil(std::uint64_t x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/** Integer ceiling division for non-negative operands. */
+template <typename T>
+constexpr T
+divCeil(T num, T den)
+{
+    static_assert(std::is_integral_v<T>);
+    return (num + den - 1) / den;
+}
+
+/** Round x up to the next multiple of align (align > 0). */
+template <typename T>
+constexpr T
+roundUp(T x, T align)
+{
+    return divCeil(x, align) * align;
+}
+
+/**
+ * Extract the bit field [lo, lo+width) from x.
+ *
+ * width == 64 returns x >> lo with no masking surprises.
+ */
+constexpr std::uint64_t
+bitField(std::uint64_t x, unsigned lo, unsigned width)
+{
+    const std::uint64_t shifted = x >> lo;
+    return width >= 64 ? shifted : shifted & ((std::uint64_t{1} << width) - 1);
+}
+
+} // namespace morphling
+
+#endif // MORPHLING_COMMON_BITS_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic random number generation for the TFHE library and the
+ * simulator.
+ *
+ * All randomness in the repository flows through Rng so that every test,
+ * example and benchmark is reproducible from a seed. The generator is
+ * xoshiro256** (public-domain algorithm by Blackman & Vigna): fast,
+ * well-distributed, and trivially seedable via splitmix64.
+ *
+ * Cryptographic quality randomness is explicitly a non-goal: this is a
+ * research artifact reproducing a hardware paper, not a production
+ * cryptosystem.
+ */
+
+#ifndef MORPHLING_COMMON_RNG_H
+#define MORPHLING_COMMON_RNG_H
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace morphling {
+
+/**
+ * Deterministic pseudo-random generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also feed
+ * <random> distributions where convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next 64 uniform random bits. */
+    std::uint64_t operator()();
+
+    /** Uniform 32-bit word (e.g., a uniform torus element). */
+    std::uint32_t nextU32() { return static_cast<std::uint32_t>((*this)()); }
+
+    /** Uniform 64-bit word. */
+    std::uint64_t nextU64() { return (*this)(); }
+
+    /** Uniform integer in [0, bound). Requires bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform bit. */
+    bool nextBit() { return ((*this)() >> 63) != 0; }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /**
+     * Standard normal sample (Box-Muller on uniform doubles).
+     *
+     * Used for the gaussian noise added during encryption.
+     */
+    double nextGaussian();
+
+    /**
+     * Fork an independent generator.
+     *
+     * The child stream is seeded from the parent's output so that two
+     * forks taken at different points never collide. Handy for giving
+     * each key/component its own stream while keeping one master seed.
+     */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    bool haveSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace morphling
+
+#endif // MORPHLING_COMMON_RNG_H

@@ -1,0 +1,109 @@
+#include "table.h"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.h"
+
+namespace morphling {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "a table needs at least one column");
+}
+
+Table::Table(std::initializer_list<std::string> headers)
+    : Table(std::vector<std::string>(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "row has ", cells.size(), " cells, table has ",
+             headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&]() {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            line(row);
+    }
+    rule();
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::fmtCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int since_sep = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since_sep == 3) {
+            out.push_back(',');
+            since_sep = 0;
+        }
+        out.push_back(*it);
+        ++since_sep;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace morphling

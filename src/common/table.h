@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer.
+ *
+ * Every benchmark binary regenerates one of the paper's tables or
+ * figures; this helper keeps their output uniform and diff-friendly.
+ */
+
+#ifndef MORPHLING_COMMON_TABLE_H
+#define MORPHLING_COMMON_TABLE_H
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace morphling {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Set", "Latency (ms)", "Throughput (BS/s)"});
+ *   t.addRow({"I", "0.11", "147615"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+    Table(std::initializer_list<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are
+     *  headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render the table, column-aligned, to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string (used by tests). */
+    std::string toString() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Format helper: fixed-precision double -> string. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Format helper: integer with thousands separators. */
+    static std::string fmtCount(std::uint64_t value);
+
+  private:
+    std::vector<std::string> headers_;
+    // A row with zero cells encodes a separator line.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace morphling
+
+#endif // MORPHLING_COMMON_TABLE_H

@@ -1,0 +1,105 @@
+#include "isa.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace morphling::compiler {
+
+bool
+isDmaOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::DmaLoadLwe:
+      case Opcode::DmaLoadBsk:
+      case Opcode::DmaLoadKsk:
+      case Opcode::DmaLoadData:
+      case Opcode::DmaStoreLwe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVpuOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::VpuModSwitch:
+      case Opcode::VpuSampleExtract:
+      case Opcode::VpuKeySwitch:
+      case Opcode::VpuPAlu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isXpuOp(Opcode op)
+{
+    return op == Opcode::XpuBlindRotate;
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::DmaLoadLwe:
+        return "DMA.LD_LWE";
+      case Opcode::DmaLoadBsk:
+        return "DMA.LD_BSK";
+      case Opcode::DmaLoadKsk:
+        return "DMA.LD_KSK";
+      case Opcode::DmaLoadData:
+        return "DMA.LD_DATA";
+      case Opcode::DmaStoreLwe:
+        return "DMA.ST_LWE";
+      case Opcode::VpuModSwitch:
+        return "VPU.MS";
+      case Opcode::VpuSampleExtract:
+        return "VPU.SE";
+      case Opcode::VpuKeySwitch:
+        return "VPU.KS";
+      case Opcode::VpuPAlu:
+        return "VPU.PALU";
+      case Opcode::XpuBlindRotate:
+        return "XPU.BR";
+      case Opcode::Barrier:
+        return "CTRL.BAR";
+    }
+    panic("unknown opcode ", static_cast<int>(op));
+}
+
+std::uint64_t
+Instruction::encode() const
+{
+    return (static_cast<std::uint64_t>(op) << 56) |
+           (static_cast<std::uint64_t>(group) << 48) |
+           (static_cast<std::uint64_t>(count) << 32) |
+           static_cast<std::uint64_t>(operand);
+}
+
+Instruction
+Instruction::decode(std::uint64_t word)
+{
+    Instruction inst;
+    inst.op = static_cast<Opcode>((word >> 56) & 0xFF);
+    inst.group = static_cast<std::uint8_t>((word >> 48) & 0xFF);
+    inst.count = static_cast<std::uint16_t>((word >> 32) & 0xFFFF);
+    inst.operand = static_cast<std::uint32_t>(word & 0xFFFFFFFF);
+    return inst;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op) << " g" << static_cast<int>(group) << " x"
+        << count;
+    if (operand)
+        oss << " (op=" << operand << ")";
+    return oss.str();
+}
+
+} // namespace morphling::compiler

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Morphling's custom instruction set (Section V-E).
+ *
+ * Three instruction classes — XPU, VPU and DMA — drive the three
+ * hardware resources. The SW scheduler emits one in-order stream per
+ * scheduling group (the paper groups every 64 LWE ciphertexts into four
+ * groups of 16); the HW scheduler dispatches each group's stream
+ * in order while letting different groups overlap on free resources.
+ */
+
+#ifndef MORPHLING_COMPILER_ISA_H
+#define MORPHLING_COMPILER_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace morphling::compiler {
+
+/** Operation encoded in an instruction. */
+enum class Opcode : std::uint8_t
+{
+    // DMA class
+    DmaLoadLwe,   //!< fetch `count` input LWE ciphertexts
+    DmaLoadBsk,   //!< arm BSK streaming for a blind rotation (operand:
+                  //!< bytes per iteration)
+    DmaLoadKsk,   //!< fetch the (reuse-amortized) KSK slice (operand:
+                  //!< bytes)
+    DmaLoadData,  //!< fetch application operands for P-ALU (operand:
+                  //!< bytes)
+    DmaStoreLwe,  //!< write back `count` result LWE ciphertexts
+
+    // VPU class
+    VpuModSwitch,     //!< mod-switch `count` ciphertexts
+    VpuSampleExtract, //!< sample-extract `count` ciphertexts
+    VpuKeySwitch,     //!< key-switch `count` ciphertexts
+    VpuPAlu,          //!< polynomial/vector ALU work (operand: MAC count)
+
+    // XPU class
+    XpuBlindRotate, //!< blind-rotate `count` ciphertexts (operand: n
+                    //!< iterations)
+
+    // Control class
+    Barrier, //!< rendezvous: all groups must reach this barrier
+             //!< (operand: barrier id) before any group proceeds
+};
+
+/** True if the opcode is executed by the DMA engines. */
+bool isDmaOp(Opcode op);
+/** True if the opcode is executed by the VPU. */
+bool isVpuOp(Opcode op);
+/** True if the opcode is executed by the XPU complex. */
+bool isXpuOp(Opcode op);
+
+/** Mnemonic for dumps and tests. */
+std::string opcodeName(Opcode op);
+
+/**
+ * One instruction. Fixed 64-bit encoding:
+ * [63:56] opcode, [55:48] group, [47:32] count, [31:0] operand.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::DmaLoadLwe;
+    std::uint8_t group = 0;    //!< scheduling group (0..3)
+    std::uint16_t count = 0;   //!< ciphertexts covered
+    std::uint32_t operand = 0; //!< op-specific payload
+
+    /** Pack into the 64-bit machine encoding. */
+    std::uint64_t encode() const;
+
+    /** Unpack from the 64-bit machine encoding. */
+    static Instruction decode(std::uint64_t word);
+
+    /** Human-readable rendering, e.g. "XPU.BR g0 x16 (n=500)". */
+    std::string toString() const;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+} // namespace morphling::compiler
+
+#endif // MORPHLING_COMPILER_ISA_H

@@ -1,0 +1,85 @@
+#include "program.h"
+
+#include <sstream>
+
+namespace morphling::compiler {
+
+std::uint64_t
+Workload::totalBootstraps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : stages)
+        total += s.bootstraps;
+    return total;
+}
+
+std::uint64_t
+Workload::totalLinearMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : stages)
+        total += s.linearMacs;
+    return total;
+}
+
+std::vector<Instruction>
+Program::groupStream(std::uint8_t group) const
+{
+    std::vector<Instruction> out;
+    for (const auto &inst : instrs_) {
+        if (inst.group == group)
+            out.push_back(inst);
+    }
+    return out;
+}
+
+std::map<Opcode, std::uint64_t>
+Program::histogram() const
+{
+    std::map<Opcode, std::uint64_t> out;
+    for (const auto &inst : instrs_)
+        ++out[inst.op];
+    return out;
+}
+
+std::uint64_t
+Program::totalBlindRotations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &inst : instrs_) {
+        if (inst.op == Opcode::XpuBlindRotate)
+            total += inst.count;
+    }
+    return total;
+}
+
+std::vector<std::uint64_t>
+Program::serialize() const
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(instrs_.size());
+    for (const auto &inst : instrs_)
+        words.push_back(inst.encode());
+    return words;
+}
+
+Program
+Program::deserialize(const std::string &name,
+                     const std::vector<std::uint64_t> &words)
+{
+    Program prog(name);
+    for (auto w : words)
+        prog.add(Instruction::decode(w));
+    return prog;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < instrs_.size(); ++i)
+        oss << i << ": " << instrs_[i].toString() << '\n';
+    return oss.str();
+}
+
+} // namespace morphling::compiler

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A compiled instruction stream plus the workload description it came
+ * from.
+ *
+ * A Program is a flat list of instructions; instructions of the same
+ * group execute in list order, different groups are independent (the
+ * HW scheduler interleaves them). Serialization round-trips through the
+ * 64-bit encoding so streams could be shipped to a device.
+ */
+
+#ifndef MORPHLING_COMPILER_PROGRAM_H
+#define MORPHLING_COMPILER_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/isa.h"
+
+namespace morphling::compiler {
+
+/**
+ * One phase of an application: `bootstraps` independent programmable
+ * bootstraps, preceded by `linearMacs` ciphertext-scalar MACs (e.g. a
+ * convolution layer feeding an activation layer). Stages are
+ * sequentially dependent.
+ */
+struct WorkloadStage
+{
+    std::uint64_t bootstraps = 0;
+    std::uint64_t linearMacs = 0;
+};
+
+/** An application workload: named list of dependent stages. */
+struct Workload
+{
+    std::string name;
+    std::vector<WorkloadStage> stages;
+
+    std::uint64_t totalBootstraps() const;
+    std::uint64_t totalLinearMacs() const;
+};
+
+/** The compiled instruction stream. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void add(const Instruction &inst) { instrs_.push_back(inst); }
+
+    std::size_t size() const { return instrs_.size(); }
+    const Instruction &at(std::size_t i) const { return instrs_[i]; }
+    const std::vector<Instruction> &instructions() const
+    {
+        return instrs_;
+    }
+
+    /** Instructions belonging to one scheduling group, in order. */
+    std::vector<Instruction> groupStream(std::uint8_t group) const;
+
+    /** Count of instructions per opcode (used by tests and dumps). */
+    std::map<Opcode, std::uint64_t> histogram() const;
+
+    /** Total ciphertexts blind-rotated by this program. */
+    std::uint64_t totalBlindRotations() const;
+
+    /** Pack to 64-bit words. */
+    std::vector<std::uint64_t> serialize() const;
+
+    /** Unpack from 64-bit words. */
+    static Program deserialize(const std::string &name,
+                               const std::vector<std::uint64_t> &words);
+
+    /** Multi-line disassembly. */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> instrs_;
+};
+
+} // namespace morphling::compiler
+
+#endif // MORPHLING_COMPILER_PROGRAM_H

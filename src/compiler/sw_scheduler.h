@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The SW scheduler (Figure 6): application-level batching, tiling and
+ * instruction-stream generation.
+ *
+ * Bootstrapping tasks are grouped into superbatches of
+ * numGroups * groupSize LWE ciphertexts (4 groups of 16 by default =
+ * the paper's 64). Each group receives one in-order dependent stream
+ * VPU(MS) -> XPU(BR) -> VPU(SE) -> VPU(KS) per chunk, with the DMA
+ * instructions that stage the data. Groups run concurrently; barriers
+ * separate dependent application stages (e.g. NN layers). KSK traffic
+ * is amortized over the kskReuse ciphertexts that share one fetch
+ * (Section IV-C).
+ */
+
+#ifndef MORPHLING_COMPILER_SW_SCHEDULER_H
+#define MORPHLING_COMPILER_SW_SCHEDULER_H
+
+#include "compiler/program.h"
+#include "tfhe/params.h"
+
+namespace morphling::compiler {
+
+/** Batching/tiling knobs of the SW scheduler. */
+struct SchedulerConfig
+{
+    unsigned groupSize = 16; //!< LWEs per group (4 rows x 4 XPUs)
+    unsigned numGroups = 4;  //!< concurrent groups -> 64-LWE superbatch
+    unsigned kskReuse = 64;  //!< ciphertexts amortizing one KSK fetch
+};
+
+/** Compiles workloads into Morphling instruction streams. */
+class SwScheduler
+{
+  public:
+    explicit SwScheduler(const tfhe::TfheParams &params,
+                         SchedulerConfig config = {});
+
+    const SchedulerConfig &config() const { return config_; }
+
+    /** Compile a multi-stage workload. */
+    Program schedule(const Workload &workload) const;
+
+    /** Convenience: a single stage of `count` independent bootstraps
+     *  (the Table V measurement program). */
+    Program scheduleBootstrapBatch(std::uint64_t count) const;
+
+    /** Bytes of BSK streamed per blind-rotation iteration
+     *  (the operand of DMA.LD_BSK). */
+    std::uint64_t bskBytesPerIteration() const;
+
+    /** Amortized KSK bytes fetched for `count` ciphertexts. */
+    std::uint64_t kskBytesFor(std::uint64_t count) const;
+
+  private:
+    void emitBootstrapChunk(Program &prog, std::uint8_t group,
+                            std::uint16_t count) const;
+
+    const tfhe::TfheParams &params_;
+    SchedulerConfig config_;
+};
+
+} // namespace morphling::compiler
+
+#endif // MORPHLING_COMPILER_SW_SCHEDULER_H

@@ -1,0 +1,46 @@
+#include "dma.h"
+
+#include "common/logging.h"
+#include "sim/trace.h"
+
+namespace morphling::sim {
+
+DmaEngine::DmaEngine(EventQueue &eq, Hbm &hbm, std::string name,
+                     unsigned first_channel, unsigned num_channels)
+    : eq_(eq), hbm_(hbm), name_(std::move(name)),
+      firstChannel_(first_channel), numChannels_(num_channels),
+      stats_(name_)
+{
+    fatal_if(num_channels == 0, "DMA engine '", name_,
+             "' needs channels");
+    fatal_if(first_channel + num_channels > hbm.config().channels,
+             "DMA engine '", name_, "' channel group out of range");
+}
+
+double
+DmaEngine::bytesPerCycle() const
+{
+    return hbm_.config().bytesPerCyclePerChannel() * numChannels_;
+}
+
+Tick
+DmaEngine::load(std::uint64_t bytes, EventQueue::Callback on_done)
+{
+    ++outstanding_;
+    totalBytes_ += bytes;
+    DTRACE(eq_, "dma", name_, " load ", bytes, " B (",
+           outstanding_, " outstanding)");
+    stats_.scalar("bytes", "bytes loaded from HBM") +=
+        static_cast<double>(bytes);
+    ++stats_.scalar("loads", "load operations issued");
+    return hbm_.accessStriped(
+        firstChannel_, numChannels_, bytes,
+        [this, cb = std::move(on_done)]() {
+            panic_if(outstanding_ == 0, "DMA completion underflow");
+            --outstanding_;
+            if (cb)
+                cb();
+        });
+}
+
+} // namespace morphling::sim

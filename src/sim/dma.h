@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DMA engines: the bridge between HBM channels and the on-chip
+ * buffers.
+ *
+ * Each engine owns a contiguous group of HBM channels (the paper
+ * prioritizes 6 channels for the VPU/KSK path and 2 for the XPU/BSK
+ * path) and issues striped transfers with completion callbacks. The
+ * engine tracks outstanding transfers so models can implement
+ * double-buffered prefetching ("Private-A2 mainly serves as a double
+ * buffer, functioning as a pre-fetcher", Section V-C).
+ */
+
+#ifndef MORPHLING_SIM_DMA_H
+#define MORPHLING_SIM_DMA_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/hbm.h"
+#include "sim/stats.h"
+
+namespace morphling::sim {
+
+/** A DMA engine bound to a fixed HBM channel group. */
+class DmaEngine
+{
+  public:
+    DmaEngine(EventQueue &eq, Hbm &hbm, std::string name,
+              unsigned first_channel, unsigned num_channels);
+
+    const std::string &name() const { return name_; }
+    unsigned numChannels() const { return numChannels_; }
+
+    /** Sustained bytes/cycle this engine can move. */
+    double bytesPerCycle() const;
+
+    /**
+     * Start a load of `bytes` from HBM; `on_done` runs when the last
+     * stripe arrives.
+     *
+     * @return completion tick
+     */
+    Tick load(std::uint64_t bytes, EventQueue::Callback on_done = nullptr);
+
+    /** Number of loads issued but not yet completed. */
+    unsigned outstanding() const { return outstanding_; }
+
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    EventQueue &eq_;
+    Hbm &hbm_;
+    std::string name_;
+    unsigned firstChannel_;
+    unsigned numChannels_;
+    unsigned outstanding_ = 0;
+    std::uint64_t totalBytes_ = 0;
+    StatSet stats_;
+};
+
+} // namespace morphling::sim
+
+#endif // MORPHLING_SIM_DMA_H

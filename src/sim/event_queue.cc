@@ -1,0 +1,59 @@
+#include "event_queue.h"
+
+#include "common/logging.h"
+
+namespace morphling::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    panic_if(when < now_, "scheduling into the past: ", when, " < ",
+             now_);
+    events_.push(Event{when, priority, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Tick delta, Callback cb, int priority)
+{
+    schedule(now_ + delta, std::move(cb), priority);
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    // Copy out before pop so the callback may schedule new events.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick end)
+{
+    std::uint64_t count = 0;
+    while (!events_.empty() && events_.top().when <= end) {
+        runOne();
+        ++count;
+    }
+    if (now_ < end)
+        now_ = end;
+    return count;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t count = 0;
+    while (runOne()) {
+        panic_if(++count > max_events,
+                 "event queue did not drain after ", max_events,
+                 " events; model is likely self-rescheduling forever");
+    }
+    return count;
+}
+
+} // namespace morphling::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The cycle-accurate model of Morphling is built on a single global
+ * event queue per simulation. A Tick is one accelerator clock cycle
+ * (1.2 GHz in the default configuration). Events scheduled for the same
+ * tick execute in (priority, insertion-order) order, which makes every
+ * simulation bit-deterministic.
+ */
+
+#ifndef MORPHLING_SIM_EVENT_QUEUE_H
+#define MORPHLING_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace morphling::sim {
+
+/** Simulated time, in clock cycles of the modelled device. */
+using Tick = std::uint64_t;
+
+/**
+ * The event queue: schedule callbacks at future ticks and run them in
+ * deterministic order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback.
+     *
+     * @param when     absolute tick, must be >= now()
+     * @param cb       action to run
+     * @param priority lower runs first among same-tick events
+     */
+    void schedule(Tick when, Callback cb, int priority = 0);
+
+    /** Convenience: schedule at now() + delta. */
+    void scheduleIn(Tick delta, Callback cb, int priority = 0);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t pending() const { return events_.size(); }
+
+    /** Run the single earliest event; returns false if none pending. */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or the time of the next event
+     * exceeds `end`. Returns the number of events executed.
+     */
+    std::uint64_t runUntil(Tick end);
+
+    /**
+     * Drain the queue completely.
+     *
+     * @param max_events safety valve against runaway models; panics if
+     *                   exceeded.
+     */
+    std::uint64_t runAll(std::uint64_t max_events = 500'000'000);
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq; //!< tie-breaker: insertion order
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace morphling::sim
+
+#endif // MORPHLING_SIM_EVENT_QUEUE_H

@@ -1,0 +1,88 @@
+#include "hbm.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::sim {
+
+Hbm::Hbm(EventQueue &eq, HbmConfig config)
+    : eq_(eq), config_(config), busyUntil_(config.channels, 0),
+      channelBytes_(config.channels, 0)
+{
+    fatal_if(config.channels == 0, "HBM needs at least one channel");
+    fatal_if(config.bandwidthGBs <= 0 || config.clockGHz <= 0,
+             "HBM bandwidth/clock must be positive");
+}
+
+Tick
+Hbm::access(unsigned channel, std::uint64_t bytes,
+            EventQueue::Callback on_done)
+{
+    panic_if(channel >= config_.channels, "channel ", channel,
+             " out of range");
+    const double bpc = config_.bytesPerCyclePerChannel();
+    const Tick busy = static_cast<Tick>(
+        std::ceil(static_cast<double>(bytes) / bpc));
+    const Tick start = std::max(eq_.now(), busyUntil_[channel]);
+    const Tick done = start + busy + config_.accessLatency;
+    busyUntil_[channel] = start + busy; // latency is pipelined, not
+                                        // channel-occupying
+    channelBytes_[channel] += bytes;
+    stats_.scalar("bytes", "total bytes transferred") +=
+        static_cast<double>(bytes);
+    ++stats_.scalar("transfers", "number of transfers");
+    if (on_done)
+        eq_.schedule(done, std::move(on_done));
+    return done;
+}
+
+Tick
+Hbm::accessStriped(unsigned first_channel, unsigned num_channels,
+                   std::uint64_t bytes, EventQueue::Callback on_done)
+{
+    panic_if(num_channels == 0, "striped access over zero channels");
+    panic_if(first_channel + num_channels > config_.channels,
+             "channel group out of range");
+    const std::uint64_t stripe = divCeil(bytes, std::uint64_t{num_channels});
+    Tick last = 0;
+    std::uint64_t remaining = bytes;
+    for (unsigned c = 0; c < num_channels && remaining > 0; ++c) {
+        const std::uint64_t chunk = std::min(stripe, remaining);
+        last = std::max(last,
+                        access(first_channel + c, chunk, nullptr));
+        remaining -= chunk;
+    }
+    if (on_done)
+        eq_.schedule(last, std::move(on_done));
+    return last;
+}
+
+Tick
+Hbm::channelFreeAt(unsigned channel) const
+{
+    panic_if(channel >= config_.channels, "channel out of range");
+    return busyUntil_[channel];
+}
+
+std::uint64_t
+Hbm::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (auto b : channelBytes_)
+        total += b;
+    return total;
+}
+
+double
+Hbm::achievedBandwidthGBs() const
+{
+    if (eq_.now() == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(eq_.now()) / (config_.clockGHz * 1e9);
+    return static_cast<double>(totalBytes()) / seconds / 1e9;
+}
+
+} // namespace morphling::sim

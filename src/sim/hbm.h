@@ -1,0 +1,90 @@
+/**
+ * @file
+ * HBM2e external-memory model.
+ *
+ * One HBM2e stack with 8 channels. Following the paper's methodology we
+ * model a moderate *sustained* average bandwidth (310 GB/s by default)
+ * rather than pin peak numbers; each channel serializes its transfers
+ * at bandwidth/channels and adds a fixed access latency. Channels are
+ * partitioned by the accelerator configuration (6 for the VPU / KSK
+ * path, 2 for the XPU / BSK path in the default Morphling config).
+ */
+
+#ifndef MORPHLING_SIM_HBM_H
+#define MORPHLING_SIM_HBM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace morphling::sim {
+
+/** Static configuration of the HBM stack. */
+struct HbmConfig
+{
+    unsigned channels = 8;
+    double bandwidthGBs = 310.0; //!< aggregate sustained bandwidth
+    double clockGHz = 1.2;       //!< tick rate of the simulation clock
+    Tick accessLatency = 100;    //!< fixed cycles added per transfer
+
+    /** Sustained bytes per simulation cycle on one channel. */
+    double
+    bytesPerCyclePerChannel() const
+    {
+        return bandwidthGBs / channels / clockGHz;
+    }
+};
+
+/**
+ * The HBM device: per-channel busy tracking with completion callbacks.
+ */
+class Hbm
+{
+  public:
+    Hbm(EventQueue &eq, HbmConfig config);
+
+    const HbmConfig &config() const { return config_; }
+
+    /**
+     * Issue a transfer of `bytes` on one channel. The channel
+     * serializes behind earlier transfers; `on_done` fires at
+     * completion time.
+     *
+     * @return completion tick
+     */
+    Tick access(unsigned channel, std::uint64_t bytes,
+                EventQueue::Callback on_done = nullptr);
+
+    /**
+     * Issue a transfer striped evenly across a contiguous channel
+     * group; `on_done` fires when the last stripe lands.
+     */
+    Tick accessStriped(unsigned first_channel, unsigned num_channels,
+                       std::uint64_t bytes,
+                       EventQueue::Callback on_done = nullptr);
+
+    /** Earliest tick at which the given channel is free. */
+    Tick channelFreeAt(unsigned channel) const;
+
+    /** Total bytes moved so far (all channels). */
+    std::uint64_t totalBytes() const;
+
+    /** Achieved average bandwidth in GB/s over [0, now]. */
+    double achievedBandwidthGBs() const;
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    EventQueue &eq_;
+    HbmConfig config_;
+    std::vector<Tick> busyUntil_;
+    std::vector<std::uint64_t> channelBytes_;
+    StatSet stats_{"hbm"};
+};
+
+} // namespace morphling::sim
+
+#endif // MORPHLING_SIM_HBM_H

@@ -1,0 +1,77 @@
+#include "noc.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace morphling::sim {
+
+NocLink::NocLink(EventQueue *eq, std::string name,
+                 unsigned width_bytes_per_cycle)
+    : eq_(eq), name_(std::move(name)), width_(width_bytes_per_cycle)
+{
+    fatal_if(width_ == 0, "NoC link '", name_, "' needs nonzero width");
+}
+
+Tick
+NocLink::transfer(std::uint64_t bytes, EventQueue::Callback on_done)
+{
+    panic_if(eq_ == nullptr, "transfer on default-constructed link");
+    const Tick cycles = static_cast<Tick>(std::ceil(
+        static_cast<double>(bytes) / static_cast<double>(width_)));
+    const Tick start = std::max(eq_->now(), busyUntil_);
+    const Tick done = start + cycles;
+    busyUntil_ = done;
+    busyCycles_ += cycles;
+    totalBytes_ += bytes;
+    if (on_done)
+        eq_->schedule(done, std::move(on_done));
+    return done;
+}
+
+double
+NocLink::utilization() const
+{
+    if (eq_ == nullptr || eq_->now() == 0)
+        return 0.0;
+    return static_cast<double>(busyCycles_) /
+           static_cast<double>(eq_->now());
+}
+
+NocLink &
+Noc::addLink(const std::string &name, unsigned width_bytes_per_cycle)
+{
+    panic_if(links_.count(name), "duplicate NoC link '", name, "'");
+    auto [it, inserted] =
+        links_.emplace(name, NocLink(&eq_, name, width_bytes_per_cycle));
+    return it->second;
+}
+
+NocLink &
+Noc::link(const std::string &name)
+{
+    auto it = links_.find(name);
+    panic_if(it == links_.end(), "no NoC link '", name, "'");
+    return it->second;
+}
+
+double
+Noc::aggregateBandwidthTBs(double clock_ghz) const
+{
+    double bytes_per_cycle = 0;
+    for (const auto &[name, l] : links_)
+        bytes_per_cycle += l.widthBytesPerCycle();
+    return bytes_per_cycle * clock_ghz / 1000.0;
+}
+
+void
+Noc::dumpStats(StatSet &stats) const
+{
+    for (const auto &[name, l] : links_) {
+        stats.scalar(name + ".bytes").set(
+            static_cast<double>(l.totalBytes()));
+        stats.scalar(name + ".utilization").set(l.utilization());
+    }
+}
+
+} // namespace morphling::sim

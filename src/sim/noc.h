@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Network-on-Chip model (Section V-D).
+ *
+ * Morphling's NoC is a set of fixed-topology links: four-to-four
+ * crossbars (Private-A1 <-> XPUs, XPUs <-> Shared, Shared <-> VPU,
+ * Private-B <-> VPU) and a one-directional multicast from Private-A2 to
+ * the XPUs. Because the dataflow is fixed and predictable, each link is
+ * modelled as a dedicated channel with a configured width; the model
+ * tracks occupancy so over-subscription shows up as transfer latency
+ * and in the utilization stats.
+ */
+
+#ifndef MORPHLING_SIM_NOC_H
+#define MORPHLING_SIM_NOC_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace morphling::sim {
+
+/** One point-to-point (or multicast) on-chip link. */
+class NocLink
+{
+  public:
+    NocLink() = default;
+    NocLink(EventQueue *eq, std::string name,
+            unsigned width_bytes_per_cycle);
+
+    const std::string &name() const { return name_; }
+    unsigned widthBytesPerCycle() const { return width_; }
+
+    /**
+     * Occupy the link for `bytes`; returns the completion tick.
+     * A multicast transfer occupies the link once regardless of the
+     * number of destinations.
+     */
+    Tick transfer(std::uint64_t bytes,
+                  EventQueue::Callback on_done = nullptr);
+
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+    /** Fraction of [0, now] this link was busy. */
+    double utilization() const;
+
+  private:
+    EventQueue *eq_ = nullptr;
+    std::string name_;
+    unsigned width_ = 0;
+    Tick busyUntil_ = 0;
+    Tick busyCycles_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/** The named collection of links forming the chip's NoC. */
+class Noc
+{
+  public:
+    explicit Noc(EventQueue &eq) : eq_(eq) {}
+
+    /** Create a link; name must be unique. */
+    NocLink &addLink(const std::string &name,
+                     unsigned width_bytes_per_cycle);
+
+    /** Look up an existing link; panics if absent. */
+    NocLink &link(const std::string &name);
+
+    /** Aggregate bandwidth of all links in TB/s at the given clock. */
+    double aggregateBandwidthTBs(double clock_ghz) const;
+
+    void dumpStats(StatSet &stats) const;
+
+  private:
+    EventQueue &eq_;
+    std::map<std::string, NocLink> links_;
+};
+
+} // namespace morphling::sim
+
+#endif // MORPHLING_SIM_NOC_H

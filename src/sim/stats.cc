@@ -1,0 +1,111 @@
+#include "stats.h"
+
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace morphling::sim {
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Histogram::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0;
+}
+
+Scalar &
+StatSet::scalar(const std::string &name, const std::string &desc)
+{
+    auto it = scalarMap_.find(name);
+    if (it == scalarMap_.end()) {
+        it = scalarMap_.emplace(name, Scalar(name, desc)).first;
+        scalarOrder_.push_back(name);
+    }
+    return it->second;
+}
+
+Histogram &
+StatSet::histogram(const std::string &name, const std::string &desc)
+{
+    auto it = histMap_.find(name);
+    if (it == histMap_.end()) {
+        it = histMap_.emplace(name, Histogram(name, desc)).first;
+        histOrder_.push_back(name);
+    }
+    return it->second;
+}
+
+const Scalar &
+StatSet::lookup(const std::string &name) const
+{
+    auto it = scalarMap_.find(name);
+    panic_if(it == scalarMap_.end(), "no stat '", name, "' in set '",
+             owner_, "'");
+    return it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return scalarMap_.count(name) > 0;
+}
+
+std::vector<const Scalar *>
+StatSet::scalars() const
+{
+    std::vector<const Scalar *> out;
+    out.reserve(scalarOrder_.size());
+    for (const auto &name : scalarOrder_)
+        out.push_back(&scalarMap_.at(name));
+    return out;
+}
+
+std::vector<const Histogram *>
+StatSet::histograms() const
+{
+    std::vector<const Histogram *> out;
+    out.reserve(histOrder_.size());
+    for (const auto &name : histOrder_)
+        out.push_back(&histMap_.at(name));
+    return out;
+}
+
+void
+StatSet::reset()
+{
+    for (auto &[name, s] : scalarMap_)
+        s.reset();
+    for (auto &[name, h] : histMap_)
+        h.reset();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto *s : scalars()) {
+        os << owner_ << '.' << s->name() << " = " << s->value();
+        if (!s->desc().empty())
+            os << "  # " << s->desc();
+        os << '\n';
+    }
+    for (const auto *h : histograms()) {
+        os << owner_ << '.' << h->name() << " = {count=" << h->count()
+           << " mean=" << h->mean() << " min=" << h->min()
+           << " max=" << h->max() << "}\n";
+    }
+}
+
+} // namespace morphling::sim

@@ -1,0 +1,60 @@
+#include "trace.h"
+
+#include <iostream>
+
+namespace morphling::sim {
+
+Trace &
+Trace::instance()
+{
+    static Trace trace;
+    return trace;
+}
+
+void
+Trace::enable(const std::string &flag)
+{
+    if (flag == "all")
+        all_ = true;
+    else
+        flags_.insert(flag);
+}
+
+void
+Trace::disable(const std::string &flag)
+{
+    if (flag == "all")
+        all_ = false;
+    else
+        flags_.erase(flag);
+}
+
+void
+Trace::disableAll()
+{
+    all_ = false;
+    flags_.clear();
+}
+
+bool
+Trace::enabled(const std::string &flag) const
+{
+    return all_ || flags_.count(flag) > 0;
+}
+
+void
+Trace::setStream(std::ostream *os)
+{
+    stream_ = os;
+}
+
+void
+Trace::log(Tick tick, const std::string &flag,
+           const std::string &message)
+{
+    std::ostream &os = stream_ ? *stream_ : std::cout;
+    os << tick << ": " << flag << ": " << message << '\n';
+    ++lines_;
+}
+
+} // namespace morphling::sim

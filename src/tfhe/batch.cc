@@ -1,0 +1,94 @@
+#include "batch.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::tfhe {
+
+std::vector<LweCiphertext>
+batchBootstrap(const KeySet &keys,
+               const std::vector<LweCiphertext> &inputs,
+               const std::vector<Torus32> &lut)
+{
+    std::vector<LweCiphertext> out;
+    out.reserve(inputs.size());
+    for (const auto &ct : inputs)
+        out.push_back(programmableBootstrap(keys, ct, lut));
+    return out;
+}
+
+std::vector<LweCiphertext>
+parallelBatchBootstrap(const KeySet &keys,
+                       const std::vector<LweCiphertext> &inputs,
+                       const std::vector<Torus32> &lut, unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(
+        threads, std::max<std::size_t>(1, inputs.size()));
+
+    std::vector<LweCiphertext> out(inputs.size());
+    if (threads == 1 || inputs.size() <= 1)
+        return batchBootstrap(keys, inputs, lut);
+
+    // Work stealing over an atomic index: bootstraps are uniform in
+    // cost, so a simple counter balances well.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= inputs.size())
+                return;
+            out[i] = programmableBootstrap(keys, inputs[i], lut);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return out;
+}
+
+ParallelEfficiency
+measureParallelEfficiency(const KeySet &keys, unsigned count,
+                          unsigned threads)
+{
+    fatal_if(count == 0 || threads == 0,
+             "efficiency probe needs work and workers");
+    Rng rng(0xEFF1C1);
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    std::vector<LweCiphertext> inputs;
+    inputs.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        inputs.push_back(encryptPadded(
+            keys, static_cast<std::uint32_t>(i % 4), 4, rng));
+    }
+
+    ParallelEfficiency result;
+    result.threads = threads;
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto seq = batchBootstrap(keys, inputs, lut);
+    auto t1 = std::chrono::steady_clock::now();
+    auto par = parallelBatchBootstrap(keys, inputs, lut, threads);
+    auto t2 = std::chrono::steady_clock::now();
+
+    panic_if(seq.size() != par.size(), "batch size mismatch");
+    result.sequentialSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.parallelSeconds =
+        std::chrono::duration<double>(t2 - t1).count();
+    return result;
+}
+
+} // namespace morphling::tfhe

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Batched bootstrapping on the host CPU.
+ *
+ * Bootstraps within a batch are independent — the property Morphling's
+ * scheduler exploits with 64-ciphertext superbatches, and the property
+ * that lets a multicore CPU parallelize them. This module provides the
+ * batch API (sequential and std::thread-parallel) and a measured
+ * parallel-efficiency probe that grounds the CPU cost model's
+ * efficiency constant in reality instead of a guess.
+ *
+ * Thread safety: KeySet is read-only during bootstrapping and the FFT
+ * engines are per-thread (NegacyclicFft::forDegree), so the parallel
+ * path needs no locking.
+ */
+
+#ifndef MORPHLING_TFHE_BATCH_H
+#define MORPHLING_TFHE_BATCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/bootstrap.h"
+
+namespace morphling::tfhe {
+
+/** Programmable-bootstrap every ciphertext with the same LUT,
+ *  sequentially. */
+std::vector<LweCiphertext>
+batchBootstrap(const KeySet &keys,
+               const std::vector<LweCiphertext> &inputs,
+               const std::vector<Torus32> &lut);
+
+/**
+ * Programmable-bootstrap every ciphertext with the same LUT across
+ * `threads` worker threads (0 = hardware concurrency). Results are in
+ * input order and identical to the sequential path.
+ */
+std::vector<LweCiphertext>
+parallelBatchBootstrap(const KeySet &keys,
+                       const std::vector<LweCiphertext> &inputs,
+                       const std::vector<Torus32> &lut,
+                       unsigned threads = 0);
+
+/** Outcome of the parallel-efficiency probe. */
+struct ParallelEfficiency
+{
+    unsigned threads = 0;
+    double sequentialSeconds = 0;
+    double parallelSeconds = 0;
+
+    /** speedup / threads, in (0, 1]. */
+    double
+    efficiency() const
+    {
+        if (parallelSeconds <= 0 || threads == 0)
+            return 0;
+        return sequentialSeconds / parallelSeconds / threads;
+    }
+};
+
+/**
+ * Measure multicore scaling of this library's bootstrap on the current
+ * host: run `count` bootstraps sequentially and with `threads`
+ * workers.
+ */
+ParallelEfficiency measureParallelEfficiency(const KeySet &keys,
+                                             unsigned count,
+                                             unsigned threads);
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_BATCH_H

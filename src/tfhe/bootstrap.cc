@@ -1,0 +1,162 @@
+#include "bootstrap.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+std::vector<std::uint32_t>
+modSwitch(const LweCiphertext &ct, unsigned poly_degree)
+{
+    const unsigned log2_two_n = log2Floor(poly_degree) + 1;
+    std::vector<std::uint32_t> out(ct.dimension() + 1);
+    for (unsigned i = 0; i < ct.dimension(); ++i)
+        out[i] = modSwitchTorus32(ct.mask(i), log2_two_n) %
+                 (2 * poly_degree);
+    out[ct.dimension()] =
+        modSwitchTorus32(ct.body(), log2_two_n) % (2 * poly_degree);
+    return out;
+}
+
+TorusPolynomial
+buildTestPolynomial(unsigned poly_degree, const std::vector<Torus32> &lut)
+{
+    const auto space = static_cast<std::uint32_t>(lut.size());
+    panic_if(space == 0, "empty LUT");
+    panic_if(2 * space > poly_degree,
+             "LUT of ", space, " entries does not fit N=", poly_degree);
+
+    TorusPolynomial tp(poly_degree);
+    for (unsigned j = 0; j < poly_degree; ++j) {
+        // v = round(j * p / N); v == p marks the top half-slot, which
+        // is reached (negated by the X^N = -1 wrap) by message 0 with
+        // negative noise.
+        const std::uint32_t v =
+            (2u * j * space + poly_degree) / (2u * poly_degree);
+        tp[j] = v < space ? lut[v] : (0 - lut[0]);
+    }
+    return tp;
+}
+
+TorusPolynomial
+constantTestPolynomial(unsigned poly_degree, Torus32 mu)
+{
+    TorusPolynomial tp(poly_degree);
+    for (unsigned j = 0; j < poly_degree; ++j)
+        tp[j] = mu;
+    return tp;
+}
+
+GlweCiphertext
+blindRotate(const BootstrapKey &bsk, const TorusPolynomial &test_poly,
+            const std::vector<std::uint32_t> &switched)
+{
+    const unsigned n = static_cast<unsigned>(switched.size()) - 1;
+    panic_if(bsk.size() != n, "BSK has ", bsk.size(), " entries, need ",
+             n);
+    const unsigned poly_degree = test_poly.degree();
+    const unsigned two_n = 2 * poly_degree;
+
+    // ACC_0 = X^(-b~) * (0,..,0,TP). Negative powers fold into
+    // [0, 2N) because X^(2N) = 1.
+    const unsigned b_tilde = switched[n] % two_n;
+    GlweCiphertext acc =
+        GlweCiphertext::trivial(bsk.entry(0).numCols() - 1, test_poly)
+            .mulByXPower((two_n - b_tilde) % two_n);
+
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned a_tilde = switched[i] % two_n;
+        if (a_tilde == 0)
+            continue; // X^0 rotation: CMux output equals its input.
+        acc = cmuxRotate(bsk.entry(i), acc, a_tilde);
+    }
+    return acc;
+}
+
+LweCiphertext
+bootstrapNoKeySwitch(const KeySet &keys, const LweCiphertext &ct,
+                     const TorusPolynomial &test_poly)
+{
+    const auto switched = modSwitch(ct, keys.params.polyDegree);
+    const GlweCiphertext acc =
+        blindRotate(keys.bsk, test_poly, switched);
+    return acc.sampleExtract();
+}
+
+LweCiphertext
+programmableBootstrap(const KeySet &keys, const LweCiphertext &ct,
+                      const std::vector<Torus32> &lut)
+{
+    const TorusPolynomial tp =
+        buildTestPolynomial(keys.params.polyDegree, lut);
+    const LweCiphertext extracted = bootstrapNoKeySwitch(keys, ct, tp);
+    return keys.ksk.apply(extracted);
+}
+
+LweCiphertext
+signBootstrap(const KeySet &keys, const LweCiphertext &ct, Torus32 mu)
+{
+    const TorusPolynomial tp =
+        constantTestPolynomial(keys.params.polyDegree, mu);
+    const LweCiphertext extracted = bootstrapNoKeySwitch(keys, ct, tp);
+    return keys.ksk.apply(extracted);
+}
+
+TorusPolynomial
+buildMultiTestPolynomial(unsigned poly_degree,
+                         const std::vector<std::vector<Torus32>> &luts)
+{
+    panic_if(luts.empty(), "need at least one LUT");
+    const auto nu = static_cast<std::uint32_t>(luts.size());
+    const auto space = static_cast<std::uint32_t>(luts[0].size());
+    for (const auto &lut : luts)
+        panic_if(lut.size() != space, "LUT sizes must match");
+
+    const std::uint32_t slot = poly_degree / space;
+    fatal_if(slot * space != poly_degree,
+             "message space must divide N");
+    const std::uint32_t spacing = slot / nu;
+    fatal_if(spacing * nu != slot || spacing < 2,
+             "cannot pack ", nu, " LUTs of ", space,
+             " entries into N = ", poly_degree);
+
+    TorusPolynomial tp(poly_degree);
+    for (unsigned j = 0; j < poly_degree; ++j) {
+        // Decompose j (shifted by half a sub-slot so noise rounds to
+        // the nearest function copy) into message slot, function
+        // index, and jitter.
+        const std::uint32_t t = j + spacing / 2;
+        const std::uint32_t m = t / slot;
+        const std::uint32_t func = (t % slot) / spacing;
+        // The top wrap region belongs to message 0 negated
+        // (X^N = -1), exactly as in the single-LUT builder.
+        tp[j] = m < space ? luts[func][m] : (0 - luts[func][0]);
+    }
+    return tp;
+}
+
+std::vector<LweCiphertext>
+multiLutBootstrap(const KeySet &keys, const LweCiphertext &ct,
+                  const std::vector<std::vector<Torus32>> &luts)
+{
+    const unsigned poly_degree = keys.params.polyDegree;
+    const TorusPolynomial tp =
+        buildMultiTestPolynomial(poly_degree, luts);
+    const auto switched = modSwitch(ct, poly_degree);
+    const GlweCiphertext acc = blindRotate(keys.bsk, tp, switched);
+
+    const auto nu = static_cast<unsigned>(luts.size());
+    const unsigned spacing =
+        poly_degree / static_cast<unsigned>(luts[0].size()) / nu;
+    std::vector<LweCiphertext> out;
+    out.reserve(nu);
+    for (unsigned i = 0; i < nu; ++i) {
+        // One cheap extraction per function; the expensive blind
+        // rotation is shared.
+        out.push_back(
+            keys.ksk.apply(acc.sampleExtractAt(i * spacing)));
+    }
+    return out;
+}
+
+} // namespace morphling::tfhe

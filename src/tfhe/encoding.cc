@@ -1,0 +1,168 @@
+#include "encoding.h"
+
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+Torus32
+boolMu()
+{
+    return doubleToTorus32(0.125);
+}
+
+LweCiphertext
+encryptBit(const KeySet &keys, bool bit, Rng &rng)
+{
+    const Torus32 mu = bit ? boolMu() : (0 - boolMu());
+    return LweCiphertext::encrypt(keys.lweKey, mu,
+                                  keys.params.lweNoiseStd, rng);
+}
+
+bool
+decryptBit(const KeySet &keys, const LweCiphertext &ct)
+{
+    return static_cast<std::int32_t>(ct.phase(keys.lweKey)) > 0;
+}
+
+LweCiphertext
+trivialBit(const KeySet &keys, bool bit)
+{
+    const Torus32 mu = bit ? boolMu() : (0 - boolMu());
+    return LweCiphertext::trivial(keys.params.lweDimension, mu);
+}
+
+namespace {
+
+/** Shared tail of all two-input gates: sign-bootstrap the linear
+ *  combination back to a fresh +-1/8 ciphertext. */
+LweCiphertext
+finishGate(const KeySet &keys, LweCiphertext linear)
+{
+    return signBootstrap(keys, linear, boolMu());
+}
+
+} // namespace
+
+LweCiphertext
+gateNand(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
+{
+    // (0,..,1/8) - a - b: positive phase unless both inputs are true.
+    LweCiphertext lin = LweCiphertext::trivial(a.dimension(), boolMu());
+    lin.subAssign(a);
+    lin.subAssign(b);
+    return finishGate(keys, lin);
+}
+
+LweCiphertext
+gateAnd(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
+{
+    LweCiphertext lin =
+        LweCiphertext::trivial(a.dimension(), 0 - boolMu());
+    lin.addAssign(a);
+    lin.addAssign(b);
+    return finishGate(keys, lin);
+}
+
+LweCiphertext
+gateOr(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
+{
+    LweCiphertext lin = LweCiphertext::trivial(a.dimension(), boolMu());
+    lin.addAssign(a);
+    lin.addAssign(b);
+    return finishGate(keys, lin);
+}
+
+LweCiphertext
+gateNor(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
+{
+    LweCiphertext lin =
+        LweCiphertext::trivial(a.dimension(), 0 - boolMu());
+    lin.subAssign(a);
+    lin.subAssign(b);
+    return finishGate(keys, lin);
+}
+
+LweCiphertext
+gateXor(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
+{
+    // 2(a + b) + 1/4: lands at +1/4 when a != b, at -1/4 otherwise.
+    LweCiphertext lin = a;
+    lin.addAssign(b);
+    lin.scaleAssign(2);
+    lin.addPlain(doubleToTorus32(0.25));
+    return finishGate(keys, lin);
+}
+
+LweCiphertext
+gateXnor(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
+{
+    LweCiphertext lin = a;
+    lin.addAssign(b);
+    lin.scaleAssign(-2);
+    lin.addPlain(0 - doubleToTorus32(0.25));
+    return finishGate(keys, lin);
+}
+
+LweCiphertext
+gateNot(const LweCiphertext &a)
+{
+    LweCiphertext out = a;
+    out.negate();
+    return out;
+}
+
+LweCiphertext
+gateMux(const KeySet &keys, const LweCiphertext &select,
+        const LweCiphertext &on_true, const LweCiphertext &on_false)
+{
+    const LweCiphertext picked_true = gateAnd(keys, select, on_true);
+    const LweCiphertext picked_false =
+        gateAnd(keys, gateNot(select), on_false);
+    return gateOr(keys, picked_true, picked_false);
+}
+
+Torus32
+encodePadded(std::uint32_t message, std::uint32_t space)
+{
+    panic_if(message >= space, "padded message ", message,
+             " out of range [0, ", space, ")");
+    return encodeMessage(message, 2 * space);
+}
+
+LweCiphertext
+encryptPadded(const KeySet &keys, std::uint32_t message,
+              std::uint32_t space, Rng &rng)
+{
+    return LweCiphertext::encrypt(keys.lweKey,
+                                  encodePadded(message, space),
+                                  keys.params.lweNoiseStd, rng);
+}
+
+std::uint32_t
+decryptPadded(const KeySet &keys, const LweCiphertext &ct,
+              std::uint32_t space)
+{
+    return lweDecrypt(keys.lweKey, ct, 2 * space);
+}
+
+std::vector<Torus32>
+makePaddedLut(std::uint32_t space,
+              const std::function<std::uint32_t(std::uint32_t)> &f)
+{
+    std::vector<Torus32> lut(space);
+    for (std::uint32_t m = 0; m < space; ++m)
+        lut[m] = encodePadded(f(m) % space, space);
+    return lut;
+}
+
+std::vector<Torus32>
+makeReluLut(std::uint32_t space)
+{
+    return makePaddedLut(space, [space](std::uint32_t m) {
+        // Values in [space/2, space) represent negatives in two's
+        // complement style; ReLU clamps them to zero.
+        return m < space / 2 ? m : 0u;
+    });
+}
+
+} // namespace morphling::tfhe

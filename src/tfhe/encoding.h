@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Message encodings on top of the raw torus API.
+ *
+ * Two conventions are provided:
+ *  - Boolean: bits encoded at +-1/8, evaluated with gate bootstrapping
+ *    (the classic CGGI convention; used by the XGBoost comparators).
+ *  - Padded integers: m in [0, p) encoded at m/(2p), leaving one bit of
+ *    padding so programmable bootstrapping can evaluate arbitrary LUTs
+ *    (the Concrete convention; used by the quantized NN workloads).
+ */
+
+#ifndef MORPHLING_TFHE_ENCODING_H
+#define MORPHLING_TFHE_ENCODING_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tfhe/bootstrap.h"
+
+namespace morphling::tfhe {
+
+// --- Boolean convention -------------------------------------------------
+
+/** Torus encoding of boolean true (+1/8); false is the negation. */
+Torus32 boolMu();
+
+/** Encrypt one bit under the LWE key. */
+LweCiphertext encryptBit(const KeySet &keys, bool bit, Rng &rng);
+
+/** Decrypt one bit (sign of the phase). */
+bool decryptBit(const KeySet &keys, const LweCiphertext &ct);
+
+/** Trivial (noiseless) encryption of a constant bit. */
+LweCiphertext trivialBit(const KeySet &keys, bool bit);
+
+/** @{ Two-input bootstrapped gates. Each costs one bootstrap. */
+LweCiphertext gateNand(const KeySet &keys, const LweCiphertext &a,
+                       const LweCiphertext &b);
+LweCiphertext gateAnd(const KeySet &keys, const LweCiphertext &a,
+                      const LweCiphertext &b);
+LweCiphertext gateOr(const KeySet &keys, const LweCiphertext &a,
+                     const LweCiphertext &b);
+LweCiphertext gateNor(const KeySet &keys, const LweCiphertext &a,
+                      const LweCiphertext &b);
+LweCiphertext gateXor(const KeySet &keys, const LweCiphertext &a,
+                      const LweCiphertext &b);
+LweCiphertext gateXnor(const KeySet &keys, const LweCiphertext &a,
+                       const LweCiphertext &b);
+/** @} */
+
+/** NOT is linear: free (no bootstrap). */
+LweCiphertext gateNot(const LweCiphertext &a);
+
+/** MUX(select, on_true, on_false); costs three bootstraps. */
+LweCiphertext gateMux(const KeySet &keys, const LweCiphertext &select,
+                      const LweCiphertext &on_true,
+                      const LweCiphertext &on_false);
+
+// --- Padded-integer convention ------------------------------------------
+
+/** Encode m in [0, p) with one padding bit: m / (2p). */
+Torus32 encodePadded(std::uint32_t message, std::uint32_t space);
+
+/** Encrypt a padded integer message. */
+LweCiphertext encryptPadded(const KeySet &keys, std::uint32_t message,
+                            std::uint32_t space, Rng &rng);
+
+/** Decrypt a padded integer message. */
+std::uint32_t decryptPadded(const KeySet &keys, const LweCiphertext &ct,
+                            std::uint32_t space);
+
+/**
+ * Build a bootstrap LUT for f over a padded p-value space: entry m is
+ * the padded encoding of f(m) mod p, so the bootstrap output is again a
+ * valid padded message ready for further computation.
+ */
+std::vector<Torus32>
+makePaddedLut(std::uint32_t space,
+              const std::function<std::uint32_t(std::uint32_t)> &f);
+
+/** LUT for the quantized ReLU used by the CNN workloads: treats the
+ *  upper half of [0, p) as negative values and clamps them to 0. */
+std::vector<Torus32> makeReluLut(std::uint32_t space);
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_ENCODING_H

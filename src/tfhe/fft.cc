@@ -1,0 +1,224 @@
+#include "fft.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+ComplexFft::ComplexFft(unsigned size) : size_(size)
+{
+    panic_if(!isPowerOfTwo(size) || size < 2, "bad FFT size ", size);
+
+    twiddleRe_.resize(size_ / 2);
+    twiddleIm_.resize(size_ / 2);
+    for (unsigned j = 0; j < size_ / 2; ++j) {
+        const double angle = -2.0 * M_PI * static_cast<double>(j) /
+                             static_cast<double>(size_);
+        twiddleRe_[j] = std::cos(angle);
+        twiddleIm_[j] = std::sin(angle);
+    }
+
+    bitrev_.resize(size_);
+    const unsigned bits = log2Floor(size_);
+    for (unsigned i = 0; i < size_; ++i) {
+        unsigned r = 0;
+        for (unsigned b = 0; b < bits; ++b) {
+            if (i & (1u << b))
+                r |= 1u << (bits - 1 - b);
+        }
+        bitrev_[i] = r;
+    }
+}
+
+void
+ComplexFft::run(double *re, double *im, int sign) const
+{
+    // Bit-reversal permutation.
+    for (unsigned i = 0; i < size_; ++i) {
+        const unsigned j = bitrev_[i];
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    // Iterative radix-2 decimation-in-time butterflies.
+    for (unsigned len = 2; len <= size_; len <<= 1) {
+        const unsigned stride = size_ / len;
+        const unsigned half_len = len / 2;
+        for (unsigned base = 0; base < size_; base += len) {
+            for (unsigned t = 0; t < half_len; ++t) {
+                const double wr = twiddleRe_[t * stride];
+                const double wi = sign < 0 ? twiddleIm_[t * stride]
+                                           : -twiddleIm_[t * stride];
+                const unsigned lo = base + t;
+                const unsigned hi = lo + half_len;
+                const double xr = re[hi] * wr - im[hi] * wi;
+                const double xi = re[hi] * wi + im[hi] * wr;
+                re[hi] = re[lo] - xr;
+                im[hi] = im[lo] - xi;
+                re[lo] += xr;
+                im[lo] += xi;
+            }
+        }
+    }
+}
+
+void
+ComplexFft::forward(double *re, double *im) const
+{
+    run(re, im, -1);
+}
+
+void
+ComplexFft::inverse(double *re, double *im) const
+{
+    run(re, im, +1);
+}
+
+FourierPolynomial::FourierPolynomial(unsigned ring_degree)
+    : ringDegree_(ring_degree), re_(ring_degree / 2, 0.0),
+      im_(ring_degree / 2, 0.0)
+{
+    panic_if(!isPowerOfTwo(ring_degree) || ring_degree < 4,
+             "bad ring degree ", ring_degree);
+}
+
+void
+FourierPolynomial::clear()
+{
+    std::fill(re_.begin(), re_.end(), 0.0);
+    std::fill(im_.begin(), im_.end(), 0.0);
+}
+
+void
+FourierPolynomial::addAssign(const FourierPolynomial &a)
+{
+    panic_if(size() != a.size(), "size mismatch in Fourier addAssign");
+    for (unsigned i = 0; i < size(); ++i) {
+        re_[i] += a.re_[i];
+        im_[i] += a.im_[i];
+    }
+}
+
+void
+FourierPolynomial::mulAddAssign(const FourierPolynomial &a,
+                                const FourierPolynomial &b)
+{
+    panic_if(size() != a.size() || size() != b.size(),
+             "size mismatch in Fourier mulAddAssign");
+    const unsigned count = size();
+    for (unsigned i = 0; i < count; ++i) {
+        const double ar = a.re_[i], ai = a.im_[i];
+        const double br = b.re_[i], bi = b.im_[i];
+        re_[i] += ar * br - ai * bi;
+        im_[i] += ar * bi + ai * br;
+    }
+}
+
+NegacyclicFft::NegacyclicFft(unsigned ring_degree)
+    : n_(ring_degree), half_(ring_degree / 2), fft_(ring_degree / 2)
+{
+    panic_if(!isPowerOfTwo(n_) || n_ < 4, "bad ring degree ", n_);
+
+    twistRe_.resize(half_);
+    twistIm_.resize(half_);
+    for (unsigned j = 0; j < half_; ++j) {
+        const double angle = M_PI * static_cast<double>(j) /
+                             static_cast<double>(n_);
+        twistRe_[j] = std::cos(angle);
+        twistIm_[j] = std::sin(angle);
+    }
+
+    scratchRe_.resize(half_);
+    scratchIm_.resize(half_);
+}
+
+void
+NegacyclicFft::forwardReal(const double *input,
+                           FourierPolynomial &out) const
+{
+    panic_if(out.ringDegree() != n_, "FourierPolynomial degree mismatch");
+    auto &re = scratchRe_;
+    auto &im = scratchIm_;
+    // Fold + twist: x_j = (a_j + i a_{j+N/2}) * e^{i pi j / N}.
+    for (unsigned j = 0; j < half_; ++j) {
+        const double lo = input[j];
+        const double hi = input[j + half_];
+        re[j] = lo * twistRe_[j] - hi * twistIm_[j];
+        im[j] = lo * twistIm_[j] + hi * twistRe_[j];
+    }
+    fft_.forward(re.data(), im.data());
+    for (unsigned j = 0; j < half_; ++j) {
+        out.re(j) = re[j];
+        out.im(j) = im[j];
+    }
+}
+
+void
+NegacyclicFft::forward(const IntPolynomial &poly,
+                       FourierPolynomial &out) const
+{
+    panic_if(poly.degree() != n_, "polynomial degree mismatch");
+    std::vector<double> tmp(n_);
+    for (unsigned j = 0; j < n_; ++j)
+        tmp[j] = static_cast<double>(poly[j]);
+    forwardReal(tmp.data(), out);
+}
+
+void
+NegacyclicFft::forward(const TorusPolynomial &poly,
+                       FourierPolynomial &out) const
+{
+    panic_if(poly.degree() != n_, "polynomial degree mismatch");
+    std::vector<double> tmp(n_);
+    for (unsigned j = 0; j < n_; ++j)
+        tmp[j] = static_cast<double>(static_cast<std::int32_t>(poly[j]));
+    forwardReal(tmp.data(), out);
+}
+
+void
+NegacyclicFft::inverse(const FourierPolynomial &in,
+                       TorusPolynomial &out) const
+{
+    panic_if(in.ringDegree() != n_, "FourierPolynomial degree mismatch");
+    panic_if(out.degree() != n_, "polynomial degree mismatch");
+    auto &re = scratchRe_;
+    auto &im = scratchIm_;
+    for (unsigned j = 0; j < half_; ++j) {
+        re[j] = in.re(j);
+        im[j] = in.im(j);
+    }
+    fft_.inverse(re.data(), im.data());
+    const double scale = 1.0 / static_cast<double>(half_);
+    // Untwist and split back into low/high coefficient halves. The
+    // reduction mod 2^32 happens via remainder() so coefficient values
+    // far larger than 2^53 (possible with single-level gadgets) still
+    // land on the correct torus residue up to FFT round-off.
+    const double modulus = 4294967296.0;
+    for (unsigned j = 0; j < half_; ++j) {
+        const double zr = re[j] * scale;
+        const double zi = im[j] * scale;
+        const double cr = zr * twistRe_[j] + zi * twistIm_[j];
+        const double ci = zi * twistRe_[j] - zr * twistIm_[j];
+        out[j] = static_cast<Torus32>(static_cast<std::int64_t>(
+            std::llround(std::remainder(cr, modulus))));
+        out[j + half_] = static_cast<Torus32>(static_cast<std::int64_t>(
+            std::llround(std::remainder(ci, modulus))));
+    }
+}
+
+const NegacyclicFft &
+NegacyclicFft::forDegree(unsigned ring_degree)
+{
+    thread_local std::map<unsigned, std::unique_ptr<NegacyclicFft>> cache;
+    auto &slot = cache[ring_degree];
+    if (!slot)
+        slot = std::make_unique<NegacyclicFft>(ring_degree);
+    return *slot;
+}
+
+} // namespace morphling::tfhe

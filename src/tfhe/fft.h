@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Negacyclic FFT for T_q[X]/(X^N + 1).
+ *
+ * A polynomial product mod X^N + 1 equals pointwise multiplication of
+ * the polynomials' evaluations at the odd powers of the primitive 2N-th
+ * root of unity. For real coefficient sequences those 2N evaluations
+ * have conjugate symmetry, so only N/2 of them are independent: the
+ * whole transform folds into one complex FFT of size N/2 applied to the
+ * "twisted" sequence
+ *
+ *     x_j = (a_j + i * a_{j + N/2}) * e^{i*pi*j/N},   j = 0..N/2-1.
+ *
+ * This is the folding the paper attributes to [39] (Klemsa) in Section
+ * V-A3: an N-point negacyclic transform computed with a single
+ * N/2-point FFT unit. The merge-split (two-polynomials-per-pass) trick
+ * is a hardware throughput optimization and is modelled in src/arch; it
+ * does not change the math here.
+ *
+ * Precision: coefficients are carried as doubles. For every parameter
+ * set in params.h the accumulated products stay within (or their
+ * round-off stays far below) the 53-bit mantissa, so the FFT path is
+ * bit-compatible with the schoolbook path up to noise that is orders of
+ * magnitude below the decryption margin (tested in tests/test_fft.cc).
+ */
+
+#ifndef MORPHLING_TFHE_FFT_H
+#define MORPHLING_TFHE_FFT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/polynomial.h"
+
+namespace morphling::tfhe {
+
+/**
+ * A plain iterative radix-2 complex FFT of a fixed power-of-two size,
+ * on split real/imaginary arrays.
+ *
+ * Shared by the negacyclic engine (size N/2, folded) and the
+ * merge-split hardware model (size N, two real polynomials per pass).
+ * The inverse is unscaled; callers divide by size().
+ */
+class ComplexFft
+{
+  public:
+    explicit ComplexFft(unsigned size);
+
+    unsigned size() const { return size_; }
+
+    /** In-place forward transform (kernel e^{-2*pi*i*jm/size}). */
+    void forward(double *re, double *im) const;
+
+    /** In-place inverse transform, unscaled (kernel
+     *  e^{+2*pi*i*jm/size}). */
+    void inverse(double *re, double *im) const;
+
+  private:
+    void run(double *re, double *im, int sign) const;
+
+    unsigned size_;
+    std::vector<double> twiddleRe_, twiddleIm_;
+    std::vector<unsigned> bitrev_;
+};
+
+/**
+ * A polynomial in the transform domain: N/2 complex evaluations.
+ *
+ * Stored as separate real/imaginary arrays (structure-of-arrays), which
+ * mirrors the hardware's packed 64-bit complex datapath and vectorizes
+ * well.
+ */
+class FourierPolynomial
+{
+  public:
+    FourierPolynomial() = default;
+
+    /** Zero transform-domain polynomial for ring degree N. */
+    explicit FourierPolynomial(unsigned ring_degree);
+
+    unsigned ringDegree() const { return ringDegree_; }
+    unsigned size() const { return static_cast<unsigned>(re_.size()); }
+
+    double &re(unsigned i) { return re_[i]; }
+    double &im(unsigned i) { return im_[i]; }
+    double re(unsigned i) const { return re_[i]; }
+    double im(unsigned i) const { return im_[i]; }
+
+    /** Reset to the zero transform. */
+    void clear();
+
+    /** this += a (element-wise complex addition). */
+    void addAssign(const FourierPolynomial &a);
+
+    /** this += a * b (element-wise complex multiply-accumulate).
+     *
+     * This is the VPE inner loop: one call corresponds to one
+     * polynomial multiplication accumulated into POLY-ACC-REG entirely
+     * in the transform domain.
+     */
+    void mulAddAssign(const FourierPolynomial &a,
+                      const FourierPolynomial &b);
+
+  private:
+    unsigned ringDegree_ = 0;
+    std::vector<double> re_, im_;
+};
+
+/**
+ * Forward/inverse negacyclic transform engine for one ring degree N.
+ *
+ * An instance carries internal scratch buffers and must not be shared
+ * between threads concurrently; forDegree() returns a per-thread cached
+ * instance so callers never pay table setup twice on the same thread.
+ */
+class NegacyclicFft
+{
+  public:
+    explicit NegacyclicFft(unsigned ring_degree);
+
+    unsigned ringDegree() const { return n_; }
+
+    /** Forward transform of an integer polynomial (decomposition
+     *  digits). */
+    void forward(const IntPolynomial &poly, FourierPolynomial &out) const;
+
+    /** Forward transform of a torus polynomial (coefficients read as
+     *  signed 32-bit integers, the standard TFHE convention). */
+    void forward(const TorusPolynomial &poly,
+                 FourierPolynomial &out) const;
+
+    /** Inverse transform with rounding back onto the discretized torus
+     *  (reduction mod 2^32 happens in floating point via remainder). */
+    void inverse(const FourierPolynomial &in, TorusPolynomial &out) const;
+
+    /** Per-thread cached engine for ring degree N. */
+    static const NegacyclicFft &forDegree(unsigned ring_degree);
+
+  private:
+    void forwardReal(const double *input, FourierPolynomial &out) const;
+
+    unsigned n_;    //!< ring degree N
+    unsigned half_; //!< transform size N/2
+
+    ComplexFft fft_; //!< the N/2-point complex core
+    std::vector<double> twistRe_, twistIm_; //!< e^{i*pi*j/N}
+
+    // Scratch buffers reused across calls (mutable: transforms are
+    // logically const). This is why an engine is single-thread-only;
+    // forDegree() hands out one engine per thread.
+    mutable std::vector<double> scratchRe_, scratchIm_;
+};
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_FFT_H

@@ -1,0 +1,203 @@
+#include "ggsw.h"
+
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+void
+gadgetDecomposeScalar(Torus32 value, unsigned base_bits, unsigned levels,
+                      std::int32_t *digits)
+{
+    panic_if(base_bits == 0 || levels == 0 || base_bits * levels > 32,
+             "bad gadget (base 2^", base_bits, ", ", levels, " levels)");
+    const std::uint32_t mask = (base_bits == 32)
+                                   ? ~0u
+                                   : ((1u << base_bits) - 1);
+    const std::int32_t half = std::int32_t{1} << (base_bits - 1);
+
+    // Centering offset: adding beta/2 at every level lets us subtract
+    // beta/2 from each extracted digit, mapping digits from [0, beta)
+    // to [-beta/2, beta/2). Rounding offset: half an ulp of the last
+    // level converts the truncation of the undecomposed tail into
+    // round-to-nearest.
+    std::uint32_t offset = 0;
+    for (unsigned j = 1; j <= levels; ++j)
+        offset += std::uint32_t{1} << (31 - (j - 1) * base_bits);
+    if (levels * base_bits < 32)
+        offset += std::uint32_t{1} << (32 - levels * base_bits - 1);
+
+    const std::uint32_t shifted = value + offset;
+    for (unsigned j = 1; j <= levels; ++j) {
+        const unsigned shift = 32 - j * base_bits;
+        const std::uint32_t digit = (shifted >> shift) & mask;
+        digits[j - 1] = static_cast<std::int32_t>(digit) - half;
+    }
+}
+
+void
+gadgetDecompose(const TorusPolynomial &poly, unsigned base_bits,
+                unsigned levels, std::vector<IntPolynomial> &out)
+{
+    const unsigned n = poly.degree();
+    out.resize(levels);
+    for (auto &p : out) {
+        if (p.degree() != n)
+            p = IntPolynomial(n);
+    }
+    std::vector<std::int32_t> digits(levels);
+    for (unsigned c = 0; c < n; ++c) {
+        gadgetDecomposeScalar(poly[c], base_bits, levels, digits.data());
+        for (unsigned j = 0; j < levels; ++j)
+            out[j][c] = digits[j];
+    }
+}
+
+GgswCiphertext
+GgswCiphertext::encrypt(const GlweKey &key, std::int32_t message,
+                        double stddev, Rng &rng)
+{
+    const auto &params = key.params();
+    const unsigned k = key.dimension();
+    const unsigned levels = params.bskLevels;
+    const unsigned base_bits = params.bskBaseBits;
+
+    GgswCiphertext out;
+    out.baseBits_ = base_bits;
+    out.levels_ = levels;
+    out.rows_.reserve(static_cast<std::size_t>(k + 1) * levels);
+
+    TorusPolynomial zero(params.polyDegree);
+    for (unsigned u = 0; u <= k; ++u) {
+        for (unsigned j = 0; j < levels; ++j) {
+            GlweCiphertext row =
+                GlweCiphertext::encrypt(key, zero, stddev, rng);
+            // Add m * q / beta^(j+1) to the constant coefficient of
+            // component u.
+            const Torus32 gadget = static_cast<Torus32>(
+                static_cast<std::int64_t>(message)
+                << (32 - (j + 1) * base_bits));
+            row.component(u)[0] += gadget;
+            out.rows_.push_back(std::move(row));
+        }
+    }
+    return out;
+}
+
+FourierGgsw
+FourierGgsw::fromGgsw(const GgswCiphertext &ggsw)
+{
+    FourierGgsw out;
+    out.baseBits_ = ggsw.baseBits();
+    out.levels_ = ggsw.levels();
+    out.rows_.resize(ggsw.numRows());
+
+    panic_if(ggsw.numRows() == 0, "empty GGSW");
+    const unsigned n = ggsw.row(0).polyDegree();
+    const auto &fft = NegacyclicFft::forDegree(n);
+    for (unsigned r = 0; r < ggsw.numRows(); ++r) {
+        const auto &row = ggsw.row(r);
+        auto &dst = out.rows_[r];
+        dst.reserve(row.dimension() + 1);
+        for (unsigned c = 0; c <= row.dimension(); ++c) {
+            FourierPolynomial fp(n);
+            fft.forward(row.component(c), fp);
+            dst.push_back(std::move(fp));
+        }
+    }
+    return out;
+}
+
+FourierGgsw
+FourierGgsw::fromRows(unsigned base_bits, unsigned levels,
+                      std::vector<std::vector<FourierPolynomial>> rows)
+{
+    FourierGgsw out;
+    out.baseBits_ = base_bits;
+    out.levels_ = levels;
+    out.rows_ = std::move(rows);
+    panic_if(out.rows_.empty(), "empty GGSW rows");
+    return out;
+}
+
+GlweCiphertext
+externalProductSchoolbook(const GgswCiphertext &ggsw,
+                          const GlweCiphertext &input)
+{
+    const unsigned k = input.dimension();
+    const unsigned n = input.polyDegree();
+    const unsigned levels = ggsw.levels();
+    panic_if(ggsw.numRows() != (k + 1) * levels,
+             "GGSW/GLWE shape mismatch");
+
+    GlweCiphertext result(k, n);
+    std::vector<IntPolynomial> digits;
+    for (unsigned u = 0; u <= k; ++u) {
+        gadgetDecompose(input.component(u), ggsw.baseBits(), levels,
+                        digits);
+        for (unsigned j = 0; j < levels; ++j) {
+            const auto &row = ggsw.row(u * levels + j);
+            for (unsigned c = 0; c <= k; ++c) {
+                negacyclicMulAddSchoolbook(result.component(c), digits[j],
+                                           row.component(c));
+            }
+        }
+    }
+    return result;
+}
+
+GlweCiphertext
+externalProductFourier(const FourierGgsw &ggsw, const GlweCiphertext &input)
+{
+    const unsigned k = input.dimension();
+    const unsigned n = input.polyDegree();
+    const unsigned levels = ggsw.levels();
+    panic_if(ggsw.numRows() != (k + 1) * levels,
+             "GGSW/GLWE shape mismatch");
+    panic_if(ggsw.numCols() != k + 1, "GGSW column count mismatch");
+
+    const auto &fft = NegacyclicFft::forDegree(n);
+
+    // (1): decompose all components, transform each digit polynomial.
+    // These (k+1)*l_b forward transforms are the ones the hardware
+    // shares across a VPE row (input transform-domain reuse).
+    std::vector<IntPolynomial> digits;
+    std::vector<FourierPolynomial> digits_f;
+    digits_f.reserve(static_cast<std::size_t>(k + 1) * levels);
+    for (unsigned u = 0; u <= k; ++u) {
+        gadgetDecompose(input.component(u), ggsw.baseBits(), levels,
+                        digits);
+        for (unsigned j = 0; j < levels; ++j) {
+            FourierPolynomial fp(n);
+            fft.forward(digits[j], fp);
+            digits_f.push_back(std::move(fp));
+        }
+    }
+
+    // (2): one dot product per output component, accumulated entirely
+    // in the transform domain (output transform-domain reuse: a single
+    // inverse FFT per component, not per product).
+    GlweCiphertext result(k, n);
+    FourierPolynomial acc(n);
+    for (unsigned c = 0; c <= k; ++c) {
+        acc.clear();
+        for (unsigned r = 0; r < digits_f.size(); ++r)
+            acc.mulAddAssign(digits_f[r], ggsw.at(r, c));
+        fft.inverse(acc, result.component(c));
+    }
+    return result;
+}
+
+GlweCiphertext
+cmuxRotate(const FourierGgsw &ggsw, const GlweCiphertext &input,
+           unsigned power)
+{
+    // Lambda = X^power * ACC - ACC ...
+    GlweCiphertext diff = input.mulByXPower(power);
+    diff.subAssign(input);
+    // ... then ACC' = BSK [.] Lambda + ACC.
+    GlweCiphertext result = externalProductFourier(ggsw, diff);
+    result.addAssign(input);
+    return result;
+}
+
+} // namespace morphling::tfhe

@@ -1,0 +1,116 @@
+#include "keyset.h"
+
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+BootstrapKey
+BootstrapKey::generate(const LweKey &lwe_key, const GlweKey &glwe_key,
+                       Rng &rng)
+{
+    const auto &params = glwe_key.params();
+    BootstrapKey out;
+    out.entries_.reserve(lwe_key.dimension());
+    for (unsigned i = 0; i < lwe_key.dimension(); ++i) {
+        GgswCiphertext ggsw = GgswCiphertext::encrypt(
+            glwe_key, lwe_key.bits()[i], params.glweNoiseStd, rng);
+        out.entries_.push_back(FourierGgsw::fromGgsw(ggsw));
+    }
+    return out;
+}
+
+BootstrapKey
+BootstrapKey::fromEntries(std::vector<FourierGgsw> entries)
+{
+    BootstrapKey out;
+    out.entries_ = std::move(entries);
+    return out;
+}
+
+KeySwitchKey
+KeySwitchKey::generate(const LweKey &source_key, const LweKey &target_key,
+                       Rng &rng)
+{
+    const auto &params = target_key.params();
+    KeySwitchKey out;
+    out.sourceDim_ = source_key.dimension();
+    out.targetDim_ = target_key.dimension();
+    out.levels_ = params.kskLevels;
+    out.baseBits_ = params.kskBaseBits;
+    out.entries_.reserve(static_cast<std::size_t>(out.sourceDim_) *
+                         out.levels_);
+    for (unsigned i = 0; i < out.sourceDim_; ++i) {
+        for (unsigned j = 0; j < out.levels_; ++j) {
+            // KSK_(i,j) encrypts s'_i * q / base^(j+1).
+            const Torus32 message = static_cast<Torus32>(
+                static_cast<std::int64_t>(source_key.bits()[i])
+                << (32 - (j + 1) * out.baseBits_));
+            out.entries_.push_back(LweCiphertext::encrypt(
+                target_key, message, params.lweNoiseStd, rng));
+        }
+    }
+    return out;
+}
+
+KeySwitchKey
+KeySwitchKey::fromEntries(unsigned source_dim, unsigned target_dim,
+                          unsigned levels, unsigned base_bits,
+                          std::vector<LweCiphertext> entries)
+{
+    KeySwitchKey out;
+    out.sourceDim_ = source_dim;
+    out.targetDim_ = target_dim;
+    out.levels_ = levels;
+    out.baseBits_ = base_bits;
+    out.entries_ = std::move(entries);
+    panic_if(out.entries_.size() !=
+                 static_cast<std::size_t>(source_dim) * levels,
+             "KSK entry count mismatch");
+    return out;
+}
+
+LweCiphertext
+KeySwitchKey::apply(const LweCiphertext &ct) const
+{
+    panic_if(ct.dimension() != sourceDim_,
+             "key switch expects dimension ", sourceDim_, ", got ",
+             ct.dimension());
+
+    // c'' = (0..0, b') - sum_{i,j} digit_{i,j} * KSK_(i,j), with each
+    // extracted mask a'_i decomposed into l_k unsigned digits (with a
+    // rounding offset on the discarded tail).
+    LweCiphertext out = LweCiphertext::trivial(targetDim_, ct.body());
+    const std::uint32_t mask = (1u << baseBits_) - 1;
+    const unsigned tail_bits = 32 - levels_ * baseBits_;
+    const Torus32 round_offset =
+        tail_bits > 0 ? (Torus32{1} << (tail_bits - 1)) : 0;
+
+    for (unsigned i = 0; i < sourceDim_; ++i) {
+        const Torus32 a = ct.mask(i) + round_offset;
+        for (unsigned j = 0; j < levels_; ++j) {
+            const std::uint32_t digit =
+                (a >> (32 - (j + 1) * baseBits_)) & mask;
+            if (digit == 0)
+                continue;
+            const auto &ksk = at(i, j);
+            for (unsigned w = 0; w <= targetDim_; ++w)
+                out.raw()[w] -= digit * ksk.raw()[w];
+        }
+    }
+    return out;
+}
+
+KeySet
+KeySet::generate(const TfheParams &params, Rng &rng)
+{
+    KeySet ks;
+    ks.params = params;
+    ks.lweKey = LweKey::generate(params, rng);
+    ks.glweKey = GlweKey::generate(params, rng);
+    ks.extractedKey = ks.glweKey.extractLweKey();
+    ks.bsk = BootstrapKey::generate(ks.lweKey, ks.glweKey, rng);
+    ks.ksk = KeySwitchKey::generate(ks.extractedKey, ks.lweKey, rng);
+    return ks;
+}
+
+} // namespace morphling::tfhe

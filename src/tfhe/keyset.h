@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Evaluation-key material: the bootstrapping key (BSK) and the
+ * key-switching key (KSK), plus a convenience KeySet bundling all
+ * secret/evaluation keys of one party.
+ */
+
+#ifndef MORPHLING_TFHE_KEYSET_H
+#define MORPHLING_TFHE_KEYSET_H
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tfhe/ggsw.h"
+#include "tfhe/glwe.h"
+#include "tfhe/lwe.h"
+#include "tfhe/params.h"
+
+namespace morphling::tfhe {
+
+/**
+ * The bootstrapping key: one GGSW encryption of each LWE key bit,
+ * stored pre-transformed in the Fourier domain (the hardware's
+ * Private-A2 format; the paper assumes "BSK is already pre-computed in
+ * the transform-domain", Section III).
+ */
+class BootstrapKey
+{
+  public:
+    BootstrapKey() = default;
+
+    /** Encrypt every bit of lwe_key under glwe_key. */
+    static BootstrapKey generate(const LweKey &lwe_key,
+                                 const GlweKey &glwe_key, Rng &rng);
+
+    /** Rebuild from transformed entries (deserialization). */
+    static BootstrapKey fromEntries(std::vector<FourierGgsw> entries);
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+    const FourierGgsw &entry(unsigned i) const { return entries_[i]; }
+
+  private:
+    std::vector<FourierGgsw> entries_; //!< BSK_1 .. BSK_n
+};
+
+/**
+ * The key-switching key: kN * l_k LWE encryptions
+ * KSK_(i,j) = LWE_s(s'_i * q / base^(j+1)) that homomorphically map a
+ * ciphertext under the extracted key s' back to the original key s
+ * (Algorithm 1, line 6).
+ */
+class KeySwitchKey
+{
+  public:
+    KeySwitchKey() = default;
+
+    /** Build the key from source (extracted, dim kN) to target
+     *  (original, dim n). */
+    static KeySwitchKey generate(const LweKey &source_key,
+                                 const LweKey &target_key, Rng &rng);
+
+    /** Rebuild from raw entries (deserialization). */
+    static KeySwitchKey fromEntries(unsigned source_dim,
+                                    unsigned target_dim, unsigned levels,
+                                    unsigned base_bits,
+                                    std::vector<LweCiphertext> entries);
+
+    unsigned sourceDimension() const { return sourceDim_; }
+    unsigned levels() const { return levels_; }
+    unsigned baseBits() const { return baseBits_; }
+
+    const LweCiphertext &at(unsigned i, unsigned j) const
+    {
+        return entries_[static_cast<std::size_t>(i) * levels_ + j];
+    }
+
+    /**
+     * Apply key switching: re-encrypt ct (under the source key) to the
+     * target key. Pure scalar multiply-accumulate, the memory-bound
+     * task the paper routes to the VPU.
+     */
+    LweCiphertext apply(const LweCiphertext &ct) const;
+
+  private:
+    std::vector<LweCiphertext> entries_;
+    unsigned sourceDim_ = 0;
+    unsigned targetDim_ = 0;
+    unsigned levels_ = 0;
+    unsigned baseBits_ = 0;
+};
+
+/**
+ * All keys of one party: the LWE secret key (encryption key), the GLWE
+ * secret key (bootstrapping accumulator key), and the two evaluation
+ * keys. Generation order matches the TFHE key ceremony.
+ */
+struct KeySet
+{
+    TfheParams params;
+    LweKey lweKey;        //!< s, dimension n
+    GlweKey glweKey;      //!< S, k ring polynomials
+    LweKey extractedKey;  //!< s', dimension kN (flattened S)
+    BootstrapKey bsk;
+    KeySwitchKey ksk;
+
+    /** Generate a complete key set from one seed. */
+    static KeySet generate(const TfheParams &params, Rng &rng);
+};
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_KEYSET_H

@@ -1,0 +1,135 @@
+#include "noise.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::tfhe {
+
+NoiseModel::NoiseModel(const TfheParams &params) : params_(params) {}
+
+double
+NoiseModel::freshLweVariance() const
+{
+    return params_.lweNoiseStd * params_.lweNoiseStd;
+}
+
+double
+NoiseModel::externalProductVariance() const
+{
+    const double n_poly = params_.polyDegree;
+    const double kp1 = params_.glweDimension + 1;
+    const double lb = params_.bskLevels;
+    const double beta = std::pow(2.0, params_.bskBaseBits);
+    const double sigma_bsk = params_.glweNoiseStd;
+
+    // BSK noise amplified by the decomposed digits: the digit vector
+    // has (k+1) l_b polynomials of N coefficients bounded by beta/2
+    // (variance beta^2/12 for centered digits), each meeting one fresh
+    // BSK noise polynomial.
+    const double bsk_term = kp1 * lb * n_poly * (beta * beta / 12.0) *
+                            sigma_bsk * sigma_bsk;
+
+    // Decomposition truncation: reconstruction error eps per
+    // coefficient meets the (binary) key; 1 + kN terms of eps^2/12
+    // with eps = 2^-(l_b * log2 beta).
+    const double eps = std::pow(2.0, -static_cast<double>(
+                                         params_.bskLevels *
+                                         params_.bskBaseBits));
+    const double kn = params_.glweDimension * n_poly;
+    const double decomp_term = (1.0 + kn / 2.0) * eps * eps / 12.0;
+
+    return bsk_term + decomp_term;
+}
+
+double
+NoiseModel::blindRotationVariance() const
+{
+    return params_.lweDimension * externalProductVariance();
+}
+
+double
+NoiseModel::keySwitchVariance() const
+{
+    const double kn = static_cast<double>(params_.extractedLweDimension());
+    const double lk = params_.kskLevels;
+    const double base = std::pow(2.0, params_.kskBaseBits);
+    const double sigma = params_.lweNoiseStd;
+
+    // Unsigned digits uniform in [0, base): E[d^2] = base^2/3.
+    const double ksk_term = kn * lk * (base * base / 3.0) * sigma *
+                            sigma;
+    // Rounding of the discarded tail: eps = 2^-(l_k b) per mask, half
+    // the masks meet a key bit of 1.
+    const double eps = std::pow(
+        2.0, -static_cast<double>(params_.kskLevels *
+                                  params_.kskBaseBits));
+    const double tail_term = kn / 2.0 * eps * eps / 12.0;
+    return ksk_term + tail_term;
+}
+
+double
+NoiseModel::bootstrapOutputVariance() const
+{
+    return blindRotationVariance() + keySwitchVariance();
+}
+
+double
+NoiseModel::modSwitchVariance() const
+{
+    // Each of the n masks is rounded to a grid of step 1/(2N); the
+    // rounding error (variance step^2/12) lands on the phase for the
+    // ~n/2 positions where the key bit is 1, plus the body's own
+    // rounding.
+    const double step = 1.0 / (2.0 * params_.polyDegree);
+    const double per_term = step * step / 12.0;
+    return (params_.lweDimension / 2.0 + 1.0) * per_term;
+}
+
+double
+NoiseModel::slotSigmas(std::uint32_t space, double input_variance) const
+{
+    // Half-slot margin of a padded LUT over `space` messages: 1/(4p).
+    const double margin = 1.0 / (4.0 * space);
+    return margin / std::sqrt(input_variance + modSwitchVariance());
+}
+
+double
+measureBootstrapNoiseStd(const KeySet &keys, std::uint32_t space,
+                         unsigned samples, Rng &rng)
+{
+    panic_if(samples == 0, "need samples");
+    const auto lut = makePaddedLut(space, [](std::uint32_t m) {
+        return m;
+    });
+    double sum_sq = 0;
+    for (unsigned s = 0; s < samples; ++s) {
+        const std::uint32_t m =
+            static_cast<std::uint32_t>(rng.nextBelow(space));
+        const auto ct = encryptPadded(keys, m, space, rng);
+        const auto out = programmableBootstrap(keys, ct, lut);
+        const double err = torusDistance(out.phase(keys.lweKey),
+                                         encodePadded(m, space));
+        sum_sq += err * err;
+    }
+    return std::sqrt(sum_sq / samples);
+}
+
+double
+measureFreshNoiseStd(const KeySet &keys, unsigned samples, Rng &rng)
+{
+    panic_if(samples == 0, "need samples");
+    double sum_sq = 0;
+    for (unsigned s = 0; s < samples; ++s) {
+        const Torus32 mu = rng.nextU32();
+        const auto ct = LweCiphertext::encrypt(
+            keys.lweKey, mu, keys.params.lweNoiseStd, rng);
+        const double err = torusDistance(ct.phase(keys.lweKey), mu);
+        sum_sq += err * err;
+    }
+    return std::sqrt(sum_sq / samples);
+}
+
+} // namespace morphling::tfhe

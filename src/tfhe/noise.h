@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Analytic noise tracking for TFHE operations.
+ *
+ * Every homomorphic operation grows the ciphertext noise; bootstrapping
+ * exists to reset it (Section II-B). This module implements the
+ * standard variance formulas so parameter choices can be audited and
+ * the measured noise of this implementation can be compared against
+ * prediction (tests/test_noise.cc does exactly that):
+ *
+ *  - external product: each of the n CMux steps adds
+ *      (k+1) l_b N (beta/2)^2 sigma_bsk^2      (BSK noise term)
+ *    + (1 + kN) eps^2 / 12, eps = beta^{-l_b}  (decomposition term)
+ *  - modulus switching: rounding to 2N adds n/2 * (1/(2N))^2 / 12
+ *    .. times the key weight; we use the binary-key expectation.
+ *  - key switching: kN l_k E[d^2] sigma_ksk^2 plus the rounding of the
+ *    discarded tail.
+ *
+ * Variances are in torus^2 units (stddevs as torus fractions).
+ */
+
+#ifndef MORPHLING_TFHE_NOISE_H
+#define MORPHLING_TFHE_NOISE_H
+
+#include <cstdint>
+
+#include "tfhe/keyset.h"
+#include "tfhe/params.h"
+
+namespace morphling::tfhe {
+
+/** Predicted noise variances for one parameter set. */
+struct NoiseModel
+{
+    explicit NoiseModel(const TfheParams &params);
+
+    /** Variance of fresh LWE encryption noise. */
+    double freshLweVariance() const;
+
+    /** Variance added by one external product (CMux step). */
+    double externalProductVariance() const;
+
+    /** Variance of the accumulator after a full blind rotation
+     *  (n external products on a noiseless test polynomial). */
+    double blindRotationVariance() const;
+
+    /** Variance added by key switching. */
+    double keySwitchVariance() const;
+
+    /** Variance of a complete programmable bootstrapping output
+     *  (blind rotation + key switch; the refreshed noise level). */
+    double bootstrapOutputVariance() const;
+
+    /**
+     * Variance of the *phase error in the 2N domain* induced by
+     * modulus switching, expressed on the torus: the input-side error
+     * that must stay below half a LUT slot.
+     */
+    double modSwitchVariance() const;
+
+    /**
+     * Failure-probability proxy: the number of standard deviations
+     * between the decision boundary and the total input-side noise for
+     * a LUT over `space` messages with one padding bit. Larger is
+     * safer; > 6 is practically error-free.
+     */
+    double slotSigmas(std::uint32_t space, double input_variance) const;
+
+  private:
+    const TfheParams &params_;
+};
+
+/**
+ * Measure the phase-error standard deviation of `samples` fresh
+ * bootstraps (identity LUT over `space` messages): the empirical
+ * counterpart of bootstrapOutputVariance().
+ */
+double measureBootstrapNoiseStd(const KeySet &keys, std::uint32_t space,
+                                unsigned samples, Rng &rng);
+
+/** Measure the phase-error stddev of fresh LWE encryptions. */
+double measureFreshNoiseStd(const KeySet &keys, unsigned samples,
+                            Rng &rng);
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_NOISE_H

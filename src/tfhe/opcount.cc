@@ -1,0 +1,101 @@
+#include "opcount.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+std::uint64_t
+fftMultsPerTransform(std::uint64_t points)
+{
+    panic_if(!isPowerOfTwo(points), "FFT size must be a power of two");
+    // points/2 butterflies per stage, log2(points) stages, one complex
+    // multiplication (4 real mults) per butterfly.
+    return points / 2 * log2Floor(points) * 4;
+}
+
+std::uint64_t
+transformsPerExternalProduct(const TfheParams &params, CostModel model)
+{
+    const std::uint64_t kp1 = params.glweDimension + 1;
+    const std::uint64_t forward = kp1 * params.bskLevels;
+    const std::uint64_t inverse = model == CostModel::CpuReference
+                                      ? kp1 * kp1 * params.bskLevels
+                                      : kp1;
+    return forward + inverse;
+}
+
+OpBreakdown
+externalProductOps(const TfheParams &params, CostModel model)
+{
+    const std::uint64_t n_poly = params.polyDegree;
+    const std::uint64_t kp1 = params.glweDimension + 1;
+    const std::uint64_t lb = params.bskLevels;
+
+    OpBreakdown ops;
+
+    std::uint64_t per_transform;
+    std::uint64_t per_pointwise;
+    if (model == CostModel::CpuReference) {
+        // N-point complex FFT; pointwise products over N complex bins
+        // (4 real mults per complex mult).
+        per_transform = fftMultsPerTransform(n_poly);
+        per_pointwise = n_poly * 4;
+    } else {
+        // Folded N/2-point FFT plus the twist stage (N/2 complex mults
+        // = 2N real mults).
+        per_transform = fftMultsPerTransform(n_poly / 2) + 2 * n_poly;
+        per_pointwise = n_poly / 2 * 4;
+    }
+
+    ops.fftMults =
+        transformsPerExternalProduct(params, model) * per_transform;
+    ops.pointwiseMults = kp1 * kp1 * lb * per_pointwise;
+    // Decomposition: one shift+mask+round chain per digit of every
+    // coefficient of the (k+1) rotated-difference polynomials.
+    ops.decompOps = kp1 * lb * n_poly;
+    return ops;
+}
+
+OpBreakdown
+bootstrapOps(const TfheParams &params, CostModel model)
+{
+    OpBreakdown ops = externalProductOps(params, model);
+    const std::uint64_t n = params.lweDimension;
+    ops.fftMults *= n;
+    ops.pointwiseMults *= n;
+    ops.decompOps *= n;
+
+    ops.modSwitchOps = n + 1;
+    ops.sampleExtractOps = 0;
+    // Key switch: kN masks, l_k digits each, one scalar multiply of an
+    // (n+1)-word LWE ciphertext per digit.
+    ops.keySwitchMults = params.extractedLweDimension() *
+                         params.kskLevels * (n + 1);
+    return ops;
+}
+
+MemBreakdown
+bootstrapMem(const TfheParams &params)
+{
+    MemBreakdown mem;
+    mem.bskBytes = params.bskBytes();
+    // CPU libraries keep the BSK as double-precision Fourier
+    // coefficients: N/2 complex doubles (8B each part) per polynomial.
+    mem.bskTransformBytes = std::uint64_t{params.lweDimension} *
+                            params.polysPerGgsw() * params.polyDegree * 8;
+    mem.kskBytes = params.kskBytes();
+    mem.accBytes = params.accBytes();
+    mem.lweBytes = (std::uint64_t{params.lweDimension} + 1) * 4;
+    return mem;
+}
+
+std::uint64_t
+polyMultsPerBootstrap(const TfheParams &params)
+{
+    const std::uint64_t kp1 = params.glweDimension + 1;
+    return std::uint64_t{params.lweDimension} * kp1 * kp1 *
+           params.bskLevels;
+}
+
+} // namespace morphling::tfhe

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Closed-form operation and memory accounting for TFHE bootstrapping
+ * (the analysis behind Figure 1 and the Motivation section).
+ *
+ * Following the paper, an "operation" is one scalar multiplication.
+ * Two transform cost models are provided:
+ *  - CpuReference: what a CPU library (Concrete) executes — an N-point
+ *    complex FFT per transform, and an inverse transform per polynomial
+ *    product (no transform-domain accumulation across the gadget sum).
+ *  - FoldedHardware: the folded N/2-point transform of Section V-A3
+ *    with transform-domain accumulation, as Morphling executes it.
+ */
+
+#ifndef MORPHLING_TFHE_OPCOUNT_H
+#define MORPHLING_TFHE_OPCOUNT_H
+
+#include <cstdint>
+
+#include "tfhe/params.h"
+
+namespace morphling::tfhe {
+
+/** Which implementation's transform behaviour to count. */
+enum class CostModel
+{
+    CpuReference,   //!< N-point FFT, IFFT per product
+    FoldedHardware, //!< N/2-point folded FFT, Fourier accumulation
+};
+
+/** Multiplication counts of one full bootstrap, split by task. */
+struct OpBreakdown
+{
+    std::uint64_t fftMults = 0;       //!< inside I/FFT butterflies
+    std::uint64_t pointwiseMults = 0; //!< transform-domain products
+    std::uint64_t decompOps = 0;      //!< decomposition shifts/rounds
+    std::uint64_t modSwitchOps = 0;
+    std::uint64_t sampleExtractOps = 0; //!< always 0 (data movement)
+    std::uint64_t keySwitchMults = 0;
+
+    std::uint64_t blindRotationTotal() const
+    {
+        return fftMults + pointwiseMults + decompOps;
+    }
+    std::uint64_t total() const
+    {
+        return blindRotationTotal() + modSwitchOps + sampleExtractOps +
+               keySwitchMults;
+    }
+    double fftFraction() const
+    {
+        return static_cast<double>(fftMults) /
+               static_cast<double>(total());
+    }
+};
+
+/** Working-set sizes of one bootstrap, split by structure. */
+struct MemBreakdown
+{
+    std::uint64_t bskBytes = 0;          //!< coefficient-domain, 32-bit
+    std::uint64_t bskTransformBytes = 0; //!< Fourier-domain, f64 (CPU)
+    std::uint64_t kskBytes = 0;
+    std::uint64_t accBytes = 0;
+    std::uint64_t lweBytes = 0;
+};
+
+/** Scalar multiplications in one length-`points` complex FFT
+ *  (radix-2: 4 real mults per butterfly, points/2*log2(points)
+ *  butterflies). */
+std::uint64_t fftMultsPerTransform(std::uint64_t points);
+
+/** Number of domain transforms one external product performs. */
+std::uint64_t transformsPerExternalProduct(const TfheParams &params,
+                                           CostModel model);
+
+/** Multiplication counts of one external product. */
+OpBreakdown externalProductOps(const TfheParams &params, CostModel model);
+
+/** Multiplication counts of one full bootstrap (n external products
+ *  plus mod switch, sample extraction and key switching). */
+OpBreakdown bootstrapOps(const TfheParams &params, CostModel model);
+
+/** Working sets of one bootstrap. */
+MemBreakdown bootstrapMem(const TfheParams &params);
+
+/** Total polynomial multiplications in one bootstrap — the paper's
+ *  ">10,000 polynomial multiplications" headline. */
+std::uint64_t polyMultsPerBootstrap(const TfheParams &params);
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_OPCOUNT_H

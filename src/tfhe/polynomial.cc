@@ -1,0 +1,110 @@
+#include "polynomial.h"
+
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+template <typename T>
+void
+Polynomial<T>::clear()
+{
+    std::fill(coeffs_.begin(), coeffs_.end(), T{0});
+}
+
+template <typename T>
+void
+Polynomial<T>::addAssign(const Polynomial &other)
+{
+    panic_if(degree() != other.degree(), "degree mismatch in addAssign");
+    for (unsigned i = 0; i < degree(); ++i)
+        coeffs_[i] = static_cast<T>(coeffs_[i] + other.coeffs_[i]);
+}
+
+template <typename T>
+void
+Polynomial<T>::subAssign(const Polynomial &other)
+{
+    panic_if(degree() != other.degree(), "degree mismatch in subAssign");
+    for (unsigned i = 0; i < degree(); ++i)
+        coeffs_[i] = static_cast<T>(coeffs_[i] - other.coeffs_[i]);
+}
+
+template <typename T>
+void
+Polynomial<T>::negate()
+{
+    for (auto &c : coeffs_)
+        c = static_cast<T>(T{0} - c);
+}
+
+template <typename T>
+Polynomial<T>
+Polynomial<T>::mulByXPower(unsigned power) const
+{
+    const unsigned n = degree();
+    panic_if(power >= 2 * n, "rotation power ", power,
+             " out of range [0, 2N)");
+
+    Polynomial out(n);
+    // X^(a+N) = -X^a, so fold the power into [0, N) and remember the
+    // sign flip.
+    bool flip = false;
+    unsigned a = power;
+    if (a >= n) {
+        a -= n;
+        flip = true;
+    }
+    for (unsigned j = 0; j < n; ++j) {
+        // Destination index of source coefficient j is j + a; wrapping
+        // past N negates.
+        const unsigned dst = j + a;
+        T value = coeffs_[j];
+        bool negate_coeff = flip;
+        unsigned idx = dst;
+        if (dst >= n) {
+            idx = dst - n;
+            negate_coeff = !negate_coeff;
+        }
+        out.coeffs_[idx] =
+            negate_coeff ? static_cast<T>(T{0} - value) : value;
+    }
+    return out;
+}
+
+template <typename T>
+Polynomial<T>
+Polynomial<T>::rotateDiff(unsigned power) const
+{
+    Polynomial out = mulByXPower(power);
+    out.subAssign(*this);
+    return out;
+}
+
+template class Polynomial<Torus32>;
+template class Polynomial<std::int32_t>;
+
+void
+negacyclicMulAddSchoolbook(TorusPolynomial &acc, const IntPolynomial &a,
+                           const TorusPolynomial &b)
+{
+    const unsigned n = acc.degree();
+    panic_if(a.degree() != n || b.degree() != n,
+             "degree mismatch in negacyclic multiply");
+    for (unsigned i = 0; i < n; ++i) {
+        const auto ai = static_cast<std::int64_t>(a[i]);
+        if (ai == 0)
+            continue;
+        for (unsigned j = 0; j < n; ++j) {
+            const auto prod = static_cast<Torus32>(
+                ai * static_cast<std::int64_t>(
+                         static_cast<std::int32_t>(b[j])));
+            const unsigned idx = i + j;
+            if (idx < n)
+                acc[idx] = acc[idx] + prod;
+            else
+                acc[idx - n] = acc[idx - n] - prod;
+        }
+    }
+}
+
+} // namespace morphling::tfhe

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Polynomials over the negacyclic ring T_q[X]/(X^N + 1) and
+ * Z[X]/(X^N + 1).
+ *
+ * Every polynomial type in TFHE (GLWE masks/bodies, decomposed digits,
+ * GLWE secret keys) is an element of one of these two rings. The modulus
+ * polynomial X^N + 1 makes multiplication *negacyclic*: coefficients
+ * that wrap past degree N-1 come back negated, which is why rotations by
+ * X^a flip signs (the behaviour the Private-A1 rotator implements in
+ * hardware).
+ */
+
+#ifndef MORPHLING_TFHE_POLYNOMIAL_H
+#define MORPHLING_TFHE_POLYNOMIAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/torus.h"
+
+namespace morphling::tfhe {
+
+/**
+ * A polynomial with coefficients of type T, reduced mod X^N + 1.
+ *
+ * T is Torus32 for ciphertext polynomials and int32_t for integer
+ * polynomials (decomposition digits, binary secret keys). Arithmetic on
+ * Torus32 wraps mod 2^32 by construction.
+ */
+template <typename T>
+class Polynomial
+{
+  public:
+    Polynomial() = default;
+
+    /** Zero polynomial of the given degree bound N. */
+    explicit Polynomial(unsigned degree) : coeffs_(degree, T{0}) {}
+
+    /** Construct from explicit coefficients (degree = size). */
+    explicit Polynomial(std::vector<T> coeffs)
+        : coeffs_(std::move(coeffs))
+    {
+    }
+
+    unsigned degree() const
+    {
+        return static_cast<unsigned>(coeffs_.size());
+    }
+
+    T &operator[](unsigned i) { return coeffs_[i]; }
+    const T &operator[](unsigned i) const { return coeffs_[i]; }
+
+    const std::vector<T> &coefficients() const { return coeffs_; }
+    T *data() { return coeffs_.data(); }
+    const T *data() const { return coeffs_.data(); }
+
+    /** Reset all coefficients to zero. */
+    void clear();
+
+    /** this += other (element-wise, wrapping for torus). */
+    void addAssign(const Polynomial &other);
+
+    /** this -= other. */
+    void subAssign(const Polynomial &other);
+
+    /** Negate all coefficients in place. */
+    void negate();
+
+    /**
+     * Multiply by the monomial X^power, power in [0, 2N).
+     *
+     * Because X^N = -1 in the ring, a rotation by power >= N is the
+     * negation of a rotation by power - N, and coefficients shifted past
+     * the top wrap around with flipped sign. This is exactly the
+     * operation the double-pointer rotator performs (Section V-C).
+     */
+    Polynomial mulByXPower(unsigned power) const;
+
+    /** r = X^power * this - this, the rotate-and-subtract that feeds
+     *  each external product (Algorithm 1, line 4). */
+    Polynomial rotateDiff(unsigned power) const;
+
+    bool operator==(const Polynomial &other) const = default;
+
+  private:
+    std::vector<T> coeffs_;
+};
+
+using TorusPolynomial = Polynomial<Torus32>;
+using IntPolynomial = Polynomial<std::int32_t>;
+
+/**
+ * Reference negacyclic product accumulate: acc += a * b mod X^N + 1,
+ * computed with the O(N^2) schoolbook method.
+ *
+ * Serves as the ground truth the FFT path is tested against, and as the
+ * transform-free baseline in the op-count study.
+ */
+void negacyclicMulAddSchoolbook(TorusPolynomial &acc,
+                                const IntPolynomial &a,
+                                const TorusPolynomial &b);
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_POLYNOMIAL_H

@@ -1,0 +1,127 @@
+#include "radix.h"
+
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+RadixCiphertext
+RadixCiphertext::encrypt(const KeySet &keys, std::uint64_t value,
+                         unsigned num_digits, std::uint32_t base,
+                         Rng &rng)
+{
+    fatal_if(base < 2, "radix base must be >= 2");
+    fatal_if(num_digits == 0, "need at least one digit");
+    fatal_if(2ull * base * base > keys.params.polyDegree,
+             "digit space ", 2ull * base * base,
+             " does not fit N = ", keys.params.polyDegree);
+
+    RadixCiphertext out;
+    out.base_ = base;
+    out.magnitude_ = base - 1;
+    out.digits_.reserve(num_digits);
+    std::uint64_t rest = value;
+    for (unsigned d = 0; d < num_digits; ++d) {
+        out.digits_.push_back(encryptPadded(
+            keys, static_cast<std::uint32_t>(rest % base),
+            out.messageSpace(), rng));
+        rest /= base;
+    }
+    fatal_if(rest != 0, "value ", value, " does not fit ", num_digits,
+             " base-", base, " digits");
+    return out;
+}
+
+std::uint64_t
+RadixCiphertext::decrypt(const KeySet &keys) const
+{
+    std::uint64_t value = 0;
+    for (unsigned d = numDigits(); d-- > 0;) {
+        value = value * base_ +
+                decryptPadded(keys, digits_[d], messageSpace());
+    }
+    return value;
+}
+
+void
+RadixCiphertext::addAssign(const RadixCiphertext &other)
+{
+    panic_if(base_ != other.base_ || numDigits() != other.numDigits(),
+             "radix shape mismatch");
+    // Reserve base-1 of headroom for the incoming carry during the
+    // next propagation pass.
+    panic_if(magnitude_ + other.magnitude_ > messageSpace() - base_,
+             "digit overflow: propagate carries first");
+    for (unsigned d = 0; d < numDigits(); ++d)
+        digits_[d].addAssign(other.digits_[d]);
+    magnitude_ += other.magnitude_;
+}
+
+void
+RadixCiphertext::addPlain(std::uint64_t value)
+{
+    panic_if(magnitude_ + (base_ - 1) > messageSpace() - base_,
+             "digit overflow: propagate carries first");
+    std::uint64_t rest = value;
+    for (unsigned d = 0; d < numDigits() && rest > 0; ++d) {
+        digits_[d].addPlain(encodePadded(
+            static_cast<std::uint32_t>(rest % base_), messageSpace()));
+        rest /= base_;
+    }
+    magnitude_ += base_ - 1;
+}
+
+void
+RadixCiphertext::scalarMulAssign(std::uint32_t scalar)
+{
+    panic_if(scalar == 0, "scalar must be positive");
+    panic_if(static_cast<std::uint64_t>(magnitude_) * scalar >
+                 messageSpace() - base_,
+             "digit overflow: scalar too large, propagate first");
+    for (auto &d : digits_)
+        d.scaleAssign(static_cast<std::int32_t>(scalar));
+    magnitude_ *= scalar;
+}
+
+unsigned
+RadixCiphertext::propagateCarries(const KeySet &keys)
+{
+    const std::uint32_t space = messageSpace();
+    const std::uint32_t base = base_;
+    const auto low_lut = makePaddedLut(space, [base](std::uint32_t m) {
+        return m % base;
+    });
+    const auto carry_lut = makePaddedLut(space, [base](std::uint32_t m) {
+        return m / base;
+    });
+
+    unsigned bootstraps = 0;
+    LweCiphertext carry;
+    bool have_carry = false;
+    for (unsigned d = 0; d < numDigits(); ++d) {
+        LweCiphertext acc = digits_[d];
+        if (have_carry)
+            acc.addAssign(carry);
+        // Low part keeps the digit; high part rides into the next
+        // digit. The last digit wraps (modular big-integer semantics).
+        digits_[d] = programmableBootstrap(keys, acc, low_lut);
+        ++bootstraps;
+        if (d + 1 < numDigits()) {
+            carry = programmableBootstrap(keys, acc, carry_lut);
+            have_carry = true;
+            ++bootstraps;
+        }
+    }
+    magnitude_ = base_ - 1;
+    return bootstraps;
+}
+
+unsigned
+RadixCiphertext::additionsBeforeOverflow() const
+{
+    // Each addition of a normalized operand adds up to base-1 to a
+    // digit; base-1 of space stays reserved for the propagation carry.
+    const std::uint32_t headroom = messageSpace() - base_ - magnitude_;
+    return headroom / (base_ - 1);
+}
+
+} // namespace morphling::tfhe

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Large-precision integers over TFHE: radix-decomposed multi-ciphertext
+ * encodings.
+ *
+ * "To keep the ciphertext parameter small, the TFHE scheme encrypts
+ * large-precision plaintext into multiple ciphertexts. From a hardware
+ * perspective, the operation can be seen as the computation of multiple
+ * small-parameter ciphertexts rather than a single large-parameter
+ * ciphertext." (Section I.) This module implements that representation:
+ * a value is a little-endian vector of base-B digits, each digit one
+ * LWE ciphertext over a padded message space with headroom, so several
+ * homomorphic additions can accumulate before one carry-propagation
+ * pass (two programmable bootstraps per digit) renormalizes.
+ */
+
+#ifndef MORPHLING_TFHE_RADIX_H
+#define MORPHLING_TFHE_RADIX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/bootstrap.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::tfhe {
+
+/** A radix-B big integer: digit i encrypts value_i in [0, B). */
+class RadixCiphertext
+{
+  public:
+    RadixCiphertext() = default;
+
+    /**
+     * Encrypt `value` as num_digits base-`base` digits.
+     *
+     * @param base digit radix; base^2 must fit the padded message
+     *             space (base^2 slots), so base <= 2^? with
+     *             2 * base^2 <= 2N. base = 4 is the sweet spot.
+     */
+    static RadixCiphertext encrypt(const KeySet &keys,
+                                   std::uint64_t value,
+                                   unsigned num_digits,
+                                   std::uint32_t base, Rng &rng);
+
+    /** Decrypt, assuming digits are normalized (carries propagated). */
+    std::uint64_t decrypt(const KeySet &keys) const;
+
+    unsigned numDigits() const
+    {
+        return static_cast<unsigned>(digits_.size());
+    }
+    std::uint32_t base() const { return base_; }
+
+    /** Homomorphic maximum value a digit may currently hold. */
+    std::uint32_t digitMagnitude() const { return magnitude_; }
+
+    /**
+     * Digit-wise addition, no bootstrapping. Panics if the result
+     * could overflow the digit headroom — call propagateCarries()
+     * first.
+     */
+    void addAssign(const RadixCiphertext &other);
+
+    /** Add a small plaintext constant (digit-decomposed). */
+    void addPlain(std::uint64_t value);
+
+    /** Multiply by a small plaintext scalar (digit-wise; scalar *
+     *  (base-1) must stay inside the headroom). */
+    void scalarMulAssign(std::uint32_t scalar);
+
+    /**
+     * Renormalize every digit to [0, base) and push carries upward:
+     * two programmable bootstraps per digit (value-mod-base and
+     * carry-extract), the multi-ciphertext workload pattern Morphling
+     * batches across its XPU rows.
+     *
+     * @return number of bootstraps performed
+     */
+    unsigned propagateCarries(const KeySet &keys);
+
+    /** Number of additions that can still be absorbed before carries
+     *  must be propagated. */
+    unsigned additionsBeforeOverflow() const;
+
+    const LweCiphertext &digit(unsigned i) const { return digits_[i]; }
+
+  private:
+    std::uint32_t messageSpace() const { return base_ * base_; }
+
+    std::vector<LweCiphertext> digits_;
+    std::uint32_t base_ = 0;
+    std::uint32_t magnitude_ = 0; //!< max value a digit can hold now
+};
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_RADIX_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Binary serialization of parameters, keys and ciphertexts.
+ *
+ * The deployment story of TFHE splits key material across machines: the
+ * client keeps the secret keys, the server receives the evaluation keys
+ * (BSK + KSK) and ciphertexts. This module provides a compact, versioned
+ * little-endian format for all of them, with strict validation on load
+ * (magic, version, and structural invariants; malformed input is a
+ * fatal(), never undefined behaviour).
+ *
+ * Format: every object starts with a 4-byte tag naming its type, and
+ * the stream starts with "MRPH" + format version.
+ */
+
+#ifndef MORPHLING_TFHE_SERIALIZE_H
+#define MORPHLING_TFHE_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "tfhe/keyset.h"
+
+namespace morphling::tfhe {
+
+/** Current serialization format version. */
+constexpr std::uint32_t kSerializeVersion = 1;
+
+/**
+ * The server-side key material: everything needed to evaluate
+ * (bootstrap, key-switch) without the ability to decrypt.
+ */
+struct EvaluationKeys
+{
+    TfheParams params;
+    BootstrapKey bsk;
+    KeySwitchKey ksk;
+
+    /** Extract the evaluation half of a full key set. */
+    static EvaluationKeys fromKeySet(const KeySet &keys);
+};
+
+/** @{ Serialization entry points. Streams must be binary-mode. */
+void saveParams(std::ostream &os, const TfheParams &params);
+TfheParams loadParams(std::istream &is);
+
+void saveCiphertext(std::ostream &os, const LweCiphertext &ct);
+LweCiphertext loadCiphertext(std::istream &is);
+
+void saveLweKey(std::ostream &os, const LweKey &key);
+LweKey loadLweKey(std::istream &is, const TfheParams &params);
+
+void saveEvaluationKeys(std::ostream &os, const EvaluationKeys &keys);
+EvaluationKeys loadEvaluationKeys(std::istream &is);
+/** @} */
+
+/**
+ * Programmable bootstrap using only evaluation keys (the server-side
+ * operation; mirrors programmableBootstrap(KeySet, ...)).
+ */
+LweCiphertext serverBootstrap(const EvaluationKeys &keys,
+                              const LweCiphertext &ct,
+                              const std::vector<Torus32> &lut);
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_SERIALIZE_H

@@ -1,0 +1,77 @@
+#include "torus.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace morphling::tfhe {
+
+Torus32
+doubleToTorus32(double value)
+{
+    const double frac = value - std::floor(value); // in [0, 1)
+    // Scale and wrap; use int64 so that frac values very close to 1.0
+    // rounding up to 2^32 wrap cleanly.
+    const auto scaled =
+        static_cast<std::int64_t>(std::llround(frac * 4294967296.0));
+    return static_cast<Torus32>(scaled);
+}
+
+double
+torus32ToDouble(Torus32 value)
+{
+    return static_cast<double>(static_cast<std::int32_t>(value)) *
+           0x1.0p-32;
+}
+
+Torus32
+encodeMessage(std::uint32_t message, std::uint32_t space)
+{
+    panic_if(space == 0, "plaintext space must be positive");
+    // m/p on the torus. Computed as m * (2^32 / p) with 64-bit rounding
+    // so non-power-of-two spaces encode correctly too.
+    const auto numer =
+        (static_cast<std::uint64_t>(message % space) << 32) + space / 2;
+    return static_cast<Torus32>(numer / space);
+}
+
+std::uint32_t
+decodeMessage(Torus32 value, std::uint32_t space)
+{
+    panic_if(space == 0, "plaintext space must be positive");
+    // Nearest multiple of 1/p: round(value * p / 2^32) mod p.
+    const auto scaled = static_cast<std::uint64_t>(value) * space;
+    const auto rounded = (scaled + (std::uint64_t{1} << 31)) >> 32;
+    return static_cast<std::uint32_t>(rounded % space);
+}
+
+Torus32
+gaussianTorus32(Rng &rng, double stddev)
+{
+    const double noise = rng.nextGaussian() * stddev;
+    return doubleToTorus32(noise);
+}
+
+std::uint32_t
+modSwitchTorus32(Torus32 value, unsigned log2_two_n)
+{
+    panic_if(log2_two_n == 0 || log2_two_n > 32, "bad modulus 2N");
+    if (log2_two_n == 32)
+        return value;
+    const unsigned shift = 32 - log2_two_n;
+    const Torus32 offset = Torus32{1} << (shift - 1);
+    // Wrapping add implements round-half-up across the torus seam.
+    return (value + offset) >> shift;
+}
+
+double
+torusDistance(Torus32 a, Torus32 b)
+{
+    const Torus32 diff = a - b;
+    const double centered =
+        static_cast<double>(static_cast<std::int32_t>(diff)) * 0x1.0p-32;
+    return std::fabs(centered);
+}
+
+} // namespace morphling::tfhe

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The discretized torus T_q with q = 2^32.
+ *
+ * TFHE ciphertext elements live on the real torus T = R/Z. Following the
+ * reference implementations (TFHE-lib, Concrete) and the paper's Section
+ * II-A, we represent a torus element x in [0,1) by the 32-bit integer
+ * round(x * 2^32): all torus additions become wrapping uint32 additions
+ * and scaling by an integer becomes wrapping multiplication. The paper's
+ * hardware uses exactly this 32-bit fixed-point datapath.
+ */
+
+#ifndef MORPHLING_TFHE_TORUS_H
+#define MORPHLING_TFHE_TORUS_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace morphling::tfhe {
+
+/** A torus element x in [0,1) represented as round(x * 2^32) mod 2^32. */
+using Torus32 = std::uint32_t;
+
+/** Convert a real number (any value; only its fractional part matters)
+ *  to its discretized-torus representation. */
+Torus32 doubleToTorus32(double value);
+
+/** Convert a torus element to a real in [-0.5, 0.5) (centered
+ *  representative, convenient for error measurements). */
+double torus32ToDouble(Torus32 value);
+
+/**
+ * Encode message m of a p-value plaintext space onto the torus: m/p.
+ *
+ * @param message value in [0, p)
+ * @param space   plaintext modulus p
+ */
+Torus32 encodeMessage(std::uint32_t message, std::uint32_t space);
+
+/**
+ * Decode a (noisy) torus element back to the nearest message in [0, p).
+ */
+std::uint32_t decodeMessage(Torus32 value, std::uint32_t space);
+
+/**
+ * Gaussian torus noise with the given standard deviation (expressed as a
+ * fraction of the torus, e.g. 2^-25).
+ */
+Torus32 gaussianTorus32(Rng &rng, double stddev);
+
+/**
+ * Modulus switching of one torus element from q = 2^32 down to 2N
+ * (Algorithm 1, line 1): returns round(x * 2N / q) in [0, 2N).
+ *
+ * @param log2_two_n log2(2N); must be <= 32
+ */
+std::uint32_t modSwitchTorus32(Torus32 value, unsigned log2_two_n);
+
+/**
+ * Distance between two torus elements along the shorter arc, in [0, 0.5].
+ * Used by noise-measurement tests.
+ */
+double torusDistance(Torus32 a, Torus32 b);
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_TORUS_H

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Integration tests of the event-driven accelerator simulation: Table V
+ * reproduction brackets, reuse-variant ordering (Figure 7-b), the
+ * Private-A1 knee (Figure 8-a), the XPU-count sweep (Figure 8-b), and
+ * end-to-end multi-stage programs with barriers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "compiler/sw_scheduler.h"
+
+namespace morphling::arch {
+namespace {
+
+const ArchConfig kDefault = ArchConfig::morphlingDefault();
+
+SimReport
+simulate(const ArchConfig &config, const tfhe::TfheParams &params,
+         std::uint64_t count = 1024)
+{
+    Accelerator acc(config, params);
+    return acc.runBootstrapBatch(count);
+}
+
+struct TableVRow
+{
+    const char *set;
+    double paperThroughput;
+};
+
+constexpr TableVRow kTableV[] = {
+    {"I", 147615},
+    {"II", 78692},
+    {"III", 41850},
+    {"IV", 98933},
+};
+
+class TableVSim : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TableVSim, ThroughputWithinFivePercentOfPaper)
+{
+    const auto &row = kTableV[GetParam()];
+    const auto r = simulate(kDefault, tfhe::paramsByName(row.set));
+    EXPECT_GT(r.throughputBs, row.paperThroughput * 0.95) << row.set;
+    EXPECT_LT(r.throughputBs, row.paperThroughput * 1.05) << row.set;
+    EXPECT_EQ(r.bootstraps, 1024u);
+    EXPECT_EQ(r.streamSets, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableVSim, ::testing::Range(0, 4),
+                         [](const auto &info) {
+                             return std::string("Set") +
+                                    kTableV[info.param].set;
+                         });
+
+TEST(AcceleratorSim, XpuDominatesRuntime)
+{
+    // Figure 7-a: blind rotation is 88-93% of the bootstrap.
+    const auto r = simulate(kDefault, tfhe::paramsSetI());
+    EXPECT_GT(r.xpuBusyFrac, 0.9);
+    double br = r.latencyBreakdown.at("XPU (blind rotation)");
+    double total = 0;
+    for (const auto &[stage, cycles] : r.latencyBreakdown)
+        total += cycles;
+    EXPECT_GT(br / total, 0.85);
+    EXPECT_LT(br / total, 0.97);
+}
+
+TEST(AcceleratorSim, ReuseVariantOrdering)
+{
+    // Figure 7-b: throughput(No) < throughput(Input) <= throughput(IO)
+    // < throughput(IO + merge-split) on every ablation set.
+    for (const char *name : {"A", "B", "C"}) {
+        const auto &p = tfhe::paramsByName(name);
+        const double no =
+            simulate(kDefault.withReuse(ReuseMode::None, false), p, 256)
+                .throughputBs;
+        const double in =
+            simulate(kDefault.withReuse(ReuseMode::Input, false), p, 256)
+                .throughputBs;
+        const double io =
+            simulate(kDefault.withReuse(ReuseMode::InputOutput, false),
+                     p, 256)
+                .throughputBs;
+        const double ms =
+            simulate(kDefault.withReuse(ReuseMode::InputOutput, true),
+                     p, 256)
+                .throughputBs;
+        EXPECT_GT(in, no * 1.2) << name;
+        EXPECT_GE(io, in * 0.99) << name;
+        EXPECT_GT(ms, io * 1.1) << name;
+    }
+}
+
+TEST(AcceleratorSim, SetCReuseSpeedupNearPaper)
+{
+    // Paper: input+output reuse speeds up set C by 3.9x over no-reuse.
+    const auto &p = tfhe::paramsSetC();
+    const double no =
+        simulate(kDefault.withReuse(ReuseMode::None, false), p, 256)
+            .throughputBs;
+    const double io =
+        simulate(kDefault.withReuse(ReuseMode::InputOutput, false), p,
+                 256)
+            .throughputBs;
+    EXPECT_NEAR(io / no, 3.9, 0.4);
+}
+
+TEST(AcceleratorSim, PrivateA1KneeAt4096KiB)
+{
+    // Figure 8-a: performance degrades below 4096 KiB and stabilizes
+    // above.
+    const auto &p = tfhe::paramsSetIII();
+    auto at = [&](unsigned kib) {
+        auto cfg = kDefault;
+        cfg.privateA1KiB = kib;
+        return simulate(cfg, p, 512).throughputBs;
+    };
+    const double full = at(4096);
+    EXPECT_NEAR(at(8192), full, full * 0.02);   // stable above
+    EXPECT_NEAR(at(16384), full, full * 0.02);
+    EXPECT_LT(at(2048), full * 0.95); // degraded below
+    EXPECT_LT(at(1024), full * 0.60); // strongly degraded
+}
+
+TEST(AcceleratorSim, XpuCountSweepPeaksAtFour)
+{
+    // Figure 8-b: linear scaling to 4 XPUs, degradation beyond (the
+    // fixed Private-A1 and HBM bandwidth stop feeding more arrays).
+    const auto &p = tfhe::paramsSetIII();
+    auto at = [&](unsigned xpus) {
+        auto cfg = kDefault;
+        cfg.numXpus = xpus;
+        return simulate(cfg, p, 512).throughputBs;
+    };
+    const double one = at(1), two = at(2), four = at(4), eight = at(8);
+    EXPECT_NEAR(two / one, 2.0, 0.2);
+    EXPECT_NEAR(four / one, 4.0, 0.4);
+    EXPECT_LT(eight, four); // beyond four: slower, not faster
+}
+
+TEST(AcceleratorSim, MultiStageProgramRespectsBarriers)
+{
+    compiler::Workload w;
+    w.name = "layers";
+    w.stages.push_back({64, 10000});
+    w.stages.push_back({64, 0});
+    w.stages.push_back({32, 5000});
+
+    const auto &p = tfhe::paramsSetI();
+    compiler::SwScheduler sw(p);
+    Accelerator acc(kDefault, p);
+    const auto r = acc.run(sw.schedule(w));
+    EXPECT_EQ(r.bootstraps, 160u);
+    EXPECT_GT(r.vpuPaluCycles, 0u);
+    // Staged program must take longer than the same bootstraps run
+    // flat (barriers drain the pipeline).
+    const auto flat = acc.runBootstrapBatch(160);
+    EXPECT_GT(r.cycles, flat.cycles);
+}
+
+TEST(AcceleratorSim, TinyBatchCompletes)
+{
+    const auto r = simulate(kDefault, tfhe::paramsSetI(), 3);
+    EXPECT_EQ(r.bootstraps, 3u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(AcceleratorSim, SingleGroupLatencyIsBskAndKsBound)
+{
+    // A solo 16-ciphertext group cannot amortize BSK fetches across
+    // stream sets (every iteration waits on the 2-channel BSK path)
+    // and key-switches all 16 ciphertexts on a single lane-group, so
+    // its chunk latency sits well above the pipeline latency — but
+    // bounded by the model pieces.
+    const auto r = simulate(kDefault, tfhe::paramsSetI(), 16);
+    EXPECT_GT(r.meanChunkLatencyMs, r.pipelineLatencyMs);
+    EXPECT_LT(r.meanChunkLatencyMs, r.pipelineLatencyMs * 8);
+}
+
+TEST(AcceleratorSim, HbmTrafficAccountsBskAmortization)
+{
+    // With 4 stream sets, each iteration's BSK serves 64 ciphertexts:
+    // BSK traffic = n * bskBytesPerIteration per 64 bootstraps (plus
+    // cold-start waves).
+    const auto &p = tfhe::paramsSetI();
+    const auto r = simulate(kDefault, p, 1024);
+    const double waves = 1024.0 / 64.0;
+    const double expected =
+        waves * p.lweDimension * bskBytesPerIteration(p);
+    EXPECT_NEAR(static_cast<double>(r.bskBytes), expected,
+                expected * 0.05);
+}
+
+TEST(AcceleratorSim, NocIsProvisionedWithHeadroom)
+{
+    // Section V-D: the fixed-topology NoC provides 4.8 TB/s chip-wide;
+    // the streaming dataflow must load every link well below
+    // saturation (that is the point of the 2D systolic array: data
+    // moves VPE-to-VPE, not through the NoC).
+    const auto r = simulate(kDefault, tfhe::paramsSetI(), 512);
+    EXPECT_NEAR(r.nocAggregateTBs, 4.8, 1e-9);
+    ASSERT_EQ(r.nocUtilization.size(), 4u);
+    for (const auto &[link, util] : r.nocUtilization) {
+        EXPECT_GT(util, 0.0) << link;
+        EXPECT_LT(util, 0.9) << link;
+    }
+    // The ACC stream (rotator reads + writeback) is the busiest link.
+    EXPECT_GT(r.nocUtilization.at("a1_to_xpu_xbar"),
+              r.nocUtilization.at("xpu_to_shared_xbar"));
+}
+
+TEST(AcceleratorSim, ThroughputScalesDownWithoutKskReuse)
+{
+    // Ablation: disabling KSK reuse floods the VPU DMA path.
+    const auto &p = tfhe::paramsSetI();
+    compiler::SchedulerConfig cfg;
+    cfg.kskReuse = 1;
+    compiler::SwScheduler sw(p, cfg);
+    Accelerator acc(kDefault, p);
+    const auto no_reuse = acc.run(sw.scheduleBootstrapBatch(512));
+    const auto with_reuse = acc.runBootstrapBatch(512);
+    EXPECT_GT(no_reuse.vpuDmaBytes, with_reuse.vpuDmaBytes * 10);
+    EXPECT_LT(no_reuse.throughputBs, with_reuse.throughputBs);
+}
+
+} // namespace
+} // namespace morphling::arch

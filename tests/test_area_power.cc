@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests of the Table IV area/power model: component values, chip
+ * totals, and scaling behaviour for architecture sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_power.h"
+#include "arch/buffers.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+namespace {
+
+const ArchConfig kDefault = ArchConfig::morphlingDefault();
+
+TEST(AreaPower, XpuMatchesTableIV)
+{
+    const auto xpu = xpuAreaPower(kDefault);
+    // Paper: one XPU is 9.23 mm^2 / 6.23 W.
+    EXPECT_NEAR(xpu.total().areaMm2, 9.23, 0.05);
+    EXPECT_NEAR(xpu.total().powerW, 6.23, 0.05);
+
+    EXPECT_NEAR(xpu.entry("FFT units").areaMm2, 1.22, 0.01);
+    EXPECT_NEAR(xpu.entry("IFFT units").areaMm2, 2.45, 0.01);
+    EXPECT_NEAR(xpu.entry("VPE array").areaMm2, 4.71, 0.01);
+    EXPECT_NEAR(xpu.entry("twiddle buffer").areaMm2, 0.75, 0.001);
+}
+
+TEST(AreaPower, ChipMatchesTableIV)
+{
+    const auto chip = chipAreaPower(kDefault);
+    // Paper totals: 74.79 mm^2, 53.00 W.
+    EXPECT_NEAR(chip.total().areaMm2, 74.79, 0.5);
+    EXPECT_NEAR(chip.total().powerW, 53.00, 0.5);
+
+    EXPECT_NEAR(chip.entry("XPUs").areaMm2, 36.95, 0.2);
+    EXPECT_NEAR(chip.entry("Private-A1").areaMm2, 8.31, 0.01);
+    EXPECT_NEAR(chip.entry("Private-A2").areaMm2, 8.10, 0.01);
+    EXPECT_NEAR(chip.entry("Private-B").areaMm2, 4.05, 0.01);
+    EXPECT_NEAR(chip.entry("Shared").areaMm2, 2.02, 0.01);
+    EXPECT_NEAR(chip.entry("HBM2e PHY").areaMm2, 14.90, 0.01);
+    EXPECT_NEAR(chip.entry("HBM2e PHY").powerW, 15.90, 0.01);
+    EXPECT_NEAR(chip.entry("VPU").areaMm2, 0.22, 0.01);
+    EXPECT_NEAR(chip.entry("NoC").areaMm2, 0.21, 0.01);
+}
+
+TEST(AreaPower, ScalesWithXpuCount)
+{
+    auto cfg = kDefault;
+    cfg.numXpus = 8;
+    const auto big = chipAreaPower(cfg);
+    const auto base = chipAreaPower(kDefault);
+    EXPECT_NEAR(big.entry("XPUs").areaMm2,
+                2 * base.entry("XPUs").areaMm2, 0.01);
+    // Buffers and PHY unchanged.
+    EXPECT_NEAR(big.entry("HBM2e PHY").areaMm2,
+                base.entry("HBM2e PHY").areaMm2, 1e-9);
+}
+
+TEST(AreaPower, ScalesWithBufferSize)
+{
+    auto cfg = kDefault;
+    cfg.privateA1KiB = 8192;
+    const auto chip = chipAreaPower(cfg);
+    EXPECT_NEAR(chip.entry("Private-A1").areaMm2, 2 * 8.31, 0.01);
+}
+
+TEST(Buffers, CapacityAccounting)
+{
+    OnChipBuffer buf("test", 1024, 4);
+    EXPECT_TRUE(buf.canFit(1024));
+    buf.allocate(600);
+    EXPECT_FALSE(buf.canFit(500));
+    EXPECT_NEAR(buf.occupancy(), 600.0 / 1024, 1e-9);
+    buf.release(100);
+    EXPECT_EQ(buf.freeBytes(), 524u);
+    EXPECT_EQ(buf.peakBytes(), 600u);
+}
+
+TEST(Buffers, DefaultComplementMatchesPaper)
+{
+    BufferSet buffers(kDefault);
+    EXPECT_EQ(buffers.privateA1.capacityBytes(), 4096u * 1024);
+    EXPECT_EQ(buffers.privateA1.banks(), 16u);
+    EXPECT_EQ(buffers.privateA2.capacityBytes(), 4096u * 1024);
+    EXPECT_EQ(buffers.privateB.capacityBytes(), 2048u * 1024);
+    EXPECT_EQ(buffers.shared.capacityBytes(), 1024u * 1024);
+}
+
+TEST(Buffers, A2DoubleBuffersEveryParamSet)
+{
+    BufferSet buffers(kDefault);
+    for (const auto &params : tfhe::allParamSets())
+        EXPECT_TRUE(buffers.a2FitsDoubleBuffer(params)) << params.name;
+}
+
+} // namespace
+} // namespace morphling::arch

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of batched/parallel bootstrapping: order preservation,
+ * sequential-parallel equivalence of decrypted results, thread-count
+ * edge cases and the efficiency probe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/batch.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::tfhe {
+namespace {
+
+class BatchFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(0xBA7C4);
+        keys_ = new KeySet(KeySet::generate(paramsTest(), rng));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete keys_;
+        keys_ = nullptr;
+    }
+
+    const KeySet &keys() { return *keys_; }
+    Rng rng{0x600D};
+
+    std::vector<LweCiphertext>
+    encryptBatch(const std::vector<std::uint32_t> &messages)
+    {
+        std::vector<LweCiphertext> out;
+        for (auto m : messages)
+            out.push_back(encryptPadded(keys(), m, 4, rng));
+        return out;
+    }
+
+    static KeySet *keys_;
+};
+
+KeySet *BatchFixture::keys_ = nullptr;
+
+TEST_F(BatchFixture, SequentialBatchPreservesOrder)
+{
+    const std::vector<std::uint32_t> messages = {3, 1, 0, 2, 1, 3};
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 2) % 4;
+    });
+    const auto outputs =
+        batchBootstrap(keys(), encryptBatch(messages), lut);
+    ASSERT_EQ(outputs.size(), messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i)
+        EXPECT_EQ(decryptPadded(keys(), outputs[i], 4),
+                  (messages[i] + 2) % 4)
+            << i;
+}
+
+TEST_F(BatchFixture, ParallelMatchesSequentialResults)
+{
+    std::vector<std::uint32_t> messages;
+    for (int i = 0; i < 24; ++i)
+        messages.push_back(static_cast<std::uint32_t>(i % 4));
+    const auto inputs = encryptBatch(messages);
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return (3 * m) % 4;
+    });
+
+    const auto seq = batchBootstrap(keys(), inputs, lut);
+    const auto par = parallelBatchBootstrap(keys(), inputs, lut, 4);
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        // Identical inputs and key material: identical decryptions.
+        EXPECT_EQ(decryptPadded(keys(), par[i], 4),
+                  decryptPadded(keys(), seq[i], 4))
+            << i;
+        EXPECT_EQ(decryptPadded(keys(), par[i], 4),
+                  (3 * messages[i]) % 4)
+            << i;
+    }
+}
+
+TEST_F(BatchFixture, SingleThreadAndSingleElementEdgeCases)
+{
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto one = encryptBatch({2});
+    const auto out1 = parallelBatchBootstrap(keys(), one, lut, 8);
+    ASSERT_EQ(out1.size(), 1u);
+    EXPECT_EQ(decryptPadded(keys(), out1[0], 4), 2u);
+
+    const auto empty = parallelBatchBootstrap(keys(), {}, lut, 4);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST_F(BatchFixture, EfficiencyProbeProducesSaneNumbers)
+{
+    const auto probe = measureParallelEfficiency(keys(), 8, 2);
+    EXPECT_EQ(probe.threads, 2u);
+    EXPECT_GT(probe.sequentialSeconds, 0.0);
+    EXPECT_GT(probe.parallelSeconds, 0.0);
+    EXPECT_GT(probe.efficiency(), 0.1);
+    EXPECT_LE(probe.efficiency(), 1.25); // allow measurement jitter
+}
+
+} // namespace
+} // namespace morphling::tfhe

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests of the boolean circuit layer: netlist bookkeeping, plaintext
+ * vs encrypted evaluation equivalence (exhaustive for small widths,
+ * randomized for larger circuits), the standard builders, and workload
+ * compilation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/circuit.h"
+#include "common/rng.h"
+#include "tfhe/params.h"
+
+namespace morphling::apps {
+namespace {
+
+using tfhe::KeySet;
+using tfhe::LweCiphertext;
+
+class CircuitFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(0xC1AC);
+        keys_ = new KeySet(KeySet::generate(tfhe::paramsTest(), rng));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete keys_;
+        keys_ = nullptr;
+    }
+
+    const KeySet &keys() { return *keys_; }
+    Rng rng{0x90125};
+
+    std::vector<LweCiphertext>
+    encryptBits(const std::vector<bool> &bits)
+    {
+        std::vector<LweCiphertext> out;
+        for (bool b : bits)
+            out.push_back(tfhe::encryptBit(keys(), b, rng));
+        return out;
+    }
+
+    std::vector<bool>
+    decryptBits(const std::vector<LweCiphertext> &cts)
+    {
+        std::vector<bool> out;
+        for (const auto &ct : cts)
+            out.push_back(tfhe::decryptBit(keys(), ct));
+        return out;
+    }
+
+    static KeySet *keys_;
+};
+
+KeySet *CircuitFixture::keys_ = nullptr;
+
+TEST_F(CircuitFixture, CountsAndDepth)
+{
+    Circuit c;
+    const auto a = c.input();
+    const auto b = c.input();
+    const auto x = c.gate(GateOp::Xor, a, b); // level 1
+    const auto y = c.gate(GateOp::And, x, b); // level 2
+    const auto n = c.gate(GateOp::Not, y);    // linear, stays level 2
+    c.markOutput(n);
+    EXPECT_EQ(c.numInputs(), 2u);
+    EXPECT_EQ(c.bootstrapCount(), 2u);
+    EXPECT_EQ(c.bootstrapDepth(), 2u);
+}
+
+TEST_F(CircuitFixture, PlainEvaluationTruthTable)
+{
+    Circuit c;
+    const auto a = c.input();
+    const auto b = c.input();
+    c.markOutput(c.gate(GateOp::Nand, a, b));
+    c.markOutput(c.mux(a, b, c.constant(true)));
+    for (int ia = 0; ia <= 1; ++ia) {
+        for (int ib = 0; ib <= 1; ++ib) {
+            const auto out = c.evaluatePlain({ia != 0, ib != 0});
+            EXPECT_EQ(out[0], !(ia && ib));
+            EXPECT_EQ(out[1], ia ? (ib != 0) : true);
+        }
+    }
+}
+
+TEST_F(CircuitFixture, EncryptedMatchesPlainExhaustive3Bits)
+{
+    // A small mixed circuit over 3 inputs, checked on all 8 input
+    // combinations.
+    Circuit c;
+    const auto a = c.input();
+    const auto b = c.input();
+    const auto s = c.input();
+    const auto x = c.gate(GateOp::Xor, a, b);
+    const auto m = c.mux(s, x, c.gate(GateOp::Nor, a, b));
+    c.markOutput(m);
+    c.markOutput(c.gate(GateOp::And, m, a));
+
+    for (unsigned v = 0; v < 8; ++v) {
+        const std::vector<bool> in = {(v & 1) != 0, (v & 2) != 0,
+                                      (v & 4) != 0};
+        const auto plain = c.evaluatePlain(in);
+        const auto enc =
+            decryptBits(c.evaluateEncrypted(keys(), encryptBits(in)));
+        EXPECT_EQ(enc, plain) << "v=" << v;
+    }
+}
+
+TEST_F(CircuitFixture, RippleAdderEncrypted)
+{
+    Circuit c;
+    std::vector<Circuit::Wire> a, b, sum;
+    for (int i = 0; i < 4; ++i)
+        a.push_back(c.input());
+    for (int i = 0; i < 4; ++i)
+        b.push_back(c.input());
+    const auto carry = buildRippleAdder(c, a, b, sum);
+    for (auto w : sum)
+        c.markOutput(w);
+    c.markOutput(carry);
+
+    const unsigned x = 13, y = 11;
+    std::vector<bool> in;
+    for (int i = 0; i < 4; ++i)
+        in.push_back((x >> i) & 1);
+    for (int i = 0; i < 4; ++i)
+        in.push_back((y >> i) & 1);
+
+    const auto bits =
+        decryptBits(c.evaluateEncrypted(keys(), encryptBits(in)));
+    unsigned result = 0;
+    for (int i = 0; i < 5; ++i)
+        result |= static_cast<unsigned>(bits[i]) << i;
+    EXPECT_EQ(result, x + y);
+}
+
+TEST_F(CircuitFixture, ComparatorMatchesPlainRandomized)
+{
+    Circuit c;
+    std::vector<Circuit::Wire> a, b;
+    for (int i = 0; i < 4; ++i)
+        a.push_back(c.input());
+    for (int i = 0; i < 4; ++i)
+        b.push_back(c.input());
+    c.markOutput(buildGreaterEqual(c, a, b));
+    c.markOutput(buildEqual(c, a, b));
+
+    Rng values(777);
+    for (int rep = 0; rep < 4; ++rep) {
+        const unsigned x = static_cast<unsigned>(values.nextBelow(16));
+        const unsigned y = static_cast<unsigned>(values.nextBelow(16));
+        std::vector<bool> in;
+        for (int i = 0; i < 4; ++i)
+            in.push_back((x >> i) & 1);
+        for (int i = 0; i < 4; ++i)
+            in.push_back((y >> i) & 1);
+        const auto bits =
+            decryptBits(c.evaluateEncrypted(keys(), encryptBits(in)));
+        EXPECT_EQ(bits[0], x >= y) << x << " vs " << y;
+        EXPECT_EQ(bits[1], x == y) << x << " vs " << y;
+    }
+}
+
+TEST_F(CircuitFixture, WorkloadCompilation)
+{
+    Circuit c;
+    std::vector<Circuit::Wire> a, b, sum;
+    for (int i = 0; i < 8; ++i)
+        a.push_back(c.input());
+    for (int i = 0; i < 8; ++i)
+        b.push_back(c.input());
+    c.markOutput(buildRippleAdder(c, a, b, sum));
+
+    const auto w = c.toWorkload("adder8", 64);
+    // Conservation: workload bootstraps = circuit cost x evaluations.
+    EXPECT_EQ(w.totalBootstraps(), c.bootstrapCount() * 64);
+    // The adder has a genuine critical path: multiple stages.
+    EXPECT_EQ(w.stages.size(), c.bootstrapDepth());
+    EXPECT_GT(c.bootstrapDepth(), 4u);
+}
+
+TEST_F(CircuitFixture, DanglingWireDies)
+{
+    Circuit c;
+    const auto a = c.input();
+    EXPECT_DEATH(c.gate(GateOp::And, a, 99), "dangling");
+}
+
+} // namespace
+} // namespace morphling::apps

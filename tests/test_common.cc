@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism and statistics,
+ * bit utilities, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace morphling {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(7);
+    Rng child = parent.fork();
+    // The fork consumed one parent draw; child stream must not mirror
+    // the parent stream.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (parent() == child());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(13);
+    const int count = 200000;
+    double sum = 0, sum_sq = 0;
+    for (int i = 0; i < count; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / count;
+    const double var = sum_sq / count - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+}
+
+TEST(Bits, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_EQ(log2Floor(1025), 10u);
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(Bits, DivCeilAndRoundUp)
+{
+    EXPECT_EQ(divCeil(10, 3), 4);
+    EXPECT_EQ(divCeil(9, 3), 3);
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+}
+
+TEST(Bits, BitField)
+{
+    EXPECT_EQ(bitField(0xF0F0, 4, 4), 0xFu);
+    EXPECT_EQ(bitField(0xF0F0, 0, 4), 0x0u);
+    EXPECT_EQ(bitField(~0ull, 0, 64), ~0ull);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    Table t({"A", "Metric"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    EXPECT_EQ(t.numRows(), 2u);
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("| longer | 2"), std::string::npos);
+    EXPECT_NE(s.find("| A"), std::string::npos);
+}
+
+TEST(Table, FormattersProduceReadableText)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(Table::fmtCount(7), "7");
+    EXPECT_EQ(Table::fmtCount(1000), "1,000");
+}
+
+} // namespace
+} // namespace morphling

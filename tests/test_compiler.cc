@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the ISA encoding, program container and SW scheduler
+ * (batching of 64 LWEs into 4 groups, dependent streams, barriers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/isa.h"
+#include "compiler/program.h"
+#include "compiler/sw_scheduler.h"
+#include "tfhe/params.h"
+
+namespace morphling::compiler {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip)
+{
+    const Instruction cases[] = {
+        {Opcode::DmaLoadLwe, 0, 16, 32064},
+        {Opcode::VpuModSwitch, 3, 16, 0},
+        {Opcode::XpuBlindRotate, 2, 16, 500},
+        {Opcode::VpuPAlu, 1, 0, 0xFFFFFFFF},
+        {Opcode::Barrier, 0, 0, 7},
+    };
+    for (const auto &inst : cases)
+        EXPECT_EQ(Instruction::decode(inst.encode()), inst)
+            << inst.toString();
+}
+
+TEST(Isa, OpcodeClassesArePartition)
+{
+    const Opcode all[] = {
+        Opcode::DmaLoadLwe,   Opcode::DmaLoadBsk,
+        Opcode::DmaLoadKsk,   Opcode::DmaLoadData,
+        Opcode::DmaStoreLwe,  Opcode::VpuModSwitch,
+        Opcode::VpuSampleExtract, Opcode::VpuKeySwitch,
+        Opcode::VpuPAlu,      Opcode::XpuBlindRotate,
+        Opcode::Barrier,
+    };
+    for (auto op : all) {
+        const int classes = isDmaOp(op) + isVpuOp(op) + isXpuOp(op);
+        if (op == Opcode::Barrier)
+            EXPECT_EQ(classes, 0);
+        else
+            EXPECT_EQ(classes, 1) << opcodeName(op);
+        EXPECT_FALSE(opcodeName(op).empty());
+    }
+}
+
+TEST(Program, SerializeRoundTrip)
+{
+    Program prog("p");
+    prog.add({Opcode::DmaLoadLwe, 1, 16, 123});
+    prog.add({Opcode::XpuBlindRotate, 1, 16, 500});
+    const Program back = Program::deserialize("p", prog.serialize());
+    ASSERT_EQ(back.size(), prog.size());
+    for (std::size_t i = 0; i < prog.size(); ++i)
+        EXPECT_EQ(back.at(i), prog.at(i));
+}
+
+TEST(Program, GroupStreamFilters)
+{
+    Program prog("p");
+    prog.add({Opcode::VpuModSwitch, 0, 1, 0});
+    prog.add({Opcode::VpuModSwitch, 1, 2, 0});
+    prog.add({Opcode::VpuKeySwitch, 0, 3, 0});
+    const auto g0 = prog.groupStream(0);
+    ASSERT_EQ(g0.size(), 2u);
+    EXPECT_EQ(g0[1].count, 3u);
+}
+
+class SchedulerFixture : public ::testing::Test
+{
+  protected:
+    const tfhe::TfheParams &params = tfhe::paramsSetI();
+    SwScheduler scheduler{params};
+};
+
+TEST_F(SchedulerFixture, BatchCoversAllCiphertexts)
+{
+    const Program prog = scheduler.scheduleBootstrapBatch(200);
+    EXPECT_EQ(prog.totalBlindRotations(), 200u);
+    // Every bootstrap chunk carries the full dependent stream.
+    const auto hist = prog.histogram();
+    EXPECT_EQ(hist.at(Opcode::VpuModSwitch),
+              hist.at(Opcode::XpuBlindRotate));
+    EXPECT_EQ(hist.at(Opcode::VpuSampleExtract),
+              hist.at(Opcode::XpuBlindRotate));
+    EXPECT_EQ(hist.at(Opcode::VpuKeySwitch),
+              hist.at(Opcode::XpuBlindRotate));
+}
+
+TEST_F(SchedulerFixture, ChunksAreGroupSized)
+{
+    const Program prog = scheduler.scheduleBootstrapBatch(64);
+    unsigned chunks = 0;
+    for (const auto &inst : prog.instructions()) {
+        if (inst.op == Opcode::XpuBlindRotate) {
+            EXPECT_EQ(inst.count, 16u);
+            EXPECT_EQ(inst.operand, params.lweDimension);
+            ++chunks;
+        }
+    }
+    EXPECT_EQ(chunks, 4u);
+}
+
+TEST_F(SchedulerFixture, GroupsRoundRobin)
+{
+    const Program prog = scheduler.scheduleBootstrapBatch(128);
+    // 8 chunks of 16 -> two per group.
+    for (std::uint8_t g = 0; g < 4; ++g) {
+        unsigned brs = 0;
+        for (const auto &inst : prog.groupStream(g))
+            brs += inst.op == Opcode::XpuBlindRotate;
+        EXPECT_EQ(brs, 2u) << "group " << int(g);
+    }
+}
+
+TEST_F(SchedulerFixture, PartialTailChunk)
+{
+    const Program prog = scheduler.scheduleBootstrapBatch(70);
+    std::vector<unsigned> counts;
+    for (const auto &inst : prog.instructions()) {
+        if (inst.op == Opcode::XpuBlindRotate)
+            counts.push_back(inst.count);
+    }
+    ASSERT_EQ(counts.size(), 5u);
+    EXPECT_EQ(counts.back(), 6u); // 70 = 4*16 + 6
+}
+
+TEST_F(SchedulerFixture, KskTrafficIsAmortized)
+{
+    const Program prog = scheduler.scheduleBootstrapBatch(64);
+    for (const auto &inst : prog.instructions()) {
+        if (inst.op == Opcode::DmaLoadKsk) {
+            // 16 ciphertexts amortized over 64 -> one quarter of the
+            // KSK per chunk.
+            EXPECT_EQ(inst.operand, params.kskBytes() * 16 / 64);
+        }
+    }
+}
+
+TEST_F(SchedulerFixture, StagesSeparatedByBarriers)
+{
+    Workload w;
+    w.name = "two-layer";
+    w.stages.push_back({64, 1000});
+    w.stages.push_back({64, 0});
+    const Program prog = scheduler.schedule(w);
+
+    const auto hist = prog.histogram();
+    // One barrier per group at the single stage boundary.
+    EXPECT_EQ(hist.at(Opcode::Barrier), 4u);
+    EXPECT_EQ(prog.totalBlindRotations(), 128u);
+    EXPECT_GE(hist.at(Opcode::VpuPAlu), 1u);
+
+    // Barriers must appear after every stage-1 blind rotate and before
+    // every stage-2 one, per group.
+    for (std::uint8_t g = 0; g < 4; ++g) {
+        const auto stream = prog.groupStream(g);
+        bool seen_barrier = false;
+        unsigned before = 0, after = 0;
+        for (const auto &inst : stream) {
+            if (inst.op == Opcode::Barrier)
+                seen_barrier = true;
+            else if (inst.op == Opcode::XpuBlindRotate)
+                (seen_barrier ? after : before) += 1;
+        }
+        EXPECT_TRUE(seen_barrier);
+        EXPECT_GT(before, 0u);
+        EXPECT_GT(after, 0u);
+    }
+}
+
+TEST_F(SchedulerFixture, BskBytesMatchTransformFormat)
+{
+    // (k+1) l_b (k+1) polys of N/2 complex64 = 8 * 512 * 8 bytes.
+    EXPECT_EQ(scheduler.bskBytesPerIteration(), 8ull * 512 * 8);
+}
+
+TEST(Workload, Totals)
+{
+    Workload w;
+    w.stages.push_back({10, 100});
+    w.stages.push_back({20, 200});
+    EXPECT_EQ(w.totalBootstraps(), 30u);
+    EXPECT_EQ(w.totalLinearMacs(), 300u);
+}
+
+} // namespace
+} // namespace morphling::compiler

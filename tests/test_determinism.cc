@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Determinism and conservation properties of the full stack: identical
+ * seeds give identical ciphertexts and identical simulations; random
+ * workloads conserve their bootstrap counts through scheduling and
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "common/rng.h"
+#include "compiler/sw_scheduler.h"
+#include "tfhe/encoding.h"
+
+namespace morphling {
+namespace {
+
+TEST(Determinism, KeyGenerationIsSeedDeterministic)
+{
+    Rng rng_a(12345), rng_b(12345);
+    const auto keys_a = tfhe::KeySet::generate(tfhe::paramsTest(), rng_a);
+    const auto keys_b = tfhe::KeySet::generate(tfhe::paramsTest(), rng_b);
+    EXPECT_EQ(keys_a.lweKey.bits(), keys_b.lweKey.bits());
+    EXPECT_EQ(keys_a.extractedKey.bits(), keys_b.extractedKey.bits());
+}
+
+TEST(Determinism, BootstrapIsBitDeterministic)
+{
+    Rng rng(777);
+    const auto keys = tfhe::KeySet::generate(tfhe::paramsTest(), rng);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto ct = tfhe::encryptPadded(keys, 2, 4, rng);
+    const auto out1 = tfhe::programmableBootstrap(keys, ct, lut);
+    const auto out2 = tfhe::programmableBootstrap(keys, ct, lut);
+    EXPECT_EQ(out1.raw(), out2.raw());
+}
+
+TEST(Determinism, SimulationIsRunDeterministic)
+{
+    const auto cfg = arch::ArchConfig::morphlingDefault();
+    arch::Accelerator acc(cfg, tfhe::paramsSetI());
+    const auto r1 = acc.runBootstrapBatch(256);
+    const auto r2 = acc.runBootstrapBatch(256);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.hbmBytes, r2.hbmBytes);
+    EXPECT_DOUBLE_EQ(r1.throughputBs, r2.throughputBs);
+    EXPECT_EQ(r1.xpuBusyCycles, r2.xpuBusyCycles);
+}
+
+TEST(Conservation, RandomWorkloadsBootstrapCountsSurviveTheStack)
+{
+    Rng rng(31337);
+    const auto &params = tfhe::paramsSetI();
+    const compiler::SwScheduler scheduler(params);
+    const arch::Accelerator acc(
+        arch::ArchConfig::morphlingDefault(), params);
+
+    for (int rep = 0; rep < 3; ++rep) {
+        compiler::Workload w;
+        w.name = "random";
+        const unsigned stages =
+            1 + static_cast<unsigned>(rng.nextBelow(4));
+        std::uint64_t expected = 0;
+        for (unsigned s = 0; s < stages; ++s) {
+            const std::uint64_t bs = rng.nextBelow(120);
+            const std::uint64_t macs = rng.nextBelow(50000);
+            if (bs == 0 && macs == 0)
+                continue;
+            w.stages.push_back({bs, macs});
+            expected += bs;
+        }
+        if (w.stages.empty())
+            w.stages.push_back({7, 0}), expected = 7;
+
+        const auto program = scheduler.schedule(w);
+        EXPECT_EQ(program.totalBlindRotations(), expected);
+        const auto report = acc.run(program);
+        EXPECT_EQ(report.bootstraps, expected) << "rep " << rep;
+        EXPECT_GT(report.cycles, 0u);
+    }
+}
+
+TEST(Conservation, MoreWorkNeverFinishesFaster)
+{
+    const arch::Accelerator acc(
+        arch::ArchConfig::morphlingDefault(), tfhe::paramsSetI());
+    std::uint64_t prev_cycles = 0;
+    for (std::uint64_t count : {64ull, 128ull, 256ull, 512ull}) {
+        const auto r = acc.runBootstrapBatch(count);
+        EXPECT_GT(r.cycles, prev_cycles) << count;
+        prev_cycles = r.cycles;
+    }
+}
+
+} // namespace
+} // namespace morphling

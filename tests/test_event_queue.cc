@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, determinism,
+ * re-entrancy and the runaway guard interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace morphling::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&]() { order.push_back(1); }, 0);
+    eq.schedule(5, [&]() { order.push_back(2); }, 0);
+    eq.schedule(5, [&]() { order.push_back(0); }, -1);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() {
+        ++fired;
+        eq.scheduleIn(9, [&]() { ++fired; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.schedule(30, [&]() { ++fired; });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    eq.schedule(1, []() {});
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtCurrentTick)
+{
+    EventQueue eq;
+    Tick seen = 99;
+    eq.schedule(5, [&]() {
+        eq.scheduleIn(0, [&]() { seen = eq.now(); });
+    });
+    eq.runAll();
+    EXPECT_EQ(seen, 5u);
+}
+
+TEST(EventQueue, DeterministicAcrossRuns)
+{
+    auto run = []() {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 100; ++i) {
+            eq.schedule((i * 7) % 13, [&order, i]() {
+                order.push_back(i);
+            });
+        }
+        eq.runAll();
+        return order;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(EventQueue, ManyEventsDrainCompletely)
+{
+    EventQueue eq;
+    std::uint64_t count = 0;
+    for (int i = 0; i < 10000; ++i)
+        eq.schedule(i, [&]() { ++count; });
+    EXPECT_EQ(eq.runAll(), 10000u);
+    EXPECT_EQ(count, 10000u);
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace
+} // namespace morphling::sim

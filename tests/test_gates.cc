@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the bootstrapped boolean gate layer: truth tables of every
+ * two-input gate, the linear NOT, MUX, and a small composed circuit
+ * (full adder) to check gate outputs chain correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/encoding.h"
+#include "tfhe/params.h"
+
+namespace morphling::tfhe {
+namespace {
+
+class GateFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(31337);
+        keys_ = new KeySet(KeySet::generate(paramsTest(), rng));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete keys_;
+        keys_ = nullptr;
+    }
+
+    const KeySet &keys() { return *keys_; }
+    Rng rng{2718281828};
+
+    LweCiphertext
+    enc(bool b)
+    {
+        return encryptBit(keys(), b, rng);
+    }
+    bool
+    dec(const LweCiphertext &ct)
+    {
+        return decryptBit(keys(), ct);
+    }
+
+    static KeySet *keys_;
+};
+
+KeySet *GateFixture::keys_ = nullptr;
+
+TEST_F(GateFixture, EncryptDecryptBit)
+{
+    for (int rep = 0; rep < 10; ++rep) {
+        EXPECT_TRUE(dec(enc(true)));
+        EXPECT_FALSE(dec(enc(false)));
+    }
+}
+
+TEST_F(GateFixture, TrivialBit)
+{
+    EXPECT_TRUE(dec(trivialBit(keys(), true)));
+    EXPECT_FALSE(dec(trivialBit(keys(), false)));
+}
+
+TEST_F(GateFixture, NotIsLinear)
+{
+    EXPECT_FALSE(dec(gateNot(enc(true))));
+    EXPECT_TRUE(dec(gateNot(enc(false))));
+}
+
+struct GateCase
+{
+    const char *name;
+    LweCiphertext (*fn)(const KeySet &, const LweCiphertext &,
+                        const LweCiphertext &);
+    bool truth[4]; //!< outputs for (a,b) = 00, 01, 10, 11
+};
+
+class TwoInputGates : public GateFixture,
+                      public ::testing::WithParamInterface<int>
+{
+};
+
+const GateCase kGateCases[] = {
+    {"NAND", &gateNand, {true, true, true, false}},
+    {"AND", &gateAnd, {false, false, false, true}},
+    {"OR", &gateOr, {false, true, true, true}},
+    {"NOR", &gateNor, {true, false, false, false}},
+    {"XOR", &gateXor, {false, true, true, false}},
+    {"XNOR", &gateXnor, {true, false, false, true}},
+};
+
+TEST_P(TwoInputGates, TruthTable)
+{
+    const auto &gate = kGateCases[GetParam()];
+    for (int a = 0; a <= 1; ++a) {
+        for (int b = 0; b <= 1; ++b) {
+            const auto out =
+                gate.fn(keys(), enc(a != 0), enc(b != 0));
+            EXPECT_EQ(dec(out), gate.truth[a * 2 + b])
+                << gate.name << "(" << a << "," << b << ")";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, TwoInputGates, ::testing::Range(0, 6),
+                         [](const auto &info) {
+                             return kGateCases[info.param].name;
+                         });
+
+TEST_F(GateFixture, MuxSelects)
+{
+    for (int s = 0; s <= 1; ++s) {
+        for (int x = 0; x <= 1; ++x) {
+            for (int y = 0; y <= 1; ++y) {
+                const auto out = gateMux(keys(), enc(s != 0),
+                                         enc(x != 0), enc(y != 0));
+                EXPECT_EQ(dec(out), s ? (x != 0) : (y != 0))
+                    << "MUX(" << s << "," << x << "," << y << ")";
+            }
+        }
+    }
+}
+
+TEST_F(GateFixture, FullAdderCircuit)
+{
+    // sum = a XOR b XOR cin; cout = majority(a, b, cin).
+    for (int a = 0; a <= 1; ++a) {
+        for (int b = 0; b <= 1; ++b) {
+            for (int cin = 0; cin <= 1; ++cin) {
+                const auto ca = enc(a != 0), cb = enc(b != 0),
+                           cc = enc(cin != 0);
+                const auto ab = gateXor(keys(), ca, cb);
+                const auto sum = gateXor(keys(), ab, cc);
+                const auto carry = gateOr(
+                    keys(), gateAnd(keys(), ca, cb),
+                    gateAnd(keys(), ab, cc));
+                EXPECT_EQ(dec(sum), ((a + b + cin) & 1) != 0);
+                EXPECT_EQ(dec(carry), (a + b + cin) >= 2);
+            }
+        }
+    }
+}
+
+TEST_F(GateFixture, LongGateChainStaysClean)
+{
+    // 16 chained NAND gates: each output feeds the next. Bootstrapped
+    // outputs must never degrade.
+    auto ct = enc(true);
+    bool expected = true;
+    const auto one = enc(true);
+    for (int i = 0; i < 16; ++i) {
+        ct = gateNand(keys(), ct, one);
+        expected = !(expected && true);
+        EXPECT_EQ(dec(ct), expected) << "step " << i;
+    }
+}
+
+} // namespace
+} // namespace morphling::tfhe

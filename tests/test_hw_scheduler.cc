@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Edge-case tests of the HW scheduler and configuration validation:
+ * degenerate programs, oversized chunks, group skew, and the fatal()
+ * paths for inconsistent configurations (death tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "compiler/sw_scheduler.h"
+
+namespace morphling::arch {
+namespace {
+
+using compiler::Instruction;
+using compiler::Opcode;
+using compiler::Program;
+
+const ArchConfig kDefault = ArchConfig::morphlingDefault();
+
+SimReport
+runProgram(const Program &program,
+           const tfhe::TfheParams &params = tfhe::paramsSetI())
+{
+    Accelerator acc(kDefault, params);
+    return acc.run(program);
+}
+
+TEST(HwSchedulerEdge, SingleInstructionProgram)
+{
+    Program prog("tiny");
+    prog.add({Opcode::VpuModSwitch, 0, 4, 0});
+    const auto r = runProgram(prog);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.bootstraps, 0u);
+}
+
+TEST(HwSchedulerEdge, DmaOnlyProgram)
+{
+    Program prog("dma");
+    prog.add({Opcode::DmaLoadLwe, 0, 16, 32 * 1024});
+    prog.add({Opcode::DmaStoreLwe, 0, 16, 32 * 1024});
+    const auto r = runProgram(prog);
+    EXPECT_GT(r.vpuDmaBytes, 0u);
+}
+
+TEST(HwSchedulerEdge, BlindRotateWithoutStagingStillCompletes)
+{
+    // A bare XPU instruction (no DMA/VPU head) is a legal chain.
+    Program prog("bare-br");
+    prog.add({Opcode::XpuBlindRotate, 0, 16, 100});
+    const auto r = runProgram(prog);
+    EXPECT_EQ(r.bootstraps, 16u);
+}
+
+TEST(HwSchedulerEdge, OversizedChunkMultiplexesRows)
+{
+    // 40 ciphertexts in one chunk exceed the 16 rows: the complex
+    // serves them in extra passes, and all complete.
+    Program prog("big-chunk");
+    prog.add({Opcode::XpuBlindRotate, 0, 40, 200});
+    const auto r = runProgram(prog);
+    EXPECT_EQ(r.bootstraps, 40u);
+
+    Program small("small-chunk");
+    small.add({Opcode::XpuBlindRotate, 0, 16, 200});
+    const auto r_small = runProgram(small);
+    EXPECT_GT(r.cycles, r_small.cycles);
+}
+
+TEST(HwSchedulerEdge, SkewedGroupsStillRendezvousAtBarrier)
+{
+    // Group 0 carries far more work than group 1 before the barrier.
+    Program prog("skew");
+    for (int i = 0; i < 4; ++i)
+        prog.add({Opcode::XpuBlindRotate, 0, 16, 100});
+    prog.add({Opcode::VpuModSwitch, 1, 1, 0});
+    prog.add({Opcode::Barrier, 0, 0, 0});
+    prog.add({Opcode::Barrier, 1, 0, 0});
+    prog.add({Opcode::XpuBlindRotate, 1, 16, 100});
+    const auto r = runProgram(prog);
+    EXPECT_EQ(r.bootstraps, 5u * 16);
+}
+
+TEST(HwSchedulerEdge, ManySmallChunksDrainCompletely)
+{
+    compiler::SchedulerConfig cfg;
+    cfg.groupSize = 1;
+    compiler::SwScheduler sw(tfhe::paramsSetI(), cfg);
+    const auto prog = sw.scheduleBootstrapBatch(37);
+    const auto r = runProgram(prog);
+    EXPECT_EQ(r.bootstraps, 37u);
+}
+
+TEST(HwSchedulerEdge, ZeroCountBlindRotateDies)
+{
+    Program prog("zero");
+    prog.add({Opcode::XpuBlindRotate, 0, 0, 100});
+    EXPECT_DEATH(runProgram(prog), "empty blind rotation");
+}
+
+TEST(ConfigValidation, ChannelPartitionMustFit)
+{
+    ArchConfig cfg = kDefault;
+    cfg.xpuHbmChannels = 4;
+    cfg.vpuHbmChannels = 6; // 10 > 8
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "channel partition");
+}
+
+TEST(ConfigValidation, ZeroGeometryDies)
+{
+    ArchConfig cfg = kDefault;
+    cfg.numXpus = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "geometry");
+}
+
+TEST(ConfigValidation, TransformUnitsRequired)
+{
+    ArchConfig cfg = kDefault;
+    cfg.fftUnitsPerXpu = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "transform unit");
+}
+
+TEST(ConfigValidation, ParamGadgetOverflowDies)
+{
+    EXPECT_EXIT(
+        {
+            tfhe::TfheParams p = tfhe::paramsSetI();
+            p.bskLevels = 4;
+            p.bskBaseBits = 10; // 40 bits > 32
+            p.validate();
+        },
+        ::testing::ExitedWithCode(1), "exceeds 32-bit torus");
+}
+
+TEST(ConfigValidation, UnknownParamSetDies)
+{
+    EXPECT_EXIT(tfhe::paramsByName("XXI"),
+                ::testing::ExitedWithCode(1), "unknown TFHE parameter");
+}
+
+} // namespace
+} // namespace morphling::arch

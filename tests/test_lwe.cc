@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for LWE keys, encryption, decryption and the homomorphic
+ * linear operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/lwe.h"
+#include "tfhe/params.h"
+
+namespace morphling::tfhe {
+namespace {
+
+class LweFixture : public ::testing::Test
+{
+  protected:
+    const TfheParams &params = paramsTest();
+    Rng rng{12345};
+    LweKey key = LweKey::generate(params, rng);
+};
+
+TEST_F(LweFixture, KeyIsBinaryAndRightSize)
+{
+    EXPECT_EQ(key.dimension(), params.lweDimension);
+    int ones = 0;
+    for (auto b : key.bits()) {
+        EXPECT_TRUE(b == 0 || b == 1);
+        ones += b;
+    }
+    // A uniform binary key is almost surely not degenerate.
+    EXPECT_GT(ones, 0);
+    EXPECT_LT(ones, static_cast<int>(key.dimension()));
+}
+
+TEST_F(LweFixture, EncryptDecryptRoundTrip)
+{
+    const std::uint32_t space = 8;
+    for (std::uint32_t m = 0; m < space; ++m) {
+        const auto ct = LweCiphertext::encrypt(
+            key, encodeMessage(m, space), params.lweNoiseStd, rng);
+        EXPECT_EQ(lweDecrypt(key, ct, space), m);
+    }
+}
+
+TEST_F(LweFixture, PhaseNoiseIsSmall)
+{
+    const Torus32 mu = encodeMessage(3, 16);
+    for (int i = 0; i < 50; ++i) {
+        const auto ct =
+            LweCiphertext::encrypt(key, mu, params.lweNoiseStd, rng);
+        EXPECT_LT(torusDistance(ct.phase(key), mu),
+                  20 * params.lweNoiseStd);
+    }
+}
+
+TEST_F(LweFixture, TrivialCiphertextDecryptsWithoutKeyMaterial)
+{
+    const Torus32 mu = encodeMessage(5, 8);
+    const auto ct = LweCiphertext::trivial(key.dimension(), mu);
+    EXPECT_EQ(ct.phase(key), mu); // exact: no noise, no mask
+}
+
+TEST_F(LweFixture, HomomorphicAddition)
+{
+    const std::uint32_t space = 16;
+    const auto c1 = LweCiphertext::encrypt(key, encodeMessage(3, space),
+                                           params.lweNoiseStd, rng);
+    const auto c2 = LweCiphertext::encrypt(key, encodeMessage(5, space),
+                                           params.lweNoiseStd, rng);
+    auto sum = c1;
+    sum.addAssign(c2);
+    EXPECT_EQ(lweDecrypt(key, sum, space), 8u);
+}
+
+TEST_F(LweFixture, HomomorphicSubtractionWraps)
+{
+    const std::uint32_t space = 16;
+    const auto c1 = LweCiphertext::encrypt(key, encodeMessage(3, space),
+                                           params.lweNoiseStd, rng);
+    const auto c2 = LweCiphertext::encrypt(key, encodeMessage(5, space),
+                                           params.lweNoiseStd, rng);
+    auto diff = c1;
+    diff.subAssign(c2);
+    EXPECT_EQ(lweDecrypt(key, diff, space), 14u); // 3 - 5 mod 16
+}
+
+TEST_F(LweFixture, HomomorphicNegation)
+{
+    const std::uint32_t space = 16;
+    const auto ct = LweCiphertext::encrypt(key, encodeMessage(3, space),
+                                           params.lweNoiseStd, rng);
+    auto neg = ct;
+    neg.negate();
+    EXPECT_EQ(lweDecrypt(key, neg, space), 13u);
+}
+
+TEST_F(LweFixture, ScalarMultiplication)
+{
+    const std::uint32_t space = 16;
+    const auto ct = LweCiphertext::encrypt(key, encodeMessage(3, space),
+                                           params.lweNoiseStd, rng);
+    auto scaled = ct;
+    scaled.scaleAssign(4);
+    EXPECT_EQ(lweDecrypt(key, scaled, space), 12u);
+    scaled = ct;
+    scaled.scaleAssign(-2);
+    EXPECT_EQ(lweDecrypt(key, scaled, space), 10u); // -6 mod 16
+}
+
+TEST_F(LweFixture, AddPlainShiftsMessage)
+{
+    const std::uint32_t space = 8;
+    auto ct = LweCiphertext::encrypt(key, encodeMessage(2, space),
+                                     params.lweNoiseStd, rng);
+    ct.addPlain(encodeMessage(3, space));
+    EXPECT_EQ(lweDecrypt(key, ct, space), 5u);
+}
+
+TEST(Lwe, MasksLookUniform)
+{
+    // Chi-squared-ish sanity check on the top mask bits.
+    const auto &params = paramsTest();
+    Rng rng(777);
+    const auto key = LweKey::generate(params, rng);
+    int buckets[4] = {0, 0, 0, 0};
+    const int samples = 200;
+    for (int i = 0; i < samples; ++i) {
+        const auto ct =
+            LweCiphertext::encrypt(key, 0, params.lweNoiseStd, rng);
+        for (unsigned j = 0; j < ct.dimension(); ++j)
+            ++buckets[ct.mask(j) >> 30];
+    }
+    const double expect = samples * params.lweDimension / 4.0;
+    for (int b = 0; b < 4; ++b)
+        EXPECT_NEAR(buckets[b], expect, expect * 0.1);
+}
+
+} // namespace
+} // namespace morphling::tfhe

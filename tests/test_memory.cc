@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the memory-system models: HBM channels, striping, the
+ * NoC links, and the DMA engines (bandwidth conservation invariants).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dma.h"
+#include "sim/hbm.h"
+#include "sim/noc.h"
+
+namespace morphling::sim {
+namespace {
+
+HbmConfig
+testHbm()
+{
+    HbmConfig cfg;
+    cfg.channels = 8;
+    cfg.bandwidthGBs = 310.0;
+    cfg.clockGHz = 1.2;
+    cfg.accessLatency = 100;
+    return cfg;
+}
+
+TEST(Hbm, BytesPerCycleMatchesSpec)
+{
+    const HbmConfig cfg = testHbm();
+    // 310 GB/s over 8 channels at 1.2 GHz.
+    EXPECT_NEAR(cfg.bytesPerCyclePerChannel(), 310.0 / 8 / 1.2, 1e-9);
+}
+
+TEST(Hbm, SingleAccessLatency)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    const std::uint64_t bytes = 32768;
+    const Tick done = hbm.access(0, bytes);
+    const double bpc = testHbm().bytesPerCyclePerChannel();
+    const Tick expected =
+        static_cast<Tick>(std::ceil(bytes / bpc)) + 100;
+    EXPECT_EQ(done, expected);
+}
+
+TEST(Hbm, ChannelSerializesBackToBack)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    const Tick d1 = hbm.access(0, 1 << 20);
+    const Tick d2 = hbm.access(0, 1 << 20);
+    // Second transfer queues behind the first's occupancy (latency is
+    // pipelined, so the gap is exactly the busy time).
+    EXPECT_EQ(d2 - d1, d1 - 100);
+}
+
+TEST(Hbm, DifferentChannelsAreIndependent)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    const Tick d1 = hbm.access(0, 1 << 20);
+    const Tick d2 = hbm.access(1, 1 << 20);
+    EXPECT_EQ(d1, d2);
+}
+
+TEST(Hbm, StripedAccessUsesAllChannels)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    const Tick striped = hbm.accessStriped(0, 4, 4 << 20);
+    EventQueue eq2;
+    Hbm hbm2(eq2, testHbm());
+    const Tick single = hbm2.access(0, 4 << 20);
+    // Four channels: roughly 4x faster (latency once).
+    EXPECT_LT(striped, single / 2);
+}
+
+TEST(Hbm, CompletionCallbackFires)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    bool fired = false;
+    const Tick done = hbm.access(0, 4096, [&]() { fired = true; });
+    eq.runAll();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.now(), done);
+}
+
+TEST(Hbm, AchievedBandwidthBelowPeak)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    for (int i = 0; i < 100; ++i)
+        hbm.accessStriped(0, 8, 1 << 20, []() {});
+    eq.runAll();
+    EXPECT_GT(hbm.totalBytes(), 0u);
+    // Sustained model can never exceed the configured aggregate.
+    EXPECT_LE(hbm.achievedBandwidthGBs(), 310.0 + 1.0);
+    EXPECT_GT(hbm.achievedBandwidthGBs(), 200.0);
+}
+
+TEST(Noc, LinkTransferTiming)
+{
+    EventQueue eq;
+    Noc noc(eq);
+    auto &link = noc.addLink("a1_to_xpu", 64);
+    const Tick done = link.transfer(6400);
+    EXPECT_EQ(done, 100u);
+    EXPECT_EQ(link.totalBytes(), 6400u);
+}
+
+TEST(Noc, LinkSerializes)
+{
+    EventQueue eq;
+    Noc noc(eq);
+    auto &link = noc.addLink("l", 64);
+    link.transfer(640);
+    const Tick done = link.transfer(640);
+    EXPECT_EQ(done, 20u);
+}
+
+TEST(Noc, AggregateBandwidth)
+{
+    EventQueue eq;
+    Noc noc(eq);
+    // The paper's chip-wide 4.8 TB/s at 1.2 GHz = 4000 B/cycle total.
+    for (int i = 0; i < 8; ++i)
+        noc.addLink("xbar" + std::to_string(i), 500);
+    EXPECT_NEAR(noc.aggregateBandwidthTBs(1.2), 4.8, 1e-9);
+}
+
+TEST(Noc, UtilizationTracksBusyFraction)
+{
+    EventQueue eq;
+    Noc noc(eq);
+    auto &link = noc.addLink("l", 64);
+    link.transfer(64 * 50); // 50 cycles
+    eq.runUntil(100);
+    EXPECT_NEAR(link.utilization(), 0.5, 1e-9);
+}
+
+TEST(Dma, LoadStripesAndCompletes)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    DmaEngine dma(eq, hbm, "ksk_dma", 0, 6);
+    EXPECT_NEAR(dma.bytesPerCycle(),
+                testHbm().bytesPerCyclePerChannel() * 6, 1e-9);
+
+    bool fired = false;
+    dma.load(6 << 20, [&]() { fired = true; });
+    EXPECT_EQ(dma.outstanding(), 1u);
+    eq.runAll();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(dma.outstanding(), 0u);
+    EXPECT_EQ(dma.totalBytes(), std::uint64_t{6} << 20);
+}
+
+TEST(Dma, ChannelPartitionIsolation)
+{
+    // XPU loads on channels 6..7 must not slow VPU loads on 0..5.
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    DmaEngine vpu_dma(eq, hbm, "vpu", 0, 6);
+    DmaEngine xpu_dma(eq, hbm, "xpu", 6, 2);
+
+    const Tick xpu_alone = xpu_dma.load(1 << 20);
+    const Tick vpu_done = vpu_dma.load(1 << 20);
+    EXPECT_LT(vpu_done, xpu_alone); // more channels -> faster
+    // Re-issuing on the XPU path is unaffected by VPU traffic.
+    const Tick xpu_again = xpu_dma.load(1 << 20);
+    EXPECT_EQ(xpu_again - 100, 2 * (xpu_alone - 100));
+}
+
+} // namespace
+} // namespace morphling::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Property tests of the noise model: measured noise of this
+ * implementation must track the analytic prediction within a small
+ * factor, margins must clear the failure threshold on every parameter
+ * set, and noise must actually shrink across a bootstrap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/encoding.h"
+#include "tfhe/noise.h"
+
+namespace morphling::tfhe {
+namespace {
+
+TEST(NoiseModel, FreshNoiseMeasurementMatchesConfiguredStd)
+{
+    Rng rng(101);
+    const KeySet keys = KeySet::generate(paramsTest(), rng);
+    const double measured = measureFreshNoiseStd(keys, 4000, rng);
+    EXPECT_NEAR(measured, keys.params.lweNoiseStd,
+                keys.params.lweNoiseStd * 0.1);
+}
+
+TEST(NoiseModel, BootstrapNoisePredictionWithinFactorOfMeasurement)
+{
+    Rng rng(102);
+    const KeySet keys = KeySet::generate(paramsTest(), rng);
+    const NoiseModel model(keys.params);
+
+    const double predicted = std::sqrt(model.bootstrapOutputVariance());
+    const double measured =
+        measureBootstrapNoiseStd(keys, 4, 60, rng);
+
+    // The analytic formula uses worst-case-ish digit variances; agree
+    // within a factor of four in either direction.
+    EXPECT_LT(measured, predicted * 4.0);
+    EXPECT_GT(measured, predicted / 4.0);
+}
+
+TEST(NoiseModel, BootstrapRefreshesAccumulatedNoise)
+{
+    Rng rng(103);
+    const KeySet keys = KeySet::generate(paramsTest(), rng);
+
+    // Accumulate noise by summing 16 fresh encryptions of zero.
+    auto noisy = encryptPadded(keys, 1, 4, rng);
+    for (int i = 0; i < 16; ++i) {
+        auto zero = encryptPadded(keys, 0, 4, rng);
+        noisy.addAssign(zero);
+    }
+    const double before =
+        torusDistance(noisy.phase(keys.lweKey), encodePadded(1, 4));
+
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto refreshed = programmableBootstrap(keys, noisy, lut);
+    const double after = torusDistance(refreshed.phase(keys.lweKey),
+                                       encodePadded(1, 4));
+
+    // 17 accumulated fresh noises vs one bootstrap output: the
+    // bootstrap output level is independent of the input level.
+    const double fresh_17 =
+        std::sqrt(17.0) * keys.params.lweNoiseStd;
+    EXPECT_GT(before, fresh_17 / 10); // sanity: noise did accumulate
+    const NoiseModel model(keys.params);
+    EXPECT_LT(after,
+              10 * std::sqrt(model.bootstrapOutputVariance()) + 1e-9);
+}
+
+TEST(NoiseModel, EveryParamSetHasSafeMargins)
+{
+    // The functional guarantee behind all round-trip tests: at a
+    // 2-bit padded message space, both the bootstrap input side
+    // (mod-switch + fresh/bootstrap noise) and the output decode side
+    // must sit many sigmas from the decision boundary.
+    for (const auto &params : allParamSets()) {
+        const NoiseModel model(params);
+        const double input_sigmas =
+            model.slotSigmas(4, model.bootstrapOutputVariance());
+        EXPECT_GT(input_sigmas, 6.0) << params.name;
+
+        const double decode_margin = 1.0 / 16.0; // half slot at 2p=8
+        const double out_std =
+            std::sqrt(model.bootstrapOutputVariance());
+        EXPECT_GT(decode_margin / out_std, 6.0) << params.name;
+    }
+}
+
+TEST(NoiseModel, ModSwitchVarianceScalesWithDimension)
+{
+    const NoiseModel small(paramsSetI());   // n=500, N=1024
+    const NoiseModel large(paramsSetIV());  // n=742, N=2048
+    // Larger N shrinks the rounding step faster than n grows.
+    EXPECT_LT(large.modSwitchVariance(), small.modSwitchVariance());
+}
+
+TEST(NoiseModel, ExternalProductVarianceMonotoneInBase)
+{
+    // A larger decomposition base amplifies the BSK noise (bigger
+    // digits) — the tradeoff the l_b/beta choice balances.
+    auto p_small = paramsSetI();
+    auto p_large = paramsSetI();
+    p_large.bskBaseBits = 12;
+    p_large.bskLevels = 2;
+    const NoiseModel small(p_small), large(p_large);
+    EXPECT_GT(large.externalProductVariance(),
+              small.externalProductVariance());
+}
+
+TEST(NoiseModel, KeySwitchTermsArePositiveAndSmall)
+{
+    for (const auto &params : allParamSets()) {
+        const NoiseModel model(params);
+        EXPECT_GT(model.keySwitchVariance(), 0.0) << params.name;
+        EXPECT_LT(std::sqrt(model.keySwitchVariance()), 1.0 / 32)
+            << params.name;
+    }
+}
+
+} // namespace
+} // namespace morphling::tfhe

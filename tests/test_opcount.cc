@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the closed-form op/memory accounting: the paper's headline
+ * numbers (Section I / III / Figure 1) must fall out of the formulas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tfhe/opcount.h"
+#include "tfhe/params.h"
+
+namespace morphling::tfhe {
+namespace {
+
+TEST(OpCount, FftMultsFormula)
+{
+    // M/2 * log2(M) butterflies, 4 real mults each.
+    EXPECT_EQ(fftMultsPerTransform(8), 8u / 2 * 3 * 4);
+    EXPECT_EQ(fftMultsPerTransform(1024), 1024u / 2 * 10 * 4);
+}
+
+TEST(OpCount, MoreThanTenThousandPolyMultsAt128Bit)
+{
+    // Section I: "performing a single bootstrapping at the 128-bit
+    // security level requires more than 10,000 polynomial
+    // multiplications."
+    EXPECT_GT(polyMultsPerBootstrap(paramsFig1()), 10000u);
+    // (k+1)^2 * l_b * n = 9 * 4 * 481.
+    EXPECT_EQ(polyMultsPerBootstrap(paramsFig1()), 9u * 4 * 481);
+}
+
+TEST(OpCount, TransformsPerExternalProduct)
+{
+    // CPU reference: (k+1) l_b forward + (k+1)^2 l_b inverse.
+    const auto &f128 = paramsFig1(); // k=2, l_b=4
+    EXPECT_EQ(transformsPerExternalProduct(f128, CostModel::CpuReference),
+              12u + 36u);
+    // Hardware with output reuse: (k+1) l_b forward + (k+1) inverse.
+    EXPECT_EQ(
+        transformsPerExternalProduct(f128, CostModel::FoldedHardware),
+        12u + 3u);
+}
+
+TEST(OpCount, Figure1FftDominates)
+{
+    // Figure 1: I/FFT is ~88% of bootstrap operations, key switching
+    // ~1.9%, other ~1%. Our counting reproduces the shape; assert
+    // generous brackets around the paper's percentages.
+    const auto ops = bootstrapOps(paramsFig1(), CostModel::CpuReference);
+    const double fft_frac = ops.fftFraction();
+    EXPECT_GT(fft_frac, 0.80);
+    EXPECT_LT(fft_frac, 0.95);
+
+    const double ks_frac = static_cast<double>(ops.keySwitchMults) /
+                           static_cast<double>(ops.total());
+    EXPECT_GT(ks_frac, 0.005);
+    EXPECT_LT(ks_frac, 0.04);
+
+    const double other_frac =
+        static_cast<double>(ops.decompOps + ops.modSwitchOps +
+                            ops.sampleExtractOps) /
+        static_cast<double>(ops.total());
+    EXPECT_LT(other_frac, 0.03);
+}
+
+TEST(OpCount, Figure1MemoryShape)
+{
+    // Figure 1: BSK dominates blind-rotation memory (~101 MB), KSK
+    // dominates key-switching memory (~34 MB).
+    const auto mem = bootstrapMem(paramsFig1());
+    EXPECT_GT(mem.bskTransformBytes, 100ull << 20);
+    EXPECT_LT(mem.bskTransformBytes, 150ull << 20);
+    EXPECT_GT(mem.kskBytes, 30ull << 20);
+    EXPECT_LT(mem.kskBytes, 40ull << 20);
+    EXPECT_GT(mem.bskTransformBytes, mem.kskBytes);
+    EXPECT_LT(mem.accBytes, 1ull << 20);
+}
+
+TEST(OpCount, HardwareModelNeedsFewerTransformOps)
+{
+    for (const auto &params : allParamSets()) {
+        const auto cpu = bootstrapOps(params, CostModel::CpuReference);
+        const auto hw = bootstrapOps(params, CostModel::FoldedHardware);
+        EXPECT_LT(hw.fftMults, cpu.fftMults) << params.name;
+        EXPECT_EQ(hw.keySwitchMults, cpu.keySwitchMults) << params.name;
+    }
+}
+
+TEST(OpCount, ScalesWithLweDimension)
+{
+    // Blind-rotation counts are linear in n.
+    auto p1 = paramsSetI();
+    auto p2 = p1;
+    p2.lweDimension *= 2;
+    const auto o1 = bootstrapOps(p1, CostModel::CpuReference);
+    const auto o2 = bootstrapOps(p2, CostModel::CpuReference);
+    EXPECT_EQ(o2.fftMults, 2 * o1.fftMults);
+    EXPECT_EQ(o2.pointwiseMults, 2 * o1.pointwiseMults);
+}
+
+TEST(OpCount, ParamSetsValidateAndSummarize)
+{
+    for (const auto &params : allParamSets()) {
+        params.validate();
+        EXPECT_FALSE(params.summary().empty());
+        EXPECT_EQ(&paramsByName(params.name), &params);
+    }
+}
+
+TEST(OpCount, KeySizesMatchClosedForms)
+{
+    const auto &p = paramsSetI(); // N=1024, n=500, k=1, l_b=2
+    // BSK: n * (k+1)*l_b*(k+1) polys * N * 4B = 500 * 8 * 4096B.
+    EXPECT_EQ(p.bskBytes(), 500ull * 8 * 1024 * 4);
+    // KSK: kN * l_k * (n+1) * 4B.
+    EXPECT_EQ(p.kskBytes(), 1024ull * p.kskLevels * 501 * 4);
+    EXPECT_EQ(p.accBytes(), 2048ull * 4);
+    EXPECT_EQ(p.extractedLweDimension(), 1024u);
+}
+
+} // namespace
+} // namespace morphling::tfhe

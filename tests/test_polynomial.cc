@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for negacyclic ring polynomials: rotations (including the
+ * sign-flip wraparound), arithmetic, and the schoolbook negacyclic
+ * product used as ground truth elsewhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/polynomial.h"
+
+namespace morphling::tfhe {
+namespace {
+
+TorusPolynomial
+randomTorusPoly(unsigned n, Rng &rng)
+{
+    TorusPolynomial p(n);
+    for (unsigned i = 0; i < n; ++i)
+        p[i] = rng.nextU32();
+    return p;
+}
+
+TEST(Polynomial, ZeroConstruction)
+{
+    TorusPolynomial p(8);
+    EXPECT_EQ(p.degree(), 8u);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(p[i], 0u);
+}
+
+TEST(Polynomial, AddSubRoundTrip)
+{
+    Rng rng(1);
+    auto a = randomTorusPoly(64, rng);
+    auto b = randomTorusPoly(64, rng);
+    auto c = a;
+    c.addAssign(b);
+    c.subAssign(b);
+    EXPECT_EQ(c, a);
+}
+
+TEST(Polynomial, NegateTwiceIsIdentity)
+{
+    Rng rng(2);
+    auto a = randomTorusPoly(32, rng);
+    auto b = a;
+    b.negate();
+    b.negate();
+    EXPECT_EQ(b, a);
+}
+
+TEST(Polynomial, RotateByZeroIsIdentity)
+{
+    Rng rng(3);
+    auto a = randomTorusPoly(16, rng);
+    EXPECT_EQ(a.mulByXPower(0), a);
+}
+
+TEST(Polynomial, RotateByNNegates)
+{
+    Rng rng(4);
+    auto a = randomTorusPoly(16, rng);
+    auto negated = a;
+    negated.negate();
+    EXPECT_EQ(a.mulByXPower(16), negated);
+}
+
+TEST(Polynomial, RotateByOneShiftsWithSignFlip)
+{
+    // X * (c0 + c1 X + ... + c_{N-1} X^{N-1})
+    //   = -c_{N-1} + c0 X + ... + c_{N-2} X^{N-1}.
+    TorusPolynomial a(4);
+    a[0] = 1;
+    a[1] = 2;
+    a[2] = 3;
+    a[3] = 4;
+    const auto r = a.mulByXPower(1);
+    EXPECT_EQ(r[0], static_cast<Torus32>(-4));
+    EXPECT_EQ(r[1], 1u);
+    EXPECT_EQ(r[2], 2u);
+    EXPECT_EQ(r[3], 3u);
+}
+
+TEST(Polynomial, RotationComposes)
+{
+    Rng rng(5);
+    const unsigned n = 32;
+    auto a = randomTorusPoly(n, rng);
+    for (unsigned p1 : {1u, 5u, 17u, 31u}) {
+        for (unsigned p2 : {2u, 16u, 33u, 60u}) {
+            const auto lhs =
+                a.mulByXPower(p1).mulByXPower(p2 % (2 * n));
+            const auto rhs = a.mulByXPower((p1 + p2) % (2 * n));
+            EXPECT_EQ(lhs, rhs) << "p1=" << p1 << " p2=" << p2;
+        }
+    }
+}
+
+TEST(Polynomial, FullRotationCycleIsIdentity)
+{
+    Rng rng(6);
+    const unsigned n = 16;
+    auto a = randomTorusPoly(n, rng);
+    auto r = a;
+    for (unsigned i = 0; i < 2 * n; ++i)
+        r = r.mulByXPower(1);
+    EXPECT_EQ(r, a);
+}
+
+TEST(Polynomial, RotateDiffMatchesManual)
+{
+    Rng rng(7);
+    auto a = randomTorusPoly(64, rng);
+    auto expected = a.mulByXPower(9);
+    expected.subAssign(a);
+    EXPECT_EQ(a.rotateDiff(9), expected);
+}
+
+TEST(Polynomial, SchoolbookMultiplyByOne)
+{
+    Rng rng(8);
+    const unsigned n = 32;
+    auto b = randomTorusPoly(n, rng);
+    IntPolynomial one(n);
+    one[0] = 1;
+    TorusPolynomial acc(n);
+    negacyclicMulAddSchoolbook(acc, one, b);
+    EXPECT_EQ(acc, b);
+}
+
+TEST(Polynomial, SchoolbookMultiplyByXMatchesRotation)
+{
+    Rng rng(9);
+    const unsigned n = 32;
+    auto b = randomTorusPoly(n, rng);
+    IntPolynomial x(n);
+    x[1] = 1;
+    TorusPolynomial acc(n);
+    negacyclicMulAddSchoolbook(acc, x, b);
+    EXPECT_EQ(acc, b.mulByXPower(1));
+}
+
+TEST(Polynomial, SchoolbookIsBilinear)
+{
+    Rng rng(10);
+    const unsigned n = 16;
+    auto b = randomTorusPoly(n, rng);
+    IntPolynomial a1(n), a2(n), sum(n);
+    for (unsigned i = 0; i < n; ++i) {
+        a1[i] = static_cast<std::int32_t>(rng.nextBelow(64)) - 32;
+        a2[i] = static_cast<std::int32_t>(rng.nextBelow(64)) - 32;
+        sum[i] = a1[i] + a2[i];
+    }
+    TorusPolynomial lhs(n), rhs(n);
+    negacyclicMulAddSchoolbook(lhs, sum, b);
+    negacyclicMulAddSchoolbook(rhs, a1, b);
+    negacyclicMulAddSchoolbook(rhs, a2, b);
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Polynomial, SchoolbookNegacyclicWrap)
+{
+    // (X^{N-1}) * (X) = X^N = -1.
+    const unsigned n = 8;
+    IntPolynomial a(n);
+    a[n - 1] = 1;
+    TorusPolynomial b(n);
+    b[1] = 5;
+    TorusPolynomial acc(n);
+    negacyclicMulAddSchoolbook(acc, a, b);
+    EXPECT_EQ(acc[0], static_cast<Torus32>(-5));
+    for (unsigned i = 1; i < n; ++i)
+        EXPECT_EQ(acc[i], 0u);
+}
+
+} // namespace
+} // namespace morphling::tfhe

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the quantized-MLP inference layer: plaintext/encrypted
+ * equivalence (including deliberate accumulator wraps, which both
+ * sides must handle identically), shape validation, and workload
+ * compilation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/quantized_mlp.h"
+#include "tfhe/params.h"
+
+namespace morphling::apps {
+namespace {
+
+using tfhe::KeySet;
+
+class MlpFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(0x1117);
+        keys_ = new KeySet(KeySet::generate(tfhe::paramsTest(), rng));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete keys_;
+        keys_ = nullptr;
+    }
+
+    const KeySet &keys() { return *keys_; }
+    Rng rng{0xACE};
+
+    static KeySet *keys_;
+};
+
+KeySet *MlpFixture::keys_ = nullptr;
+
+TEST_F(MlpFixture, SignedCodecRoundTrip)
+{
+    QuantizedMlp mlp(16);
+    for (int v = -8; v < 8; ++v)
+        EXPECT_EQ(mlp.decodeSigned(mlp.encodeSigned(v)), v) << v;
+
+    const auto ct = mlp.encryptSigned(keys(), -3, rng);
+    EXPECT_EQ(mlp.decryptSigned(keys(), ct), -3);
+}
+
+TEST_F(MlpFixture, PlainInferenceMatchesManualComputation)
+{
+    QuantizedMlp mlp(16);
+    DenseLayer l1;
+    l1.weights = {{1, -1}, {2, 1}};
+    l1.shift = 1;
+    l1.reluAfter = true;
+    mlp.addLayer(l1);
+
+    // inputs (3, 1): pre-act = (2, 7) -> relu+shift1 -> (1, 3).
+    const auto out = mlp.inferPlain({3, 1});
+    EXPECT_EQ(out, (std::vector<int>{1, 3}));
+
+    // inputs (1, 3): pre-act = (-2, 5) -> (0, 2).
+    EXPECT_EQ(mlp.inferPlain({1, 3}), (std::vector<int>{0, 2}));
+}
+
+TEST_F(MlpFixture, EncryptedMatchesPlainOnRandomModel)
+{
+    Rng model_rng(2024);
+    const auto mlp =
+        QuantizedMlp::random(16, {4, 4, 2}, 2, /*shift=*/1, model_rng);
+    EXPECT_EQ(mlp.bootstrapCount(), 4u); // hidden layer only
+
+    const std::vector<std::vector<int>> input_sets = {
+        {1, 2, 0, 1}, {-1, 1, 2, 0}, {2, -2, 1, -1}};
+    for (const auto &inputs : input_sets) {
+        const auto plain = mlp.inferPlain(inputs);
+
+        std::vector<tfhe::LweCiphertext> enc;
+        for (int v : inputs)
+            enc.push_back(mlp.encryptSigned(keys(), v, rng));
+        const auto out = mlp.inferEncrypted(keys(), enc);
+        ASSERT_EQ(out.size(), plain.size());
+        for (std::size_t j = 0; j < out.size(); ++j)
+            EXPECT_EQ(mlp.decryptSigned(keys(), out[j]), plain[j])
+                << "output " << j;
+    }
+}
+
+TEST_F(MlpFixture, WrapSemanticsAgree)
+{
+    // Drive the accumulator past p/2: the torus wraps, and the
+    // plaintext reference must wrap the same way.
+    QuantizedMlp mlp(16);
+    DenseLayer l;
+    l.weights = {{3, 3}};
+    l.shift = 0;
+    l.reluAfter = true;
+    mlp.addLayer(l);
+
+    // 3*3 + 3*2 = 15 -> wraps to -1 in [-8, 8) -> ReLU -> 0.
+    const auto plain = mlp.inferPlain({3, 2});
+    EXPECT_EQ(plain[0], 0);
+
+    std::vector<tfhe::LweCiphertext> enc = {
+        mlp.encryptSigned(keys(), 3, rng),
+        mlp.encryptSigned(keys(), 2, rng)};
+    const auto out = mlp.inferEncrypted(keys(), enc);
+    EXPECT_EQ(mlp.decryptSigned(keys(), out[0]), 0);
+}
+
+TEST_F(MlpFixture, WorkloadCompilation)
+{
+    Rng model_rng(5);
+    const auto mlp =
+        QuantizedMlp::random(16, {8, 16, 16, 4}, 2, 1, model_rng);
+    const auto w = mlp.workload("mlp", 32);
+    ASSERT_EQ(w.stages.size(), 3u);
+    EXPECT_EQ(w.totalBootstraps(), (16u + 16u) * 32);
+    EXPECT_EQ(w.stages[0].linearMacs, 8ull * 16 * 32);
+    EXPECT_EQ(w.stages[2].bootstraps, 0u); // logits: no activation
+}
+
+TEST_F(MlpFixture, ShapeValidationDies)
+{
+    QuantizedMlp mlp(16);
+    DenseLayer l1;
+    l1.weights = {{1, 1}};
+    mlp.addLayer(l1);
+    DenseLayer l2;
+    l2.weights = {{1, 1, 1}}; // expects width 1
+    EXPECT_EXIT(mlp.addLayer(l2), ::testing::ExitedWithCode(1),
+                "width mismatch");
+}
+
+} // namespace
+} // namespace morphling::apps

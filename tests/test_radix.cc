@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests of the multi-ciphertext radix integers: round trips, digit-wise
+ * arithmetic, carry propagation (the multi-bootstrap workload pattern),
+ * and the headroom/overflow bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/radix.h"
+
+namespace morphling::tfhe {
+namespace {
+
+class RadixFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(0xAD1);
+        keys_ = new KeySet(KeySet::generate(paramsTest(), rng));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete keys_;
+        keys_ = nullptr;
+    }
+
+    const KeySet &keys() { return *keys_; }
+    Rng rng{0xFACADE};
+
+    static KeySet *keys_;
+};
+
+KeySet *RadixFixture::keys_ = nullptr;
+
+TEST_F(RadixFixture, EncryptDecryptRoundTrip)
+{
+    for (std::uint64_t value : {0ull, 1ull, 42ull, 255ull, 123ull}) {
+        const auto ct =
+            RadixCiphertext::encrypt(keys(), value, 4, 4, rng);
+        EXPECT_EQ(ct.decrypt(keys()), value) << value;
+        EXPECT_EQ(ct.numDigits(), 4u);
+        EXPECT_EQ(ct.base(), 4u);
+    }
+}
+
+TEST_F(RadixFixture, AdditionWithoutCarriesIsFree)
+{
+    // 21 + 10 = 31: base-4 digits (1,1,1) + (2,2,0) = (3,3,1), no
+    // carry needed, no bootstraps.
+    auto a = RadixCiphertext::encrypt(keys(), 21, 3, 4, rng);
+    const auto b = RadixCiphertext::encrypt(keys(), 10, 3, 4, rng);
+    a.addAssign(b);
+    EXPECT_EQ(a.decrypt(keys()), 31u);
+}
+
+TEST_F(RadixFixture, CarryPropagationNormalizes)
+{
+    // 23 + 27 = 50: digits overflow base 4 and must be carried.
+    auto a = RadixCiphertext::encrypt(keys(), 23, 3, 4, rng);
+    const auto b = RadixCiphertext::encrypt(keys(), 27, 3, 4, rng);
+    a.addAssign(b);
+    const unsigned bootstraps = a.propagateCarries(keys());
+    // Two bootstraps per digit except the last (no carry out).
+    EXPECT_EQ(bootstraps, 2u * 3 - 1);
+    EXPECT_EQ(a.decrypt(keys()), 50u);
+    EXPECT_EQ(a.digitMagnitude(), 3u);
+}
+
+TEST_F(RadixFixture, RepeatedAccumulationWithinHeadroom)
+{
+    // base 4, space 16: headroom allows several adds before carrying.
+    auto acc = RadixCiphertext::encrypt(keys(), 5, 4, 4, rng);
+    const unsigned budget = acc.additionsBeforeOverflow();
+    EXPECT_GE(budget, 2u);
+
+    std::uint64_t expected = 5;
+    for (unsigned i = 0; i < budget; ++i) {
+        const auto term =
+            RadixCiphertext::encrypt(keys(), 7 + i, 4, 4, rng);
+        acc.addAssign(term);
+        expected += 7 + i;
+    }
+    acc.propagateCarries(keys());
+    EXPECT_EQ(acc.decrypt(keys()), expected);
+}
+
+TEST_F(RadixFixture, AddPlainConstant)
+{
+    auto a = RadixCiphertext::encrypt(keys(), 30, 4, 4, rng);
+    a.addPlain(17);
+    a.propagateCarries(keys());
+    EXPECT_EQ(a.decrypt(keys()), 47u);
+}
+
+TEST_F(RadixFixture, ScalarMultiplication)
+{
+    auto a = RadixCiphertext::encrypt(keys(), 13, 4, 4, rng);
+    a.scalarMulAssign(3);
+    a.propagateCarries(keys());
+    EXPECT_EQ(a.decrypt(keys()), 39u);
+}
+
+TEST_F(RadixFixture, ModularWrapAtTopDigit)
+{
+    // 3 digits base 4 hold values mod 64: 60 + 10 = 70 -> 6.
+    auto a = RadixCiphertext::encrypt(keys(), 60, 3, 4, rng);
+    const auto b = RadixCiphertext::encrypt(keys(), 10, 3, 4, rng);
+    a.addAssign(b);
+    a.propagateCarries(keys());
+    EXPECT_EQ(a.decrypt(keys()), 70u % 64);
+}
+
+TEST_F(RadixFixture, HeadroomAccountingBlocksOverflow)
+{
+    auto a = RadixCiphertext::encrypt(keys(), 1, 2, 4, rng);
+    // Drain the addition budget exactly.
+    while (a.additionsBeforeOverflow() > 0) {
+        const auto one = RadixCiphertext::encrypt(keys(), 1, 2, 4, rng);
+        a.addAssign(one);
+    }
+    EXPECT_EQ(a.additionsBeforeOverflow(), 0u);
+    // After propagation the budget is restored.
+    a.propagateCarries(keys());
+    EXPECT_GT(a.additionsBeforeOverflow(), 0u);
+}
+
+TEST_F(RadixFixture, RandomizedAccumulationProperty)
+{
+    // Property test: sums of random values tracked against plaintext,
+    // propagating whenever the budget runs out.
+    Rng values(31415);
+    auto acc = RadixCiphertext::encrypt(keys(), 0, 5, 4, rng);
+    std::uint64_t expected = 0;
+    const std::uint64_t modulus = 1ull << 10; // 5 digits base 4
+    for (int i = 0; i < 10; ++i) {
+        const std::uint64_t v = values.nextBelow(500);
+        if (acc.additionsBeforeOverflow() == 0)
+            acc.propagateCarries(keys());
+        const auto term =
+            RadixCiphertext::encrypt(keys(), v, 5, 4, rng);
+        acc.addAssign(term);
+        expected = (expected + v) % modulus;
+    }
+    acc.propagateCarries(keys());
+    EXPECT_EQ(acc.decrypt(keys()), expected);
+}
+
+} // namespace
+} // namespace morphling::tfhe

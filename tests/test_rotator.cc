@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests of the double-pointer rotator: bit-exact agreement with the
+ * ring rotation for every power, and the address-generation behaviour
+ * of the reorder unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/rotator.h"
+#include "common/rng.h"
+
+namespace morphling::arch {
+namespace {
+
+tfhe::TorusPolynomial
+randomPoly(unsigned n, Rng &rng)
+{
+    tfhe::TorusPolynomial p(n);
+    for (unsigned i = 0; i < n; ++i)
+        p[i] = rng.nextU32();
+    return p;
+}
+
+TEST(Rotator, MatchesRingRotationForEveryPower)
+{
+    const unsigned n = 64;
+    Rotator rot(n, 8);
+    Rng rng(404);
+    const auto poly = randomPoly(n, rng);
+    for (unsigned power = 0; power < 2 * n; ++power) {
+        EXPECT_EQ(rot.rotate(poly, power), poly.mulByXPower(power))
+            << "power=" << power;
+    }
+}
+
+TEST(Rotator, MatchesAtFullDegree)
+{
+    // Paper-scale geometry: N = 1024, 8-lane vectors.
+    const unsigned n = 1024;
+    Rotator rot(n, 8);
+    Rng rng(405);
+    const auto poly = randomPoly(n, rng);
+    for (unsigned power : {0u, 1u, 7u, 8u, 513u, 1024u, 1025u, 2047u}) {
+        EXPECT_EQ(rot.rotate(poly, power), poly.mulByXPower(power))
+            << "power=" << power;
+    }
+}
+
+TEST(Rotator, AlignedRotationsNeedNoReorder)
+{
+    Rotator rot(1024, 8);
+    EXPECT_FALSE(rot.needsReorder(0));
+    EXPECT_FALSE(rot.needsReorder(8));
+    EXPECT_FALSE(rot.needsReorder(1024));
+    EXPECT_TRUE(rot.needsReorder(1));
+    EXPECT_TRUE(rot.needsReorder(513));
+}
+
+TEST(Rotator, AccessGeneration)
+{
+    Rotator rot(64, 8);
+    // Aligned rotation: each output vector reads exactly one stored
+    // vector.
+    const auto aligned = rot.accessFor(0, 16);
+    EXPECT_FALSE(aligned.split);
+    EXPECT_EQ(aligned.offset, 0u);
+    EXPECT_EQ(aligned.firstVector, aligned.secondVector);
+
+    // Unaligned rotation: reorder unit stitches two stored vectors.
+    const auto unaligned = rot.accessFor(0, 3);
+    EXPECT_TRUE(unaligned.split);
+    EXPECT_NE(unaligned.firstVector, unaligned.secondVector);
+    EXPECT_EQ(unaligned.offset, (64 - 3) % 8);
+}
+
+TEST(Rotator, RotationByZeroIsIdentityAccess)
+{
+    Rotator rot(64, 8);
+    for (unsigned v = 0; v < rot.numVectors(); ++v) {
+        const auto acc = rot.accessFor(v, 0);
+        EXPECT_EQ(acc.firstVector, v);
+        EXPECT_FALSE(acc.split);
+    }
+}
+
+TEST(Rotator, DoubleRotationComposes)
+{
+    const unsigned n = 128;
+    Rotator rot(n, 8);
+    Rng rng(406);
+    const auto poly = randomPoly(n, rng);
+    const auto once = rot.rotate(rot.rotate(poly, 37), 41);
+    const auto direct = rot.rotate(poly, 78);
+    EXPECT_EQ(once, direct);
+}
+
+} // namespace
+} // namespace morphling::arch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+
+namespace morphling::sim {
+namespace {
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatSet set("unit");
+    auto &s = set.scalar("count", "things counted");
+    s += 3;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.set(10);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+}
+
+TEST(Stats, ScalarIsStableAcrossLookups)
+{
+    StatSet set("unit");
+    set.scalar("x") += 1;
+    set.scalar("x") += 2;
+    EXPECT_DOUBLE_EQ(set.lookup("x").value(), 3.0);
+    EXPECT_TRUE(set.has("x"));
+    EXPECT_FALSE(set.has("y"));
+}
+
+TEST(Stats, ScalarPointerStability)
+{
+    StatSet set("unit");
+    auto &a = set.scalar("a");
+    for (int i = 0; i < 100; ++i)
+        set.scalar("s" + std::to_string(i));
+    a += 5;
+    EXPECT_DOUBLE_EQ(set.lookup("a").value(), 5.0);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    StatSet set("unit");
+    auto &h = set.histogram("lat");
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Stats, EmptyHistogramIsZero)
+{
+    StatSet set("unit");
+    const auto &h = set.histogram("empty");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Stats, ResetClearsEverything)
+{
+    StatSet set("unit");
+    set.scalar("a") += 7;
+    set.histogram("h").sample(5);
+    set.reset();
+    EXPECT_DOUBLE_EQ(set.lookup("a").value(), 0.0);
+    EXPECT_EQ(set.histogram("h").count(), 0u);
+}
+
+TEST(Stats, DumpContainsOwnerAndDescriptions)
+{
+    StatSet set("xpu");
+    set.scalar("busy", "busy cycles") += 42;
+    set.histogram("lat", "latencies").sample(2.5);
+    std::ostringstream oss;
+    set.dump(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("xpu.busy = 42"), std::string::npos);
+    EXPECT_NE(out.find("busy cycles"), std::string::npos);
+    EXPECT_NE(out.find("xpu.lat"), std::string::npos);
+}
+
+TEST(Stats, PreservesCreationOrder)
+{
+    StatSet set("u");
+    set.scalar("zeta");
+    set.scalar("alpha");
+    const auto scalars = set.scalars();
+    ASSERT_EQ(scalars.size(), 2u);
+    EXPECT_EQ(scalars[0]->name(), "zeta");
+    EXPECT_EQ(scalars[1]->name(), "alpha");
+}
+
+} // namespace
+} // namespace morphling::sim

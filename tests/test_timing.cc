@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests of the closed-form architecture models: the EP round timing
+ * that underlies Table V, the transform-count analysis behind Figure 3,
+ * the VPU task costs, and the reuse-opportunity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/analysis.h"
+#include "arch/timing.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+namespace {
+
+const ArchConfig kDefault = ArchConfig::morphlingDefault();
+
+TEST(Analysis, TransformCountFormulas)
+{
+    // (k, l_b) = (3, 3): the paper's 46,752 headline at set C.
+    EXPECT_EQ(transformsPerExternalProduct(3, 3, ReuseMode::None),
+              2u * 16 * 3);
+    EXPECT_EQ(transformsPerBootstrap(tfhe::paramsSetC(),
+                                     ReuseMode::None),
+              46752u);
+}
+
+TEST(Analysis, Figure3Reductions)
+{
+    // Input reuse: 25% at (1,1), 37.5% at (3,3).
+    EXPECT_NEAR(transformReduction(1, 1, ReuseMode::Input), 0.25, 1e-9);
+    EXPECT_NEAR(transformReduction(3, 3, ReuseMode::Input), 0.375,
+                1e-9);
+    // Input+output reuse: up to 83.3% at (3,3).
+    EXPECT_NEAR(transformReduction(3, 3, ReuseMode::InputOutput),
+                1.0 - 16.0 / 96.0, 1e-9);
+    EXPECT_NEAR(transformReduction(3, 3, ReuseMode::InputOutput), 0.833,
+                0.001);
+}
+
+TEST(Analysis, ReductionGrowsWithParameters)
+{
+    double prev = 0;
+    for (unsigned k = 1; k <= 3; ++k) {
+        const double red =
+            transformReduction(k, k, ReuseMode::InputOutput);
+        EXPECT_GT(red, prev);
+        prev = red;
+    }
+}
+
+TEST(Analysis, ReuseOpportunityCounts)
+{
+    const auto r = reuseOpportunity(tfhe::paramsSetB()); // k=2, l_b=2
+    EXPECT_EQ(r.accInputReuse, 3u);
+    EXPECT_EQ(r.bskReuse, 1u);
+    EXPECT_EQ(r.accOutputReuse, 6u);
+}
+
+TEST(Timing, PassCyclesAreHalfDegreeOverLanes)
+{
+    const auto t = epRoundTiming(tfhe::paramsSetI(), kDefault, 4);
+    EXPECT_EQ(t.passCycles, 1024u / 2 / 8);
+}
+
+TEST(Timing, SetIRoundIs256Cycles)
+{
+    // 4 rows x (k+1) l_b = 16 input polys over 2 FFTs x 2 (merge-split)
+    // -> 4 passes x 64 cycles; VPE occupancy 4 x 64. Round = 256.
+    const auto t = epRoundTiming(tfhe::paramsSetI(), kDefault, 4);
+    EXPECT_EQ(t.fwdCycles, 256u);
+    EXPECT_EQ(t.vpeCycles, 256u);
+    EXPECT_LE(t.invCycles, 64u);
+    EXPECT_EQ(t.roundCycles(), 256u);
+}
+
+struct TableVRow
+{
+    const char *set;
+    double paperLatencyMs;
+    double paperThroughput;
+};
+
+// Paper Table V, Morphling rows.
+constexpr TableVRow kTableV[] = {
+    {"I", 0.11, 147615},
+    {"II", 0.20, 78692},
+    {"III", 0.38, 41850},
+    {"IV", 0.16, 98933},
+};
+
+class TableVEstimate : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TableVEstimate, LatencyWithinTenPercent)
+{
+    const auto &row = kTableV[GetParam()];
+    const auto est =
+        estimateBootstrap(tfhe::paramsByName(row.set), kDefault);
+    EXPECT_NEAR(est.latencyMs, row.paperLatencyMs,
+                row.paperLatencyMs * 0.10)
+        << "set " << row.set;
+}
+
+TEST_P(TableVEstimate, ThroughputCeilingWithinFivePercent)
+{
+    const auto &row = kTableV[GetParam()];
+    const auto est =
+        estimateBootstrap(tfhe::paramsByName(row.set), kDefault);
+    // The compute-side ceiling should sit just above the paper's
+    // measured throughput.
+    EXPECT_GT(est.throughputBs, row.paperThroughput * 0.97)
+        << "set " << row.set;
+    EXPECT_LT(est.throughputBs, row.paperThroughput * 1.05)
+        << "set " << row.set;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, TableVEstimate,
+                         ::testing::Range(0, 4),
+                         [](const auto &info) {
+                             return std::string("Set") +
+                                    kTableV[info.param].set;
+                         });
+
+TEST(Timing, ReuseModeOrdering)
+{
+    // For every parameter set: No-Reuse >= Input-Reuse >=
+    // Input+Output-Reuse round time.
+    for (const auto &params : tfhe::allParamSets()) {
+        const auto no = epRoundTiming(
+            params, kDefault.withReuse(ReuseMode::None, false), 4);
+        const auto in = epRoundTiming(
+            params, kDefault.withReuse(ReuseMode::Input, false), 4);
+        const auto io = epRoundTiming(
+            params, kDefault.withReuse(ReuseMode::InputOutput, false),
+            4);
+        EXPECT_GE(no.roundCycles(), in.roundCycles()) << params.name;
+        EXPECT_GE(in.roundCycles(), io.roundCycles()) << params.name;
+    }
+}
+
+TEST(Timing, MergeSplitNeverSlower)
+{
+    for (const auto &params : tfhe::allParamSets()) {
+        const auto off = epRoundTiming(
+            params, kDefault.withReuse(ReuseMode::InputOutput, false),
+            4);
+        const auto on = epRoundTiming(params, kDefault, 4);
+        EXPECT_LE(on.roundCycles(), off.roundCycles()) << params.name;
+    }
+}
+
+TEST(Timing, FewerRowsNeverSlowerPerRound)
+{
+    for (unsigned rows = 1; rows <= 4; ++rows) {
+        const auto t = epRoundTiming(tfhe::paramsSetI(), kDefault, rows);
+        const auto t4 = epRoundTiming(tfhe::paramsSetI(), kDefault, 4);
+        EXPECT_LE(t.roundCycles(), t4.roundCycles()) << rows;
+        EXPECT_EQ(t.rowsActive, rows);
+    }
+}
+
+TEST(Timing, BskBytesPerIteration)
+{
+    // Set I: 8 polys x 512 complex x 8 B = 32 KiB.
+    EXPECT_EQ(bskBytesPerIteration(tfhe::paramsSetI()), 32768u);
+}
+
+TEST(Timing, VpuKeySwitchDominatesOtherTasks)
+{
+    for (const auto &params : tfhe::allParamSets()) {
+        const auto c = vpuTaskCycles(params, kDefault);
+        EXPECT_GT(c.keySwitch, c.modSwitch) << params.name;
+        EXPECT_GT(c.keySwitch, c.sampleExtract) << params.name;
+    }
+}
+
+TEST(Timing, VpuThroughputKeepsUpWithXpu)
+{
+    // The design constraint that fixed the KS gadget: the VPU ceiling
+    // must sit at or above ~97% of the XPU ceiling for the Table V
+    // sets.
+    for (const char *name : {"I", "II", "III", "IV"}) {
+        const auto est =
+            estimateBootstrap(tfhe::paramsByName(name), kDefault);
+        EXPECT_GE(est.vpuThroughputBs, est.xpuThroughputBs * 0.97)
+            << name;
+    }
+}
+
+TEST(Timing, PAluCyclesScaleWithMacsAndDimension)
+{
+    const auto &p = tfhe::paramsSetI();
+    const auto c1 = vpuPAluCycles(p, kDefault, 1000);
+    const auto c2 = vpuPAluCycles(p, kDefault, 2000);
+    EXPECT_NEAR(static_cast<double>(c2) / c1, 2.0, 0.01);
+    EXPECT_EQ(c1, (1000ull * 501 + 127) / 128);
+}
+
+TEST(Config, StreamSetsShrinkWithA1)
+{
+    auto cfg = kDefault;
+    const auto &p = tfhe::paramsSetIII();
+    cfg.privateA1KiB = 4096;
+    EXPECT_EQ(cfg.streamSetsFor(p), 4u);
+    cfg.privateA1KiB = 2048;
+    EXPECT_EQ(cfg.streamSetsFor(p), 2u);
+    cfg.privateA1KiB = 512;
+    EXPECT_EQ(cfg.streamSetsFor(p), 1u);
+}
+
+TEST(Config, VariantBuilderPreservesResources)
+{
+    const auto v = kDefault.withReuse(ReuseMode::None, false);
+    EXPECT_EQ(v.numXpus, kDefault.numXpus);
+    EXPECT_EQ(v.fftUnitsPerXpu, kDefault.fftUnitsPerXpu);
+    EXPECT_EQ(v.reuse, ReuseMode::None);
+    EXPECT_FALSE(v.mergeSplitFft);
+    EXPECT_EQ(reuseModeName(v.reuse), "No-Reuse");
+}
+
+} // namespace
+} // namespace morphling::arch

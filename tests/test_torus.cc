@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for discretized-torus arithmetic: encode/decode
+ * round-trips, modulus switching, and noise sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tfhe/torus.h"
+
+namespace morphling::tfhe {
+namespace {
+
+TEST(Torus, DoubleRoundTrip)
+{
+    EXPECT_EQ(doubleToTorus32(0.0), 0u);
+    EXPECT_EQ(doubleToTorus32(0.5), 0x80000000u);
+    EXPECT_EQ(doubleToTorus32(0.25), 0x40000000u);
+    // Values outside [0,1) reduce mod 1.
+    EXPECT_EQ(doubleToTorus32(1.25), 0x40000000u);
+    EXPECT_EQ(doubleToTorus32(-0.75), 0x40000000u);
+}
+
+TEST(Torus, ToDoubleIsCentered)
+{
+    EXPECT_DOUBLE_EQ(torus32ToDouble(0), 0.0);
+    EXPECT_DOUBLE_EQ(torus32ToDouble(0x40000000u), 0.25);
+    // 0.75 is represented by the centered value -0.25.
+    EXPECT_DOUBLE_EQ(torus32ToDouble(0xC0000000u), -0.25);
+}
+
+TEST(Torus, EncodeDecodeRoundTripAllSpaces)
+{
+    for (std::uint32_t space : {2u, 3u, 4u, 8u, 16u, 100u, 255u}) {
+        for (std::uint32_t m = 0; m < space; ++m) {
+            EXPECT_EQ(decodeMessage(encodeMessage(m, space), space), m)
+                << "space=" << space << " m=" << m;
+        }
+    }
+}
+
+TEST(Torus, DecodeToleratesNoiseBelowHalfSlot)
+{
+    const std::uint32_t space = 8;
+    const Torus32 slot = 1u << 29; // 1/8 of the torus
+    for (std::uint32_t m = 0; m < space; ++m) {
+        const Torus32 center = encodeMessage(m, space);
+        EXPECT_EQ(decodeMessage(center + slot / 4, space), m);
+        EXPECT_EQ(decodeMessage(center - slot / 4, space), m);
+    }
+}
+
+TEST(Torus, DecodeWrapsAcrossSeam)
+{
+    // A slightly negative encoding of 0 must still decode to 0.
+    EXPECT_EQ(decodeMessage(static_cast<Torus32>(-1000), 4), 0u);
+}
+
+TEST(Torus, ModSwitchRoundsToNearest)
+{
+    const unsigned log2_two_n = 11; // 2N = 2048
+    EXPECT_EQ(modSwitchTorus32(0, log2_two_n), 0u);
+    // Exactly one slot: 2^32 / 2048 = 2^21.
+    EXPECT_EQ(modSwitchTorus32(1u << 21, log2_two_n), 1u);
+    // Half a slot rounds up.
+    EXPECT_EQ(modSwitchTorus32(1u << 20, log2_two_n), 1u);
+    EXPECT_EQ(modSwitchTorus32((1u << 20) - 1, log2_two_n), 0u);
+}
+
+TEST(Torus, ModSwitchErrorBounded)
+{
+    Rng rng(99);
+    const unsigned log2_two_n = 11;
+    const double slot = 1.0 / 2048.0;
+    for (int i = 0; i < 10000; ++i) {
+        const Torus32 x = rng.nextU32();
+        const std::uint32_t switched =
+            modSwitchTorus32(x, log2_two_n) % 2048;
+        const double reconstructed = switched * slot;
+        EXPECT_LE(torusDistance(x, doubleToTorus32(reconstructed)),
+                  slot / 2 + 1e-9);
+    }
+}
+
+TEST(Torus, GaussianNoiseScale)
+{
+    Rng rng(7);
+    const double stddev = 1e-3;
+    double sum_sq = 0;
+    const int count = 100000;
+    for (int i = 0; i < count; ++i) {
+        const double e = torus32ToDouble(gaussianTorus32(rng, stddev));
+        sum_sq += e * e;
+    }
+    const double measured = std::sqrt(sum_sq / count);
+    EXPECT_NEAR(measured, stddev, stddev * 0.05);
+}
+
+TEST(Torus, DistanceIsSymmetricAndBounded)
+{
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const Torus32 a = rng.nextU32(), b = rng.nextU32();
+        EXPECT_DOUBLE_EQ(torusDistance(a, b), torusDistance(b, a));
+        EXPECT_LE(torusDistance(a, b), 0.5);
+        EXPECT_GE(torusDistance(a, b), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(torusDistance(123u, 123u), 0.0);
+}
+
+} // namespace
+} // namespace morphling::tfhe

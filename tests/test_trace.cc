@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the trace infrastructure: flag scoping, stream capture, and
+ * end-to-end traces from a small accelerator simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/accelerator.h"
+#include "sim/trace.h"
+
+namespace morphling::sim {
+namespace {
+
+/** RAII guard: captures trace output and restores global state. */
+class TraceCapture
+{
+  public:
+    TraceCapture()
+    {
+        Trace::instance().setStream(&stream_);
+    }
+    ~TraceCapture()
+    {
+        Trace::instance().disableAll();
+        Trace::instance().setStream(nullptr);
+    }
+    std::string text() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+TEST(Trace, DisabledByDefault)
+{
+    TraceCapture capture;
+    EventQueue eq;
+    DTRACE(eq, "unit", "should not appear");
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Trace, FlagScoping)
+{
+    TraceCapture capture;
+    Trace::instance().enable("alpha");
+    EventQueue eq;
+    eq.runUntil(5);
+    DTRACE(eq, "alpha", "visible ", 42);
+    DTRACE(eq, "beta", "invisible");
+    const std::string out = capture.text();
+    EXPECT_NE(out.find("5: alpha: visible 42"), std::string::npos);
+    EXPECT_EQ(out.find("invisible"), std::string::npos);
+}
+
+TEST(Trace, AllFlagEnablesEverything)
+{
+    TraceCapture capture;
+    Trace::instance().enable("all");
+    EventQueue eq;
+    DTRACE(eq, "anything", "shown");
+    EXPECT_NE(capture.text().find("anything: shown"),
+              std::string::npos);
+}
+
+TEST(Trace, SimulationEmitsComponentTraces)
+{
+    TraceCapture capture;
+    Trace::instance().enable("xpu");
+    Trace::instance().enable("sched");
+
+    arch::Accelerator acc(arch::ArchConfig::morphlingDefault(),
+                          tfhe::paramsSetI());
+    acc.runBootstrapBatch(32);
+
+    const std::string out = capture.text();
+    EXPECT_NE(out.find("xpu: wave"), std::string::npos);
+    EXPECT_NE(out.find("sched: g0 issue DMA.LD_LWE"),
+              std::string::npos);
+    EXPECT_NE(out.find("XPU.BR"), std::string::npos);
+    // VPU flag was not enabled: no vpu lines.
+    EXPECT_EQ(out.find("vpu: "), std::string::npos);
+}
+
+TEST(Trace, DisableRestoresSilence)
+{
+    TraceCapture capture;
+    Trace::instance().enable("gamma");
+    Trace::instance().disable("gamma");
+    EventQueue eq;
+    DTRACE(eq, "gamma", "nope");
+    EXPECT_TRUE(capture.text().empty());
+}
+
+} // namespace
+} // namespace morphling::sim

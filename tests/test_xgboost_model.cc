@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests of the functional tree-ensemble model: plaintext prediction,
+ * circuit compilation, and encrypted oblivious inference matching the
+ * plaintext reference end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/xgboost_model.h"
+#include "tfhe/params.h"
+
+namespace morphling::apps {
+namespace {
+
+using tfhe::KeySet;
+
+TEST(XgboostModel, PlaintextPredictionDescendsCorrectly)
+{
+    Tree tree;
+    tree.depth = 2;
+    // Root: f0 >= 4; children: f1 >= 2, f1 >= 6.
+    tree.featureIndex = {0, 1, 1};
+    tree.threshold = {4, 2, 6};
+    tree.leafScore = {10, 20, 30, 40};
+
+    // f0=5 (right), f1=7 (right) -> leaf 3.
+    EXPECT_EQ(tree.predict({5, 7}), 40);
+    // f0=3 (left), f1=1 (left) -> leaf 0.
+    EXPECT_EQ(tree.predict({3, 1}), 10);
+    // f0=3 (left), f1=2 (right) -> leaf 1.
+    EXPECT_EQ(tree.predict({3, 2}), 20);
+    // f0=4 (right boundary), f1=5 (left) -> leaf 2.
+    EXPECT_EQ(tree.predict({4, 5}), 30);
+}
+
+TEST(XgboostModel, EnsembleSumsTrees)
+{
+    Rng rng(7);
+    const auto model = XgboostModel::random(5, 2, 3, 3, rng);
+    const std::vector<std::uint32_t> features = {1, 5, 3};
+    std::int32_t expected = 0;
+    for (const auto &tree : model.trees)
+        expected += tree.predict(features);
+    EXPECT_EQ(model.predict(features), expected);
+}
+
+TEST(XgboostModel, CircuitShape)
+{
+    Rng rng(8);
+    const auto model = XgboostModel::random(4, 2, 3, 3, rng);
+    const auto circuit = model.buildCircuit(6);
+    EXPECT_EQ(circuit.numInputs(), 3u * 3);
+    EXPECT_EQ(circuit.outputs().size(), 6u);
+    EXPECT_GT(circuit.bootstrapCount(), 0u);
+
+    const auto w = model.workload(6, 16);
+    EXPECT_EQ(w.totalBootstraps(), circuit.bootstrapCount() * 16);
+}
+
+TEST(XgboostModel, ObliviousInferenceMatchesPlaintext)
+{
+    Rng rng(9);
+    // Small model to keep the encrypted run quick: 2 trees, depth 2,
+    // 2 features of 3 bits.
+    const auto model = XgboostModel::random(2, 2, 2, 3, rng);
+    const unsigned score_bits = 6;
+    const auto circuit = model.buildCircuit(score_bits);
+
+    Rng key_rng(0x9B0057);
+    const KeySet keys = KeySet::generate(tfhe::paramsTest(), key_rng);
+
+    const std::vector<std::vector<std::uint32_t>> feature_sets = {
+        {3, 6}, {0, 1}, {7, 7}};
+    for (const auto &features : feature_sets) {
+        // Encrypt the feature bits.
+        std::vector<tfhe::LweCiphertext> enc;
+        for (auto f : features) {
+            for (unsigned i = 0; i < model.featureBits; ++i) {
+                enc.push_back(tfhe::encryptBit(
+                    keys, ((f >> i) & 1) != 0, key_rng));
+            }
+        }
+        const auto out = circuit.evaluateEncrypted(keys, enc);
+
+        // Decode two's complement.
+        std::int32_t score = 0;
+        for (unsigned i = 0; i < score_bits; ++i) {
+            score |= static_cast<std::int32_t>(
+                         tfhe::decryptBit(keys, out[i]))
+                     << i;
+        }
+        if (score >= (1 << (score_bits - 1)))
+            score -= 1 << score_bits;
+
+        EXPECT_EQ(score, model.predict(features))
+            << "features " << features[0] << "," << features[1];
+    }
+}
+
+} // namespace
+} // namespace morphling::apps
