@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multilut.dir/bench_ablation_multilut.cc.o"
+  "CMakeFiles/bench_ablation_multilut.dir/bench_ablation_multilut.cc.o.d"
+  "bench_ablation_multilut"
+  "bench_ablation_multilut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multilut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rotator.dir/bench_ablation_rotator.cc.o"
+  "CMakeFiles/bench_ablation_rotator.dir/bench_ablation_rotator.cc.o.d"
+  "bench_ablation_rotator"
+  "bench_ablation_rotator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_primitives.dir/bench_cpu_primitives.cc.o"
+  "CMakeFiles/bench_cpu_primitives.dir/bench_cpu_primitives.cc.o.d"
+  "bench_cpu_primitives"
+  "bench_cpu_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

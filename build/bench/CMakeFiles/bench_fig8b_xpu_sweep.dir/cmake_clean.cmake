@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_xpu_sweep.dir/bench_fig8b_xpu_sweep.cc.o"
+  "CMakeFiles/bench_fig8b_xpu_sweep.dir/bench_fig8b_xpu_sweep.cc.o.d"
+  "bench_fig8b_xpu_sweep"
+  "bench_fig8b_xpu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_xpu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functional_datapath.dir/bench_functional_datapath.cc.o"
+  "CMakeFiles/bench_functional_datapath.dir/bench_functional_datapath.cc.o.d"
+  "bench_functional_datapath"
+  "bench_functional_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_applications.dir/bench_table6_applications.cc.o"
+  "CMakeFiles/bench_table6_applications.dir/bench_table6_applications.cc.o.d"
+  "bench_table6_applications"
+  "bench_table6_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

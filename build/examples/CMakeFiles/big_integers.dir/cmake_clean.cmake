@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_integers.dir/big_integers.cpp.o"
+  "CMakeFiles/big_integers.dir/big_integers.cpp.o.d"
+  "big_integers"
+  "big_integers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_integers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_logic.dir/gate_logic.cpp.o"
+  "CMakeFiles/gate_logic.dir/gate_logic.cpp.o.d"
+  "gate_logic"
+  "gate_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_program.dir/inspect_program.cpp.o"
+  "CMakeFiles/inspect_program.dir/inspect_program.cpp.o.d"
+  "inspect_program"
+  "inspect_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

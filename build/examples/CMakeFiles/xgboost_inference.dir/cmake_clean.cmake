@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgboost_inference.dir/xgboost_inference.cpp.o"
+  "CMakeFiles/xgboost_inference.dir/xgboost_inference.cpp.o.d"
+  "xgboost_inference"
+  "xgboost_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgboost_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/circuit.cc" "src/apps/CMakeFiles/morphling_apps.dir/circuit.cc.o" "gcc" "src/apps/CMakeFiles/morphling_apps.dir/circuit.cc.o.d"
+  "/root/repo/src/apps/cpu_cost_model.cc" "src/apps/CMakeFiles/morphling_apps.dir/cpu_cost_model.cc.o" "gcc" "src/apps/CMakeFiles/morphling_apps.dir/cpu_cost_model.cc.o.d"
+  "/root/repo/src/apps/quantized_mlp.cc" "src/apps/CMakeFiles/morphling_apps.dir/quantized_mlp.cc.o" "gcc" "src/apps/CMakeFiles/morphling_apps.dir/quantized_mlp.cc.o.d"
+  "/root/repo/src/apps/workloads.cc" "src/apps/CMakeFiles/morphling_apps.dir/workloads.cc.o" "gcc" "src/apps/CMakeFiles/morphling_apps.dir/workloads.cc.o.d"
+  "/root/repo/src/apps/xgboost_model.cc" "src/apps/CMakeFiles/morphling_apps.dir/xgboost_model.cc.o" "gcc" "src/apps/CMakeFiles/morphling_apps.dir/xgboost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morphling_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfhe/CMakeFiles/morphling_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/morphling_compiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

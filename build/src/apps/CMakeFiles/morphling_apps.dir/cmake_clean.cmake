@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphling_apps.dir/circuit.cc.o"
+  "CMakeFiles/morphling_apps.dir/circuit.cc.o.d"
+  "CMakeFiles/morphling_apps.dir/cpu_cost_model.cc.o"
+  "CMakeFiles/morphling_apps.dir/cpu_cost_model.cc.o.d"
+  "CMakeFiles/morphling_apps.dir/quantized_mlp.cc.o"
+  "CMakeFiles/morphling_apps.dir/quantized_mlp.cc.o.d"
+  "CMakeFiles/morphling_apps.dir/workloads.cc.o"
+  "CMakeFiles/morphling_apps.dir/workloads.cc.o.d"
+  "CMakeFiles/morphling_apps.dir/xgboost_model.cc.o"
+  "CMakeFiles/morphling_apps.dir/xgboost_model.cc.o.d"
+  "libmorphling_apps.a"
+  "libmorphling_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphling_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accelerator.cc" "src/arch/CMakeFiles/morphling_arch.dir/accelerator.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/accelerator.cc.o.d"
+  "/root/repo/src/arch/analysis.cc" "src/arch/CMakeFiles/morphling_arch.dir/analysis.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/analysis.cc.o.d"
+  "/root/repo/src/arch/area_power.cc" "src/arch/CMakeFiles/morphling_arch.dir/area_power.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/area_power.cc.o.d"
+  "/root/repo/src/arch/buffers.cc" "src/arch/CMakeFiles/morphling_arch.dir/buffers.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/buffers.cc.o.d"
+  "/root/repo/src/arch/config.cc" "src/arch/CMakeFiles/morphling_arch.dir/config.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/config.cc.o.d"
+  "/root/repo/src/arch/fft_unit.cc" "src/arch/CMakeFiles/morphling_arch.dir/fft_unit.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/fft_unit.cc.o.d"
+  "/root/repo/src/arch/functional/functional_xpu.cc" "src/arch/CMakeFiles/morphling_arch.dir/functional/functional_xpu.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/functional/functional_xpu.cc.o.d"
+  "/root/repo/src/arch/functional/ms_fft.cc" "src/arch/CMakeFiles/morphling_arch.dir/functional/ms_fft.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/functional/ms_fft.cc.o.d"
+  "/root/repo/src/arch/functional/vpe.cc" "src/arch/CMakeFiles/morphling_arch.dir/functional/vpe.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/functional/vpe.cc.o.d"
+  "/root/repo/src/arch/hw_scheduler.cc" "src/arch/CMakeFiles/morphling_arch.dir/hw_scheduler.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/hw_scheduler.cc.o.d"
+  "/root/repo/src/arch/rotator.cc" "src/arch/CMakeFiles/morphling_arch.dir/rotator.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/rotator.cc.o.d"
+  "/root/repo/src/arch/timing.cc" "src/arch/CMakeFiles/morphling_arch.dir/timing.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/timing.cc.o.d"
+  "/root/repo/src/arch/vpu.cc" "src/arch/CMakeFiles/morphling_arch.dir/vpu.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/vpu.cc.o.d"
+  "/root/repo/src/arch/xpu.cc" "src/arch/CMakeFiles/morphling_arch.dir/xpu.cc.o" "gcc" "src/arch/CMakeFiles/morphling_arch.dir/xpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morphling_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/morphling_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfhe/CMakeFiles/morphling_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/morphling_compiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphling_arch.dir/accelerator.cc.o"
+  "CMakeFiles/morphling_arch.dir/accelerator.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/analysis.cc.o"
+  "CMakeFiles/morphling_arch.dir/analysis.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/area_power.cc.o"
+  "CMakeFiles/morphling_arch.dir/area_power.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/buffers.cc.o"
+  "CMakeFiles/morphling_arch.dir/buffers.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/config.cc.o"
+  "CMakeFiles/morphling_arch.dir/config.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/fft_unit.cc.o"
+  "CMakeFiles/morphling_arch.dir/fft_unit.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/functional/functional_xpu.cc.o"
+  "CMakeFiles/morphling_arch.dir/functional/functional_xpu.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/functional/ms_fft.cc.o"
+  "CMakeFiles/morphling_arch.dir/functional/ms_fft.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/functional/vpe.cc.o"
+  "CMakeFiles/morphling_arch.dir/functional/vpe.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/hw_scheduler.cc.o"
+  "CMakeFiles/morphling_arch.dir/hw_scheduler.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/rotator.cc.o"
+  "CMakeFiles/morphling_arch.dir/rotator.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/timing.cc.o"
+  "CMakeFiles/morphling_arch.dir/timing.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/vpu.cc.o"
+  "CMakeFiles/morphling_arch.dir/vpu.cc.o.d"
+  "CMakeFiles/morphling_arch.dir/xpu.cc.o"
+  "CMakeFiles/morphling_arch.dir/xpu.cc.o.d"
+  "libmorphling_arch.a"
+  "libmorphling_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphling_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

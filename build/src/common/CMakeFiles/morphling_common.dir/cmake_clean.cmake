@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphling_common.dir/logging.cc.o"
+  "CMakeFiles/morphling_common.dir/logging.cc.o.d"
+  "CMakeFiles/morphling_common.dir/rng.cc.o"
+  "CMakeFiles/morphling_common.dir/rng.cc.o.d"
+  "CMakeFiles/morphling_common.dir/table.cc.o"
+  "CMakeFiles/morphling_common.dir/table.cc.o.d"
+  "libmorphling_common.a"
+  "libmorphling_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphling_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

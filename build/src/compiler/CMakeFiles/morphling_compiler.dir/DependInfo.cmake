@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/isa.cc" "src/compiler/CMakeFiles/morphling_compiler.dir/isa.cc.o" "gcc" "src/compiler/CMakeFiles/morphling_compiler.dir/isa.cc.o.d"
+  "/root/repo/src/compiler/program.cc" "src/compiler/CMakeFiles/morphling_compiler.dir/program.cc.o" "gcc" "src/compiler/CMakeFiles/morphling_compiler.dir/program.cc.o.d"
+  "/root/repo/src/compiler/sw_scheduler.cc" "src/compiler/CMakeFiles/morphling_compiler.dir/sw_scheduler.cc.o" "gcc" "src/compiler/CMakeFiles/morphling_compiler.dir/sw_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morphling_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfhe/CMakeFiles/morphling_tfhe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

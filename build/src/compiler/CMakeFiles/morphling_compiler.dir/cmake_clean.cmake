@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphling_compiler.dir/isa.cc.o"
+  "CMakeFiles/morphling_compiler.dir/isa.cc.o.d"
+  "CMakeFiles/morphling_compiler.dir/program.cc.o"
+  "CMakeFiles/morphling_compiler.dir/program.cc.o.d"
+  "CMakeFiles/morphling_compiler.dir/sw_scheduler.cc.o"
+  "CMakeFiles/morphling_compiler.dir/sw_scheduler.cc.o.d"
+  "libmorphling_compiler.a"
+  "libmorphling_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphling_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dma.cc" "src/sim/CMakeFiles/morphling_sim.dir/dma.cc.o" "gcc" "src/sim/CMakeFiles/morphling_sim.dir/dma.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/morphling_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/morphling_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/hbm.cc" "src/sim/CMakeFiles/morphling_sim.dir/hbm.cc.o" "gcc" "src/sim/CMakeFiles/morphling_sim.dir/hbm.cc.o.d"
+  "/root/repo/src/sim/noc.cc" "src/sim/CMakeFiles/morphling_sim.dir/noc.cc.o" "gcc" "src/sim/CMakeFiles/morphling_sim.dir/noc.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/morphling_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/morphling_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/morphling_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/morphling_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morphling_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphling_sim.dir/dma.cc.o"
+  "CMakeFiles/morphling_sim.dir/dma.cc.o.d"
+  "CMakeFiles/morphling_sim.dir/event_queue.cc.o"
+  "CMakeFiles/morphling_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/morphling_sim.dir/hbm.cc.o"
+  "CMakeFiles/morphling_sim.dir/hbm.cc.o.d"
+  "CMakeFiles/morphling_sim.dir/noc.cc.o"
+  "CMakeFiles/morphling_sim.dir/noc.cc.o.d"
+  "CMakeFiles/morphling_sim.dir/stats.cc.o"
+  "CMakeFiles/morphling_sim.dir/stats.cc.o.d"
+  "CMakeFiles/morphling_sim.dir/trace.cc.o"
+  "CMakeFiles/morphling_sim.dir/trace.cc.o.d"
+  "libmorphling_sim.a"
+  "libmorphling_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphling_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmorphling_sim.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tfhe/batch.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/batch.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/batch.cc.o.d"
+  "/root/repo/src/tfhe/bootstrap.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/bootstrap.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/bootstrap.cc.o.d"
+  "/root/repo/src/tfhe/encoding.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/encoding.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/encoding.cc.o.d"
+  "/root/repo/src/tfhe/fft.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/fft.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/fft.cc.o.d"
+  "/root/repo/src/tfhe/ggsw.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/ggsw.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/ggsw.cc.o.d"
+  "/root/repo/src/tfhe/glwe.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/glwe.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/glwe.cc.o.d"
+  "/root/repo/src/tfhe/keyset.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/keyset.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/keyset.cc.o.d"
+  "/root/repo/src/tfhe/lwe.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/lwe.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/lwe.cc.o.d"
+  "/root/repo/src/tfhe/noise.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/noise.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/noise.cc.o.d"
+  "/root/repo/src/tfhe/opcount.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/opcount.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/opcount.cc.o.d"
+  "/root/repo/src/tfhe/params.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/params.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/params.cc.o.d"
+  "/root/repo/src/tfhe/polynomial.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/polynomial.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/polynomial.cc.o.d"
+  "/root/repo/src/tfhe/radix.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/radix.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/radix.cc.o.d"
+  "/root/repo/src/tfhe/serialize.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/serialize.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/serialize.cc.o.d"
+  "/root/repo/src/tfhe/torus.cc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/torus.cc.o" "gcc" "src/tfhe/CMakeFiles/morphling_tfhe.dir/torus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/morphling_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

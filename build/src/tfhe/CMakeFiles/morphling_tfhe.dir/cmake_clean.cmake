@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morphling_tfhe.dir/batch.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/batch.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/bootstrap.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/bootstrap.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/encoding.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/encoding.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/fft.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/fft.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/ggsw.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/ggsw.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/glwe.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/glwe.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/keyset.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/keyset.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/lwe.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/lwe.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/noise.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/noise.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/opcount.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/opcount.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/params.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/params.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/polynomial.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/polynomial.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/radix.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/radix.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/serialize.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/serialize.cc.o.d"
+  "CMakeFiles/morphling_tfhe.dir/torus.cc.o"
+  "CMakeFiles/morphling_tfhe.dir/torus.cc.o.d"
+  "libmorphling_tfhe.a"
+  "libmorphling_tfhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morphling_tfhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

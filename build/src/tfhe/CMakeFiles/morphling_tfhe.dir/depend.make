@@ -1,0 +1,2 @@
+# Empty dependencies file for morphling_tfhe.
+# This may be replaced when dependencies are built.

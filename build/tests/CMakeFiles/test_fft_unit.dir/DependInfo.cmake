@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fft_unit.cc" "tests/CMakeFiles/test_fft_unit.dir/test_fft_unit.cc.o" "gcc" "tests/CMakeFiles/test_fft_unit.dir/test_fft_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/morphling_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/morphling_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/morphling_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfhe/CMakeFiles/morphling_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/morphling_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

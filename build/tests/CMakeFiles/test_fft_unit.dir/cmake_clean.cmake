@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_unit.dir/test_fft_unit.cc.o"
+  "CMakeFiles/test_fft_unit.dir/test_fft_unit.cc.o.d"
+  "test_fft_unit"
+  "test_fft_unit.pdb"
+  "test_fft_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_xpu.dir/test_functional_xpu.cc.o"
+  "CMakeFiles/test_functional_xpu.dir/test_functional_xpu.cc.o.d"
+  "test_functional_xpu"
+  "test_functional_xpu.pdb"
+  "test_functional_xpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_xpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

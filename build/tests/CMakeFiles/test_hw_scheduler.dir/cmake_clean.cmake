@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_scheduler.dir/test_hw_scheduler.cc.o"
+  "CMakeFiles/test_hw_scheduler.dir/test_hw_scheduler.cc.o.d"
+  "test_hw_scheduler"
+  "test_hw_scheduler.pdb"
+  "test_hw_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilut.dir/test_multilut.cc.o"
+  "CMakeFiles/test_multilut.dir/test_multilut.cc.o.d"
+  "test_multilut"
+  "test_multilut.pdb"
+  "test_multilut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

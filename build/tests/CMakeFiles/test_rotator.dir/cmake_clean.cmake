@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotator.dir/test_rotator.cc.o"
+  "CMakeFiles/test_rotator.dir/test_rotator.cc.o.d"
+  "test_rotator"
+  "test_rotator.pdb"
+  "test_rotator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xgboost_model.dir/test_xgboost_model.cc.o"
+  "CMakeFiles/test_xgboost_model.dir/test_xgboost_model.cc.o.d"
+  "test_xgboost_model"
+  "test_xgboost_model.pdb"
+  "test_xgboost_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xgboost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
