@@ -169,8 +169,10 @@ BM_ParallelBatchBootstrap(benchmark::State &state)
     std::vector<LweCiphertext> batch;
     for (unsigned i = 0; i < 2 * threads; ++i)
         batch.push_back(encryptPadded(keys, i % 4, 4, rng));
+    BatchOptions opts;
+    opts.threads = threads;
     for (auto _ : state) {
-        auto out = parallelBatchBootstrap(keys, batch, lut, threads);
+        auto out = batchBootstrap(keys, batch, lut, opts);
         benchmark::DoNotOptimize(out.back().body());
     }
     state.SetItemsProcessed(state.iterations() * batch.size());

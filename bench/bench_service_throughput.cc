@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Measures the BootstrapService against the raw batch hot path it
+ * wraps:
+ *
+ *  1. Full-load throughput: >= 1000 requests pushed through the
+ *     service (64-LWE superbatches, worker pool) vs. one
+ *     batchBootstrap call over the same inputs with all hardware
+ *     threads. The service's queueing/assembly overhead must stay
+ *     within 10% of raw.
+ *  2. Trickle load: a single client submitting one request at a time.
+ *     Batches never fill, so every request rides a flush-timer batch;
+ *     the p99 queueing latency must stay bounded by maxWait instead
+ *     of waiting (forever) for 63 peers.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/bootstrap_service.h"
+#include "tfhe/encoding.h"
+
+using namespace morphling;
+using namespace morphling::service;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+seconds(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Service throughput",
+                  "BootstrapService superbatch assembly vs. the raw "
+                  "batch hot path");
+
+    const tfhe::TfheParams &params = tfhe::paramsTest();
+    Rng rng(0x5EB47C);
+    const tfhe::KeySet keys = tfhe::KeySet::generate(params, rng);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 1) % 4;
+    });
+
+    constexpr unsigned kRequests = 1024;
+    std::vector<tfhe::LweCiphertext> inputs;
+    inputs.reserve(kRequests);
+    for (unsigned i = 0; i < kRequests; ++i)
+        inputs.push_back(tfhe::encryptPadded(keys, i % 4, 4, rng));
+
+    // --- raw hot path: one batch call, all hardware threads ----------
+    tfhe::BatchOptions all_threads;
+    all_threads.threads = 0;
+    const auto raw_t0 = Clock::now();
+    auto raw_out = tfhe::batchBootstrap(keys, inputs, lut, all_threads);
+    const double raw_seconds = seconds(Clock::now() - raw_t0);
+    const double raw_bs = kRequests / raw_seconds;
+
+    // --- service, saturated ------------------------------------------
+    ServiceConfig config;
+    config.maxOutstanding = kRequests; // measure assembly, not admission
+    config.maxWait = std::chrono::microseconds(5000);
+    double svc_seconds = 0;
+    std::uint64_t full_batches = 0, superbatches = 0;
+    double occupancy = 0;
+    {
+        BootstrapService svc(keys, config);
+        const LutId id = svc.registerLut(lut);
+        std::vector<std::future<tfhe::LweCiphertext>> futures;
+        futures.reserve(kRequests);
+        const auto t0 = Clock::now();
+        for (unsigned i = 0; i < kRequests; ++i)
+            futures.push_back(svc.submit(inputs[i], id));
+        for (auto &f : futures)
+            f.wait();
+        svc_seconds = seconds(Clock::now() - t0);
+        const ServiceStats stats = svc.stats();
+        full_batches = stats.fullBatches;
+        superbatches = stats.superbatches;
+        occupancy = stats.occupancy.mean();
+        svc.shutdown();
+    }
+    const double svc_bs = kRequests / svc_seconds;
+
+    Table t({"Path", "Requests", "Seconds", "BS/s", "vs raw"});
+    t.addRow({"raw batchBootstrap (all threads)",
+              Table::fmtCount(kRequests), Table::fmt(raw_seconds, 3),
+              Table::fmtCount(static_cast<std::uint64_t>(raw_bs)),
+              "1.00x"});
+    t.addRow({"BootstrapService (64-superbatches)",
+              Table::fmtCount(kRequests), Table::fmt(svc_seconds, 3),
+              Table::fmtCount(static_cast<std::uint64_t>(svc_bs)),
+              bench::times(svc_bs / raw_bs, 2)});
+    t.print(std::cout);
+    bench::note("target: service >= 0.90x of raw at full batches "
+                "(measured " + Table::fmt(svc_bs / raw_bs, 3) + "x; " +
+                Table::fmtCount(superbatches) + " batches, " +
+                Table::fmtCount(full_batches) + " full, mean occupancy " +
+                Table::fmt(occupancy, 1) + ")");
+
+    // --- trickle load: the flush timer bounds latency -----------------
+    ServiceConfig trickle;
+    trickle.maxWait = std::chrono::microseconds(2000);
+    constexpr unsigned kTrickle = 48;
+    std::vector<double> latencies_us;
+    double queue_p99_source_max = 0, queue_mean = 0;
+    std::uint64_t timer_flushes = 0;
+    {
+        BootstrapService svc(keys, trickle);
+        const LutId id = svc.registerLut(lut);
+        for (unsigned i = 0; i < kTrickle; ++i) {
+            const auto t0 = Clock::now();
+            auto future = svc.submit(inputs[i], id);
+            future.wait();
+            latencies_us.push_back(
+                seconds(Clock::now() - t0) * 1e6);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(500));
+        }
+        const ServiceStats stats = svc.stats();
+        timer_flushes = stats.timerFlushes;
+        queue_p99_source_max = stats.queueLatencyUs.max();
+        queue_mean = stats.queueLatencyUs.mean();
+        svc.shutdown();
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const double p50 = latencies_us[latencies_us.size() / 2];
+    const double p99 =
+        latencies_us[std::min<std::size_t>(latencies_us.size() - 1,
+                                           latencies_us.size() * 99 /
+                                               100)];
+
+    Table t2({"Trickle metric", "Value"});
+    t2.addRow({"requests (1 in flight)", Table::fmtCount(kTrickle)});
+    t2.addRow({"flush timer (maxWait)", "2000 us"});
+    t2.addRow({"timer flushes", Table::fmtCount(timer_flushes)});
+    t2.addRow({"queue latency mean", Table::fmt(queue_mean, 0) + " us"});
+    t2.addRow({"queue latency max",
+               Table::fmt(queue_p99_source_max, 0) + " us"});
+    t2.addRow({"end-to-end p50", Table::fmt(p50, 0) + " us"});
+    t2.addRow({"end-to-end p99", Table::fmt(p99, 0) + " us"});
+    t2.print(std::cout);
+    bench::note("without the flush timer a lone request would wait "
+                "for 63 peers; with it, queueing is bounded by "
+                "maxWait + one batch execution");
+
+    (void)raw_out;
+    return 0;
+}

@@ -1,46 +1,82 @@
 /**
  * @file
- * The deployment split every FHE service uses: the client keeps the
- * secret key; the server receives only evaluation keys (BSK + KSK) and
- * ciphertexts over the wire, computes blindly, and returns a ciphertext
- * only the client can open. Wire format: this library's versioned
- * binary serialization (tfhe/serialize.h).
+ * The deployment split every FHE service uses — now served through the
+ * blessed public surface, service::BootstrapService: the client keeps
+ * the secret key; the server receives only evaluation keys (BSK + KSK)
+ * and ciphertexts over the wire, batches concurrent queries into
+ * Morphling-style 64-LWE superbatches, computes blindly on a worker
+ * pool, and returns ciphertexts only the client can open. Wire format:
+ * this library's versioned binary serialization (tfhe/serialize.h).
  *
  * Build & run:  ./build/examples/client_server
  */
 
+#include <chrono>
+#include <future>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "common/rng.h"
+#include "service/bootstrap_service.h"
 #include "tfhe/encoding.h"
 #include "tfhe/serialize.h"
 
 using namespace morphling;
 using namespace morphling::tfhe;
+using morphling::service::BootstrapService;
+using morphling::service::LutId;
+using morphling::service::ServiceConfig;
 
 namespace {
 
-/** What the untrusted server runs: no KeySet, no secret bits. */
-std::string
+/**
+ * What the untrusted server runs: no KeySet, no secret bits. It
+ * stands up one BootstrapService over the deserialized evaluation
+ * keys and answers a stream of independent queries; the service
+ * assembles them into superbatches, and its flush timer ships partial
+ * batches so a light trickle of clients still gets answers.
+ */
+std::vector<std::string>
 serverSide(const std::string &eval_keys_wire,
-           const std::string &query_wire)
+           const std::vector<std::string> &query_wires)
 {
     std::istringstream keys_in(eval_keys_wire);
-    const EvaluationKeys keys = loadEvaluationKeys(keys_in);
-    std::istringstream query_in(query_wire);
-    const LweCiphertext query = loadCiphertext(query_in);
+    EvaluationKeys keys = loadEvaluationKeys(keys_in);
+
+    ServiceConfig config;
+    config.maxWait = std::chrono::milliseconds(5);
+    BootstrapService service(std::move(keys), config);
 
     // The service: a private threshold check, f(m) = (m >= 4), plus a
-    // noise refresh — one programmable bootstrap.
-    const auto lut = makePaddedLut(8, [](std::uint32_t m) {
-        return m >= 4 ? 1u : 0u;
-    });
-    const LweCiphertext answer = serverBootstrap(keys, query, lut);
+    // noise refresh — one programmable bootstrap per query.
+    const LutId threshold = service.registerLut(
+        makePaddedLut(8, [](std::uint32_t m) {
+            return m >= 4 ? 1u : 0u;
+        }));
 
-    std::ostringstream out;
-    saveCiphertext(out, answer);
-    return out.str();
+    // Accept every query first (they arrive interleaved in a real
+    // deployment); futures keep answers paired with their queries.
+    std::vector<std::future<LweCiphertext>> answers;
+    for (const auto &wire : query_wires) {
+        std::istringstream query_in(wire);
+        answers.push_back(
+            service.submit(loadCiphertext(query_in), threshold));
+    }
+
+    std::vector<std::string> out;
+    for (auto &answer : answers) {
+        std::ostringstream wire;
+        saveCiphertext(wire, answer.get());
+        out.push_back(wire.str());
+    }
+
+    const auto stats = service.stats();
+    std::cout << "server: " << stats.completed << " bootstraps in "
+              << stats.superbatches << " superbatch(es), "
+              << stats.timerFlushes << " shipped by the flush timer\n";
+    service.shutdown();
+    return out;
 }
 
 } // namespace
@@ -61,22 +97,33 @@ main()
               << eval_wire.str().size() / 1024
               << " KiB; the secret key never leaves)\n";
 
-    // --- Client: encrypt queries --------------------------------------
-    for (std::uint32_t m : {2u, 6u}) {
-        std::ostringstream query_wire;
-        saveCiphertext(query_wire, encryptPadded(keys, m, 8, rng));
+    // --- Client: encrypt a burst of queries ---------------------------
+    const std::vector<std::uint32_t> queries = {2, 6, 3, 7, 4, 0};
+    std::vector<std::string> query_wires;
+    for (std::uint32_t m : queries) {
+        std::ostringstream wire;
+        saveCiphertext(wire, encryptPadded(keys, m, 8, rng));
+        query_wires.push_back(wire.str());
+    }
 
-        // --- Server: blind computation --------------------------------
-        const std::string answer_wire =
-            serverSide(eval_wire.str(), query_wire.str());
+    // --- Server: blind, batched computation ---------------------------
+    const auto answer_wires = serverSide(eval_wire.str(), query_wires);
 
-        // --- Client: decrypt the response ------------------------------
-        std::istringstream answer_in(answer_wire);
+    // --- Client: decrypt the responses --------------------------------
+    bool all_correct = true;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        std::istringstream answer_in(answer_wires[i]);
         const LweCiphertext answer = loadCiphertext(answer_in);
         const std::uint32_t verdict = decryptPadded(keys, answer, 8);
-        std::cout << "client: is " << m << " >= 4?  server says "
+        const bool expect = queries[i] >= 4;
+        all_correct &= verdict == (expect ? 1u : 0u);
+        std::cout << "client: is " << queries[i] << " >= 4?  server says "
                   << (verdict ? "yes" : "no") << " (expect "
-                  << (m >= 4 ? "yes" : "no") << ")\n";
+                  << (expect ? "yes" : "no") << ")\n";
+    }
+    if (!all_correct) {
+        std::cout << "MISMATCH: at least one verdict was wrong\n";
+        return 1;
     }
     return 0;
 }

@@ -21,12 +21,24 @@
 
 namespace morphling::compiler {
 
+/** @{
+ * The paper's canonical batching geometry (Figure 6): superbatches of
+ * kNumGroups concurrent groups of kGroupSize LWEs each. Shared by the
+ * SW scheduler and the request-batching service layer
+ * (service/bootstrap_service.h), so the software queue assembles
+ * exactly the unit the hardware schedule is built around.
+ */
+inline constexpr unsigned kGroupSize = 16;  //!< 4 rows x 4 XPUs
+inline constexpr unsigned kNumGroups = 4;   //!< concurrent groups
+inline constexpr unsigned kSuperbatchSize = kGroupSize * kNumGroups;
+/** @} */
+
 /** Batching/tiling knobs of the SW scheduler. */
 struct SchedulerConfig
 {
-    unsigned groupSize = 16; //!< LWEs per group (4 rows x 4 XPUs)
-    unsigned numGroups = 4;  //!< concurrent groups -> 64-LWE superbatch
-    unsigned kskReuse = 64;  //!< ciphertexts amortizing one KSK fetch
+    unsigned groupSize = kGroupSize; //!< LWEs per group
+    unsigned numGroups = kNumGroups; //!< groups per superbatch
+    unsigned kskReuse = kSuperbatchSize; //!< cts amortizing one KSK fetch
 };
 
 /** Compiles workloads into Morphling instruction streams. */

@@ -1,0 +1,401 @@
+#include "bootstrap_service.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace morphling::service {
+
+namespace {
+
+double
+toMicros(ServiceClock::duration d)
+{
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+ServiceConfig
+normalized(ServiceConfig config)
+{
+    if (config.numWorkers == 0) {
+        config.numWorkers =
+            std::max(1u, std::thread::hardware_concurrency());
+    }
+    return config;
+}
+
+} // namespace
+
+BootstrapService::BootstrapService(tfhe::EvaluationKeys keys,
+                                   ServiceConfig config)
+    : keys_(std::move(keys)), config_(normalized(config)),
+      start_(ServiceClock::now())
+{
+    fatal_if(config_.superbatchSize == 0,
+             "superbatchSize must be positive");
+    fatal_if(config_.maxOutstanding == 0,
+             "maxOutstanding must be positive");
+
+    // Create every stat up front so snapshots can lookup() them even
+    // before the first request.
+    stats_.scalar("accepted", "requests admitted past backpressure");
+    stats_.scalar("rejected", "trySubmit refusals (queue full)");
+    stats_.scalar("completed", "promises fulfilled");
+    stats_.scalar("superbatches", "batches dispatched");
+    stats_.scalar("fullBatches", "batches dispatched at full size");
+    stats_.scalar("timerFlushes", "partial batches shipped by timer");
+    stats_.scalar("drainFlushes", "partial batches shipped by drain");
+    stats_.scalar("deadlineMisses", "requests dispatched past deadline");
+    stats_.histogram("occupancy", "requests per dispatched batch");
+    stats_.histogram("queueLatencyUs", "submit -> batch assembly");
+    stats_.histogram("batchLatencyUs", "batch assembly -> completion");
+    stats_.histogram("requestLatencyUs", "submit -> completion");
+
+    assembler_ = std::thread(&BootstrapService::assemblerMain, this);
+    workers_.reserve(config_.numWorkers);
+    for (unsigned w = 0; w < config_.numWorkers; ++w)
+        workers_.emplace_back(&BootstrapService::workerMain, this);
+}
+
+BootstrapService::BootstrapService(const tfhe::KeySet &keys,
+                                   ServiceConfig config)
+    : BootstrapService(tfhe::EvaluationKeys::fromKeySet(keys),
+                       std::move(config))
+{
+}
+
+BootstrapService::~BootstrapService()
+{
+    shutdown();
+}
+
+LutId
+BootstrapService::registerLut(std::vector<tfhe::Torus32> lut)
+{
+    fatal_if(lut.empty(), "cannot register an empty LUT");
+    std::lock_guard<std::mutex> lk(mu_);
+    fatal_if(draining_, "registerLut on a shut-down BootstrapService");
+    luts_.push_back(
+        std::make_shared<const std::vector<tfhe::Torus32>>(
+            std::move(lut)));
+    pending_.emplace_back();
+    return static_cast<LutId>(luts_.size() - 1);
+}
+
+std::future<tfhe::LweCiphertext>
+BootstrapService::submit(tfhe::LweCiphertext ct, LutId lut,
+                         std::optional<ServiceClock::time_point> deadline)
+{
+    auto future = enqueue(std::move(ct), lut, deadline, /*block=*/true);
+    panic_if(!future.has_value(), "blocking submit returned no future");
+    return std::move(*future);
+}
+
+std::optional<std::future<tfhe::LweCiphertext>>
+BootstrapService::trySubmit(
+    tfhe::LweCiphertext ct, LutId lut,
+    std::optional<ServiceClock::time_point> deadline)
+{
+    return enqueue(std::move(ct), lut, deadline, /*block=*/false);
+}
+
+std::optional<std::future<tfhe::LweCiphertext>>
+BootstrapService::enqueue(
+    tfhe::LweCiphertext ct, LutId lut,
+    std::optional<ServiceClock::time_point> deadline, bool block)
+{
+    std::future<tfhe::LweCiphertext> future;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        fatal_if(lut >= luts_.size(), "unknown LUT id ", lut);
+        if (block) {
+            fatal_if(draining_,
+                     "submit on a shut-down BootstrapService");
+            spaceCv_.wait(lk, [&] {
+                return draining_ ||
+                       outstanding_ < config_.maxOutstanding;
+            });
+            fatal_if(draining_,
+                     "BootstrapService shut down under a blocked "
+                     "submit");
+        } else if (draining_ ||
+                   outstanding_ >= config_.maxOutstanding) {
+            ++stats_.scalar("rejected");
+            return std::nullopt;
+        }
+
+        Request request;
+        request.ct = std::move(ct);
+        request.deadline = deadline;
+        request.submitted = ServiceClock::now();
+        future = request.promise.get_future();
+        pending_[lut].push_back(std::move(request));
+        ++pendingCount_;
+        ++outstanding_;
+        ++stats_.scalar("accepted");
+    }
+    // Wake the assembler: the bucket may be full, or the new request's
+    // timer/deadline may be earlier than its current sleep target.
+    assembleCv_.notify_one();
+    return future;
+}
+
+void
+BootstrapService::flush()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        flushRequested_ = true;
+    }
+    assembleCv_.notify_one();
+}
+
+void
+BootstrapService::assembleLocked(LutId lut, FlushReason reason)
+{
+    auto &bucket = pending_[lut];
+    const std::size_t take =
+        std::min<std::size_t>(bucket.size(), config_.superbatchSize);
+    panic_if(take == 0, "assembling an empty bucket");
+
+    Superbatch batch;
+    batch.lut = luts_[lut];
+    batch.reason = reason;
+    batch.requests.reserve(take);
+    const auto now = ServiceClock::now();
+    for (std::size_t i = 0; i < take; ++i) {
+        Request &request = bucket.front();
+        stats_.histogram("queueLatencyUs")
+            .sample(toMicros(now - request.submitted));
+        if (request.deadline && now > *request.deadline)
+            ++stats_.scalar("deadlineMisses");
+        batch.requests.push_back(std::move(request));
+        bucket.pop_front();
+    }
+    pendingCount_ -= take;
+
+    ++stats_.scalar("superbatches");
+    stats_.histogram("occupancy").sample(static_cast<double>(take));
+    switch (reason) {
+      case FlushReason::kFull:
+        ++stats_.scalar("fullBatches");
+        break;
+      case FlushReason::kTimer:
+        ++stats_.scalar("timerFlushes");
+        break;
+      case FlushReason::kDrain:
+        ++stats_.scalar("drainFlushes");
+        break;
+    }
+
+    ready_.push_back(std::move(batch));
+}
+
+std::optional<ServiceClock::time_point>
+BootstrapService::nextDueLocked() const
+{
+    std::optional<ServiceClock::time_point> due;
+    auto consider = [&](ServiceClock::time_point t) {
+        if (!due || t < *due)
+            due = t;
+    };
+    for (const auto &bucket : pending_) {
+        if (bucket.empty())
+            continue;
+        consider(bucket.front().submitted + config_.maxWait);
+        for (const auto &request : bucket) {
+            if (request.deadline)
+                consider(*request.deadline);
+        }
+    }
+    return due;
+}
+
+void
+BootstrapService::assemblerMain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        bool assembled = false;
+
+        // Full buckets always ship (a bucket can exceed the batch size
+        // if submissions outpace this thread).
+        for (LutId lut = 0; lut < pending_.size(); ++lut) {
+            while (pending_[lut].size() >= config_.superbatchSize) {
+                assembleLocked(lut, FlushReason::kFull);
+                assembled = true;
+            }
+        }
+
+        if (draining_ || flushRequested_) {
+            const auto reason = draining_ ? FlushReason::kDrain
+                                          : FlushReason::kTimer;
+            for (LutId lut = 0; lut < pending_.size(); ++lut) {
+                if (!pending_[lut].empty()) {
+                    assembleLocked(lut, reason);
+                    assembled = true;
+                }
+            }
+            flushRequested_ = false;
+        } else {
+            // Timer / deadline flushes: ship buckets whose oldest
+            // request has waited maxWait, or that contain a request
+            // whose deadline has arrived.
+            const auto now = ServiceClock::now();
+            for (LutId lut = 0; lut < pending_.size(); ++lut) {
+                const auto &bucket = pending_[lut];
+                if (bucket.empty())
+                    continue;
+                bool is_due =
+                    now >= bucket.front().submitted + config_.maxWait;
+                for (const auto &request : bucket) {
+                    if (is_due)
+                        break;
+                    is_due = request.deadline &&
+                             now >= *request.deadline;
+                }
+                if (is_due) {
+                    assembleLocked(lut, FlushReason::kTimer);
+                    assembled = true;
+                }
+            }
+        }
+
+        if (assembled)
+            workCv_.notify_all();
+        if (draining_ && pendingCount_ == 0)
+            break;
+
+        if (const auto due = nextDueLocked())
+            assembleCv_.wait_until(lk, *due);
+        else
+            assembleCv_.wait(lk);
+    }
+    assemblerDone_ = true;
+    lk.unlock();
+    workCv_.notify_all();
+}
+
+void
+BootstrapService::workerMain()
+{
+    for (;;) {
+        Superbatch batch;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [&] {
+                return !ready_.empty() || assemblerDone_;
+            });
+            if (ready_.empty())
+                return; // drained and assembler retired
+            batch = std::move(ready_.front());
+            ready_.pop_front();
+        }
+
+        const std::size_t count = batch.requests.size();
+        std::vector<tfhe::LweCiphertext> inputs;
+        inputs.reserve(count);
+        for (auto &request : batch.requests)
+            inputs.push_back(std::move(request.ct));
+
+        const auto t0 = ServiceClock::now();
+        auto outputs = tfhe::batchBootstrap(keys_, inputs, *batch.lut,
+                                            config_.batch);
+        const auto t1 = ServiceClock::now();
+        panic_if(outputs.size() != count, "batch size mismatch");
+
+        // Book-keeping before fulfilling the promises, so a client
+        // that sees its future ready also sees it counted.
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stats_.scalar("completed") += static_cast<double>(count);
+            stats_.histogram("batchLatencyUs")
+                .sample(toMicros(t1 - t0));
+            for (const auto &request : batch.requests) {
+                stats_.histogram("requestLatencyUs")
+                    .sample(toMicros(t1 - request.submitted));
+            }
+            outstanding_ -= count;
+        }
+        spaceCv_.notify_all();
+
+        for (std::size_t i = 0; i < count; ++i)
+            batch.requests[i].promise.set_value(
+                std::move(outputs[i]));
+    }
+}
+
+void
+BootstrapService::shutdown()
+{
+    std::lock_guard<std::mutex> shutdown_lock(shutdownMu_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopped_)
+            return;
+        draining_ = true;
+    }
+    assembleCv_.notify_all();
+    spaceCv_.notify_all();
+    if (assembler_.joinable())
+        assembler_.join();
+    workCv_.notify_all();
+    for (auto &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    stopped_ = true;
+}
+
+bool
+BootstrapService::stopped() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stopped_;
+}
+
+std::size_t
+BootstrapService::outstanding() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return outstanding_;
+}
+
+ServiceStats
+BootstrapService::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ServiceStats out;
+    auto scalar = [&](const char *name) {
+        return static_cast<std::uint64_t>(stats_.lookup(name).value());
+    };
+    auto histogram = [&](const char *name) {
+        for (const auto *h : stats_.histograms()) {
+            if (h->name() == name)
+                return *h;
+        }
+        panic("no histogram '", name, "' in service stats");
+    };
+    out.accepted = scalar("accepted");
+    out.rejected = scalar("rejected");
+    out.completed = scalar("completed");
+    out.superbatches = scalar("superbatches");
+    out.fullBatches = scalar("fullBatches");
+    out.timerFlushes = scalar("timerFlushes");
+    out.drainFlushes = scalar("drainFlushes");
+    out.deadlineMisses = scalar("deadlineMisses");
+    out.pending = pendingCount_;
+    out.outstanding = outstanding_;
+    out.elapsedSeconds = std::chrono::duration<double>(
+                             ServiceClock::now() - start_)
+                             .count();
+    out.occupancy = histogram("occupancy");
+    out.queueLatencyUs = histogram("queueLatencyUs");
+    out.batchLatencyUs = histogram("batchLatencyUs");
+    out.requestLatencyUs = histogram("requestLatencyUs");
+    out.raw = stats_;
+    return out;
+}
+
+} // namespace morphling::service

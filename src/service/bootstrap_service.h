@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The concurrent bootstrap service layer: turns a stream of
+ * independent LWE bootstrap requests into the 64-ciphertext
+ * superbatches Morphling's scheduler is built around (Figure 6), and
+ * runs them on a worker pool over pre-transformed evaluation keys.
+ *
+ * Request lifecycle (docs/service.md walks through it):
+ *
+ *   submit()/trySubmit() -> per-LUT pending bucket -> assembler thread
+ *   groups compiler::kSuperbatchSize requests sharing a LUT into one
+ *   Superbatch (or flushes a partial batch after maxWait, so light
+ *   load still makes progress) -> worker pool bootstraps the batch via
+ *   the unified tfhe::batchBootstrap hot path -> each request's
+ *   std::future is fulfilled.
+ *
+ * Backpressure: the number of accepted-but-uncompleted requests is
+ * bounded by ServiceConfig::maxOutstanding. submit() blocks for space;
+ * trySubmit() fails fast and returns std::nullopt.
+ *
+ * Shutdown: shutdown() (or the destructor) stops admission, flushes
+ * every partial batch, completes every accepted request, and joins all
+ * threads. Submitting after shutdown is a fatal() usage error — do not
+ * race submitters against shutdown().
+ *
+ * Thread safety: every public method may be called from any thread.
+ * Key material is read-only after construction; per-batch execution
+ * uses the lock-free tfhe batch path.
+ */
+
+#ifndef MORPHLING_SERVICE_BOOTSTRAP_SERVICE_H
+#define MORPHLING_SERVICE_BOOTSTRAP_SERVICE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "compiler/sw_scheduler.h"
+#include "service/service_stats.h"
+#include "tfhe/batch.h"
+
+namespace morphling::service {
+
+/** Handle to a LUT registered with the service. */
+using LutId = std::uint32_t;
+
+/** The clock used for deadlines, flush timing and latency stats. */
+using ServiceClock = std::chrono::steady_clock;
+
+/** Configuration of a BootstrapService. */
+struct ServiceConfig
+{
+    /** Requests assembled into one batch; defaults to the paper's
+     *  64-LWE superbatch shared with the SW scheduler. */
+    unsigned superbatchSize = compiler::kSuperbatchSize;
+
+    /** Worker threads executing batches (0 = hardware concurrency). */
+    unsigned numWorkers = 0;
+
+    /** Backpressure bound: accepted-but-uncompleted requests. */
+    std::size_t maxOutstanding = 4 * compiler::kSuperbatchSize;
+
+    /** Flush timer: a partial batch ships once its oldest request has
+     *  waited this long. */
+    std::chrono::microseconds maxWait{2000};
+
+    /** Execution options for one superbatch inside a worker (threads
+     *  within the batch, optional noise audit). The default (1 thread
+     *  per batch) parallelizes across batches via numWorkers. */
+    tfhe::BatchOptions batch;
+};
+
+/**
+ * A thread-safe service turning individual bootstrap requests into
+ * superbatches executed on a worker pool.
+ */
+class BootstrapService
+{
+  public:
+    /** Serve with evaluation keys only (the deployment-split server
+     *  needs no secret material). */
+    explicit BootstrapService(tfhe::EvaluationKeys keys,
+                              ServiceConfig config = {});
+
+    /** Convenience: serve from a full key set (extracts the
+     *  evaluation half). */
+    explicit BootstrapService(const tfhe::KeySet &keys,
+                              ServiceConfig config = {});
+
+    BootstrapService(const BootstrapService &) = delete;
+    BootstrapService &operator=(const BootstrapService &) = delete;
+
+    /** Drains and joins (shutdown()) if still running. */
+    ~BootstrapService();
+
+    const ServiceConfig &config() const { return config_; }
+
+    /**
+     * Register a LUT the service will bootstrap against; requests
+     * reference it by the returned id. Batches never mix LUTs
+     * (mirroring the per-LUT test polynomial the hardware holds
+     * resident during a group's blind rotations).
+     */
+    LutId registerLut(std::vector<tfhe::Torus32> lut);
+
+    /**
+     * Submit one request, blocking while the service is at its
+     * maxOutstanding bound. The future is fulfilled when the
+     * containing superbatch completes. fatal() if the service has been
+     * shut down.
+     */
+    std::future<tfhe::LweCiphertext>
+    submit(tfhe::LweCiphertext ct, LutId lut,
+           std::optional<ServiceClock::time_point> deadline =
+               std::nullopt);
+
+    /**
+     * Fail-fast submission: returns std::nullopt instead of blocking
+     * when the service is at its backpressure bound (or shut down).
+     */
+    std::optional<std::future<tfhe::LweCiphertext>>
+    trySubmit(tfhe::LweCiphertext ct, LutId lut,
+              std::optional<ServiceClock::time_point> deadline =
+                  std::nullopt);
+
+    /** Ship every partial batch now instead of waiting for the flush
+     *  timer (asynchronous; does not wait for completion). */
+    void flush();
+
+    /**
+     * Stop admission, flush partial batches, complete every accepted
+     * request and join all threads. Idempotent.
+     */
+    void shutdown();
+
+    /** True once shutdown() has completed. */
+    bool stopped() const;
+
+    /** Accepted-but-uncompleted requests right now. */
+    std::size_t outstanding() const;
+
+    /** Consistent snapshot of all counters and histograms. */
+    ServiceStats stats() const;
+
+  private:
+    struct Request
+    {
+        tfhe::LweCiphertext ct;
+        std::optional<ServiceClock::time_point> deadline;
+        ServiceClock::time_point submitted;
+        std::promise<tfhe::LweCiphertext> promise;
+    };
+
+    /** Why a batch left the pending buckets (for the counters). */
+    enum class FlushReason
+    {
+        kFull,
+        kTimer,
+        kDrain
+    };
+
+    struct Superbatch
+    {
+        std::shared_ptr<const std::vector<tfhe::Torus32>> lut;
+        std::vector<Request> requests;
+        FlushReason reason = FlushReason::kFull;
+    };
+
+    std::optional<std::future<tfhe::LweCiphertext>>
+    enqueue(tfhe::LweCiphertext ct, LutId lut,
+            std::optional<ServiceClock::time_point> deadline,
+            bool block);
+
+    /** Move up to superbatchSize requests of one bucket into ready_.
+     *  Caller holds mu_. */
+    void assembleLocked(LutId lut, FlushReason reason);
+
+    /** Earliest instant any pending request becomes due (timer or
+     *  deadline). Caller holds mu_. */
+    std::optional<ServiceClock::time_point> nextDueLocked() const;
+
+    void assemblerMain();
+    void workerMain();
+
+    const tfhe::EvaluationKeys keys_;
+    const ServiceConfig config_;
+    const ServiceClock::time_point start_;
+
+    mutable std::mutex mu_;
+    std::condition_variable spaceCv_;    //!< submitters await capacity
+    std::condition_variable assembleCv_; //!< assembler awaits work
+    std::condition_variable workCv_;     //!< workers await batches
+
+    // All fields below are guarded by mu_.
+    std::vector<std::shared_ptr<const std::vector<tfhe::Torus32>>>
+        luts_;
+    std::vector<std::deque<Request>> pending_; //!< one bucket per LUT
+    std::deque<Superbatch> ready_;
+    std::size_t pendingCount_ = 0;
+    std::size_t outstanding_ = 0;
+    bool draining_ = false;
+    bool flushRequested_ = false;
+    bool assemblerDone_ = false;
+    bool stopped_ = false;
+    sim::StatSet stats_{"service"};
+
+    std::mutex shutdownMu_; //!< serializes shutdown() callers (joins)
+    std::thread assembler_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace morphling::service
+
+#endif // MORPHLING_SERVICE_BOOTSTRAP_SERVICE_H

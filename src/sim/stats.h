@@ -4,6 +4,12 @@
  * scalar counters and histograms grouped per component, dumpable as a
  * table. Every model component owns a StatSet; benches and tests read
  * stats by name.
+ *
+ * Thread safety: none — a StatSet belongs to exactly one component and
+ * is mutated from one thread at a time, like the simulator's event
+ * loop. Components whose stats are updated from several threads must
+ * serialize externally (service::BootstrapService guards its StatSet
+ * with a mutex and hands out snapshots by value).
  */
 
 #ifndef MORPHLING_SIM_STATS_H

@@ -1,6 +1,7 @@
 #include "trace.h"
 
 #include <iostream>
+#include <sstream>
 
 namespace morphling::sim {
 
@@ -14,37 +15,47 @@ Trace::instance()
 void
 Trace::enable(const std::string &flag)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (flag == "all")
         all_ = true;
     else
         flags_.insert(flag);
+    anyEnabled_.store(all_ || !flags_.empty(),
+                      std::memory_order_relaxed);
 }
 
 void
 Trace::disable(const std::string &flag)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (flag == "all")
         all_ = false;
     else
         flags_.erase(flag);
+    anyEnabled_.store(all_ || !flags_.empty(),
+                      std::memory_order_relaxed);
 }
 
 void
 Trace::disableAll()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     all_ = false;
     flags_.clear();
+    anyEnabled_.store(false, std::memory_order_relaxed);
 }
 
 bool
 Trace::enabled(const std::string &flag) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return all_ || flags_.count(flag) > 0;
 }
 
 void
 Trace::setStream(std::ostream *os)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     stream_ = os;
 }
 
@@ -52,9 +63,16 @@ void
 Trace::log(Tick tick, const std::string &flag,
            const std::string &message)
 {
-    std::ostream &os = stream_ ? *stream_ : std::cout;
-    os << tick << ": " << flag << ": " << message << '\n';
-    ++lines_;
+    // Format outside the lock; emit in one streaming call under it so
+    // concurrent lines never interleave mid-line.
+    std::ostringstream line;
+    line << tick << ": " << flag << ": " << message << '\n';
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::ostream &os = stream_ ? *stream_ : std::cout;
+        os << line.str();
+    }
+    lines_.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace morphling::sim

@@ -5,14 +5,24 @@
  * which is dropped unless the flag is enabled. Traces carry the
  * simulated tick, so interleavings can be inspected after the fact.
  *
- * Off by default and cheap when off (one hash lookup guarded by an
- * any-enabled flag check).
+ * Off by default and cheap when off (one relaxed atomic load guarded
+ * by the any-enabled fast path).
+ *
+ * Thread safety: the singleton is shared by simulator code and the
+ * service worker threads (service/bootstrap_service.h), so flag
+ * lookup, emission and reconfiguration are all serialized internally.
+ * Each log() emits its line atomically; concurrent lines never
+ * interleave mid-line, though their relative order is scheduling-
+ * dependent.
  */
 
 #ifndef MORPHLING_SIM_TRACE_H
 #define MORPHLING_SIM_TRACE_H
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -32,7 +42,11 @@ class Trace
     void disable(const std::string &flag);
     void disableAll();
 
-    bool anyEnabled() const { return all_ || !flags_.empty(); }
+    /** Lock-free fast path: false the moment no flag is live. */
+    bool anyEnabled() const
+    {
+        return anyEnabled_.load(std::memory_order_relaxed);
+    }
     bool enabled(const std::string &flag) const;
 
     /** Redirect output (tests point this at a stringstream);
@@ -43,15 +57,20 @@ class Trace
     void log(Tick tick, const std::string &flag,
              const std::string &message);
 
-    std::uint64_t linesEmitted() const { return lines_; }
+    std::uint64_t linesEmitted() const
+    {
+        return lines_.load(std::memory_order_relaxed);
+    }
 
   private:
     Trace() = default;
 
+    mutable std::mutex mu_; //!< guards flags_, all_ and stream_
     bool all_ = false;
     std::set<std::string> flags_;
     std::ostream *stream_ = nullptr;
-    std::uint64_t lines_ = 0;
+    std::atomic<bool> anyEnabled_{false};
+    std::atomic<std::uint64_t> lines_{0};
 };
 
 } // namespace morphling::sim

@@ -6,34 +6,67 @@
 
 #include "common/logging.h"
 #include "tfhe/encoding.h"
+#include "tfhe/noise.h"
 
 namespace morphling::tfhe {
 
-std::vector<LweCiphertext>
-batchBootstrap(const KeySet &keys,
-               const std::vector<LweCiphertext> &inputs,
-               const std::vector<Torus32> &lut)
+namespace {
+
+/** One bootstrap from evaluation material only (mirrors
+ *  serverBootstrap; the KeySet path delegates here too). */
+LweCiphertext
+bootstrapOne(const TfheParams &params, const BootstrapKey &bsk,
+             const KeySwitchKey &ksk, const TorusPolynomial &test_poly,
+             const LweCiphertext &ct)
 {
-    std::vector<LweCiphertext> out;
-    out.reserve(inputs.size());
-    for (const auto &ct : inputs)
-        out.push_back(programmableBootstrap(keys, ct, lut));
-    return out;
+    const auto switched = modSwitch(ct, params.polyDegree);
+    const auto acc = blindRotate(bsk, test_poly, switched);
+    return ksk.apply(acc.sampleExtract());
+}
+
+void
+auditLutMargin(const TfheParams &params,
+               const std::vector<Torus32> &lut, const BatchOptions &opts)
+{
+    if (!opts.checkNoise || lut.empty())
+        return;
+    const NoiseModel model(params);
+    // The input-side error that must stay inside half a LUT slot is the
+    // fresh ciphertext noise plus the mod-switch rounding; a refreshed
+    // input is the common case, so audit the refreshed level.
+    const double input_variance =
+        model.bootstrapOutputVariance() + model.modSwitchVariance();
+    const double sigmas = model.slotSigmas(
+        static_cast<std::uint32_t>(lut.size()), input_variance);
+    if (sigmas < opts.minSlotSigmas) {
+        warn("batch LUT over ", lut.size(), " messages has only ",
+             sigmas, " sigmas of noise margin (want >= ",
+             opts.minSlotSigmas, "); expect decode failures");
+    }
 }
 
 std::vector<LweCiphertext>
-parallelBatchBootstrap(const KeySet &keys,
-                       const std::vector<LweCiphertext> &inputs,
-                       const std::vector<Torus32> &lut, unsigned threads)
+runBatch(const TfheParams &params, const BootstrapKey &bsk,
+         const KeySwitchKey &ksk,
+         const std::vector<LweCiphertext> &inputs,
+         const std::vector<Torus32> &lut, const BatchOptions &opts)
 {
+    auditLutMargin(params, lut, opts);
+    const auto test_poly = buildTestPolynomial(params.polyDegree, lut);
+
+    unsigned threads = opts.threads;
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
     threads = std::min<unsigned>(
         threads, std::max<std::size_t>(1, inputs.size()));
 
     std::vector<LweCiphertext> out(inputs.size());
-    if (threads == 1 || inputs.size() <= 1)
-        return batchBootstrap(keys, inputs, lut);
+    if (threads == 1 || inputs.size() <= 1) {
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            out[i] = bootstrapOne(params, bsk, ksk, test_poly,
+                                  inputs[i]);
+        return out;
+    }
 
     // Work stealing over an atomic index: bootstraps are uniform in
     // cost, so a simple counter balances well.
@@ -44,7 +77,8 @@ parallelBatchBootstrap(const KeySet &keys,
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= inputs.size())
                 return;
-            out[i] = programmableBootstrap(keys, inputs[i], lut);
+            out[i] = bootstrapOne(params, bsk, ksk, test_poly,
+                                  inputs[i]);
         }
     };
 
@@ -55,6 +89,34 @@ parallelBatchBootstrap(const KeySet &keys,
     for (auto &t : pool)
         t.join();
     return out;
+}
+
+} // namespace
+
+std::vector<LweCiphertext>
+batchBootstrap(const KeySet &keys,
+               const std::vector<LweCiphertext> &inputs,
+               const std::vector<Torus32> &lut, const BatchOptions &opts)
+{
+    return runBatch(keys.params, keys.bsk, keys.ksk, inputs, lut, opts);
+}
+
+std::vector<LweCiphertext>
+batchBootstrap(const EvaluationKeys &keys,
+               const std::vector<LweCiphertext> &inputs,
+               const std::vector<Torus32> &lut, const BatchOptions &opts)
+{
+    return runBatch(keys.params, keys.bsk, keys.ksk, inputs, lut, opts);
+}
+
+std::vector<LweCiphertext>
+parallelBatchBootstrap(const KeySet &keys,
+                       const std::vector<LweCiphertext> &inputs,
+                       const std::vector<Torus32> &lut, unsigned threads)
+{
+    BatchOptions opts;
+    opts.threads = threads;
+    return batchBootstrap(keys, inputs, lut, opts);
 }
 
 ParallelEfficiency
@@ -77,10 +139,13 @@ measureParallelEfficiency(const KeySet &keys, unsigned count,
     ParallelEfficiency result;
     result.threads = threads;
 
+    BatchOptions parallel;
+    parallel.threads = threads;
+
     auto t0 = std::chrono::steady_clock::now();
     auto seq = batchBootstrap(keys, inputs, lut);
     auto t1 = std::chrono::steady_clock::now();
-    auto par = parallelBatchBootstrap(keys, inputs, lut, threads);
+    auto par = batchBootstrap(keys, inputs, lut, parallel);
     auto t2 = std::chrono::steady_clock::now();
 
     panic_if(seq.size() != par.size(), "batch size mismatch");

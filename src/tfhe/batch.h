@@ -5,13 +5,15 @@
  * Bootstraps within a batch are independent — the property Morphling's
  * scheduler exploits with 64-ciphertext superbatches, and the property
  * that lets a multicore CPU parallelize them. This module provides the
- * batch API (sequential and std::thread-parallel) and a measured
- * parallel-efficiency probe that grounds the CPU cost model's
- * efficiency constant in reality instead of a guess.
+ * unified batch entry point (one function, execution shaped by
+ * BatchOptions), an EvaluationKeys overload for the server side of a
+ * deployment split, and a measured parallel-efficiency probe that
+ * grounds the CPU cost model's efficiency constant in reality instead
+ * of a guess.
  *
- * Thread safety: KeySet is read-only during bootstrapping and the FFT
- * engines are per-thread (NegacyclicFft::forDegree), so the parallel
- * path needs no locking.
+ * Thread safety: key material is read-only during bootstrapping and
+ * the FFT engines are per-thread (NegacyclicFft::forDegree), so the
+ * parallel path needs no locking.
  */
 
 #ifndef MORPHLING_TFHE_BATCH_H
@@ -21,21 +23,61 @@
 #include <vector>
 
 #include "tfhe/bootstrap.h"
+#include "tfhe/serialize.h"
 
 namespace morphling::tfhe {
 
-/** Programmable-bootstrap every ciphertext with the same LUT,
- *  sequentially. */
+/**
+ * Execution knobs of the unified batch-bootstrap entry point.
+ *
+ * The default is the conservative sequential path; set threads to 0 to
+ * use every hardware thread.
+ */
+struct BatchOptions
+{
+    /** Worker threads: 1 = sequential, 0 = hardware concurrency. */
+    unsigned threads = 1;
+
+    /**
+     * Audit the LUT against the analytic noise model before running:
+     * warn() when the predicted input-side noise margin for a LUT over
+     * lut.size() messages falls below minSlotSigmas (a decode failure
+     * is then no longer negligible). Costs a handful of flops once per
+     * batch, nothing per ciphertext.
+     */
+    bool checkNoise = false;
+
+    /** Margin threshold for checkNoise; > 6 is practically
+     *  error-free. */
+    double minSlotSigmas = 4.0;
+};
+
+/**
+ * Programmable-bootstrap every ciphertext with the same LUT. Results
+ * are in input order and independent of opts.threads.
+ */
 std::vector<LweCiphertext>
 batchBootstrap(const KeySet &keys,
                const std::vector<LweCiphertext> &inputs,
-               const std::vector<Torus32> &lut);
+               const std::vector<Torus32> &lut,
+               const BatchOptions &opts = {});
 
 /**
- * Programmable-bootstrap every ciphertext with the same LUT across
- * `threads` worker threads (0 = hardware concurrency). Results are in
- * input order and identical to the sequential path.
+ * Server-side batch bootstrap: same semantics, using only evaluation
+ * keys (no secret material). This is the hot path the
+ * service::BootstrapService worker pool runs.
  */
+std::vector<LweCiphertext>
+batchBootstrap(const EvaluationKeys &keys,
+               const std::vector<LweCiphertext> &inputs,
+               const std::vector<Torus32> &lut,
+               const BatchOptions &opts = {});
+
+/**
+ * @deprecated Thin wrapper over batchBootstrap(keys, inputs, lut,
+ * BatchOptions{threads}); kept so pre-BatchOptions callers compile.
+ */
+[[deprecated("use batchBootstrap(keys, inputs, lut, BatchOptions)")]]
 std::vector<LweCiphertext>
 parallelBatchBootstrap(const KeySet &keys,
                        const std::vector<LweCiphertext> &inputs,

@@ -2,14 +2,17 @@
  * @file
  * Tests of batched/parallel bootstrapping: order preservation,
  * sequential-parallel equivalence of decrypted results, thread-count
- * edge cases and the efficiency probe.
+ * edge cases, BatchOptions (noise audit, deprecated wrapper) and the
+ * efficiency probe.
  */
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "tfhe/batch.h"
 #include "tfhe/encoding.h"
+#include "tfhe/serialize.h"
 
 namespace morphling::tfhe {
 namespace {
@@ -72,8 +75,10 @@ TEST_F(BatchFixture, ParallelMatchesSequentialResults)
         return (3 * m) % 4;
     });
 
+    BatchOptions parallel;
+    parallel.threads = 4;
     const auto seq = batchBootstrap(keys(), inputs, lut);
-    const auto par = parallelBatchBootstrap(keys(), inputs, lut, 4);
+    const auto par = batchBootstrap(keys(), inputs, lut, parallel);
     ASSERT_EQ(par.size(), seq.size());
     for (std::size_t i = 0; i < seq.size(); ++i) {
         // Identical inputs and key material: identical decryptions.
@@ -91,13 +96,70 @@ TEST_F(BatchFixture, SingleThreadAndSingleElementEdgeCases)
     const auto lut = makePaddedLut(4, [](std::uint32_t m) {
         return m;
     });
+    BatchOptions wide;
+    wide.threads = 8;
     const auto one = encryptBatch({2});
-    const auto out1 = parallelBatchBootstrap(keys(), one, lut, 8);
+    const auto out1 = batchBootstrap(keys(), one, lut, wide);
     ASSERT_EQ(out1.size(), 1u);
     EXPECT_EQ(decryptPadded(keys(), out1[0], 4), 2u);
 
-    const auto empty = parallelBatchBootstrap(keys(), {}, lut, 4);
+    wide.threads = 4;
+    const auto empty = batchBootstrap(keys(), {}, lut, wide);
     EXPECT_TRUE(empty.empty());
+}
+
+TEST_F(BatchFixture, EvaluationKeysOverloadMatchesKeySetPath)
+{
+    const std::vector<std::uint32_t> messages = {1, 3, 0, 2};
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 1) % 4;
+    });
+    const auto inputs = encryptBatch(messages);
+    const auto eval = EvaluationKeys::fromKeySet(keys());
+    const auto out = batchBootstrap(eval, inputs, lut);
+    ASSERT_EQ(out.size(), messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i)
+        EXPECT_EQ(decryptPadded(keys(), out[i], 4),
+                  (messages[i] + 1) % 4)
+            << i;
+}
+
+TEST_F(BatchFixture, NoiseAuditWarnsOnlyBelowThreshold)
+{
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto inputs = encryptBatch({0, 1});
+
+    // The test parameters have ample margin at a 2-bit space: the
+    // audit stays silent.
+    BatchOptions audited;
+    audited.checkNoise = true;
+    const std::size_t before = warnCount();
+    const auto out = batchBootstrap(keys(), inputs, lut, audited);
+    EXPECT_EQ(warnCount(), before);
+    EXPECT_EQ(decryptPadded(keys(), out[0], 4), 0u);
+    EXPECT_EQ(decryptPadded(keys(), out[1], 4), 1u);
+
+    // An absurd threshold trips the audit exactly once per batch.
+    audited.minSlotSigmas = 1e9;
+    batchBootstrap(keys(), inputs, lut, audited);
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
+TEST_F(BatchFixture, DeprecatedParallelWrapperStillWorks)
+{
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 3) % 4;
+    });
+    const auto inputs = encryptBatch({2, 0});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const auto out = parallelBatchBootstrap(keys(), inputs, lut, 2);
+#pragma GCC diagnostic pop
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(decryptPadded(keys(), out[0], 4), 1u);
+    EXPECT_EQ(decryptPadded(keys(), out[1], 4), 3u);
 }
 
 TEST_F(BatchFixture, EfficiencyProbeProducesSaneNumbers)

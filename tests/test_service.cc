@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests of the concurrent bootstrap service: flush-on-timeout under
+ * light load, deadline-driven flushes, backpressure (fail-fast and
+ * drain), per-client result ordering, full-batch assembly and
+ * shutdown semantics. All run under the TSan label (ctest -L tsan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/bootstrap_service.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::service {
+namespace {
+
+using namespace std::chrono_literals;
+using tfhe::KeySet;
+using tfhe::LweCiphertext;
+
+constexpr std::uint32_t kSpace = 4;
+
+class ServiceFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(0x5E41CE);
+        keys_ = new KeySet(KeySet::generate(tfhe::paramsTest(), rng));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete keys_;
+        keys_ = nullptr;
+    }
+
+    const KeySet &keys() { return *keys_; }
+    Rng rng{0x600D};
+
+    LweCiphertext
+    encrypt(std::uint32_t m)
+    {
+        return tfhe::encryptPadded(keys(), m, kSpace, rng);
+    }
+
+    std::uint32_t
+    decrypt(const LweCiphertext &ct)
+    {
+        return tfhe::decryptPadded(keys(), ct, kSpace);
+    }
+
+    /** Wait with a generous timeout so a wedged service fails the
+     *  test instead of hanging the suite. */
+    static void
+    expectReady(std::future<LweCiphertext> &future)
+    {
+        ASSERT_EQ(future.wait_for(60s), std::future_status::ready);
+    }
+
+    static KeySet *keys_;
+};
+
+KeySet *ServiceFixture::keys_ = nullptr;
+
+TEST_F(ServiceFixture, FlushOnTimeoutUnderLightLoad)
+{
+    ServiceConfig config;
+    config.superbatchSize = 64; // never fills with 3 requests
+    config.maxWait = 20ms;
+    config.numWorkers = 1;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return (m + 1) % kSpace;
+        }));
+
+    std::vector<LweCiphertext> inputs;
+    for (std::uint32_t m : {0u, 1u, 2u})
+        inputs.push_back(encrypt(m));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (auto &ct : inputs)
+        futures.push_back(service.submit(std::move(ct), lut));
+
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        expectReady(futures[i]);
+        EXPECT_EQ(decrypt(futures[i].get()),
+                  (static_cast<std::uint32_t>(i) + 1) % kSpace)
+            << i;
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(stats.completed, 3u);
+    EXPECT_GE(stats.timerFlushes, 1u);
+    EXPECT_EQ(stats.fullBatches, 0u);
+    EXPECT_EQ(stats.requestLatencyUs.count(), 3u);
+    // The flush timer held the batch for maxWait before shipping.
+    EXPECT_GE(stats.queueLatencyUs.max(), 10'000.0);
+}
+
+TEST_F(ServiceFixture, DeadlineShipsAheadOfFlushTimer)
+{
+    ServiceConfig config;
+    config.superbatchSize = 64;
+    config.maxWait = 10s; // the timer alone would stall the test
+    config.numWorkers = 1;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return m;
+        }));
+
+    auto future = service.submit(encrypt(2), lut,
+                                 ServiceClock::now() + 30ms);
+    expectReady(future);
+    EXPECT_EQ(decrypt(future.get()), 2u);
+    EXPECT_GE(service.stats().timerFlushes, 1u);
+}
+
+TEST_F(ServiceFixture, BackpressureFailsFastAndDrainCompletes)
+{
+    ServiceConfig config;
+    config.superbatchSize = 64;
+    config.maxOutstanding = 4;
+    config.maxWait = 10s; // nothing ships until shutdown drains
+    config.numWorkers = 1;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return (3 * m) % kSpace;
+        }));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (std::uint32_t m = 0; m < 4; ++m) {
+        auto future = service.trySubmit(encrypt(m % kSpace), lut);
+        ASSERT_TRUE(future.has_value()) << m;
+        futures.push_back(std::move(*future));
+    }
+    // The queue is at maxOutstanding: fail-fast submission refuses.
+    EXPECT_FALSE(service.trySubmit(encrypt(1), lut).has_value());
+    EXPECT_EQ(service.stats().rejected, 1u);
+    EXPECT_EQ(service.outstanding(), 4u);
+
+    service.shutdown();
+    EXPECT_TRUE(service.stopped());
+    for (std::uint32_t m = 0; m < 4; ++m) {
+        expectReady(futures[m]);
+        EXPECT_EQ(decrypt(futures[m].get()), (3 * m) % kSpace) << m;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_GE(stats.drainFlushes, 1u);
+    EXPECT_EQ(stats.outstanding, 0u);
+}
+
+TEST_F(ServiceFixture, ResultOrderMatchesSubmissionOrderPerClient)
+{
+    ServiceConfig config;
+    config.superbatchSize = 8;
+    config.maxWait = 5ms;
+    config.numWorkers = 2;
+    BootstrapService service(keys(), config);
+    const LutId inc = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return (m + 1) % kSpace;
+        }));
+    const LutId triple = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return (3 * m) % kSpace;
+        }));
+
+    // One "client" interleaving two LUTs; its futures, read in
+    // submission order, must line up with its requests even though
+    // batches are assembled per LUT and executed concurrently.
+    constexpr unsigned kCount = 24;
+    std::vector<LweCiphertext> inputs;
+    for (unsigned i = 0; i < kCount; ++i)
+        inputs.push_back(encrypt(i % kSpace));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (unsigned i = 0; i < kCount; ++i) {
+        futures.push_back(service.submit(std::move(inputs[i]),
+                                         i % 2 ? triple : inc));
+    }
+
+    for (unsigned i = 0; i < kCount; ++i) {
+        expectReady(futures[i]);
+        const std::uint32_t m = i % kSpace;
+        const std::uint32_t expected =
+            i % 2 ? (3 * m) % kSpace : (m + 1) % kSpace;
+        EXPECT_EQ(decrypt(futures[i].get()), expected) << i;
+    }
+    EXPECT_EQ(service.stats().completed, kCount);
+}
+
+TEST_F(ServiceFixture, FullBatchesAssembleWithoutTimer)
+{
+    ServiceConfig config;
+    config.superbatchSize = 4;
+    config.maxWait = 10s;
+    config.numWorkers = 1;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return m;
+        }));
+
+    std::vector<LweCiphertext> inputs;
+    for (unsigned i = 0; i < 8; ++i)
+        inputs.push_back(encrypt(i % kSpace));
+    std::vector<std::future<LweCiphertext>> futures;
+    for (auto &ct : inputs)
+        futures.push_back(service.submit(std::move(ct), lut));
+
+    for (unsigned i = 0; i < 8; ++i) {
+        expectReady(futures[i]);
+        EXPECT_EQ(decrypt(futures[i].get()), i % kSpace) << i;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.fullBatches, 2u);
+    EXPECT_EQ(stats.timerFlushes, 0u);
+    EXPECT_EQ(stats.occupancy.mean(), 4.0);
+    EXPECT_EQ(stats.meanOccupancy(config.superbatchSize), 1.0);
+}
+
+TEST_F(ServiceFixture, ShutdownDrainsAllAcceptedRequests)
+{
+    ServiceConfig config;
+    config.superbatchSize = 64;
+    config.maxWait = 10s;
+    config.numWorkers = 2;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return (m + 2) % kSpace;
+        }));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (std::uint32_t i = 0; i < 10; ++i)
+        futures.push_back(service.submit(encrypt(i % kSpace), lut));
+
+    service.shutdown();
+    EXPECT_TRUE(service.stopped());
+    EXPECT_EQ(service.outstanding(), 0u);
+    // Every accepted request completed during the drain: the futures
+    // are already ready, no waiting required.
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        ASSERT_EQ(futures[i].wait_for(0s), std::future_status::ready)
+            << i;
+        EXPECT_EQ(decrypt(futures[i].get()),
+                  (i % kSpace + 2) % kSpace)
+            << i;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.accepted, 10u);
+    EXPECT_EQ(stats.completed, 10u);
+
+    service.shutdown(); // idempotent
+    EXPECT_TRUE(service.stopped());
+}
+
+} // namespace
+} // namespace morphling::service
