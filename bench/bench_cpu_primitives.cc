@@ -11,12 +11,14 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "tfhe/batch.h"
 #include "tfhe/bootstrap.h"
 #include "tfhe/encoding.h"
 #include "tfhe/fft.h"
+#include "tfhe/workspace.h"
 
 using namespace morphling;
 using namespace morphling::tfhe;
@@ -113,6 +115,28 @@ BM_CmuxRotate(benchmark::State &state)
 BENCHMARK(BM_CmuxRotate);
 
 void
+BM_WorkspaceExternalProduct(benchmark::State &state)
+{
+    // The explicit-workspace entry point: no result-ciphertext
+    // allocation per call either (the legacy wrapper above still
+    // returns by value).
+    const auto &keys = keysFor("I");
+    const auto tp = constantTestPolynomial(
+        keys.params.polyDegree, doubleToTorus32(0.125));
+    GlweCiphertext acc = GlweCiphertext::trivial(
+        keys.params.glweDimension, tp);
+    GlweCiphertext result;
+    BootstrapWorkspace ws;
+    for (auto _ : state) {
+        externalProductFourier(keys.bsk.entry(0), acc, result, ws);
+        benchmark::DoNotOptimize(result.body()[0]);
+        std::swap(acc, result);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkspaceExternalProduct);
+
+void
 BM_KeySwitch(benchmark::State &state)
 {
     const auto &keys = keysFor("I");
@@ -154,6 +178,62 @@ BENCHMARK(BM_ProgrammableBootstrap)
     ->Arg(1)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_WorkspaceBootstrap(benchmark::State &state)
+{
+    // The pure zero-allocation path: explicit workspace, prebuilt test
+    // polynomial, output written in place. Difference to
+    // BM_ProgrammableBootstrap is the per-call LUT/test-poly build and
+    // result handling, not the transform pipeline (shared).
+    static const char *kSets[] = {"I", "II", "III"};
+    const auto &keys = keysFor(kSets[state.range(0)]);
+    Rng rng(8);
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto tp = buildTestPolynomial(keys.params.polyDegree, lut);
+    auto ct = encryptPadded(keys, 1, 4, rng);
+    LweCiphertext out;
+    BootstrapWorkspace ws;
+    for (auto _ : state) {
+        bootstrapInto(keys.bsk, keys.ksk, tp, ct, out, ws);
+        benchmark::DoNotOptimize(out.body());
+        std::swap(ct, out);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string("set ") + kSets[state.range(0)]);
+}
+BENCHMARK(BM_WorkspaceBootstrap)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Batch64(benchmark::State &state)
+{
+    // One superbatch-sized batch (64 = compiler::kSuperbatchSize) on a
+    // single thread: the service-layer unit of work, and the CPU row of
+    // the 64-slot throughput comparisons in docs/perf.md.
+    const auto &keys = keysFor("I");
+    Rng rng(9);
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    std::vector<LweCiphertext> batch;
+    for (unsigned i = 0; i < 64; ++i)
+        batch.push_back(encryptPadded(keys, i % 4, 4, rng));
+    BatchOptions opts;
+    opts.threads = 1;
+    for (auto _ : state) {
+        auto out = batchBootstrap(keys, batch, lut, opts);
+        benchmark::DoNotOptimize(out.back().body());
+    }
+    state.SetItemsProcessed(state.iterations() * batch.size());
+    state.SetLabel("64 inputs, 1 thread, set I");
+}
+BENCHMARK(BM_Batch64)->Unit(benchmark::kMillisecond);
 
 void
 BM_ParallelBatchBootstrap(benchmark::State &state)
@@ -203,4 +283,37 @@ BENCHMARK(BM_GateBootstrap)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so that `bench_cpu_primitives --json` emits the machine-
+ * readable report BENCH_cpu_primitives.json (in the working directory)
+ * alongside the usual console table. All other flags pass through to
+ * google-benchmark unchanged.
+ */
+int
+main(int argc, char **argv)
+{
+    static std::string out_flag =
+        "--benchmark_out=BENCH_cpu_primitives.json";
+    static std::string fmt_flag = "--benchmark_out_format=json";
+
+    std::vector<char *> args;
+    bool json = false;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json = true;
+        else
+            args.push_back(argv[i]);
+    }
+    if (json) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -13,15 +13,16 @@ namespace morphling::tfhe {
 namespace {
 
 /** One bootstrap from evaluation material only (mirrors
- *  serverBootstrap; the KeySet path delegates here too). */
-LweCiphertext
-bootstrapOne(const TfheParams &params, const BootstrapKey &bsk,
-             const KeySwitchKey &ksk, const TorusPolynomial &test_poly,
-             const LweCiphertext &ct)
+ *  serverBootstrap; the KeySet path delegates here too). Runs through
+ *  the calling thread's workspace, so each pool worker reuses its own
+ *  scratch across the whole batch. */
+void
+bootstrapOne(const BootstrapKey &bsk, const KeySwitchKey &ksk,
+             const TorusPolynomial &test_poly, const LweCiphertext &ct,
+             LweCiphertext &out)
 {
-    const auto switched = modSwitch(ct, params.polyDegree);
-    const auto acc = blindRotate(bsk, test_poly, switched);
-    return ksk.apply(acc.sampleExtract());
+    bootstrapInto(bsk, ksk, test_poly, ct, out,
+                  BootstrapWorkspace::forThisThread());
 }
 
 void
@@ -63,8 +64,7 @@ runBatch(const TfheParams &params, const BootstrapKey &bsk,
     std::vector<LweCiphertext> out(inputs.size());
     if (threads == 1 || inputs.size() <= 1) {
         for (std::size_t i = 0; i < inputs.size(); ++i)
-            out[i] = bootstrapOne(params, bsk, ksk, test_poly,
-                                  inputs[i]);
+            bootstrapOne(bsk, ksk, test_poly, inputs[i], out[i]);
         return out;
     }
 
@@ -77,8 +77,7 @@ runBatch(const TfheParams &params, const BootstrapKey &bsk,
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= inputs.size())
                 return;
-            out[i] = bootstrapOne(params, bsk, ksk, test_poly,
-                                  inputs[i]);
+            bootstrapOne(bsk, ksk, test_poly, inputs[i], out[i]);
         }
     };
 

@@ -5,36 +5,54 @@
 
 namespace morphling::tfhe {
 
-std::vector<std::uint32_t>
-modSwitch(const LweCiphertext &ct, unsigned poly_degree)
+void
+modSwitchInto(const LweCiphertext &ct, unsigned poly_degree,
+              std::vector<std::uint32_t> &out)
 {
     const unsigned log2_two_n = log2Floor(poly_degree) + 1;
-    std::vector<std::uint32_t> out(ct.dimension() + 1);
+    out.resize(ct.dimension() + 1);
     for (unsigned i = 0; i < ct.dimension(); ++i)
         out[i] = modSwitchTorus32(ct.mask(i), log2_two_n) %
                  (2 * poly_degree);
     out[ct.dimension()] =
         modSwitchTorus32(ct.body(), log2_two_n) % (2 * poly_degree);
+}
+
+std::vector<std::uint32_t>
+modSwitch(const LweCiphertext &ct, unsigned poly_degree)
+{
+    std::vector<std::uint32_t> out;
+    modSwitchInto(ct, poly_degree, out);
     return out;
 }
 
-TorusPolynomial
-buildTestPolynomial(unsigned poly_degree, const std::vector<Torus32> &lut)
+void
+buildTestPolynomialInto(unsigned poly_degree,
+                        const std::vector<Torus32> &lut,
+                        TorusPolynomial &out)
 {
     const auto space = static_cast<std::uint32_t>(lut.size());
     panic_if(space == 0, "empty LUT");
     panic_if(2 * space > poly_degree,
              "LUT of ", space, " entries does not fit N=", poly_degree);
 
-    TorusPolynomial tp(poly_degree);
+    if (out.degree() != poly_degree)
+        out = TorusPolynomial(poly_degree);
     for (unsigned j = 0; j < poly_degree; ++j) {
         // v = round(j * p / N); v == p marks the top half-slot, which
         // is reached (negated by the X^N = -1 wrap) by message 0 with
         // negative noise.
         const std::uint32_t v =
             (2u * j * space + poly_degree) / (2u * poly_degree);
-        tp[j] = v < space ? lut[v] : (0 - lut[0]);
+        out[j] = v < space ? lut[v] : (0 - lut[0]);
     }
+}
+
+TorusPolynomial
+buildTestPolynomial(unsigned poly_degree, const std::vector<Torus32> &lut)
+{
+    TorusPolynomial tp(poly_degree);
+    buildTestPolynomialInto(poly_degree, lut, tp);
     return tp;
 }
 
@@ -47,50 +65,76 @@ constantTestPolynomial(unsigned poly_degree, Torus32 mu)
     return tp;
 }
 
-GlweCiphertext
+void
 blindRotate(const BootstrapKey &bsk, const TorusPolynomial &test_poly,
-            const std::vector<std::uint32_t> &switched)
+            const std::vector<std::uint32_t> &switched,
+            GlweCiphertext &acc, BootstrapWorkspace &ws)
 {
     const unsigned n = static_cast<unsigned>(switched.size()) - 1;
     panic_if(bsk.size() != n, "BSK has ", bsk.size(), " entries, need ",
              n);
     const unsigned poly_degree = test_poly.degree();
     const unsigned two_n = 2 * poly_degree;
+    const unsigned k = bsk.entry(0).numCols() - 1;
 
     // ACC_0 = X^(-b~) * (0,..,0,TP). Negative powers fold into
-    // [0, 2N) because X^(2N) = 1.
+    // [0, 2N) because X^(2N) = 1; the test polynomial is rotated
+    // straight into the accumulator body (rotate-on-construct).
+    if (acc.dimension() != k || acc.polyDegree() != poly_degree)
+        acc = GlweCiphertext(k, poly_degree);
+    for (unsigned c = 0; c < k; ++c)
+        acc.component(c).clear();
     const unsigned b_tilde = switched[n] % two_n;
-    GlweCiphertext acc =
-        GlweCiphertext::trivial(bsk.entry(0).numCols() - 1, test_poly)
-            .mulByXPower((two_n - b_tilde) % two_n);
+    test_poly.mulByXPowerInto((two_n - b_tilde) % two_n, acc.body());
 
     for (unsigned i = 0; i < n; ++i) {
         const unsigned a_tilde = switched[i] % two_n;
         if (a_tilde == 0)
             continue; // X^0 rotation: CMux output equals its input.
-        acc = cmuxRotate(bsk.entry(i), acc, a_tilde);
+        cmuxRotateInPlace(bsk.entry(i), acc, a_tilde, ws);
     }
+}
+
+GlweCiphertext
+blindRotate(const BootstrapKey &bsk, const TorusPolynomial &test_poly,
+            const std::vector<std::uint32_t> &switched)
+{
+    GlweCiphertext acc;
+    blindRotate(bsk, test_poly, switched, acc,
+                BootstrapWorkspace::forThisThread());
     return acc;
+}
+
+void
+bootstrapInto(const BootstrapKey &bsk, const KeySwitchKey &ksk,
+              const TorusPolynomial &test_poly, const LweCiphertext &ct,
+              LweCiphertext &out, BootstrapWorkspace &ws)
+{
+    modSwitchInto(ct, test_poly.degree(), ws.switched);
+    blindRotate(bsk, test_poly, ws.switched, ws.acc, ws);
+    ws.acc.sampleExtractAtInto(0, ws.extracted);
+    ksk.applyInto(ws.extracted, out);
 }
 
 LweCiphertext
 bootstrapNoKeySwitch(const KeySet &keys, const LweCiphertext &ct,
                      const TorusPolynomial &test_poly)
 {
-    const auto switched = modSwitch(ct, keys.params.polyDegree);
-    const GlweCiphertext acc =
-        blindRotate(keys.bsk, test_poly, switched);
-    return acc.sampleExtract();
+    auto &ws = BootstrapWorkspace::forThisThread();
+    modSwitchInto(ct, keys.params.polyDegree, ws.switched);
+    blindRotate(keys.bsk, test_poly, ws.switched, ws.acc, ws);
+    return ws.acc.sampleExtract();
 }
 
 LweCiphertext
 programmableBootstrap(const KeySet &keys, const LweCiphertext &ct,
                       const std::vector<Torus32> &lut)
 {
-    const TorusPolynomial tp =
-        buildTestPolynomial(keys.params.polyDegree, lut);
-    const LweCiphertext extracted = bootstrapNoKeySwitch(keys, ct, tp);
-    return keys.ksk.apply(extracted);
+    auto &ws = BootstrapWorkspace::forThisThread();
+    buildTestPolynomialInto(keys.params.polyDegree, lut, ws.testPoly);
+    LweCiphertext out;
+    bootstrapInto(keys.bsk, keys.ksk, ws.testPoly, ct, out, ws);
+    return out;
 }
 
 LweCiphertext

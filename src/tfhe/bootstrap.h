@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "tfhe/keyset.h"
+#include "tfhe/workspace.h"
 
 namespace morphling::tfhe {
 
@@ -26,6 +27,10 @@ namespace morphling::tfhe {
  */
 std::vector<std::uint32_t> modSwitch(const LweCiphertext &ct,
                                      unsigned poly_degree);
+
+/** modSwitch into an existing buffer (allocation-free when warm). */
+void modSwitchInto(const LweCiphertext &ct, unsigned poly_degree,
+                   std::vector<std::uint32_t> &out);
 
 /**
  * Build the test polynomial for a LUT over a p-value message space with
@@ -39,6 +44,12 @@ std::vector<std::uint32_t> modSwitch(const LweCiphertext &ct,
  */
 TorusPolynomial buildTestPolynomial(unsigned poly_degree,
                                     const std::vector<Torus32> &lut);
+
+/** buildTestPolynomial into an existing polynomial (allocation-free
+ *  when already at the right degree). */
+void buildTestPolynomialInto(unsigned poly_degree,
+                             const std::vector<Torus32> &lut,
+                             TorusPolynomial &out);
 
 /** Constant test polynomial (every coefficient mu): the sign-extractor
  *  used by gate bootstrapping. */
@@ -54,6 +65,28 @@ TorusPolynomial constantTestPolynomial(unsigned poly_degree, Torus32 mu);
 GlweCiphertext blindRotate(const BootstrapKey &bsk,
                            const TorusPolynomial &test_poly,
                            const std::vector<std::uint32_t> &switched);
+
+/**
+ * Workspace blind rotation: the accumulator is (re)built inside `acc`
+ * (rotate-on-construct: the test polynomial is rotated directly into
+ * the accumulator body, no trivial-then-rotate copy) and every CMux
+ * runs in place through `ws`. Allocation-free when warm.
+ */
+void blindRotate(const BootstrapKey &bsk,
+                 const TorusPolynomial &test_poly,
+                 const std::vector<std::uint32_t> &switched,
+                 GlweCiphertext &acc, BootstrapWorkspace &ws);
+
+/**
+ * Full workspace bootstrap from evaluation material: mod-switch, blind
+ * rotation, sample extraction and key switching, every intermediate
+ * taken from `ws`. This is the zero-allocation hot path under all
+ * batch/service entry points; `out` gets the key-switched result.
+ */
+void bootstrapInto(const BootstrapKey &bsk, const KeySwitchKey &ksk,
+                   const TorusPolynomial &test_poly,
+                   const LweCiphertext &ct, LweCiphertext &out,
+                   BootstrapWorkspace &ws);
 
 /**
  * Bootstrap with an explicit test polynomial; output remains under the

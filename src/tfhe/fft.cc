@@ -9,6 +9,30 @@
 
 namespace morphling::tfhe {
 
+namespace {
+
+/**
+ * Round a double onto the discretized 32-bit torus.
+ *
+ * llrint compiles to a single conversion instruction and the
+ * int64 -> uint32 conversion wraps mod 2^32 exactly, so no libm
+ * remainder() is needed on the hot path. Magnitudes at or beyond 2^62
+ * (conceivable only for adversarial single-level-gadget accumulations,
+ * far outside any parameter set here) take the slow exact range
+ * reduction to stay defined.
+ */
+inline Torus32
+roundToTorus(double v)
+{
+    constexpr double kGuard = 4.611686018427387904e18; // 2^62
+    if (v >= kGuard || v <= -kGuard)
+        v = std::remainder(v, 4294967296.0);
+    return static_cast<Torus32>(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(std::llrint(v))));
+}
+
+} // namespace
+
 ComplexFft::ComplexFft(unsigned size) : size_(size)
 {
     panic_if(!isPowerOfTwo(size) || size < 2, "bad FFT size ", size);
@@ -79,6 +103,169 @@ ComplexFft::inverse(double *re, double *im) const
     run(re, im, +1);
 }
 
+Radix4Fft::Radix4Fft(unsigned size) : size_(size)
+{
+    panic_if(!isPowerOfTwo(size) || size < 2, "bad FFT size ", size);
+
+    unsigned len = size_;
+    while (len >= 4) {
+        const unsigned q = len / 4;
+        std::vector<double> tw(6 * static_cast<std::size_t>(q));
+        for (unsigned j = 0; j < q; ++j) {
+            const double a = -2.0 * M_PI * static_cast<double>(j) /
+                             static_cast<double>(len);
+            tw[0 * q + j] = std::cos(a);
+            tw[1 * q + j] = std::sin(a);
+            tw[2 * q + j] = std::cos(2.0 * a);
+            tw[3 * q + j] = std::sin(2.0 * a);
+            tw[4 * q + j] = std::cos(3.0 * a);
+            tw[5 * q + j] = std::sin(3.0 * a);
+        }
+        stageLen_.push_back(len);
+        stageTw_.push_back(std::move(tw));
+        len /= 4;
+    }
+    radix2Tail_ = (len == 2);
+}
+
+void
+Radix4Fft::radix4ForwardStage(unsigned stage, double *re, double *im) const
+{
+    const unsigned len = stageLen_[stage];
+    const unsigned q = len / 4;
+    const double *tw = stageTw_[stage].data();
+    const double *__restrict w1r = tw + 0 * q;
+    const double *__restrict w1i = tw + 1 * q;
+    const double *__restrict w2r = tw + 2 * q;
+    const double *__restrict w2i = tw + 3 * q;
+    const double *__restrict w3r = tw + 4 * q;
+    const double *__restrict w3i = tw + 5 * q;
+
+    for (unsigned base = 0; base < size_; base += len) {
+        double *__restrict r0 = re + base;
+        double *__restrict r1 = r0 + q;
+        double *__restrict r2 = r1 + q;
+        double *__restrict r3 = r2 + q;
+        double *__restrict i0 = im + base;
+        double *__restrict i1 = i0 + q;
+        double *__restrict i2 = i1 + q;
+        double *__restrict i3 = i2 + q;
+        for (unsigned j = 0; j < q; ++j) {
+            const double t0r = r0[j] + r2[j], t0i = i0[j] + i2[j];
+            const double t1r = r0[j] - r2[j], t1i = i0[j] - i2[j];
+            const double t2r = r1[j] + r3[j], t2i = i1[j] + i3[j];
+            const double t3r = r1[j] - r3[j], t3i = i1[j] - i3[j];
+            r0[j] = t0r + t2r;
+            i0[j] = t0i + t2i;
+            // y1 = (t1 - i*t3) * w, y2 = (t0 - t2) * w^2,
+            // y3 = (t1 + i*t3) * w^3 (forward kernel e^{-i...}).
+            const double y1r = t1r + t3i, y1i = t1i - t3r;
+            r1[j] = y1r * w1r[j] - y1i * w1i[j];
+            i1[j] = y1r * w1i[j] + y1i * w1r[j];
+            const double y2r = t0r - t2r, y2i = t0i - t2i;
+            r2[j] = y2r * w2r[j] - y2i * w2i[j];
+            i2[j] = y2r * w2i[j] + y2i * w2r[j];
+            const double y3r = t1r - t3i, y3i = t1i + t3r;
+            r3[j] = y3r * w3r[j] - y3i * w3i[j];
+            i3[j] = y3r * w3i[j] + y3i * w3r[j];
+        }
+    }
+}
+
+void
+Radix4Fft::radix4InverseStage(unsigned stage, double *re, double *im) const
+{
+    const unsigned len = stageLen_[stage];
+    const unsigned q = len / 4;
+    const double *tw = stageTw_[stage].data();
+    const double *__restrict w1r = tw + 0 * q;
+    const double *__restrict w1i = tw + 1 * q;
+    const double *__restrict w2r = tw + 2 * q;
+    const double *__restrict w2i = tw + 3 * q;
+    const double *__restrict w3r = tw + 4 * q;
+    const double *__restrict w3i = tw + 5 * q;
+
+    for (unsigned base = 0; base < size_; base += len) {
+        double *__restrict r0 = re + base;
+        double *__restrict r1 = r0 + q;
+        double *__restrict r2 = r1 + q;
+        double *__restrict r3 = r2 + q;
+        double *__restrict i0 = im + base;
+        double *__restrict i1 = i0 + q;
+        double *__restrict i2 = i1 + q;
+        double *__restrict i3 = i2 + q;
+        for (unsigned j = 0; j < q; ++j) {
+            // u_s = y_s * conj(w^s); then the conjugate butterfly
+            // (4 * DFT4^-1), the exact transpose of the forward stage.
+            const double u1r = r1[j] * w1r[j] + i1[j] * w1i[j];
+            const double u1i = i1[j] * w1r[j] - r1[j] * w1i[j];
+            const double u2r = r2[j] * w2r[j] + i2[j] * w2i[j];
+            const double u2i = i2[j] * w2r[j] - r2[j] * w2i[j];
+            const double u3r = r3[j] * w3r[j] + i3[j] * w3i[j];
+            const double u3i = i3[j] * w3r[j] - r3[j] * w3i[j];
+            const double t0r = r0[j] + u2r, t0i = i0[j] + u2i;
+            const double t1r = r0[j] - u2r, t1i = i0[j] - u2i;
+            const double t2r = u1r + u3r, t2i = u1i + u3i;
+            const double t3r = u1r - u3r, t3i = u1i - u3i;
+            r0[j] = t0r + t2r;
+            i0[j] = t0i + t2i;
+            r1[j] = t1r - t3i;
+            i1[j] = t1i + t3r;
+            r2[j] = t0r - t2r;
+            i2[j] = t0i - t2i;
+            r3[j] = t1r + t3i;
+            i3[j] = t1i - t3r;
+        }
+    }
+}
+
+void
+Radix4Fft::radix2Stage(double *re, double *im) const
+{
+    // Twiddle-free length-2 butterflies; self-inverse up to the scale
+    // the unscaled inverse contract already absorbs.
+    for (unsigned p = 0; p < size_; p += 2) {
+        const double ar = re[p], ai = im[p];
+        const double br = re[p + 1], bi = im[p + 1];
+        re[p] = ar + br;
+        im[p] = ai + bi;
+        re[p + 1] = ar - br;
+        im[p + 1] = ai - bi;
+    }
+}
+
+void
+Radix4Fft::forwardStagesFrom(unsigned first_stage, double *re,
+                             double *im) const
+{
+    for (unsigned s = first_stage; s < numStages(); ++s)
+        radix4ForwardStage(s, re, im);
+    if (radix2Tail_)
+        radix2Stage(re, im);
+}
+
+void
+Radix4Fft::forwardPermuted(double *re, double *im) const
+{
+    forwardStagesFrom(0, re, im);
+}
+
+void
+Radix4Fft::inverseStagesDownTo(unsigned stop_stage, double *re,
+                               double *im) const
+{
+    if (radix2Tail_)
+        radix2Stage(re, im);
+    for (unsigned s = numStages(); s-- > stop_stage;)
+        radix4InverseStage(s, re, im);
+}
+
+void
+Radix4Fft::inversePermuted(double *re, double *im) const
+{
+    inverseStagesDownTo(0, re, im);
+}
+
 FourierPolynomial::FourierPolynomial(unsigned ring_degree)
     : ringDegree_(ring_degree), re_(ring_degree / 2, 0.0),
       im_(ring_degree / 2, 0.0)
@@ -98,9 +285,14 @@ void
 FourierPolynomial::addAssign(const FourierPolynomial &a)
 {
     panic_if(size() != a.size(), "size mismatch in Fourier addAssign");
-    for (unsigned i = 0; i < size(); ++i) {
-        re_[i] += a.re_[i];
-        im_[i] += a.im_[i];
+    double *__restrict pr = re_.data();
+    double *__restrict pi = im_.data();
+    const double *__restrict ar = a.re_.data();
+    const double *__restrict ai = a.im_.data();
+    const unsigned count = size();
+    for (unsigned i = 0; i < count; ++i) {
+        pr[i] += ar[i];
+        pi[i] += ai[i];
     }
 }
 
@@ -110,12 +302,16 @@ FourierPolynomial::mulAddAssign(const FourierPolynomial &a,
 {
     panic_if(size() != a.size() || size() != b.size(),
              "size mismatch in Fourier mulAddAssign");
+    double *__restrict pr = re_.data();
+    double *__restrict pi = im_.data();
+    const double *__restrict ar = a.re_.data();
+    const double *__restrict ai = a.im_.data();
+    const double *__restrict br = b.re_.data();
+    const double *__restrict bi = b.im_.data();
     const unsigned count = size();
     for (unsigned i = 0; i < count; ++i) {
-        const double ar = a.re_[i], ai = a.im_[i];
-        const double br = b.re_[i], bi = b.im_[i];
-        re_[i] += ar * br - ai * bi;
-        im_[i] += ar * bi + ai * br;
+        pr[i] += ar[i] * br[i] - ai[i] * bi[i];
+        pi[i] += ar[i] * bi[i] + ai[i] * br[i];
     }
 }
 
@@ -138,23 +334,71 @@ NegacyclicFft::NegacyclicFft(unsigned ring_degree)
 }
 
 void
-NegacyclicFft::forwardReal(const double *input,
-                           FourierPolynomial &out) const
+NegacyclicFft::forwardFromInt(const std::int32_t *input,
+                              FourierPolynomial &out) const
 {
     panic_if(out.ringDegree() != n_, "FourierPolynomial degree mismatch");
-    auto &re = scratchRe_;
-    auto &im = scratchIm_;
-    // Fold + twist: x_j = (a_j + i a_{j+N/2}) * e^{i pi j / N}.
-    for (unsigned j = 0; j < half_; ++j) {
-        const double lo = input[j];
-        const double hi = input[j + half_];
-        re[j] = lo * twistRe_[j] - hi * twistIm_[j];
-        im[j] = lo * twistIm_[j] + hi * twistRe_[j];
-    }
-    fft_.forward(re.data(), im.data());
-    for (unsigned j = 0; j < half_; ++j) {
-        out.re(j) = re[j];
-        out.im(j) = im[j];
+    double *__restrict re = out.reData();
+    double *__restrict im = out.imData();
+    const double *__restrict tr = twistRe_.data();
+    const double *__restrict ti = twistIm_.data();
+
+    if (half_ >= 4) {
+        // Fold + twist fused with the first DIF butterfly stage: load
+        // x_p = (a_p + i a_{p+N/2}) * e^{i pi p / N} for the four
+        // quarter positions and butterfly in the same pass.
+        const unsigned q = half_ / 4;
+        const double *tw = fft_.stageTwiddles(0);
+        const double *__restrict w1r = tw + 0 * q;
+        const double *__restrict w1i = tw + 1 * q;
+        const double *__restrict w2r = tw + 2 * q;
+        const double *__restrict w2i = tw + 3 * q;
+        const double *__restrict w3r = tw + 4 * q;
+        const double *__restrict w3i = tw + 5 * q;
+        for (unsigned j = 0; j < q; ++j) {
+            const unsigned p1 = j + q, p2 = j + 2 * q, p3 = j + 3 * q;
+            const double a_lo = static_cast<double>(input[j]);
+            const double a_hi = static_cast<double>(input[j + half_]);
+            const double ar = a_lo * tr[j] - a_hi * ti[j];
+            const double ai = a_lo * ti[j] + a_hi * tr[j];
+            const double b_lo = static_cast<double>(input[p1]);
+            const double b_hi = static_cast<double>(input[p1 + half_]);
+            const double br = b_lo * tr[p1] - b_hi * ti[p1];
+            const double bi = b_lo * ti[p1] + b_hi * tr[p1];
+            const double c_lo = static_cast<double>(input[p2]);
+            const double c_hi = static_cast<double>(input[p2 + half_]);
+            const double cr = c_lo * tr[p2] - c_hi * ti[p2];
+            const double ci = c_lo * ti[p2] + c_hi * tr[p2];
+            const double d_lo = static_cast<double>(input[p3]);
+            const double d_hi = static_cast<double>(input[p3 + half_]);
+            const double dr = d_lo * tr[p3] - d_hi * ti[p3];
+            const double di = d_lo * ti[p3] + d_hi * tr[p3];
+
+            const double t0r = ar + cr, t0i = ai + ci;
+            const double t1r = ar - cr, t1i = ai - ci;
+            const double t2r = br + dr, t2i = bi + di;
+            const double t3r = br - dr, t3i = bi - di;
+            re[j] = t0r + t2r;
+            im[j] = t0i + t2i;
+            const double y1r = t1r + t3i, y1i = t1i - t3r;
+            re[p1] = y1r * w1r[j] - y1i * w1i[j];
+            im[p1] = y1r * w1i[j] + y1i * w1r[j];
+            const double y2r = t0r - t2r, y2i = t0i - t2i;
+            re[p2] = y2r * w2r[j] - y2i * w2i[j];
+            im[p2] = y2r * w2i[j] + y2i * w2r[j];
+            const double y3r = t1r - t3i, y3i = t1i + t3r;
+            re[p3] = y3r * w3r[j] - y3i * w3i[j];
+            im[p3] = y3r * w3i[j] + y3i * w3r[j];
+        }
+        fft_.forwardStagesFrom(1, re, im);
+    } else {
+        for (unsigned j = 0; j < half_; ++j) {
+            const double lo = static_cast<double>(input[j]);
+            const double hi = static_cast<double>(input[j + half_]);
+            re[j] = lo * tr[j] - hi * ti[j];
+            im[j] = lo * ti[j] + hi * tr[j];
+        }
+        fft_.forwardPermuted(re, im);
     }
 }
 
@@ -163,10 +407,7 @@ NegacyclicFft::forward(const IntPolynomial &poly,
                        FourierPolynomial &out) const
 {
     panic_if(poly.degree() != n_, "polynomial degree mismatch");
-    std::vector<double> tmp(n_);
-    for (unsigned j = 0; j < n_; ++j)
-        tmp[j] = static_cast<double>(poly[j]);
-    forwardReal(tmp.data(), out);
+    forwardFromInt(poly.data(), out);
 }
 
 void
@@ -174,10 +415,65 @@ NegacyclicFft::forward(const TorusPolynomial &poly,
                        FourierPolynomial &out) const
 {
     panic_if(poly.degree() != n_, "polynomial degree mismatch");
-    std::vector<double> tmp(n_);
-    for (unsigned j = 0; j < n_; ++j)
-        tmp[j] = static_cast<double>(static_cast<std::int32_t>(poly[j]));
-    forwardReal(tmp.data(), out);
+    // Torus coefficients are read as signed 32-bit integers (the
+    // standard TFHE convention); int32/uint32 aliasing is well-defined.
+    forwardFromInt(reinterpret_cast<const std::int32_t *>(poly.data()),
+                   out);
+}
+
+void
+NegacyclicFft::inverseCore(double *re, double *im,
+                           TorusPolynomial &out) const
+{
+    panic_if(out.degree() != n_, "polynomial degree mismatch");
+    const double scale = 1.0 / static_cast<double>(half_);
+    const double *__restrict tr = twistRe_.data();
+    const double *__restrict ti = twistIm_.data();
+    Torus32 *__restrict o = out.data();
+
+    // Untwist and split back into low/high coefficient halves; the
+    // reduction mod 2^32 happens in roundToTorus().
+    const auto store = [&](unsigned p, double xr, double xi) {
+        const double zr = xr * scale;
+        const double zi = xi * scale;
+        o[p] = roundToTorus(zr * tr[p] + zi * ti[p]);
+        o[p + half_] = roundToTorus(zi * tr[p] - zr * ti[p]);
+    };
+
+    if (half_ >= 4) {
+        fft_.inverseStagesDownTo(1, re, im);
+        // Last inverse stage fused with untwist + scale + round: its
+        // outputs land in natural order, each written exactly once.
+        const unsigned q = half_ / 4;
+        const double *tw = fft_.stageTwiddles(0);
+        const double *__restrict w1r = tw + 0 * q;
+        const double *__restrict w1i = tw + 1 * q;
+        const double *__restrict w2r = tw + 2 * q;
+        const double *__restrict w2i = tw + 3 * q;
+        const double *__restrict w3r = tw + 4 * q;
+        const double *__restrict w3i = tw + 5 * q;
+        for (unsigned j = 0; j < q; ++j) {
+            const unsigned p1 = j + q, p2 = j + 2 * q, p3 = j + 3 * q;
+            const double u1r = re[p1] * w1r[j] + im[p1] * w1i[j];
+            const double u1i = im[p1] * w1r[j] - re[p1] * w1i[j];
+            const double u2r = re[p2] * w2r[j] + im[p2] * w2i[j];
+            const double u2i = im[p2] * w2r[j] - re[p2] * w2i[j];
+            const double u3r = re[p3] * w3r[j] + im[p3] * w3i[j];
+            const double u3i = im[p3] * w3r[j] - re[p3] * w3i[j];
+            const double t0r = re[j] + u2r, t0i = im[j] + u2i;
+            const double t1r = re[j] - u2r, t1i = im[j] - u2i;
+            const double t2r = u1r + u3r, t2i = u1i + u3i;
+            const double t3r = u1r - u3r, t3i = u1i - u3i;
+            store(j, t0r + t2r, t0i + t2i);
+            store(p1, t1r - t3i, t1i + t3r);
+            store(p2, t0r - t2r, t0i - t2i);
+            store(p3, t1r + t3i, t1i - t3r);
+        }
+    } else {
+        fft_.inversePermuted(re, im);
+        for (unsigned j = 0; j < half_; ++j)
+            store(j, re[j], im[j]);
+    }
 }
 
 void
@@ -185,30 +481,19 @@ NegacyclicFft::inverse(const FourierPolynomial &in,
                        TorusPolynomial &out) const
 {
     panic_if(in.ringDegree() != n_, "FourierPolynomial degree mismatch");
-    panic_if(out.degree() != n_, "polynomial degree mismatch");
     auto &re = scratchRe_;
     auto &im = scratchIm_;
-    for (unsigned j = 0; j < half_; ++j) {
-        re[j] = in.re(j);
-        im[j] = in.im(j);
-    }
-    fft_.inverse(re.data(), im.data());
-    const double scale = 1.0 / static_cast<double>(half_);
-    // Untwist and split back into low/high coefficient halves. The
-    // reduction mod 2^32 happens via remainder() so coefficient values
-    // far larger than 2^53 (possible with single-level gadgets) still
-    // land on the correct torus residue up to FFT round-off.
-    const double modulus = 4294967296.0;
-    for (unsigned j = 0; j < half_; ++j) {
-        const double zr = re[j] * scale;
-        const double zi = im[j] * scale;
-        const double cr = zr * twistRe_[j] + zi * twistIm_[j];
-        const double ci = zi * twistRe_[j] - zr * twistIm_[j];
-        out[j] = static_cast<Torus32>(static_cast<std::int64_t>(
-            std::llround(std::remainder(cr, modulus))));
-        out[j + half_] = static_cast<Torus32>(static_cast<std::int64_t>(
-            std::llround(std::remainder(ci, modulus))));
-    }
+    std::copy(in.reData(), in.reData() + half_, re.data());
+    std::copy(in.imData(), in.imData() + half_, im.data());
+    inverseCore(re.data(), im.data(), out);
+}
+
+void
+NegacyclicFft::inverseInPlace(FourierPolynomial &in,
+                              TorusPolynomial &out) const
+{
+    panic_if(in.ringDegree() != n_, "FourierPolynomial degree mismatch");
+    inverseCore(in.reData(), in.imData(), out);
 }
 
 const NegacyclicFft &

@@ -17,11 +17,26 @@
  * is a hardware throughput optimization and is modelled in src/arch; it
  * does not change the math here.
  *
+ * Two complex FFT cores live here:
+ *  - ComplexFft: the plain strided radix-2 engine with an explicit
+ *    bit-reversal pass. It keeps natural input/output ordering, is used
+ *    by the merge-split hardware model (src/arch/functional/ms_fft) and
+ *    serves as the reference the radix-4 engine is tested against.
+ *  - Radix4Fft: the production core behind NegacyclicFft. Forward is
+ *    decimation-in-frequency, inverse decimation-in-time, so no
+ *    bit-reversal pass is ever executed; the spectrum lives in the
+ *    engine's base-4 digit-reversed order. That order is an internal
+ *    convention of the transform domain: every FourierPolynomial is
+ *    produced and consumed with the same permutation, and pointwise
+ *    multiply/accumulate commutes with any fixed permutation, so
+ *    nothing outside the engine ever needs to undo it.
+ *
  * Precision: coefficients are carried as doubles. For every parameter
  * set in params.h the accumulated products stay within (or their
  * round-off stays far below) the 53-bit mantissa, so the FFT path is
  * bit-compatible with the schoolbook path up to noise that is orders of
- * magnitude below the decryption margin (tested in tests/test_fft.cc).
+ * magnitude below the decryption margin (tested in tests/test_fft.cc
+ * and tests/test_workspace.cc).
  */
 
 #ifndef MORPHLING_TFHE_FFT_H
@@ -36,11 +51,11 @@ namespace morphling::tfhe {
 
 /**
  * A plain iterative radix-2 complex FFT of a fixed power-of-two size,
- * on split real/imaginary arrays.
+ * on split real/imaginary arrays, with natural input/output ordering.
  *
- * Shared by the negacyclic engine (size N/2, folded) and the
- * merge-split hardware model (size N, two real polynomials per pass).
- * The inverse is unscaled; callers divide by size().
+ * Used by the merge-split hardware model (size N, two real polynomials
+ * per pass) and as the ground-truth reference for Radix4Fft. The
+ * inverse is unscaled; callers divide by size().
  */
 class ComplexFft
 {
@@ -65,7 +80,80 @@ class ComplexFft
 };
 
 /**
- * A polynomial in the transform domain: N/2 complex evaluations.
+ * The production complex FFT core: iterative radix-4 with one trailing
+ * radix-2 stage when log2(size) is odd.
+ *
+ * Forward is decimation-in-frequency (natural input, digit-reversed
+ * output), inverse is the exact algorithmic transpose
+ * (decimation-in-time: digit-reversed input, natural output), so the
+ * bit-reversal permutation pass of the classic radix-2 engine is gone
+ * entirely. Twiddle factors are stored per stage as six contiguous
+ * streams (re/im of w, w^2, w^3 indexed by butterfly position), which
+ * turns every butterfly loop into straight-line code over unit-stride
+ * arrays that the compiler auto-vectorizes.
+ *
+ * The inverse is unscaled: inversePermuted(forwardPermuted(x)) ==
+ * size() * x.
+ */
+class Radix4Fft
+{
+  public:
+    explicit Radix4Fft(unsigned size);
+
+    unsigned size() const { return size_; }
+
+    /** Number of radix-4 stages (stage 0 has span size()). */
+    unsigned numStages() const
+    {
+        return static_cast<unsigned>(stageLen_.size());
+    }
+
+    /** True when a final twiddle-free radix-2 stage follows the radix-4
+     *  stages (log2(size) odd). */
+    bool hasRadix2Tail() const { return radix2Tail_; }
+
+    /** In-place forward DIF transform; output digit-reversed. */
+    void forwardPermuted(double *re, double *im) const;
+
+    /** In-place unscaled inverse DIT transform; input digit-reversed,
+     *  output natural. */
+    void inversePermuted(double *re, double *im) const;
+
+    /** Run the forward stages starting at `first_stage` (used by
+     *  NegacyclicFft, which fuses stage 0 with the fold+twist load). */
+    void forwardStagesFrom(unsigned first_stage, double *re,
+                           double *im) const;
+
+    /** Run the inverse stages (radix-2 tail first, then radix-4 stages
+     *  from the smallest span) stopping before `stop_stage` (used by
+     *  NegacyclicFft, which fuses stage 0 with untwist+round). */
+    void inverseStagesDownTo(unsigned stop_stage, double *re,
+                             double *im) const;
+
+    /** Stage butterfly span (stageLen(0) == size()). */
+    unsigned stageLen(unsigned stage) const { return stageLen_[stage]; }
+
+    /** Stage twiddles: six blocks of stageLen(stage)/4 doubles each —
+     *  w re, w im, w^2 re, w^2 im, w^3 re, w^3 im. */
+    const double *stageTwiddles(unsigned stage) const
+    {
+        return stageTw_[stage].data();
+    }
+
+  private:
+    void radix4ForwardStage(unsigned stage, double *re, double *im) const;
+    void radix4InverseStage(unsigned stage, double *re, double *im) const;
+    void radix2Stage(double *re, double *im) const;
+
+    unsigned size_;
+    std::vector<unsigned> stageLen_;        //!< radix-4 spans, descending
+    std::vector<std::vector<double>> stageTw_; //!< per-stage twiddles
+    bool radix2Tail_ = false;
+};
+
+/**
+ * A polynomial in the transform domain: N/2 complex evaluations, in the
+ * digit-reversed order of the Radix4Fft engine for ring degree N.
  *
  * Stored as separate real/imaginary arrays (structure-of-arrays), which
  * mirrors the hardware's packed 64-bit complex datapath and vectorizes
@@ -86,6 +174,11 @@ class FourierPolynomial
     double &im(unsigned i) { return im_[i]; }
     double re(unsigned i) const { return re_[i]; }
     double im(unsigned i) const { return im_[i]; }
+
+    double *reData() { return re_.data(); }
+    double *imData() { return im_.data(); }
+    const double *reData() const { return re_.data(); }
+    const double *imData() const { return im_.data(); }
 
     /** Reset to the zero transform. */
     void clear();
@@ -108,11 +201,19 @@ class FourierPolynomial
 };
 
 /**
- * Forward/inverse negacyclic transform engine for one ring degree N.
+ * Forward/inverse negacyclic transform engine for one ring degree N,
+ * built on the radix-4 core.
  *
- * An instance carries internal scratch buffers and must not be shared
- * between threads concurrently; forDegree() returns a per-thread cached
- * instance so callers never pay table setup twice on the same thread.
+ * The fold+twist load is fused into the first forward butterfly stage
+ * and the untwist+scale+round store into the last inverse stage, so a
+ * transform makes exactly log4(N/2) + 1 passes over the data and
+ * performs no heap allocation: forward writes straight into the
+ * caller's FourierPolynomial and runs in place there.
+ *
+ * An instance carries internal scratch buffers (used only by the
+ * const-input inverse) and must not be shared between threads
+ * concurrently; forDegree() returns a per-thread cached instance so
+ * callers never pay table setup twice on the same thread.
  */
 class NegacyclicFft
 {
@@ -122,33 +223,47 @@ class NegacyclicFft
     unsigned ringDegree() const { return n_; }
 
     /** Forward transform of an integer polynomial (decomposition
-     *  digits). */
+     *  digits). Allocation-free. */
     void forward(const IntPolynomial &poly, FourierPolynomial &out) const;
 
     /** Forward transform of a torus polynomial (coefficients read as
-     *  signed 32-bit integers, the standard TFHE convention). */
+     *  signed 32-bit integers, the standard TFHE convention).
+     *  Allocation-free. */
     void forward(const TorusPolynomial &poly,
                  FourierPolynomial &out) const;
 
     /** Inverse transform with rounding back onto the discretized torus
-     *  (reduction mod 2^32 happens in floating point via remainder). */
+     *  (reduction mod 2^32). Preserves `in`; uses the engine's mutable
+     *  scratch, which is why an engine is single-thread-only. */
     void inverse(const FourierPolynomial &in, TorusPolynomial &out) const;
+
+    /** Inverse transform that runs in place inside `in`, destroying its
+     *  contents. The hot-path variant: no scratch copy at all. */
+    void inverseInPlace(FourierPolynomial &in, TorusPolynomial &out) const;
 
     /** Per-thread cached engine for ring degree N. */
     static const NegacyclicFft &forDegree(unsigned ring_degree);
 
   private:
-    void forwardReal(const double *input, FourierPolynomial &out) const;
+    /** Fold + twist + first forward butterfly stage in one pass over
+     *  the input (read as signed 32-bit coefficients). */
+    void forwardFromInt(const std::int32_t *input,
+                        FourierPolynomial &out) const;
+
+    /** Last inverse butterfly stage + untwist + scale + round in one
+     *  pass; consumes re/im (digit-reversed spectrum, later stages
+     *  already applied). */
+    void inverseCore(double *re, double *im, TorusPolynomial &out) const;
 
     unsigned n_;    //!< ring degree N
     unsigned half_; //!< transform size N/2
 
-    ComplexFft fft_; //!< the N/2-point complex core
+    Radix4Fft fft_; //!< the N/2-point complex core
     std::vector<double> twistRe_, twistIm_; //!< e^{i*pi*j/N}
 
-    // Scratch buffers reused across calls (mutable: transforms are
-    // logically const). This is why an engine is single-thread-only;
-    // forDegree() hands out one engine per thread.
+    // Scratch reused by the const-preserving inverse (mutable:
+    // transforms are logically const). This is why an engine is
+    // single-thread-only; forDegree() hands out one engine per thread.
     mutable std::vector<double> scratchRe_, scratchIm_;
 };
 

@@ -1,36 +1,74 @@
 #include "ggsw.h"
 
 #include "common/logging.h"
+#include "tfhe/workspace.h"
 
 namespace morphling::tfhe {
 
-void
-gadgetDecomposeScalar(Torus32 value, unsigned base_bits, unsigned levels,
-                      std::int32_t *digits)
+GadgetPlan
+makeGadgetPlan(unsigned base_bits, unsigned levels)
 {
     panic_if(base_bits == 0 || levels == 0 || base_bits * levels > 32,
              "bad gadget (base 2^", base_bits, ", ", levels, " levels)");
-    const std::uint32_t mask = (base_bits == 32)
-                                   ? ~0u
-                                   : ((1u << base_bits) - 1);
-    const std::int32_t half = std::int32_t{1} << (base_bits - 1);
+    GadgetPlan plan;
+    plan.baseBits = base_bits;
+    plan.levels = levels;
+    plan.mask = (base_bits == 32) ? ~0u : ((1u << base_bits) - 1);
+    plan.half = std::int32_t{1} << (base_bits - 1);
 
     // Centering offset: adding beta/2 at every level lets us subtract
     // beta/2 from each extracted digit, mapping digits from [0, beta)
     // to [-beta/2, beta/2). Rounding offset: half an ulp of the last
     // level converts the truncation of the undecomposed tail into
     // round-to-nearest.
-    std::uint32_t offset = 0;
+    plan.offset = 0;
     for (unsigned j = 1; j <= levels; ++j)
-        offset += std::uint32_t{1} << (31 - (j - 1) * base_bits);
+        plan.offset += std::uint32_t{1} << (31 - (j - 1) * base_bits);
     if (levels * base_bits < 32)
-        offset += std::uint32_t{1} << (32 - levels * base_bits - 1);
+        plan.offset += std::uint32_t{1} << (32 - levels * base_bits - 1);
+    return plan;
+}
 
-    const std::uint32_t shifted = value + offset;
+void
+gadgetDecomposeScalar(Torus32 value, unsigned base_bits, unsigned levels,
+                      std::int32_t *digits)
+{
+    const GadgetPlan plan = makeGadgetPlan(base_bits, levels);
+    const std::uint32_t shifted = value + plan.offset;
     for (unsigned j = 1; j <= levels; ++j) {
         const unsigned shift = 32 - j * base_bits;
-        const std::uint32_t digit = (shifted >> shift) & mask;
-        digits[j - 1] = static_cast<std::int32_t>(digit) - half;
+        const std::uint32_t digit = (shifted >> shift) & plan.mask;
+        digits[j - 1] = static_cast<std::int32_t>(digit) - plan.half;
+    }
+}
+
+void
+gadgetDecomposePlanned(const TorusPolynomial &poly, const GadgetPlan &plan,
+                       std::vector<IntPolynomial> &out)
+{
+    const unsigned n = poly.degree();
+    if (out.size() != plan.levels)
+        out.resize(plan.levels);
+    for (auto &p : out) {
+        if (p.degree() != n)
+            p = IntPolynomial(n);
+    }
+
+    const Torus32 *__restrict src = poly.data();
+    const std::uint32_t offset = plan.offset;
+    const std::uint32_t mask = plan.mask;
+    const std::int32_t half = plan.half;
+    // Level-outer: each pass is a straight shift/mask/subtract over the
+    // polynomial, which vectorizes; the offset addition is redone per
+    // level to keep the inner loop free of cross-level state.
+    for (unsigned j = 0; j < plan.levels; ++j) {
+        const unsigned shift = 32 - (j + 1) * plan.baseBits;
+        std::int32_t *__restrict dst = out[j].data();
+        for (unsigned c = 0; c < n; ++c) {
+            const std::uint32_t shifted = src[c] + offset;
+            dst[c] = static_cast<std::int32_t>((shifted >> shift) & mask) -
+                     half;
+        }
     }
 }
 
@@ -38,18 +76,7 @@ void
 gadgetDecompose(const TorusPolynomial &poly, unsigned base_bits,
                 unsigned levels, std::vector<IntPolynomial> &out)
 {
-    const unsigned n = poly.degree();
-    out.resize(levels);
-    for (auto &p : out) {
-        if (p.degree() != n)
-            p = IntPolynomial(n);
-    }
-    std::vector<std::int32_t> digits(levels);
-    for (unsigned c = 0; c < n; ++c) {
-        gadgetDecomposeScalar(poly[c], base_bits, levels, digits.data());
-        for (unsigned j = 0; j < levels; ++j)
-            out[j][c] = digits[j];
-    }
+    gadgetDecomposePlanned(poly, makeGadgetPlan(base_bits, levels), out);
 }
 
 GgswCiphertext
@@ -145,8 +172,17 @@ externalProductSchoolbook(const GgswCiphertext &ggsw,
     return result;
 }
 
-GlweCiphertext
-externalProductFourier(const FourierGgsw &ggsw, const GlweCiphertext &input)
+namespace {
+
+/**
+ * Stage (1) of the Fourier external product: decompose all components
+ * of `input` and transform each digit polynomial into ws.digitsF.
+ * These (k+1)*l_b forward transforms are the ones the hardware shares
+ * across a VPE row (input transform-domain reuse).
+ */
+void
+decomposeAndTransform(const FourierGgsw &ggsw, const GlweCiphertext &input,
+                      BootstrapWorkspace &ws)
 {
     const unsigned k = input.dimension();
     const unsigned n = input.polyDegree();
@@ -155,49 +191,84 @@ externalProductFourier(const FourierGgsw &ggsw, const GlweCiphertext &input)
              "GGSW/GLWE shape mismatch");
     panic_if(ggsw.numCols() != k + 1, "GGSW column count mismatch");
 
+    ws.ensure(k, n, levels, ggsw.baseBits());
     const auto &fft = NegacyclicFft::forDegree(n);
-
-    // (1): decompose all components, transform each digit polynomial.
-    // These (k+1)*l_b forward transforms are the ones the hardware
-    // shares across a VPE row (input transform-domain reuse).
-    std::vector<IntPolynomial> digits;
-    std::vector<FourierPolynomial> digits_f;
-    digits_f.reserve(static_cast<std::size_t>(k + 1) * levels);
     for (unsigned u = 0; u <= k; ++u) {
-        gadgetDecompose(input.component(u), ggsw.baseBits(), levels,
-                        digits);
-        for (unsigned j = 0; j < levels; ++j) {
-            FourierPolynomial fp(n);
-            fft.forward(digits[j], fp);
-            digits_f.push_back(std::move(fp));
-        }
+        gadgetDecomposePlanned(input.component(u), ws.plan, ws.digits);
+        for (unsigned j = 0; j < levels; ++j)
+            fft.forward(ws.digits[j], ws.digitsF[u * levels + j]);
     }
+}
+
+} // namespace
+
+void
+externalProductFourier(const FourierGgsw &ggsw, const GlweCiphertext &input,
+                       GlweCiphertext &result, BootstrapWorkspace &ws)
+{
+    const unsigned k = input.dimension();
+    const unsigned n = input.polyDegree();
+    decomposeAndTransform(ggsw, input, ws);
+    if (result.dimension() != k || result.polyDegree() != n)
+        result = GlweCiphertext(k, n);
 
     // (2): one dot product per output component, accumulated entirely
     // in the transform domain (output transform-domain reuse: a single
     // inverse FFT per component, not per product).
-    GlweCiphertext result(k, n);
-    FourierPolynomial acc(n);
+    const auto &fft = NegacyclicFft::forDegree(n);
+    const unsigned rows = ggsw.numRows();
     for (unsigned c = 0; c <= k; ++c) {
-        acc.clear();
-        for (unsigned r = 0; r < digits_f.size(); ++r)
-            acc.mulAddAssign(digits_f[r], ggsw.at(r, c));
-        fft.inverse(acc, result.component(c));
+        ws.accF.clear();
+        for (unsigned r = 0; r < rows; ++r)
+            ws.accF.mulAddAssign(ws.digitsF[r], ggsw.at(r, c));
+        fft.inverseInPlace(ws.accF, result.component(c));
     }
+}
+
+GlweCiphertext
+externalProductFourier(const FourierGgsw &ggsw, const GlweCiphertext &input)
+{
+    GlweCiphertext result;
+    externalProductFourier(ggsw, input, result,
+                           BootstrapWorkspace::forThisThread());
     return result;
+}
+
+void
+cmuxRotateInPlace(const FourierGgsw &ggsw, GlweCiphertext &acc,
+                  unsigned power, BootstrapWorkspace &ws)
+{
+    const unsigned k = acc.dimension();
+    const unsigned n = acc.polyDegree();
+    ws.ensure(k, n, ggsw.levels(), ggsw.baseBits());
+
+    // Lambda = X^power * ACC - ACC ...
+    for (unsigned c = 0; c <= k; ++c)
+        acc.component(c).rotateDiffInto(power, ws.diff.component(c));
+
+    // ... then ACC += BSK [.] Lambda, the external product inverse FFTs
+    // landing in ws.prod and accumulating straight into the rotating
+    // accumulator (no result/copy ciphertexts).
+    decomposeAndTransform(ggsw, ws.diff, ws);
+    const auto &fft = NegacyclicFft::forDegree(n);
+    const unsigned rows = ggsw.numRows();
+    for (unsigned c = 0; c <= k; ++c) {
+        ws.accF.clear();
+        for (unsigned r = 0; r < rows; ++r)
+            ws.accF.mulAddAssign(ws.digitsF[r], ggsw.at(r, c));
+        fft.inverseInPlace(ws.accF, ws.prod);
+        acc.component(c).addAssign(ws.prod);
+    }
 }
 
 GlweCiphertext
 cmuxRotate(const FourierGgsw &ggsw, const GlweCiphertext &input,
            unsigned power)
 {
-    // Lambda = X^power * ACC - ACC ...
-    GlweCiphertext diff = input.mulByXPower(power);
-    diff.subAssign(input);
-    // ... then ACC' = BSK [.] Lambda + ACC.
-    GlweCiphertext result = externalProductFourier(ggsw, diff);
-    result.addAssign(input);
-    return result;
+    GlweCiphertext acc = input;
+    cmuxRotateInPlace(ggsw, acc, power,
+                      BootstrapWorkspace::forThisThread());
+    return acc;
 }
 
 } // namespace morphling::tfhe

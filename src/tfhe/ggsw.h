@@ -23,6 +23,25 @@
 
 namespace morphling::tfhe {
 
+class BootstrapWorkspace;
+
+/**
+ * Precomputed constants of one signed gadget decomposition: the digit
+ * mask, the centering half-base, and the combined centering + rounding
+ * offset that the scalar path used to rebuild per coefficient.
+ */
+struct GadgetPlan
+{
+    unsigned baseBits = 0;
+    unsigned levels = 0;
+    std::uint32_t mask = 0;   //!< beta - 1
+    std::uint32_t offset = 0; //!< centering + rounding offset
+    std::int32_t half = 0;    //!< beta / 2
+};
+
+/** Build the plan for digits in base 2^base_bits over `levels` levels. */
+GadgetPlan makeGadgetPlan(unsigned base_bits, unsigned levels);
+
 /**
  * Signed gadget decomposition of one torus polynomial.
  *
@@ -34,6 +53,16 @@ namespace morphling::tfhe {
  */
 void gadgetDecompose(const TorusPolynomial &poly, unsigned base_bits,
                      unsigned levels, std::vector<IntPolynomial> &out);
+
+/**
+ * Hot-path decomposition against a prebuilt plan: level-outer loops of
+ * shift/mask/subtract over the whole polynomial (auto-vectorizable),
+ * no per-coefficient constant recomputation. `out` is only reshaped
+ * when its geometry mismatches, so repeat calls are allocation-free.
+ */
+void gadgetDecomposePlanned(const TorusPolynomial &poly,
+                            const GadgetPlan &plan,
+                            std::vector<IntPolynomial> &out);
 
 /** Scalar version, used by tests and by key switching internals. */
 void gadgetDecomposeScalar(Torus32 value, unsigned base_bits,
@@ -132,12 +161,30 @@ GlweCiphertext externalProductFourier(const FourierGgsw &ggsw,
                                       const GlweCiphertext &input);
 
 /**
+ * Workspace external product: result = ggsw [.] input, with every
+ * intermediate (digit polynomials, Fourier transforms, accumulator)
+ * taken from `ws`. Allocation-free once `ws` and `result` are warm.
+ * `result` must not alias `input`.
+ */
+void externalProductFourier(const FourierGgsw &ggsw,
+                            const GlweCiphertext &input,
+                            GlweCiphertext &result,
+                            BootstrapWorkspace &ws);
+
+/**
  * CMux gate: returns input + ggsw [.] (rotated(input) - input) where
  * rotated = X^power * input. One blind-rotation iteration
  * (Algorithm 1, line 4).
  */
 GlweCiphertext cmuxRotate(const FourierGgsw &ggsw,
                           const GlweCiphertext &input, unsigned power);
+
+/**
+ * In-place workspace CMux: acc += ggsw [.] (X^power * acc - acc).
+ * The blind-rotation inner loop; allocation-free once `ws` is warm.
+ */
+void cmuxRotateInPlace(const FourierGgsw &ggsw, GlweCiphertext &acc,
+                       unsigned power, BootstrapWorkspace &ws);
 
 } // namespace morphling::tfhe
 

@@ -129,8 +129,16 @@ GlweCiphertext::mulByXPower(unsigned power) const
 {
     GlweCiphertext out(dimension(), polyDegree());
     for (std::size_t i = 0; i < polys_.size(); ++i)
-        out.polys_[i] = polys_[i].mulByXPower(power);
+        polys_[i].mulByXPowerInto(power, out.polys_[i]);
     return out;
+}
+
+void
+GlweCiphertext::mulByXPowerInPlace(unsigned power,
+                                   TorusPolynomial &scratch)
+{
+    for (auto &poly : polys_)
+        poly.mulByXPowerInPlace(power, scratch);
 }
 
 LweCiphertext
@@ -142,11 +150,21 @@ GlweCiphertext::sampleExtract() const
 LweCiphertext
 GlweCiphertext::sampleExtractAt(unsigned index) const
 {
+    LweCiphertext out(dimension() * polyDegree());
+    sampleExtractAtInto(index, out);
+    return out;
+}
+
+void
+GlweCiphertext::sampleExtractAtInto(unsigned index,
+                                    LweCiphertext &out) const
+{
     const unsigned n = polyDegree();
     const unsigned k = dimension();
     panic_if(index >= n, "extraction index out of range");
 
-    LweCiphertext out(k * n);
+    if (out.raw().size() != static_cast<std::size_t>(k) * n + 1)
+        out.raw().resize(static_cast<std::size_t>(k) * n + 1);
     // Coefficient `t` of A_i * S_i mod X^N + 1 is
     //   sum_{j <= t} A_i[t-j] S_i[j] - sum_{j > t} A_i[N+t-j] S_i[j],
     // so the mask aligned with key bit S_i[j] is A_i[t-j] for j <= t
@@ -160,7 +178,6 @@ GlweCiphertext::sampleExtractAt(unsigned index) const
         }
     }
     out.body() = body()[index];
-    return out;
 }
 
 } // namespace morphling::tfhe

@@ -93,6 +93,10 @@ class GlweCiphertext
      *  homomorphic rotation used in blind rotation. */
     GlweCiphertext mulByXPower(unsigned power) const;
 
+    /** In-place rotation of every component through one caller-provided
+     *  scratch polynomial (allocation-free when warm). */
+    void mulByXPowerInPlace(unsigned power, TorusPolynomial &scratch);
+
     /**
      * Extract the LWE ciphertext of the constant coefficient of the
      * message (Algorithm 1, line 5). Pure data re-grouping, no
@@ -107,6 +111,10 @@ class GlweCiphertext
      * positions.
      */
     LweCiphertext sampleExtractAt(unsigned index) const;
+
+    /** Extraction into an existing ciphertext; only resizes `out` when
+     *  its dimension mismatches (allocation-free when warm). */
+    void sampleExtractAtInto(unsigned index, LweCiphertext &out) const;
 
   private:
     std::vector<TorusPolynomial> polys_; //!< A_1..A_k, B

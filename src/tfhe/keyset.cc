@@ -72,6 +72,14 @@ KeySwitchKey::fromEntries(unsigned source_dim, unsigned target_dim,
 LweCiphertext
 KeySwitchKey::apply(const LweCiphertext &ct) const
 {
+    LweCiphertext out(targetDim_);
+    applyInto(ct, out);
+    return out;
+}
+
+void
+KeySwitchKey::applyInto(const LweCiphertext &ct, LweCiphertext &out) const
+{
     panic_if(ct.dimension() != sourceDim_,
              "key switch expects dimension ", sourceDim_, ", got ",
              ct.dimension());
@@ -79,7 +87,8 @@ KeySwitchKey::apply(const LweCiphertext &ct) const
     // c'' = (0..0, b') - sum_{i,j} digit_{i,j} * KSK_(i,j), with each
     // extracted mask a'_i decomposed into l_k unsigned digits (with a
     // rounding offset on the discarded tail).
-    LweCiphertext out = LweCiphertext::trivial(targetDim_, ct.body());
+    out.raw().assign(static_cast<std::size_t>(targetDim_) + 1, 0);
+    out.body() = ct.body();
     const std::uint32_t mask = (1u << baseBits_) - 1;
     const unsigned tail_bits = 32 - levels_ * baseBits_;
     const Torus32 round_offset =
@@ -93,11 +102,12 @@ KeySwitchKey::apply(const LweCiphertext &ct) const
             if (digit == 0)
                 continue;
             const auto &ksk = at(i, j);
+            const Torus32 *__restrict kw = ksk.raw().data();
+            Torus32 *__restrict ow = out.raw().data();
             for (unsigned w = 0; w <= targetDim_; ++w)
-                out.raw()[w] -= digit * ksk.raw()[w];
+                ow[w] -= digit * kw[w];
         }
     }
-    return out;
 }
 
 KeySet

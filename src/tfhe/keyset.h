@@ -85,6 +85,10 @@ class KeySwitchKey
      */
     LweCiphertext apply(const LweCiphertext &ct) const;
 
+    /** Key switching into an existing ciphertext; allocation-free once
+     *  `out` has the target dimension. */
+    void applyInto(const LweCiphertext &ct, LweCiphertext &out) const;
+
   private:
     std::vector<LweCiphertext> entries_;
     unsigned sourceDim_ = 0;

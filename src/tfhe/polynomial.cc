@@ -38,46 +38,73 @@ Polynomial<T>::negate()
 }
 
 template <typename T>
-Polynomial<T>
-Polynomial<T>::mulByXPower(unsigned power) const
+void
+Polynomial<T>::mulByXPowerInto(unsigned power, Polynomial &out) const
 {
     const unsigned n = degree();
     panic_if(power >= 2 * n, "rotation power ", power,
              " out of range [0, 2N)");
+    panic_if(out.degree() != n, "degree mismatch in rotation");
 
-    Polynomial out(n);
     // X^(a+N) = -X^a, so fold the power into [0, N) and remember the
-    // sign flip.
+    // sign flip. Source coefficient j lands at index j + a, negated
+    // when it wraps past N; splitting the loop at the wrap point keeps
+    // both halves branch-free.
     bool flip = false;
     unsigned a = power;
     if (a >= n) {
         a -= n;
         flip = true;
     }
-    for (unsigned j = 0; j < n; ++j) {
-        // Destination index of source coefficient j is j + a; wrapping
-        // past N negates.
-        const unsigned dst = j + a;
-        T value = coeffs_[j];
-        bool negate_coeff = flip;
-        unsigned idx = dst;
-        if (dst >= n) {
-            idx = dst - n;
-            negate_coeff = !negate_coeff;
-        }
-        out.coeffs_[idx] =
-            negate_coeff ? static_cast<T>(T{0} - value) : value;
+    const T *__restrict src = coeffs_.data();
+    T *__restrict dst = out.coeffs_.data();
+    if (flip) {
+        for (unsigned j = 0; j < n - a; ++j)
+            dst[j + a] = static_cast<T>(T{0} - src[j]);
+        for (unsigned j = n - a; j < n; ++j)
+            dst[j + a - n] = src[j];
+    } else {
+        for (unsigned j = 0; j < n - a; ++j)
+            dst[j + a] = src[j];
+        for (unsigned j = n - a; j < n; ++j)
+            dst[j + a - n] = static_cast<T>(T{0} - src[j]);
     }
+}
+
+template <typename T>
+Polynomial<T>
+Polynomial<T>::mulByXPower(unsigned power) const
+{
+    Polynomial out(degree());
+    mulByXPowerInto(power, out);
     return out;
+}
+
+template <typename T>
+void
+Polynomial<T>::mulByXPowerInPlace(unsigned power, Polynomial &scratch)
+{
+    if (scratch.degree() != degree())
+        scratch = Polynomial(degree());
+    mulByXPowerInto(power, scratch);
+    coeffs_.swap(scratch.coeffs_);
 }
 
 template <typename T>
 Polynomial<T>
 Polynomial<T>::rotateDiff(unsigned power) const
 {
-    Polynomial out = mulByXPower(power);
-    out.subAssign(*this);
+    Polynomial out(degree());
+    rotateDiffInto(power, out);
     return out;
+}
+
+template <typename T>
+void
+Polynomial<T>::rotateDiffInto(unsigned power, Polynomial &out) const
+{
+    mulByXPowerInto(power, out);
+    out.subAssign(*this);
 }
 
 template class Polynomial<Torus32>;

@@ -77,9 +77,23 @@ class Polynomial
      */
     Polynomial mulByXPower(unsigned power) const;
 
+    /** out = X^power * this, written into an existing polynomial of the
+     *  same degree: the allocation-free rotation of the hot path.
+     *  `out` must not alias this. */
+    void mulByXPowerInto(unsigned power, Polynomial &out) const;
+
+    /** In-place rotation via a caller-provided scratch polynomial (the
+     *  coefficient vectors are swapped, so neither side allocates when
+     *  both are already at the right degree). */
+    void mulByXPowerInPlace(unsigned power, Polynomial &scratch);
+
     /** r = X^power * this - this, the rotate-and-subtract that feeds
      *  each external product (Algorithm 1, line 4). */
     Polynomial rotateDiff(unsigned power) const;
+
+    /** out = X^power * this - this without allocating. `out` must not
+     *  alias this. */
+    void rotateDiffInto(unsigned power, Polynomial &out) const;
 
     bool operator==(const Polynomial &other) const = default;
 

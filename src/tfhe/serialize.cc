@@ -330,10 +330,11 @@ LweCiphertext
 serverBootstrap(const EvaluationKeys &keys, const LweCiphertext &ct,
                 const std::vector<Torus32> &lut)
 {
-    const auto switched = modSwitch(ct, keys.params.polyDegree);
-    const auto tp = buildTestPolynomial(keys.params.polyDegree, lut);
-    const auto acc = blindRotate(keys.bsk, tp, switched);
-    return keys.ksk.apply(acc.sampleExtract());
+    auto &ws = BootstrapWorkspace::forThisThread();
+    buildTestPolynomialInto(keys.params.polyDegree, lut, ws.testPoly);
+    LweCiphertext out;
+    bootstrapInto(keys.bsk, keys.ksk, ws.testPoly, ct, out, ws);
+    return out;
 }
 
 } // namespace morphling::tfhe

@@ -1,0 +1,49 @@
+#include "workspace.h"
+
+namespace morphling::tfhe {
+
+void
+BootstrapWorkspace::ensure(unsigned glwe_dim, unsigned poly_degree,
+                           unsigned levels, unsigned base_bits)
+{
+    if (plan.baseBits != base_bits || plan.levels != levels)
+        plan = makeGadgetPlan(base_bits, levels);
+
+    const bool same_ring =
+        glweDim_ == glwe_dim && polyDegree_ == poly_degree;
+    if (same_ring && digits.size() == levels)
+        return;
+
+    digits.resize(levels);
+    for (auto &p : digits) {
+        if (p.degree() != poly_degree)
+            p = IntPolynomial(poly_degree);
+    }
+
+    const std::size_t rows =
+        static_cast<std::size_t>(glwe_dim + 1) * levels;
+    digitsF.resize(rows);
+    for (auto &fp : digitsF) {
+        if (fp.ringDegree() != poly_degree)
+            fp = FourierPolynomial(poly_degree);
+    }
+
+    if (accF.ringDegree() != poly_degree)
+        accF = FourierPolynomial(poly_degree);
+    if (diff.dimension() != glwe_dim || !same_ring)
+        diff = GlweCiphertext(glwe_dim, poly_degree);
+    if (prod.degree() != poly_degree)
+        prod = TorusPolynomial(poly_degree);
+
+    glweDim_ = glwe_dim;
+    polyDegree_ = poly_degree;
+}
+
+BootstrapWorkspace &
+BootstrapWorkspace::forThisThread()
+{
+    thread_local BootstrapWorkspace ws;
+    return ws;
+}
+
+} // namespace morphling::tfhe

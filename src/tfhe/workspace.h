@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-thread scratch memory for the bootstrap hot path.
+ *
+ * A programmable bootstrap executes n CMux gates, each performing one
+ * gadget decomposition, (k+1)*l_b forward FFTs, (k+1)*l_b pointwise
+ * multiply-accumulates and (k+1) inverse FFTs. Allocating the digit
+ * polynomials, Fourier accumulators and diff ciphertexts fresh in every
+ * iteration dominates the runtime of the CPU substrate; the hardware
+ * analogue is the paper's fixed on-chip buffer set (Private-A1/A2,
+ * POLY-ACC-REG) that every blind-rotation iteration reuses.
+ *
+ * BootstrapWorkspace owns every intermediate buffer of the pipeline.
+ * ensure() (re)shapes them for one parameter geometry and is a no-op
+ * when the shapes already match, so a warmed-up bootstrap through the
+ * workspace entry points performs zero heap allocations (asserted by
+ * tests/test_workspace.cc). A workspace is single-thread-only;
+ * forThisThread() hands out one instance per thread, which the legacy
+ * (workspace-free) entry points use transparently.
+ */
+
+#ifndef MORPHLING_TFHE_WORKSPACE_H
+#define MORPHLING_TFHE_WORKSPACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/ggsw.h"
+#include "tfhe/glwe.h"
+#include "tfhe/lwe.h"
+
+namespace morphling::tfhe {
+
+/**
+ * Scratch buffers threaded through externalProductFourier /
+ * cmuxRotateInPlace / blindRotate / bootstrapInto.
+ *
+ * Members are public by design: the workspace is a bag of buffers owned
+ * by the pipeline stages, not an abstraction boundary. Their contents
+ * between calls are unspecified.
+ */
+class BootstrapWorkspace
+{
+  public:
+    BootstrapWorkspace() = default;
+
+    BootstrapWorkspace(const BootstrapWorkspace &) = delete;
+    BootstrapWorkspace &operator=(const BootstrapWorkspace &) = delete;
+
+    /**
+     * (Re)shape the external-product scratch for GLWE dimension k, ring
+     * degree N and the given gadget. No-op (and allocation-free) when
+     * the shapes already match.
+     */
+    void ensure(unsigned glwe_dim, unsigned poly_degree, unsigned levels,
+                unsigned base_bits);
+
+    /** The calling thread's workspace. Entry points that take no
+     *  explicit workspace route through this instance. */
+    static BootstrapWorkspace &forThisThread();
+
+    // --- external product / CMux scratch -----------------------------
+    GadgetPlan plan;                   //!< hoisted decomposition consts
+    std::vector<IntPolynomial> digits; //!< l_b digit polynomials
+    std::vector<FourierPolynomial> digitsF; //!< (k+1)*l_b transforms
+    FourierPolynomial accF;            //!< transform-domain accumulator
+    GlweCiphertext diff;               //!< X^a * ACC - ACC
+    TorusPolynomial prod;              //!< one inverse-FFT output
+
+    // --- bootstrap pipeline scratch ----------------------------------
+    GlweCiphertext acc;                 //!< blind-rotation accumulator
+    TorusPolynomial testPoly;           //!< built LUT test polynomial
+    std::vector<std::uint32_t> switched; //!< mod-switched ciphertext
+    LweCiphertext extracted;            //!< sample-extraction output
+
+  private:
+    unsigned glweDim_ = 0;
+    unsigned polyDegree_ = 0;
+};
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_WORKSPACE_H
