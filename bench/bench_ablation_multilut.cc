@@ -23,8 +23,9 @@ using namespace morphling;
 using namespace morphling::tfhe;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "ablation_multilut");
     bench::banner("Ablation (multi-LUT bootstrapping)",
                   "several functions per blind rotation");
 
@@ -64,6 +65,9 @@ main()
         t.addRow({std::to_string(nu), Table::fmt(per_rotation, 2),
                   Table::fmt(per_output, 2),
                   bench::times(single_per_output / per_output, 2)});
+        report.add("amortization",
+                   "set I, nu=" + std::to_string(nu),
+                   single_per_output / per_output, "x");
     }
     t.print(std::cout);
 

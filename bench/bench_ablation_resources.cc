@@ -29,8 +29,9 @@ throughput(const ArchConfig &cfg, const tfhe::TfheParams &params)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "ablation_resources");
     bench::banner("Ablation (Section V-A)",
                   "XPU transform-unit balance and vector width");
 
@@ -42,11 +43,15 @@ main()
         ArchConfig cfg = base;
         cfg.fftUnitsPerXpu = ffts;
         cfg.ifftUnitsPerXpu = 6 - ffts;
+        const double set1 = throughput(cfg, tfhe::paramsByName("I"));
         t.addRow({std::to_string(ffts) + ":" + std::to_string(6 - ffts),
-                  Table::fmtCount(static_cast<std::uint64_t>(
-                      throughput(cfg, tfhe::paramsByName("I")))),
+                  Table::fmtCount(static_cast<std::uint64_t>(set1)),
                   Table::fmtCount(static_cast<std::uint64_t>(
                       throughput(cfg, tfhe::paramsByName("C"))))});
+        report.add("throughput",
+                   "set I, fft:ifft=" + std::to_string(ffts) + ":" +
+                       std::to_string(6 - ffts),
+                   set1, "BS/s");
     }
     t.print(std::cout);
     bench::note("the shipped 2:4 split matches the 4:2 point for the "

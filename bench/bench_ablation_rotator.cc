@@ -25,8 +25,9 @@ using namespace morphling;
 using namespace morphling::arch;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "ablation_rotator");
     bench::banner("Ablation (Section V-C)",
                   "double-pointer rotation vs variable-delay shifter");
 
@@ -53,6 +54,8 @@ main()
                   Table::fmtCount(static_cast<std::uint64_t>(base)),
                   Table::fmtCount(static_cast<std::uint64_t>(shifter)),
                   bench::times(base / shifter, 2)});
+        report.add("gain_over_shifter", std::string("set ") + set,
+                   base / shifter, "x");
     }
     t.print(std::cout);
 
@@ -81,6 +84,7 @@ main()
             .count() /
         reps;
 
+    report.add("rotate_us", "N=1024, this host", us, "us");
     std::cout << "functional double-pointer rotate (N=1024): "
               << Table::fmt(us, 2) << " us/rotation on this host; "
               << Table::fmt(100.0 * reorders / reps, 1)

@@ -28,8 +28,9 @@ runWith(const ArchConfig &cfg, const compiler::SchedulerConfig &sched,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "ablation_scheduler");
     bench::banner("Ablation (Sections IV-C / V-E)",
                   "scheduler and reuse mechanisms, set I");
 
@@ -42,6 +43,7 @@ main()
     Table t({"Configuration", "Throughput (BS/s)", "vs full design",
              "HBM traffic (GiB)"});
     auto add = [&](const std::string &name, const SimReport &r) {
+        report.add("throughput", name, r.throughputBs, "BS/s");
         t.addRow({name,
                   Table::fmtCount(
                       static_cast<std::uint64_t>(r.throughputBs)),

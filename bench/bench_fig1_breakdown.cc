@@ -36,8 +36,9 @@ percent(std::uint64_t part, std::uint64_t whole)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "fig1_breakdown");
     bench::banner("Figure 1",
                   "operation breakdown of bootstrapping, 128-bit set "
                   "(N=1024, n=481, k=2, l_b=4, l_k=9)");
@@ -80,6 +81,11 @@ main()
     std::cout << "polynomial multiplications per bootstrap: "
               << Table::fmtCount(polyMultsPerBootstrap(params))
               << "  (paper: \"more than 10,000\")\n";
+    report.add("fft_share", "fig1 set",
+               percent(ops.fftMults, ops.total()), "percent");
+    report.add("poly_mults_per_bootstrap", "fig1 set",
+               static_cast<double>(polyMultsPerBootstrap(params)),
+               "count");
 
     // --- Memory ------------------------------------------------------
     const MemBreakdown mem = bootstrapMem(params);
@@ -128,6 +134,10 @@ main()
     time_table.addRow({"Key switching", Table::fmt(ms(t3, t4), 2),
                        "6.4"});
     time_table.print(std::cout);
+    report.add("blind_rotate_ms", "fig1 set, this host", ms(t1, t2),
+               "ms");
+    report.add("key_switch_ms", "fig1 set, this host", ms(t3, t4),
+               "ms");
     bench::note("absolute times differ from the paper's Xeon 6226R "
                 "(and our l_k differs in the KS stage); blind rotation "
                 "dominating is the reproduced claim.");

@@ -15,8 +15,9 @@ using namespace morphling;
 using namespace morphling::arch;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "fig3_reuse_reduction");
     bench::banner("Figure 3",
                   "domain-transform count per bootstrap by reuse type");
 
@@ -51,6 +52,13 @@ main()
                   Table::fmt(100.0 * (1.0 - double(io) / none), 1) +
                       "%",
                   row.paper});
+        const std::string set = std::string("set ") + row.set;
+        report.add("transforms_no_reuse", set,
+                   static_cast<double>(none), "count");
+        report.add("transforms_input_reuse", set,
+                   static_cast<double>(input), "count");
+        report.add("transforms_io_reuse", set,
+                   static_cast<double>(io), "count");
     }
     t.print(std::cout);
 

@@ -15,8 +15,9 @@ using namespace morphling;
 using namespace morphling::arch;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "fig7a_latency_breakdown");
     bench::banner("Figure 7-a",
                   "per-bootstrap latency breakdown across components");
 
@@ -41,6 +42,8 @@ main()
                   cyc("VPU (mod switch)"), cyc("VPU (sample extract)"),
                   cyc("VPU (key switch)"),
                   Table::fmt(100.0 * br / total, 1) + "%", "88-93%"});
+        report.add("xpu_share", std::string("set ") + set,
+                   100.0 * br / total, "percent");
     }
     t.print(std::cout);
     bench::note("cycles for one ciphertext through the MS -> BR -> SE "
@@ -57,5 +60,9 @@ main()
               Table::fmt(r.xpuStallFrac, 3)});
     u.addRow({"VPU lane-groups (mean)", Table::fmt(r.vpuBusyFrac, 3)});
     u.print(std::cout);
+    report.add("xpu_busy_frac", "set I, batch 2048", r.xpuBusyFrac,
+               "fraction");
+    report.add("xpu_stall_frac", "set I, batch 2048", r.xpuStallFrac,
+               "fraction");
     return 0;
 }

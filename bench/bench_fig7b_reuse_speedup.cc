@@ -27,8 +27,9 @@ throughput(const ArchConfig &cfg, const tfhe::TfheParams &params)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "fig7b_reuse_speedup");
     bench::banner("Figure 7-b",
                   "throughput/speedup by transform-domain reuse type "
                   "(same compute resources)");
@@ -74,6 +75,10 @@ main()
                   Table::fmtCount(static_cast<std::uint64_t>(io_ms)),
                   bench::times(io_ms / none, 2), pn.overall});
         t.addSeparator();
+        const std::string set = std::string("set ") + pn.set;
+        report.add("speedup_input_reuse", set, input / none, "x");
+        report.add("speedup_io_reuse", set, io / none, "x");
+        report.add("speedup_io_merge_split", set, io_ms / none, "x");
     }
     t.print(std::cout);
 

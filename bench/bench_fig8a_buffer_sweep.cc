@@ -17,8 +17,9 @@ using namespace morphling;
 using namespace morphling::arch;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "fig8a_buffer_sweep");
     bench::banner("Figure 8-a",
                   "Private-A1 size vs latency and throughput (set III)");
 
@@ -52,6 +53,9 @@ main()
                   Table::fmt(100.0 * r.throughputBs / reference, 1) +
                       "%",
                   Table::fmt(r.meanChunkLatencyMs, 2)});
+        report.add("throughput",
+                   "set III, A1=" + std::to_string(sizes[i]) + "KiB",
+                   r.throughputBs, "BS/s");
     }
     t.print(std::cout);
 

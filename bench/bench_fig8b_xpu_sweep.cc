@@ -18,8 +18,9 @@ using namespace morphling;
 using namespace morphling::arch;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "fig8b_xpu_sweep");
     bench::banner("Figure 8-b",
                   "throughput vs number of XPUs (set III, A1 = 4 MiB)");
 
@@ -41,6 +42,9 @@ main()
                       static_cast<std::uint64_t>(r.throughputBs)),
                   bench::times(r.throughputBs / one_xpu, 2),
                   Table::fmt(chipAreaPower(cfg).total().areaMm2, 1)});
+        report.add("throughput",
+                   "set III, xpus=" + std::to_string(xpus),
+                   r.throughputBs, "BS/s");
     }
     t.print(std::cout);
 

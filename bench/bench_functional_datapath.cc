@@ -24,8 +24,9 @@ using namespace morphling::arch;
 using namespace morphling::tfhe;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "functional_datapath");
     bench::banner("Functional datapath (Figure 5)",
                   "real blind rotation through the modelled XPU");
 
@@ -64,6 +65,13 @@ main()
     std::cout << (all_ok ? "PASS" : "FAIL")
               << ": f(m) = m+1 mod 4 for every message through the "
                  "functional XPU\n";
+    report.add("datapath_correct", "set I", all_ok ? 1 : 0, "bool");
+    report.add("bootstrap_ms",
+               "set I, functional XPU, this host",
+               std::chrono::duration<double, std::milli>(t3 - t2)
+                       .count() /
+                   space,
+               "ms");
     std::cout << "BSK transform (merge-split): "
               << std::chrono::duration<double>(t1 - t0).count()
               << " s; per host-side bootstrap: "

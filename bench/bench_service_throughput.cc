@@ -39,8 +39,9 @@ seconds(Clock::duration d)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "service_throughput");
     bench::banner("Service throughput",
                   "BootstrapService superbatch assembly vs. the raw "
                   "batch hot path");
@@ -107,6 +108,11 @@ main()
                 Table::fmtCount(superbatches) + " batches, " +
                 Table::fmtCount(full_batches) + " full, mean occupancy " +
                 Table::fmt(occupancy, 1) + ")");
+    report.add("raw_throughput", "TEST params, all threads", raw_bs,
+               "BS/s");
+    report.add("service_throughput", "TEST params, 64-superbatch",
+               svc_bs, "BS/s");
+    report.add("service_vs_raw", "TEST params", svc_bs / raw_bs, "x");
 
     // --- trickle load: the flush timer bounds latency -----------------
     ServiceConfig trickle;
@@ -153,6 +159,8 @@ main()
     bench::note("without the flush timer a lone request would wait "
                 "for 63 peers; with it, queueing is bounded by "
                 "maxWait + one batch execution");
+    report.add("trickle_p50", "TEST params, maxWait=2000us", p50, "us");
+    report.add("trickle_p99", "TEST params, maxWait=2000us", p99, "us");
 
     (void)raw_out;
     return 0;

@@ -14,8 +14,9 @@ using namespace morphling;
 using namespace morphling::arch;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "table4_area_power");
     bench::banner("Table IV", "area and power breakdown (28nm model)");
     const ArchConfig cfg = ArchConfig::morphlingDefault();
 
@@ -65,6 +66,10 @@ main()
     t.addRow({"Total", Table::fmt(chip.total().areaMm2),
               Table::fmt(chip.total().powerW), "74.79", "53.00"});
     t.print(std::cout);
+    report.add("chip_area", "morphling default, 28nm",
+               chip.total().areaMm2, "mm^2");
+    report.add("chip_power", "morphling default, 28nm",
+               chip.total().powerW, "W");
 
     bench::note("densities are calibrated to the paper's synthesis "
                 "(we cannot run TSMC 28nm); the model's value is "

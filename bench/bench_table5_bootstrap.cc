@@ -20,8 +20,9 @@ using namespace morphling;
 using namespace morphling::arch;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report report(argc, argv, "table5_bootstrap");
     bench::banner("Table V",
                   "bootstrap latency/throughput across platforms");
 
@@ -64,6 +65,10 @@ main()
         const SimReport r = acc.runBootstrapBatch(2048);
         if (std::string(set) == "I")
             set1_throughput = r.throughputBs;
+        const std::string setname = std::string("set ") + set;
+        report.add("latency", setname, r.pipelineLatencyMs, "ms");
+        report.add("throughput", setname, r.throughputBs, "BS/s");
+        report.add("energy_per_bs", setname, r.energyPerBsUj, "uJ");
         t.addRow({"Morphling (this repo)", "ASIC 28nm (sim)", set,
                   Table::fmt(r.pipelineLatencyMs),
                   Table::fmtCount(

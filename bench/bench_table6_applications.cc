@@ -24,8 +24,9 @@
 using namespace morphling;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Report json(argc, argv, "table6_applications");
     bench::banner("Table VI",
                   "application execution time: Morphling vs CPU "
                   "(128-bit sets)");
@@ -68,6 +69,10 @@ main()
                   Table::fmt(cpu_s), Table::fmt(report.seconds),
                   bench::times(cpu_s / report.seconds, 0),
                   row.paperCpu, row.paperMorphling, row.paperSpeedup});
+        json.add("morphling_seconds", row.workload.name,
+                 report.seconds, "s");
+        json.add("speedup_vs_cpu", row.workload.name,
+                 cpu_s / report.seconds, "x");
     }
     t.print(std::cout);
 

@@ -6,15 +6,28 @@
  * regenerates, the parameter sets involved, the regenerated rows, and —
  * where the paper publishes numbers — the paper's values alongside for
  * comparison. Output is plain text so `bench_output.txt` diffs cleanly.
+ *
+ * With `--json`, a bench additionally writes its headline metrics to
+ * BENCH_<name>.json (machine-readable, one file per binary) so runs can
+ * be archived and compared across commits; each file carries the git
+ * SHA the binary was configured from.
  */
 
 #ifndef MORPHLING_BENCH_BENCH_UTIL_H
 #define MORPHLING_BENCH_BENCH_UTIL_H
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
+
+#ifndef MORPHLING_GIT_SHA
+#define MORPHLING_GIT_SHA "unknown"
+#endif
 
 namespace morphling::bench {
 
@@ -42,6 +55,109 @@ times(double ratio, int precision = 1)
 {
     return Table::fmt(ratio, precision) + "x";
 }
+
+/**
+ * Machine-readable results sink. Construct at the top of main() with
+ * argc/argv and the bench's short name; record headline metrics with
+ * add() as they are computed. When the binary was invoked with
+ * `--json`, the destructor writes BENCH_<name>.json into the working
+ * directory; without the flag the Report is free.
+ */
+class Report
+{
+  public:
+    Report(int argc, char **argv, std::string name)
+        : name_(std::move(name))
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json")
+                path_ = "BENCH_" + name_ + ".json";
+            else if (arg.rfind("--json=", 0) == 0)
+                path_ = arg.substr(7);
+        }
+    }
+
+    ~Report()
+    {
+        if (path_.empty())
+            return;
+        std::ofstream os(path_);
+        if (!os) {
+            std::cerr << "warning: cannot write " << path_ << "\n";
+            return;
+        }
+        write(os);
+        std::cout << "json: wrote " << path_ << "\n";
+    }
+
+    Report(const Report &) = delete;
+    Report &operator=(const Report &) = delete;
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record one metric. `params` names the configuration the value
+     *  was measured under ("set I", "batch=64", ...). */
+    void add(const std::string &metric, const std::string &params,
+             double value, const std::string &unit)
+    {
+        entries_.push_back(Entry{metric, params, value, unit});
+    }
+
+    void write(std::ostream &os) const
+    {
+        os << "{\n  \"bench\": \"" << escape(name_) << "\",\n"
+           << "  \"git_sha\": \"" << escape(MORPHLING_GIT_SHA)
+           << "\",\n  \"metrics\": [";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &e = entries_[i];
+            os << (i ? "," : "") << "\n    {\"name\": \""
+               << escape(e.metric) << "\", \"params\": \""
+               << escape(e.params) << "\", \"value\": "
+               << fmtValue(e.value) << ", \"unit\": \""
+               << escape(e.unit) << "\"}";
+        }
+        os << "\n  ]\n}\n";
+    }
+
+  private:
+    struct Entry
+    {
+        std::string metric;
+        std::string params;
+        double value;
+        std::string unit;
+    };
+
+    static std::string escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    static std::string fmtValue(double v)
+    {
+        if (!std::isfinite(v))
+            return "null"; // JSON has no Inf/NaN
+        char buf[64];
+        if (v == static_cast<double>(static_cast<long long>(v)))
+            std::snprintf(buf, sizeof buf, "%lld",
+                          static_cast<long long>(v));
+        else
+            std::snprintf(buf, sizeof buf, "%.17g", v);
+        return buf;
+    }
+
+    std::string name_;
+    std::string path_;
+    std::vector<Entry> entries_;
+};
 
 } // namespace morphling::bench
 

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Telemetry walkthrough (docs/observability.md): profiles one 64-LWE
+ * superbatch through the BootstrapService with wall-clock spans
+ * recording, replays the same superbatch on the cycle-level
+ * accelerator model with the simulator bridge installed, and exports
+ *
+ *   profile_bootstrap_trace.json  — Chrome trace (open in Perfetto or
+ *                                   chrome://tracing): the service's
+ *                                   CPU spans and the accelerator's
+ *                                   virtual-time tracks side by side
+ *   profile_bootstrap_metrics.prom — Prometheus text exposition
+ *   profile_bootstrap_metrics.json — metrics snapshot as JSON
+ *
+ * Runs at the TEST parameter set so it doubles as an integration test.
+ */
+
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "common/rng.h"
+#include "service/bootstrap_service.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/metrics.h"
+#include "telemetry/sim_bridge.h"
+#include "telemetry/telemetry.h"
+#include "tfhe/encoding.h"
+
+using namespace morphling;
+
+int
+main()
+{
+    constexpr unsigned kRequests = compiler::kSuperbatchSize; // 64
+
+    // --- one superbatch through the service, spans recording ---------
+    const tfhe::TfheParams &params = tfhe::paramsTest();
+    Rng rng(0x9806);
+    const tfhe::KeySet keys = tfhe::KeySet::generate(params, rng);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 1) % 4;
+    });
+
+    auto &session = telemetry::TraceSession::instance();
+    session.start(telemetry::Level::kStage);
+
+    unsigned correct = 0;
+    {
+        service::BootstrapService svc(keys);
+        const service::LutId id = svc.registerLut(lut);
+        std::vector<std::future<tfhe::LweCiphertext>> futures;
+        futures.reserve(kRequests);
+        for (unsigned i = 0; i < kRequests; ++i) {
+            futures.push_back(
+                svc.submit(tfhe::encryptPadded(keys, i % 4, 4, rng),
+                           id));
+        }
+        for (unsigned i = 0; i < kRequests; ++i) {
+            const auto out = futures[i].get();
+            correct += tfhe::decryptPadded(keys, out, 4) ==
+                       (i % 4 + 1) % 4;
+        }
+        svc.shutdown();
+    }
+    session.stop();
+    std::cout << "service: " << correct << "/" << kRequests
+              << " requests bootstrapped correctly, "
+              << session.totalSpans() << " spans recorded\n";
+
+    // --- the same superbatch on the cycle simulator -------------------
+    telemetry::SimTraceRecorder recorder;
+    recorder.install();
+    const arch::ArchConfig cfg = arch::ArchConfig::morphlingDefault();
+    arch::Accelerator acc(cfg, tfhe::paramsByName("I"));
+    const arch::SimReport report = acc.runBootstrapBatch(kRequests);
+    recorder.uninstall();
+    std::cout << "sim: " << report.cycles << " cycles for "
+              << kRequests << " bootstraps ("
+              << recorder.intervals().size()
+              << " virtual-time intervals captured)\n";
+
+    // --- export -------------------------------------------------------
+    telemetry::ChromeTraceOptions options;
+    options.simClockGHz = cfg.clockGHz;
+    if (!telemetry::writeChromeTraceFile("profile_bootstrap_trace.json",
+                                         session, &recorder, options))
+        return 1;
+    std::cout << "wrote profile_bootstrap_trace.json (load in Perfetto "
+                 "or chrome://tracing)\n";
+
+    {
+        std::ofstream prom("profile_bootstrap_metrics.prom");
+        telemetry::MetricsRegistry::instance().writePrometheus(prom);
+        std::ofstream json("profile_bootstrap_metrics.json");
+        telemetry::MetricsRegistry::instance().writeJson(json);
+    }
+    std::cout << "wrote profile_bootstrap_metrics.prom / .json\n";
+
+    return correct == kRequests ? 0 : 1;
+}

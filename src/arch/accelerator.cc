@@ -11,6 +11,7 @@
 #include "sim/event_queue.h"
 #include "sim/hbm.h"
 #include "sim/noc.h"
+#include "telemetry/telemetry.h"
 
 namespace morphling::arch {
 
@@ -25,6 +26,7 @@ Accelerator::Accelerator(ArchConfig config,
 SimReport
 Accelerator::run(const compiler::Program &program) const
 {
+    MORPHLING_SPAN("arch", "simulate");
     sim::EventQueue eq;
     sim::Hbm hbm(eq, config_.hbm);
 

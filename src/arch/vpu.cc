@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "sim/trace.h"
+#include "telemetry/sim_bridge.h"
 
 namespace morphling::arch {
 
@@ -61,6 +62,9 @@ VpuModel::submit(unsigned lane_group, compiler::Opcode op, unsigned count,
         groupBusyUntil_[lane_group] = done;
     }
     busyCycles_ += cycles;
+    MORPHLING_SIM_INTERVAL("vpu.lane" + std::to_string(lane_group),
+                           compiler::opcodeName(op), done - cycles,
+                           done, 0);
 
     stats_.scalar("busy_cycles", "lane-group busy cycles (sum)") +=
         static_cast<double>(cycles);

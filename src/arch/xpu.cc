@@ -3,6 +3,7 @@
 #include "common/bits.h"
 #include "common/logging.h"
 #include "sim/trace.h"
+#include "telemetry/sim_bridge.h"
 
 namespace morphling::arch {
 
@@ -139,6 +140,8 @@ XpuComplex::bskArrived()
     bskReady_ = true;
     if (waitingForBsk_ && waveActive_) {
         stallCycles_ += eq_.now() - stallStart_;
+        MORPHLING_SIM_INTERVAL("xpu", "bsk_stall", stallStart_,
+                               eq_.now(), 0);
         stats_.scalar("stall_cycles", "cycles stalled on BSK")
             .set(static_cast<double>(stallCycles_));
         waitingForBsk_ = false;
@@ -161,6 +164,8 @@ XpuComplex::beginIteration()
     }
     panic_if(cycles == 0, "iteration with no active jobs");
     busyCycles_ += cycles;
+    MORPHLING_SIM_INTERVAL("xpu", "iteration", eq_.now(),
+                           eq_.now() + cycles, 0);
 
     issuePrefetch(waveIter_ + 1);
     eq_.scheduleIn(cycles, [this]() { finishIteration(); });

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace morphling::service {
 
@@ -13,6 +15,57 @@ toMicros(ServiceClock::duration d)
 {
     return std::chrono::duration<double, std::micro>(d).count();
 }
+
+#if MORPHLING_TELEMETRY_ENABLED
+/** Process-wide scrapeable mirror of the per-service StatSet: the
+ *  registry view a metrics endpoint exposes (docs/observability.md).
+ *  Resolved once; all update paths are lock-free. */
+struct ServiceTelem
+{
+    telemetry::MetricsRegistry &reg = telemetry::MetricsRegistry::instance();
+    telemetry::Counter &accepted =
+        reg.counter("service.requests_accepted",
+                    "requests admitted past backpressure");
+    telemetry::Counter &rejected =
+        reg.counter("service.requests_rejected",
+                    "trySubmit refusals (queue full)");
+    telemetry::Counter &completed =
+        reg.counter("service.requests_completed", "promises fulfilled");
+    telemetry::Counter &batches =
+        reg.counter("service.superbatches", "batches dispatched");
+    telemetry::Counter &flushFull =
+        reg.counter("service.flush_full",
+                    "batches dispatched at full size");
+    telemetry::Counter &flushTimer =
+        reg.counter("service.flush_timer",
+                    "partial batches shipped by the flush timer");
+    telemetry::Counter &flushDrain =
+        reg.counter("service.flush_drain",
+                    "partial batches shipped by shutdown drain");
+    telemetry::Gauge &queueDepth =
+        reg.gauge("service.queue_depth",
+                  "submitted requests awaiting superbatch assembly");
+    telemetry::Gauge &outstanding =
+        reg.gauge("service.outstanding",
+                  "accepted-but-uncompleted requests");
+    telemetry::Histogram &occupancy =
+        reg.histogram("service.batch_occupancy",
+                      "requests per dispatched batch");
+    telemetry::Histogram &batchLatencyUs =
+        reg.histogram("service.batch_latency_us",
+                      "batch assembly -> completion");
+    telemetry::Histogram &requestLatencyUs =
+        reg.histogram("service.request_latency_us",
+                      "submit -> completion");
+
+    static ServiceTelem &
+    get()
+    {
+        static ServiceTelem telem;
+        return telem;
+    }
+};
+#endif // MORPHLING_TELEMETRY_ENABLED
 
 ServiceConfig
 normalized(ServiceConfig config)
@@ -104,6 +157,7 @@ BootstrapService::enqueue(
     tfhe::LweCiphertext ct, LutId lut,
     std::optional<ServiceClock::time_point> deadline, bool block)
 {
+    MORPHLING_SPAN("service", "submit");
     std::future<tfhe::LweCiphertext> future;
     {
         std::unique_lock<std::mutex> lk(mu_);
@@ -121,6 +175,7 @@ BootstrapService::enqueue(
         } else if (draining_ ||
                    outstanding_ >= config_.maxOutstanding) {
             ++stats_.scalar("rejected");
+            MORPHLING_TELEMETRY_ONLY(ServiceTelem::get().rejected.inc();)
             return std::nullopt;
         }
 
@@ -133,6 +188,12 @@ BootstrapService::enqueue(
         ++pendingCount_;
         ++outstanding_;
         ++stats_.scalar("accepted");
+        MORPHLING_TELEMETRY_ONLY({
+            auto &telem = ServiceTelem::get();
+            telem.accepted.inc();
+            telem.queueDepth.set(static_cast<double>(pendingCount_));
+            telem.outstanding.set(static_cast<double>(outstanding_));
+        })
     }
     // Wake the assembler: the bucket may be full, or the new request's
     // timer/deadline may be earlier than its current sleep target.
@@ -153,6 +214,7 @@ BootstrapService::flush()
 void
 BootstrapService::assembleLocked(LutId lut, FlushReason reason)
 {
+    MORPHLING_SPAN("service", "assemble");
     auto &bucket = pending_[lut];
     const std::size_t take =
         std::min<std::size_t>(bucket.size(), config_.superbatchSize);
@@ -187,6 +249,23 @@ BootstrapService::assembleLocked(LutId lut, FlushReason reason)
         ++stats_.scalar("drainFlushes");
         break;
     }
+    MORPHLING_TELEMETRY_ONLY({
+        auto &telem = ServiceTelem::get();
+        telem.batches.inc();
+        telem.occupancy.observe(static_cast<double>(take));
+        telem.queueDepth.set(static_cast<double>(pendingCount_));
+        switch (reason) {
+          case FlushReason::kFull:
+            telem.flushFull.inc();
+            break;
+          case FlushReason::kTimer:
+            telem.flushTimer.inc();
+            break;
+          case FlushReason::kDrain:
+            telem.flushDrain.inc();
+            break;
+        }
+    })
 
     ready_.push_back(std::move(batch));
 }
@@ -299,8 +378,12 @@ BootstrapService::workerMain()
             inputs.push_back(std::move(request.ct));
 
         const auto t0 = ServiceClock::now();
-        auto outputs = tfhe::batchBootstrap(keys_, inputs, *batch.lut,
-                                            config_.batch);
+        std::vector<tfhe::LweCiphertext> outputs;
+        {
+            MORPHLING_SPAN("service", "execute_batch");
+            outputs = tfhe::batchBootstrap(keys_, inputs, *batch.lut,
+                                           config_.batch);
+        }
         const auto t1 = ServiceClock::now();
         panic_if(outputs.size() != count, "batch size mismatch");
 
@@ -316,9 +399,21 @@ BootstrapService::workerMain()
                     .sample(toMicros(t1 - request.submitted));
             }
             outstanding_ -= count;
+            MORPHLING_TELEMETRY_ONLY({
+                auto &telem = ServiceTelem::get();
+                telem.completed.inc(count);
+                telem.outstanding.set(
+                    static_cast<double>(outstanding_));
+                telem.batchLatencyUs.observe(toMicros(t1 - t0));
+                for (const auto &request : batch.requests) {
+                    telem.requestLatencyUs.observe(
+                        toMicros(t1 - request.submitted));
+                }
+            })
         }
         spaceCv_.notify_all();
 
+        MORPHLING_SPAN("service", "complete");
         for (std::size_t i = 0; i < count; ++i)
             batch.requests[i].promise.set_value(
                 std::move(outputs[i]));

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "sim/trace.h"
+#include "telemetry/sim_bridge.h"
 
 namespace morphling::sim {
 
@@ -33,7 +34,8 @@ DmaEngine::load(std::uint64_t bytes, EventQueue::Callback on_done)
     stats_.scalar("bytes", "bytes loaded from HBM") +=
         static_cast<double>(bytes);
     ++stats_.scalar("loads", "load operations issued");
-    return hbm_.accessStriped(
+    const Tick issued = eq_.now();
+    const Tick done = hbm_.accessStriped(
         firstChannel_, numChannels_, bytes,
         [this, cb = std::move(on_done)]() {
             panic_if(outstanding_ == 0, "DMA completion underflow");
@@ -41,6 +43,8 @@ DmaEngine::load(std::uint64_t bytes, EventQueue::Callback on_done)
             if (cb)
                 cb();
         });
+    MORPHLING_SIM_INTERVAL(name_, "load", issued, done, bytes);
+    return done;
 }
 
 } // namespace morphling::sim

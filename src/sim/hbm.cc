@@ -1,9 +1,11 @@
 #include "hbm.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "telemetry/sim_bridge.h"
 
 namespace morphling::sim {
 
@@ -30,6 +32,8 @@ Hbm::access(unsigned channel, std::uint64_t bytes,
     busyUntil_[channel] = start + busy; // latency is pipelined, not
                                         // channel-occupying
     channelBytes_[channel] += bytes;
+    MORPHLING_SIM_INTERVAL("hbm.ch" + std::to_string(channel), "xfer",
+                           start, start + busy, bytes);
     stats_.scalar("bytes", "total bytes transferred") +=
         static_cast<double>(bytes);
     ++stats_.scalar("transfers", "number of transfers");

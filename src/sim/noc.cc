@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "telemetry/sim_bridge.h"
 
 namespace morphling::sim {
 
@@ -24,6 +25,7 @@ NocLink::transfer(std::uint64_t bytes, EventQueue::Callback on_done)
     busyUntil_ = done;
     busyCycles_ += cycles;
     totalBytes_ += bytes;
+    MORPHLING_SIM_INTERVAL("noc." + name_, "xfer", start, done, bytes);
     if (on_done)
         eq_->schedule(done, std::move(on_done));
     return done;

@@ -3,6 +3,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "telemetry/sim_bridge.h"
+
 namespace morphling::sim {
 
 Trace &
@@ -73,6 +75,9 @@ Trace::log(Tick tick, const std::string &flag,
         os << line.str();
     }
     lines_.fetch_add(1, std::memory_order_relaxed);
+    // Mirror the line into an installed trace recorder so textual
+    // DTRACE events land on the virtual-time timeline too.
+    MORPHLING_SIM_INSTANT("log." + flag, message, tick);
 }
 
 } // namespace morphling::sim

@@ -14,6 +14,19 @@
  * Each log() emits its line atomically; concurrent lines never
  * interleave mid-line, though their relative order is scheduling-
  * dependent.
+ *
+ * Migration note (telemetry subsystem): DTRACE remains the tool for
+ * free-form, human-readable debug lines gated by flags. Structured
+ * timing data — component busy/stall intervals, per-transaction
+ * byte counts, wall-clock spans — now belongs to src/telemetry:
+ * use MORPHLING_SIM_INTERVAL / MORPHLING_SIM_INSTANT
+ * (telemetry/sim_bridge.h) for virtual-time tracks, and
+ * MORPHLING_SPAN (telemetry/telemetry.h) for wall-clock spans. Do
+ * not add new DTRACE call sites whose only purpose is timing; those
+ * belong on telemetry tracks where they export to Chrome trace JSON.
+ * As a bridge, every emitted DTRACE line is mirrored as an instant
+ * event on track "log.<flag>" when a SimTraceRecorder is installed,
+ * so legacy flags show up on the same timeline during migration.
  */
 
 #ifndef MORPHLING_SIM_TRACE_H

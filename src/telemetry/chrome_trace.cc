@@ -1,0 +1,201 @@
+#include "chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace morphling::telemetry {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Microseconds with sub-ns resolution kept (Perfetto accepts
+ *  fractional ts). */
+std::string
+fmtUs(double us)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(3);
+    oss << us;
+    return oss.str();
+}
+
+struct Emitter
+{
+    std::ostream &os;
+    bool first = true;
+
+    void
+    event(const std::string &body)
+    {
+        os << (first ? "\n  " : ",\n  ") << body;
+        first = false;
+    }
+
+    void
+    metadata(int pid, int tid, const char *what,
+             const std::string &name)
+    {
+        std::ostringstream oss;
+        oss << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+            << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+            << jsonEscape(name) << "\"}}";
+        event(oss.str());
+    }
+};
+
+constexpr int kCpuPid = 1;
+constexpr int kSimPid = 2;
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const TraceSession &session,
+                 const SimTraceRecorder *sim,
+                 const ChromeTraceOptions &options)
+{
+    Emitter emit{os};
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    // --- wall-clock CPU spans ----------------------------------------
+    const auto rings = session.rings();
+    if (!rings.empty())
+        emit.metadata(kCpuPid, 0, "process_name", "cpu (wall clock)");
+    for (const auto *ring : rings) {
+        const std::size_t n = ring->size();
+        if (n == 0)
+            continue;
+        emit.metadata(kCpuPid, static_cast<int>(ring->tid()),
+                      "thread_name",
+                      "thread " + std::to_string(ring->tid()));
+        for (std::size_t i = 0; i < n; ++i) {
+            const SpanEvent &ev = ring->at(i);
+            std::ostringstream oss;
+            oss << "{\"ph\":\"X\",\"pid\":" << kCpuPid
+                << ",\"tid\":" << ring->tid() << ",\"ts\":"
+                << fmtUs(static_cast<double>(ev.startNs) / 1e3)
+                << ",\"dur\":"
+                << fmtUs(static_cast<double>(ev.endNs - ev.startNs) /
+                         1e3)
+                << ",\"cat\":\"" << jsonEscape(ev.category)
+                << "\",\"name\":\"" << jsonEscape(ev.name) << "\"}";
+            emit.event(oss.str());
+        }
+    }
+
+    // --- virtual-time sim tracks -------------------------------------
+    if (sim) {
+        const auto intervals = sim->intervals();
+        const auto instants = sim->instants();
+        const double ticks_to_us = 1.0 / (options.simClockGHz * 1e3);
+
+        // Stable track -> row mapping, alphabetical.
+        std::map<std::string, int> track_tid;
+        for (const auto &iv : intervals)
+            track_tid.emplace(iv.track, 0);
+        for (const auto &in : instants)
+            track_tid.emplace(in.track, 0);
+        if (!track_tid.empty()) {
+            emit.metadata(kSimPid, 0, "process_name",
+                          "sim (virtual time)");
+        }
+        int next_tid = 1;
+        for (auto &[track, tid] : track_tid) {
+            tid = next_tid++;
+            emit.metadata(kSimPid, tid, "thread_name", track);
+        }
+
+        for (const auto &iv : intervals) {
+            std::ostringstream oss;
+            oss << "{\"ph\":\"X\",\"pid\":" << kSimPid
+                << ",\"tid\":" << track_tid[iv.track] << ",\"ts\":"
+                << fmtUs(static_cast<double>(iv.startTick) *
+                         ticks_to_us)
+                << ",\"dur\":"
+                << fmtUs(static_cast<double>(iv.endTick -
+                                             iv.startTick) *
+                         ticks_to_us)
+                << ",\"cat\":\"sim\",\"name\":\""
+                << jsonEscape(iv.name) << "\"";
+            if (iv.bytes) {
+                oss << ",\"args\":{\"bytes\":" << iv.bytes
+                    << ",\"start_tick\":" << iv.startTick
+                    << ",\"end_tick\":" << iv.endTick << "}";
+            } else {
+                oss << ",\"args\":{\"start_tick\":" << iv.startTick
+                    << ",\"end_tick\":" << iv.endTick << "}";
+            }
+            oss << "}";
+            emit.event(oss.str());
+        }
+        for (const auto &in : instants) {
+            std::ostringstream oss;
+            oss << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << kSimPid
+                << ",\"tid\":" << track_tid[in.track] << ",\"ts\":"
+                << fmtUs(static_cast<double>(in.tick) * ticks_to_us)
+                << ",\"cat\":\"sim\",\"name\":\""
+                << jsonEscape(in.name) << "\"}";
+            emit.event(oss.str());
+        }
+    }
+
+    os << "\n]}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path,
+                     const TraceSession &session,
+                     const SimTraceRecorder *sim,
+                     const ChromeTraceOptions &options)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open trace file '", path, "' for writing");
+        return false;
+    }
+    writeChromeTrace(out, session, sim, options);
+    return true;
+}
+
+} // namespace morphling::telemetry

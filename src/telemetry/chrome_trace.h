@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter: renders the TraceSession's
+ * wall-clock CPU spans and a SimTraceRecorder's virtual-time tracks
+ * into one file loadable in Perfetto (https://ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Layout of the exported trace:
+ *  - pid 1 "cpu (wall clock)": one row per recording thread, "X"
+ *    complete events from the span rings; nesting falls out of the
+ *    timestamps.
+ *  - pid 2 "sim (virtual time)": one row per simulated component
+ *    track ("xpu", "vpu.lane0", "hbm.ch3", ...), simulated ticks
+ *    rescaled to microseconds at the configured model clock so
+ *    Perfetto's time axis reads as device time.
+ *
+ * The two timelines share a file but not a clock; compare shapes and
+ * per-stage proportions (Figure 7-a), not absolute positions.
+ */
+
+#ifndef MORPHLING_TELEMETRY_CHROME_TRACE_H
+#define MORPHLING_TELEMETRY_CHROME_TRACE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/sim_bridge.h"
+#include "telemetry/telemetry.h"
+
+namespace morphling::telemetry {
+
+struct ChromeTraceOptions
+{
+    /** Clock used to map simulated ticks to trace microseconds. */
+    double simClockGHz = 1.2;
+};
+
+/**
+ * Write a complete trace-event JSON document. Either source may be
+ * omitted (`sim == nullptr` exports only CPU spans; an inactive,
+ * empty session contributes nothing).
+ */
+void writeChromeTrace(std::ostream &os, const TraceSession &session,
+                      const SimTraceRecorder *sim = nullptr,
+                      const ChromeTraceOptions &options = {});
+
+/** Convenience: writeChromeTrace into a file; returns false (and
+ *  warns) when the file cannot be opened. */
+bool writeChromeTraceFile(const std::string &path,
+                          const TraceSession &session,
+                          const SimTraceRecorder *sim = nullptr,
+                          const ChromeTraceOptions &options = {});
+
+} // namespace morphling::telemetry
+
+#endif // MORPHLING_TELEMETRY_CHROME_TRACE_H

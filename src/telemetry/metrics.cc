@@ -1,0 +1,328 @@
+#include "metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace morphling::telemetry {
+
+namespace {
+
+/** CAS-accumulate onto an atomic double (fetch_add on floating
+ *  atomics is C++20 but not universally lowered; the loop is). */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMin(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (v < cur && !target.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (v > cur && !target.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/** Deterministic number rendering shared by both exporters: integers
+ *  print without a fractional part, everything else with enough
+ *  digits to round-trip. */
+std::string
+fmtNumber(double v)
+{
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        std::ostringstream oss;
+        oss << static_cast<long long>(v);
+        return oss.str();
+    }
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << v;
+    return oss.str();
+}
+
+/** Prometheus metric name: prefixed and sanitized. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "morphling_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Gauge::add(double delta)
+{
+    atomicAdd(value_, delta);
+}
+
+unsigned
+Histogram::bucketIndex(double v)
+{
+    if (!(v > 1.0)) // NaN and everything <= 1 land in the first bucket
+        return 0;
+    if (v > 4.611686018427388e18) // 2^62
+        return kBuckets - 1;
+    const auto u = static_cast<std::uint64_t>(std::ceil(v));
+    unsigned idx = 0;
+    while ((std::uint64_t{1} << idx) < u)
+        ++idx;
+    return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+double
+Histogram::bucketUpperBound(unsigned i)
+{
+    if (i >= kBuckets - 1)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(std::uint64_t{1} << i);
+}
+
+void
+Histogram::observe(double v)
+{
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seen =
+        count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    if (seen == 0) {
+        // First observation seeds min/max; racing observers correct
+        // via the CAS loops below.
+        min_.store(v, std::memory_order_relaxed);
+        max_.store(v, std::memory_order_relaxed);
+    }
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+double
+Histogram::min() const
+{
+    return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+Histogram::max() const
+{
+    return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(name, std::make_unique<Counter>(name, help))
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(name, std::make_unique<Gauge>(name, help))
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name,
+                          std::make_unique<Histogram>(name, help))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_) {
+        const std::string p = promName(name);
+        if (!c->help().empty())
+            os << "# HELP " << p << " " << c->help() << "\n";
+        os << "# TYPE " << p << " counter\n";
+        os << p << " " << c->value() << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        const std::string p = promName(name);
+        if (!g->help().empty())
+            os << "# HELP " << p << " " << g->help() << "\n";
+        os << "# TYPE " << p << " gauge\n";
+        os << p << " " << fmtNumber(g->value()) << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        const std::string p = promName(name);
+        if (!h->help().empty())
+            os << "# HELP " << p << " " << h->help() << "\n";
+        os << "# TYPE " << p << " histogram\n";
+        // Cumulative buckets up to the highest occupied one, then
+        // +Inf (always present, equal to the total count).
+        unsigned last = 0;
+        for (unsigned i = 0; i < Histogram::kBuckets - 1; ++i) {
+            if (h->bucketCount(i))
+                last = i;
+        }
+        std::uint64_t cumulative = 0;
+        for (unsigned i = 0; i <= last; ++i) {
+            cumulative += h->bucketCount(i);
+            os << p << "_bucket{le=\""
+               << fmtNumber(Histogram::bucketUpperBound(i)) << "\"} "
+               << cumulative << "\n";
+        }
+        os << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+        os << p << "_sum " << fmtNumber(h->sum()) << "\n";
+        os << p << "_count " << h->count() << "\n";
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << fmtNumber(g->value());
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h->count()
+           << ", \"sum\": " << fmtNumber(h->sum())
+           << ", \"min\": " << fmtNumber(h->min())
+           << ", \"max\": " << fmtNumber(h->max())
+           << ", \"buckets\": [";
+        bool firstBucket = true;
+        for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+            if (!h->bucketCount(i))
+                continue;
+            os << (firstBucket ? "" : ", ") << "{\"le\": ";
+            if (i == Histogram::kBuckets - 1)
+                os << "\"+Inf\"";
+            else
+                os << fmtNumber(Histogram::bucketUpperBound(i));
+            os << ", \"count\": " << h->bucketCount(i) << "}";
+            firstBucket = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace morphling::telemetry

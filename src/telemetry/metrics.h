@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The metrics half of the telemetry subsystem: named counters, gauges
+ * and log-bucketed histograms collected in a process-wide registry,
+ * exportable as Prometheus text exposition or a JSON snapshot.
+ *
+ * All update paths are lock-free (relaxed atomics / CAS loops) so the
+ * service hot path can bump counters from any worker thread; the
+ * registry mutex is taken only when a metric is first created and
+ * during export. Handles returned by counter()/gauge()/histogram()
+ * stay valid for the registry's lifetime — resolve them once and keep
+ * the reference.
+ *
+ * Relation to sim::StatSet: StatSet remains the single-threaded
+ * per-component bookkeeping of the cycle simulator; this registry is
+ * the concurrent, scrapeable, process-wide view for live service runs
+ * (docs/observability.md).
+ */
+
+#ifndef MORPHLING_TELEMETRY_METRICS_H
+#define MORPHLING_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace morphling::telemetry {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    Counter(std::string name, std::string help)
+        : name_(std::move(name)), help_(std::move(help))
+    {
+    }
+
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &help() const { return help_; }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::string name_;
+    std::string help_;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A value that can go up and down (queue depth, outstanding work). */
+class Gauge
+{
+  public:
+    Gauge(std::string name, std::string help)
+        : name_(std::move(name)), help_(std::move(help))
+    {
+    }
+
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double delta);
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &help() const { return help_; }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::string name_;
+    std::string help_;
+    std::atomic<double> value_{0};
+};
+
+/**
+ * Log-bucketed histogram: bucket i counts observations with
+ * value <= 2^i (i in [0, 62]), the last bucket is +Inf. Powers of two
+ * give full range at 64 fixed slots — the right shape for latencies
+ * spanning nanoseconds to seconds — and make bucket boundaries exact
+ * in both export formats.
+ */
+class Histogram
+{
+  public:
+    /** Buckets: le 2^0 .. 2^62, then +Inf. */
+    static constexpr unsigned kBuckets = 64;
+
+    Histogram(std::string name, std::string help)
+        : name_(std::move(name)), help_(std::move(help))
+    {
+    }
+
+    void observe(double v);
+
+    /** Index of the bucket a value lands in. */
+    static unsigned bucketIndex(double v);
+
+    /** Inclusive upper bound of bucket i (+Inf for the last). */
+    static double bucketUpperBound(unsigned i);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    double mean() const
+    {
+        const auto c = count();
+        return c ? sum() / static_cast<double>(c) : 0.0;
+    }
+    double min() const;
+    double max() const;
+
+    std::uint64_t bucketCount(unsigned i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &help() const { return help_; }
+    void reset();
+
+  private:
+    std::string name_;
+    std::string help_;
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0};
+    std::atomic<double> min_{0};
+    std::atomic<double> max_{0};
+};
+
+/**
+ * Name-keyed collection of metrics. instance() is the process-wide
+ * registry the instrumented layers share; separate instances exist
+ * only for tests.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    static MetricsRegistry &instance();
+
+    /** Get-or-create; the reference is stable forever after. */
+    Counter &counter(const std::string &name,
+                     const std::string &help = "");
+    Gauge &gauge(const std::string &name, const std::string &help = "");
+    Histogram &histogram(const std::string &name,
+                         const std::string &help = "");
+
+    /** Prometheus text exposition format, version 0.0.4. Metric names
+     *  are prefixed "morphling_" with '.' mapped to '_'. */
+    void writePrometheus(std::ostream &os) const;
+
+    /** One JSON object: {"counters":{...},"gauges":{...},
+     *  "histograms":{...}} with dotted names kept verbatim. */
+    void writeJson(std::ostream &os) const;
+
+    /** Zero every metric, keeping registrations (tests, restarts). */
+    void reset();
+
+  private:
+    mutable std::mutex mu_; //!< guards map structure only
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace morphling::telemetry
+
+#endif // MORPHLING_TELEMETRY_METRICS_H

@@ -1,0 +1,96 @@
+#include "sim_bridge.h"
+
+#include <atomic>
+
+namespace morphling::telemetry {
+
+namespace {
+
+std::atomic<SimTraceRecorder *> g_current{nullptr};
+
+} // namespace
+
+SimTraceRecorder::SimTraceRecorder(std::size_t max_events)
+    : maxEvents_(max_events ? max_events : 1)
+{
+}
+
+SimTraceRecorder::~SimTraceRecorder()
+{
+    uninstall();
+}
+
+void
+SimTraceRecorder::install()
+{
+    g_current.store(this, std::memory_order_release);
+}
+
+void
+SimTraceRecorder::uninstall()
+{
+    SimTraceRecorder *expected = this;
+    g_current.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel);
+}
+
+SimTraceRecorder *
+SimTraceRecorder::current()
+{
+    return g_current.load(std::memory_order_acquire);
+}
+
+bool
+SimTraceRecorder::roomLocked()
+{
+    if (intervals_.size() + instants_.size() < maxEvents_)
+        return true;
+    ++dropped_;
+    return false;
+}
+
+void
+SimTraceRecorder::interval(std::string track, std::string name,
+                           std::uint64_t start_tick,
+                           std::uint64_t end_tick, std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!roomLocked())
+        return;
+    intervals_.push_back(Interval{std::move(track), std::move(name),
+                                  start_tick, end_tick, bytes});
+}
+
+void
+SimTraceRecorder::instant(std::string track, std::string name,
+                          std::uint64_t tick)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!roomLocked())
+        return;
+    instants_.push_back(
+        Instant{std::move(track), std::move(name), tick});
+}
+
+std::vector<SimTraceRecorder::Interval>
+SimTraceRecorder::intervals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return intervals_;
+}
+
+std::vector<SimTraceRecorder::Instant>
+SimTraceRecorder::instants() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return instants_;
+}
+
+std::uint64_t
+SimTraceRecorder::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+} // namespace morphling::telemetry

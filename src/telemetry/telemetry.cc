@@ -1,0 +1,146 @@
+#include "telemetry.h"
+
+#include <chrono>
+
+namespace morphling::telemetry {
+
+namespace {
+
+std::int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+SpanRing::SpanRing(std::size_t capacity, std::uint32_t tid)
+    : slots_(capacity), tid_(tid)
+{
+}
+
+bool
+SpanRing::push(const SpanEvent &ev)
+{
+    const std::uint64_t w = written_.load(std::memory_order_relaxed);
+    if (w >= slots_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    slots_[w] = ev;
+    written_.store(w + 1, std::memory_order_release);
+    return true;
+}
+
+std::size_t
+SpanRing::size() const
+{
+    return static_cast<std::size_t>(
+        written_.load(std::memory_order_acquire));
+}
+
+void
+SpanRing::clear()
+{
+    written_.store(0, std::memory_order_release);
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceSession &
+TraceSession::instance()
+{
+    static TraceSession session;
+    return session;
+}
+
+void
+TraceSession::start(Level level)
+{
+    clear();
+    epochNs_.store(steadyNowNs(), std::memory_order_relaxed);
+    level_.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void
+TraceSession::stop()
+{
+    level_.store(static_cast<int>(Level::kOff),
+                 std::memory_order_release);
+}
+
+std::uint64_t
+TraceSession::nowNs() const
+{
+    const std::int64_t delta =
+        steadyNowNs() - epochNs_.load(std::memory_order_relaxed);
+    return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
+}
+
+SpanRing &
+TraceSession::ringForThisThread()
+{
+    thread_local SpanRing *ring = nullptr;
+    if (!ring) {
+        std::lock_guard<std::mutex> lock(mu_);
+        rings_.push_back(std::make_shared<SpanRing>(
+            ringCapacity_,
+            nextTid_.fetch_add(1, std::memory_order_relaxed)));
+        ring = rings_.back().get();
+    }
+    return *ring;
+}
+
+void
+TraceSession::setRingCapacity(std::size_t events)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ringCapacity_ = events ? events : 1;
+}
+
+std::vector<const SpanRing *>
+TraceSession::rings() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<const SpanRing *> out;
+    out.reserve(rings_.size());
+    for (const auto &ring : rings_)
+        out.push_back(ring.get());
+    return out;
+}
+
+std::uint64_t
+TraceSession::totalSpans() const
+{
+    std::uint64_t total = 0;
+    for (const auto *ring : rings())
+        total += ring->size();
+    return total;
+}
+
+std::uint64_t
+TraceSession::totalDropped() const
+{
+    std::uint64_t total = 0;
+    for (const auto *ring : rings())
+        total += ring->dropped();
+    return total;
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &ring : rings_)
+        ring->clear();
+}
+
+std::uint32_t &
+Span::threadDepth()
+{
+    thread_local std::uint32_t depth = 0;
+    return depth;
+}
+
+} // namespace morphling::telemetry

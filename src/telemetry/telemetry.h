@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Low-overhead tracing spans: the core of the unified telemetry
+ * subsystem (docs/observability.md).
+ *
+ * A Span is an RAII region recorded into the calling thread's
+ * preallocated lock-free ring buffer; the TraceSession singleton owns
+ * every ring and hands the recorded events to the Chrome trace-event
+ * exporter (chrome_trace.h), so a live service run can be opened in
+ * Perfetto / chrome://tracing next to the cycle simulator's
+ * virtual-time tracks (sim_bridge.h).
+ *
+ * Cost model:
+ *  - compiled out: with MORPHLING_TELEMETRY=OFF every MORPHLING_SPAN
+ *    site expands to nothing — zero instructions, zero data.
+ *  - compiled in, session inactive: one relaxed atomic load per site.
+ *  - compiled in, session active: two steady_clock reads plus one slot
+ *    write into a preallocated ring. No heap allocation after the
+ *    first span a thread records (the warm-up), preserving the
+ *    zero-allocation guarantee of the bootstrap hot path
+ *    (tests/test_telemetry.cc asserts this with an operator-new hook).
+ *
+ * Threading contract: recording is wait-free and safe from any number
+ * of threads concurrently (each thread owns its ring). start(), stop(),
+ * clear() and the export helpers are control-plane calls: issue them
+ * from a coordinating thread while no spans are in flight (e.g. before
+ * submitting work / after joining or draining workers).
+ */
+
+#ifndef MORPHLING_TELEMETRY_TELEMETRY_H
+#define MORPHLING_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#ifndef MORPHLING_TELEMETRY_ENABLED
+#define MORPHLING_TELEMETRY_ENABLED 1
+#endif
+
+namespace morphling::telemetry {
+
+/** Verbosity of a recording session. Stage-level spans (bootstrap
+ *  stages, service lifecycle) are cheap; fine spans (one per CMux of a
+ *  blind rotation) multiply the event count by the LWE dimension. */
+enum class Level : int
+{
+    kOff = 0,
+    kStage = 1,
+    kFine = 2
+};
+
+/** One completed span. `category` and `name` must point at string
+ *  literals (they are stored, not copied). */
+struct SpanEvent
+{
+    const char *category = nullptr;
+    const char *name = nullptr;
+    std::uint64_t startNs = 0; //!< since the session epoch
+    std::uint64_t endNs = 0;
+    std::uint32_t depth = 0; //!< nesting depth within the thread
+};
+
+/**
+ * A single-producer span ring: the owning thread pushes, any thread
+ * may read the published prefix. When full, new events are dropped
+ * (and counted) rather than overwriting — an exported trace is never
+ * torn.
+ */
+class SpanRing
+{
+  public:
+    SpanRing(std::size_t capacity, std::uint32_t tid);
+
+    /** Record one event (producer thread only). Returns false and
+     *  counts a drop when the ring is full. */
+    bool push(const SpanEvent &ev);
+
+    /** Events published so far (any thread; acquire). */
+    std::size_t size() const;
+
+    /** Read one published event (index < size()). */
+    const SpanEvent &at(std::size_t i) const { return slots_[i]; }
+
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+    std::uint32_t tid() const { return tid_; }
+
+    /** Forget every recorded event. Control-plane only: the owning
+     *  thread must not be pushing concurrently. */
+    void clear();
+
+  private:
+    std::vector<SpanEvent> slots_;
+    std::atomic<std::uint64_t> written_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::uint32_t tid_;
+};
+
+/**
+ * The process-wide span aggregator: owns one ring per recording
+ * thread, the session epoch and the recording level.
+ */
+class TraceSession
+{
+  public:
+    static TraceSession &instance();
+
+    /** Begin recording: clears previously recorded spans, re-arms the
+     *  epoch and enables span sites at or below `level`. */
+    void start(Level level = Level::kStage);
+
+    /** Stop recording (the recorded events stay exportable). */
+    void stop();
+
+    /** True when spans of the given level record. */
+    bool active(Level level = Level::kStage) const
+    {
+        return level_.load(std::memory_order_relaxed) >=
+               static_cast<int>(level);
+    }
+
+    Level level() const
+    {
+        return static_cast<Level>(level_.load(std::memory_order_relaxed));
+    }
+
+    /** Nanoseconds since the session epoch (steady clock). */
+    std::uint64_t nowNs() const;
+
+    /** The calling thread's ring (created and registered on first
+     *  use; preallocated thereafter). */
+    SpanRing &ringForThisThread();
+
+    /** Ring capacity (events) used for rings created after this call. */
+    void setRingCapacity(std::size_t events);
+
+    /** Stable snapshot of every registered ring. */
+    std::vector<const SpanRing *> rings() const;
+
+    /** Recorded (published) spans across all rings. */
+    std::uint64_t totalSpans() const;
+
+    /** Spans dropped because a ring was full. */
+    std::uint64_t totalDropped() const;
+
+    /** Forget all recorded spans (control-plane only). */
+    void clear();
+
+  private:
+    TraceSession() = default;
+
+    std::atomic<int> level_{0};
+    std::atomic<std::int64_t> epochNs_{0};
+    mutable std::mutex mu_; //!< guards rings_ and ringCapacity_
+    std::vector<std::shared_ptr<SpanRing>> rings_;
+    std::size_t ringCapacity_ = 1u << 15;
+    std::atomic<std::uint32_t> nextTid_{1};
+};
+
+/**
+ * RAII span: measures construction to destruction and records into the
+ * thread's ring. Does nothing (and touches no ring) when the session
+ * is inactive at its level. Use via the MORPHLING_SPAN macros so the
+ * site compiles out entirely under MORPHLING_TELEMETRY=OFF.
+ */
+class Span
+{
+  public:
+    Span(const char *category, const char *name,
+         Level level = Level::kStage)
+    {
+        TraceSession &session = TraceSession::instance();
+        if (!session.active(level))
+            return;
+        category_ = category;
+        name_ = name;
+        startNs_ = session.nowNs();
+        depth_ = threadDepth()++;
+        armed_ = true;
+    }
+
+    ~Span()
+    {
+        if (!armed_)
+            return;
+        --threadDepth();
+        TraceSession &session = TraceSession::instance();
+        session.ringForThisThread().push(
+            SpanEvent{category_, name_, startNs_, session.nowNs(),
+                      depth_});
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    static std::uint32_t &threadDepth();
+
+    const char *category_ = nullptr;
+    const char *name_ = nullptr;
+    std::uint64_t startNs_ = 0;
+    std::uint32_t depth_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace morphling::telemetry
+
+#if MORPHLING_TELEMETRY_ENABLED
+
+#define MORPHLING_TELEM_CONCAT_(a, b) a##b
+#define MORPHLING_TELEM_CONCAT(a, b) MORPHLING_TELEM_CONCAT_(a, b)
+
+/** Stage-level RAII span covering the rest of the enclosing scope. */
+#define MORPHLING_SPAN(category, name)                                    \
+    ::morphling::telemetry::Span MORPHLING_TELEM_CONCAT(                  \
+        morphlingSpan_, __COUNTER__)(category, name)
+
+/** Fine-grained span (per-CMux class): records only at Level::kFine. */
+#define MORPHLING_SPAN_FINE(category, name)                               \
+    ::morphling::telemetry::Span MORPHLING_TELEM_CONCAT(                  \
+        morphlingSpan_, __COUNTER__)(                                     \
+        category, name, ::morphling::telemetry::Level::kFine)
+
+/** Wrap a statement that should vanish when telemetry is compiled
+ *  out (metric updates, recorder hooks). */
+#define MORPHLING_TELEMETRY_ONLY(...) __VA_ARGS__
+
+#else
+
+#define MORPHLING_SPAN(category, name) static_cast<void>(0)
+#define MORPHLING_SPAN_FINE(category, name) static_cast<void>(0)
+#define MORPHLING_TELEMETRY_ONLY(...)
+
+#endif // MORPHLING_TELEMETRY_ENABLED
+
+#endif // MORPHLING_TELEMETRY_TELEMETRY_H

@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace morphling::tfhe {
 
@@ -91,6 +92,7 @@ blindRotate(const BootstrapKey &bsk, const TorusPolynomial &test_poly,
         const unsigned a_tilde = switched[i] % two_n;
         if (a_tilde == 0)
             continue; // X^0 rotation: CMux output equals its input.
+        MORPHLING_SPAN_FINE("tfhe", "cmux");
         cmuxRotateInPlace(bsk.entry(i), acc, a_tilde, ws);
     }
 }
@@ -110,10 +112,23 @@ bootstrapInto(const BootstrapKey &bsk, const KeySwitchKey &ksk,
               const TorusPolynomial &test_poly, const LweCiphertext &ct,
               LweCiphertext &out, BootstrapWorkspace &ws)
 {
-    modSwitchInto(ct, test_poly.degree(), ws.switched);
-    blindRotate(bsk, test_poly, ws.switched, ws.acc, ws);
-    ws.acc.sampleExtractAtInto(0, ws.extracted);
-    ksk.applyInto(ws.extracted, out);
+    MORPHLING_SPAN("tfhe", "bootstrap");
+    {
+        MORPHLING_SPAN("tfhe", "mod_switch");
+        modSwitchInto(ct, test_poly.degree(), ws.switched);
+    }
+    {
+        MORPHLING_SPAN("tfhe", "blind_rotate");
+        blindRotate(bsk, test_poly, ws.switched, ws.acc, ws);
+    }
+    {
+        MORPHLING_SPAN("tfhe", "sample_extract");
+        ws.acc.sampleExtractAtInto(0, ws.extracted);
+    }
+    {
+        MORPHLING_SPAN("tfhe", "key_switch");
+        ksk.applyInto(ws.extracted, out);
+    }
 }
 
 LweCiphertext
