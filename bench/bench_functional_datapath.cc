@@ -55,7 +55,7 @@ main(int argc, char **argv)
     for (std::uint32_t m = 0; m < space; ++m) {
         const auto ct = encryptPadded(keys, m, space, rng);
         const auto switched = modSwitch(ct, params.polyDegree);
-        const auto acc = xpu.blindRotate(tp, switched);
+        const auto acc = xpu.runBlindRotate(tp, switched);
         const auto out = keys.ksk.apply(acc.sampleExtract());
         const auto dec = decryptPadded(keys, out, space);
         all_ok &= dec == (m + 1) % 4;

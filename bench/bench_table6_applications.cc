@@ -16,10 +16,9 @@
 #include <iostream>
 
 #include "apps/cpu_cost_model.h"
+#include "apps/workload_exec.h"
 #include "apps/workloads.h"
-#include "arch/accelerator.h"
 #include "bench_util.h"
-#include "compiler/sw_scheduler.h"
 
 using namespace morphling;
 
@@ -56,13 +55,11 @@ main(int argc, char **argv)
     for (const auto &row : rows) {
         const auto &params = tfhe::paramsByName(row.set);
         const apps::CpuCostModel cpu = apps::paperConcreteCpu(params);
-        compiler::SwScheduler scheduler(params);
-        arch::Accelerator accelerator(cfg, params);
 
         const double cpu_s =
             cpu.workloadSeconds(row.workload, params.lweDimension);
-        const auto program = scheduler.schedule(row.workload);
-        const auto report = accelerator.run(program);
+        const auto report =
+            apps::timeWorkload(row.workload, cfg, params);
 
         t.addRow({row.workload.name, row.set,
                   Table::fmtCount(row.workload.totalBootstraps()),

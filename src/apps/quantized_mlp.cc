@@ -1,5 +1,6 @@
 #include "quantized_mlp.h"
 
+#include "apps/workload_exec.h"
 #include "common/bits.h"
 #include "common/logging.h"
 #include "tfhe/encoding.h"
@@ -176,8 +177,13 @@ QuantizedMlp::inferEncrypted(const KeySet &keys,
                 encodeSigned(value), 2 * space_);
         }
 
-        std::vector<LweCiphertext> next;
-        next.reserve(layer.outputs());
+        // Linear MACs accumulate homomorphically (free), then the
+        // whole layer's activations bootstrap as ONE batch: compiled
+        // to a Morphling Program and interpreted on the functional
+        // execution backend — the same batched-superbatch shape the
+        // accelerator schedule is built around.
+        std::vector<LweCiphertext> accs;
+        accs.reserve(layer.outputs());
         for (unsigned j = 0; j < layer.outputs(); ++j) {
             LweCiphertext acc(keys.params.lweDimension);
             for (unsigned i = 0; i < layer.inputs(); ++i) {
@@ -187,13 +193,12 @@ QuantizedMlp::inferEncrypted(const KeySet &keys,
                 term.scaleAssign(layer.weights[j][i]);
                 acc.addAssign(term);
             }
-            if (layer.reluAfter)
-                next.push_back(
-                    tfhe::programmableBootstrap(keys, acc, lut));
-            else
-                next.push_back(std::move(acc));
+            accs.push_back(std::move(acc));
         }
-        acts = std::move(next);
+        if (layer.reluAfter)
+            acts = runBootstrapBatch(keys, accs, lut);
+        else
+            acts = std::move(accs);
     }
     return acts;
 }

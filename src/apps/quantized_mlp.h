@@ -76,7 +76,10 @@ class QuantizedMlp
     /** Plaintext inference (signed), the reference. */
     std::vector<int> inferPlain(const std::vector<int> &inputs) const;
 
-    /** Homomorphic inference over encrypted signed inputs. */
+    /** Homomorphic inference over encrypted signed inputs. Each
+     *  layer's activations bootstrap as one batch via a compiled
+     *  Program on the functional execution backend
+     *  (apps::runBootstrapBatch). */
     std::vector<tfhe::LweCiphertext>
     inferEncrypted(const tfhe::KeySet &keys,
                    const std::vector<tfhe::LweCiphertext> &inputs)

@@ -1,0 +1,52 @@
+#include "workload_exec.h"
+
+#include "common/logging.h"
+#include "exec/functional_backend.h"
+#include "exec/timing_backend.h"
+
+namespace morphling::apps {
+
+compiler::Program
+compileWorkload(const compiler::Workload &workload,
+                const tfhe::TfheParams &params,
+                compiler::SchedulerConfig sched)
+{
+    return compiler::SwScheduler(params, sched).schedule(workload);
+}
+
+arch::SimReport
+timeWorkload(const compiler::Workload &workload,
+             const arch::ArchConfig &config,
+             const tfhe::TfheParams &params,
+             compiler::SchedulerConfig sched)
+{
+    const auto program = compileWorkload(workload, params, sched);
+    exec::TimingBackend backend(config, params);
+    auto result = backend.run(program, exec::Job{});
+    panic_if(!result.hasReport, "timing backend returned no report");
+    return result.report;
+}
+
+std::vector<tfhe::LweCiphertext>
+runBootstrapBatch(const tfhe::KeySet &keys,
+                  const std::vector<tfhe::LweCiphertext> &inputs,
+                  const std::vector<tfhe::Torus32> &lut,
+                  const tfhe::BatchOptions &opts)
+{
+    if (inputs.empty())
+        return {};
+    const auto program =
+        compiler::SwScheduler(keys.params)
+            .scheduleBootstrapBatch(inputs.size());
+    exec::FunctionalBackend backend(keys);
+    exec::Job job;
+    job.inputs = &inputs;
+    job.lut = &lut;
+    job.options = opts;
+    auto result = backend.run(program, job);
+    panic_if(!result.hasOutputs,
+             "functional backend returned no outputs");
+    return std::move(result.outputs);
+}
+
+} // namespace morphling::apps

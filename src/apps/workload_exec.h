@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The apps-layer bridge onto the execution-backend stack: every
+ * application workload flows through one path — compile the workload to
+ * a Morphling Program, then hand that single artifact to an execution
+ * backend (docs/execution_model.md). Benchmarks time it on the
+ * TimingBackend; encrypted inference interprets it on the
+ * FunctionalBackend. No app calls the accelerator or the tfhe batch
+ * loop directly anymore.
+ */
+
+#ifndef MORPHLING_APPS_WORKLOAD_EXEC_H
+#define MORPHLING_APPS_WORKLOAD_EXEC_H
+
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "compiler/program.h"
+#include "compiler/sw_scheduler.h"
+#include "tfhe/batch.h"
+#include "tfhe/keyset.h"
+
+namespace morphling::apps {
+
+/** Compile one application workload to a Morphling Program. */
+compiler::Program
+compileWorkload(const compiler::Workload &workload,
+                const tfhe::TfheParams &params,
+                compiler::SchedulerConfig sched = {});
+
+/**
+ * Simulate one workload on the cycle model via the TimingBackend:
+ * compile to a Program, retire it through exec::TimingBackend, return
+ * the cycle-model report. This is the path the Table VI benchmark
+ * times.
+ */
+arch::SimReport
+timeWorkload(const compiler::Workload &workload,
+             const arch::ArchConfig &config,
+             const tfhe::TfheParams &params,
+             compiler::SchedulerConfig sched = {});
+
+/**
+ * Bootstrap every ciphertext in `inputs` against one LUT by compiling
+ * a single-stage Program and interpreting it on the FunctionalBackend.
+ * Results are in input order and bit-identical to
+ * tfhe::batchBootstrap. This is the building block encrypted inference
+ * (QuantizedMlp::inferEncrypted) batches its per-layer activations
+ * through.
+ */
+std::vector<tfhe::LweCiphertext>
+runBootstrapBatch(const tfhe::KeySet &keys,
+                  const std::vector<tfhe::LweCiphertext> &inputs,
+                  const std::vector<tfhe::Torus32> &lut,
+                  const tfhe::BatchOptions &opts = {});
+
+} // namespace morphling::apps
+
+#endif // MORPHLING_APPS_WORKLOAD_EXEC_H

@@ -26,6 +26,13 @@ Accelerator::Accelerator(ArchConfig config,
 SimReport
 Accelerator::run(const compiler::Program &program) const
 {
+    return run(program, RetireHook{});
+}
+
+SimReport
+Accelerator::run(const compiler::Program &program,
+                 const RetireHook &on_retire) const
+{
     MORPHLING_SPAN("arch", "simulate");
     sim::EventQueue eq;
     sim::Hbm hbm(eq, config_.hbm);
@@ -47,6 +54,8 @@ Accelerator::run(const compiler::Program &program) const
     bool done = false;
     HwScheduler scheduler(eq, program, config_, xpu, vpu, vpu_dma,
                           xpu_dma, [&done]() { done = true; });
+    if (on_retire)
+        scheduler.setRetireHook(on_retire);
     scheduler.start();
     eq.runAll();
     panic_if(!done, "simulation drained without completing the program");

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "arch/config.h"
+#include "arch/retire_hook.h"
 #include "arch/timing.h"
 #include "compiler/program.h"
 #include "tfhe/params.h"
@@ -85,6 +86,12 @@ class Accelerator
 
     /** Simulate one compiled program to completion. */
     SimReport run(const compiler::Program &program) const;
+
+    /** Same simulation, with an observation hook fired once per
+     *  retired instruction. The hook never perturbs the model: cycle
+     *  counts are identical with and without it. */
+    SimReport run(const compiler::Program &program,
+                  const RetireHook &on_retire) const;
 
     /** Convenience: schedule and run `count` independent bootstraps
      *  (the Table V measurement). */

@@ -151,15 +151,15 @@ FunctionalXpu::externalProductStep(GlweCiphertext &acc,
 }
 
 GlweCiphertext
-FunctionalXpu::blindRotate(const TorusPolynomial &test_poly,
-                           const std::vector<std::uint32_t> &switched)
+FunctionalXpu::runBlindRotate(const TorusPolynomial &test_poly,
+                              const std::vector<std::uint32_t> &switched)
 {
     std::vector<std::vector<std::uint32_t>> batch = {switched};
-    return std::move(blindRotateBatch(test_poly, batch).front());
+    return std::move(runBlindRotateBatch(test_poly, batch).front());
 }
 
 std::vector<GlweCiphertext>
-FunctionalXpu::blindRotateBatch(
+FunctionalXpu::runBlindRotateBatch(
     const TorusPolynomial &test_poly,
     const std::vector<std::vector<std::uint32_t>> &switched_batch)
 {

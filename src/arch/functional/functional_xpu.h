@@ -63,26 +63,54 @@ class FunctionalXpu
     bool bskLoaded() const { return !bsk_.empty(); }
 
     /**
-     * Blind-rotate one ciphertext (one VPE row): the full n-iteration
-     * accumulation ACC_i = BSK_i [.] (X^{a~_i} ACC_{i-1} - ACC_{i-1})
-     * + ACC_{i-1}, starting from X^{-b~} * (0,..,0,TP).
+     * Engine entry point (exec::FunctionalBackend's XpuEngine::
+     * kDatapath): blind-rotate one ciphertext (one VPE row) — the full
+     * n-iteration accumulation ACC_i = BSK_i [.] (X^{a~_i} ACC_{i-1} -
+     * ACC_{i-1}) + ACC_{i-1}, starting from X^{-b~} * (0,..,0,TP).
      *
      * @param test_poly the test polynomial TP
      * @param switched  mod-switched ciphertext (masks then body)
      */
     tfhe::GlweCiphertext
-    blindRotate(const tfhe::TorusPolynomial &test_poly,
-                const std::vector<std::uint32_t> &switched);
+    runBlindRotate(const tfhe::TorusPolynomial &test_poly,
+                   const std::vector<std::uint32_t> &switched);
 
     /**
-     * Blind-rotate up to `rows` ciphertexts concurrently, reusing each
-     * streamed BSK_i across all rows (the input-reuse dimension of the
-     * array).
+     * Engine entry point: blind-rotate up to `rows` ciphertexts
+     * concurrently, reusing each streamed BSK_i across all rows (the
+     * input-reuse dimension of the array).
      */
+    std::vector<tfhe::GlweCiphertext>
+    runBlindRotateBatch(const tfhe::TorusPolynomial &test_poly,
+                        const std::vector<std::vector<std::uint32_t>>
+                            &switched_batch);
+
+    /**
+     * @deprecated The free-standing datapath path is now internal to
+     * the execution-backend stack: compile a Program and run it
+     * through exec::FunctionalBackend with XpuEngine::kDatapath
+     * (docs/execution_model.md). Thin wrapper kept so pre-backend
+     * callers compile.
+     */
+    [[deprecated("execute a compiled Program through "
+                 "exec::FunctionalBackend (XpuEngine::kDatapath)")]]
+    tfhe::GlweCiphertext
+    blindRotate(const tfhe::TorusPolynomial &test_poly,
+                const std::vector<std::uint32_t> &switched)
+    {
+        return runBlindRotate(test_poly, switched);
+    }
+
+    /** @deprecated See blindRotate. */
+    [[deprecated("execute a compiled Program through "
+                 "exec::FunctionalBackend (XpuEngine::kDatapath)")]]
     std::vector<tfhe::GlweCiphertext>
     blindRotateBatch(const tfhe::TorusPolynomial &test_poly,
                      const std::vector<std::vector<std::uint32_t>>
-                         &switched_batch);
+                         &switched_batch)
+    {
+        return runBlindRotateBatch(test_poly, switched_batch);
+    }
 
     /** Lifetime datapath statistics (MACs summed over the VPEs). */
     XpuDatapathStats stats() const;

@@ -39,7 +39,9 @@ HwScheduler::buildChains(const compiler::Program &program)
         return op == Opcode::DmaLoadLwe || op == Opcode::DmaLoadData;
     };
 
-    for (const auto &inst : program.instructions()) {
+    const auto &instrs = program.instructions();
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const auto &inst = instrs[i];
         auto &gs = groups_[inst.group];
         const bool need_new =
             gs.chains.empty() || inst.op == Opcode::Barrier ||
@@ -49,7 +51,7 @@ HwScheduler::buildChains(const compiler::Program &program)
             chain.isBarrier = inst.op == Opcode::Barrier;
             gs.chains.push_back(std::move(chain));
         }
-        gs.chains.back().instrs.push_back(inst);
+        gs.chains.back().instrs.push_back(Chain::Slot{inst, i});
     }
 
     totalChains_ = 0;
@@ -106,6 +108,10 @@ HwScheduler::releaseBarrier()
         gs.waitingAtBarrier = false;
         Chain &chain = gs.chains[gs.nextChain];
         panic_if(!chain.isBarrier, "barrier bookkeeping out of sync");
+        if (retireHook_) {
+            const auto &slot = chain.instrs.front();
+            retireHook_(slot.index, slot.inst, eq_.now());
+        }
         gs.nextChain++;
         ++chainsCompleted_; // the barrier chain itself
     }
@@ -125,15 +131,22 @@ HwScheduler::step(unsigned g, Chain &chain)
         chainDone(g, chain);
         return;
     }
-    const Instruction &inst = chain.instrs[chain.pc++];
-    DTRACE(eq_, "sched", "g", g, " issue ", inst.toString());
-    dispatch(g, chain, inst);
+    const Chain::Slot &slot = chain.instrs[chain.pc++];
+    DTRACE(eq_, "sched", "g", g, " issue ", slot.inst.toString());
+    dispatch(g, chain, slot);
 }
 
 void
-HwScheduler::dispatch(unsigned g, Chain &chain, const Instruction &inst)
+HwScheduler::dispatch(unsigned g, Chain &chain, const Chain::Slot &slot)
 {
-    auto continue_chain = [this, g, &chain]() { step(g, chain); };
+    const Instruction &inst = slot.inst;
+    // Retirement is observed in the completion continuation, at the
+    // tick the resource reports the instruction done.
+    auto continue_chain = [this, g, &chain, slot]() {
+        if (retireHook_)
+            retireHook_(slot.index, slot.inst, eq_.now());
+        step(g, chain);
+    };
 
     switch (inst.op) {
       case Opcode::DmaLoadLwe:
@@ -147,7 +160,7 @@ HwScheduler::dispatch(unsigned g, Chain &chain, const Instruction &inst)
         // prefetch into Private-A2); the instruction is the arming
         // marker and completes immediately.
         ++statSet_.scalar("bsk_arms", "DMA.LD_BSK markers seen");
-        step(g, chain);
+        continue_chain();
         break;
       case Opcode::VpuModSwitch:
       case Opcode::VpuSampleExtract:

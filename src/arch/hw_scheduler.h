@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/config.h"
+#include "arch/retire_hook.h"
 #include "arch/vpu.h"
 #include "arch/xpu.h"
 #include "compiler/program.h"
@@ -42,6 +43,11 @@ class HwScheduler
     /** Kick off every group's first chain. */
     void start();
 
+    /** Install an observation hook fired once per instruction at its
+     *  completion tick (barriers: at rendezvous release). Must be set
+     *  before start(); never alters dispatch order or cycle counts. */
+    void setRetireHook(RetireHook hook) { retireHook_ = std::move(hook); }
+
     bool finished() const
     {
         return chainsCompleted_ == totalChains_;
@@ -57,7 +63,15 @@ class HwScheduler
   private:
     struct Chain
     {
-        std::vector<compiler::Instruction> instrs;
+        /** One instruction plus its index into the flat program, so
+         *  retirement can be reported against the original stream. */
+        struct Slot
+        {
+            compiler::Instruction inst;
+            std::size_t index = 0;
+        };
+
+        std::vector<Slot> instrs;
         std::size_t pc = 0;
         sim::Tick startTick = 0;
         bool isBarrier = false;
@@ -74,8 +88,7 @@ class HwScheduler
     void buildChains(const compiler::Program &program);
     void pump(unsigned g);
     void step(unsigned g, Chain &chain);
-    void dispatch(unsigned g, Chain &chain,
-                  const compiler::Instruction &inst);
+    void dispatch(unsigned g, Chain &chain, const Chain::Slot &slot);
     void chainDone(unsigned g, Chain &chain);
     void releaseBarrier();
 
@@ -86,6 +99,7 @@ class HwScheduler
     sim::DmaEngine &vpuDma_;
     sim::DmaEngine &xpuDma_;
     std::function<void()> onAllDone_;
+    RetireHook retireHook_;
 
     std::vector<GroupState> groups_;
     /** Chunk chains a group may have in flight: 3 = the staged chunk's

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Observation hook for instruction retirement in the cycle model.
+ *
+ * The HW scheduler invokes the hook once per program instruction, at
+ * the simulator tick the instruction completes (for barriers: the tick
+ * the rendezvous releases). Shared by HwScheduler (which calls it) and
+ * Accelerator (which plumbs it through run()) without either header
+ * having to include the other.
+ */
+
+#ifndef MORPHLING_ARCH_RETIRE_HOOK_H
+#define MORPHLING_ARCH_RETIRE_HOOK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "compiler/isa.h"
+
+namespace morphling::arch {
+
+/**
+ * Called as (index into Program::instructions(), the instruction,
+ * completion tick). Pure observer: must not mutate simulation state,
+ * and installing one never changes cycle counts.
+ */
+using RetireHook = std::function<void(
+    std::size_t index, const compiler::Instruction &inst,
+    std::uint64_t tick)>;
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_RETIRE_HOOK_H

@@ -7,6 +7,12 @@
 namespace morphling::compiler {
 
 bool
+isValidOpcodeByte(std::uint8_t byte)
+{
+    return byte < kOpcodeCount;
+}
+
+bool
 isDmaOp(Opcode op)
 {
     switch (op) {
@@ -83,8 +89,21 @@ Instruction::encode() const
 Instruction
 Instruction::decode(std::uint64_t word)
 {
+    auto inst = tryDecode(word);
+    panic_if(!inst, "invalid opcode byte ",
+             static_cast<unsigned>((word >> 56) & 0xFF),
+             " in instruction word ", word);
+    return *inst;
+}
+
+std::optional<Instruction>
+Instruction::tryDecode(std::uint64_t word)
+{
+    const auto op_byte = static_cast<std::uint8_t>((word >> 56) & 0xFF);
+    if (!isValidOpcodeByte(op_byte))
+        return std::nullopt;
     Instruction inst;
-    inst.op = static_cast<Opcode>((word >> 56) & 0xFF);
+    inst.op = static_cast<Opcode>(op_byte);
     inst.group = static_cast<std::uint8_t>((word >> 48) & 0xFF);
     inst.count = static_cast<std::uint16_t>((word >> 32) & 0xFFFF);
     inst.operand = static_cast<std::uint32_t>(word & 0xFFFFFFFF);

@@ -13,6 +13,7 @@
 #define MORPHLING_COMPILER_ISA_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace morphling::compiler {
@@ -45,6 +46,14 @@ enum class Opcode : std::uint8_t
              //!< (operand: barrier id) before any group proceeds
 };
 
+/** Number of defined opcodes; any encoding whose opcode byte is
+ *  >= kOpcodeCount does not name an instruction. */
+inline constexpr std::uint8_t kOpcodeCount =
+    static_cast<std::uint8_t>(Opcode::Barrier) + 1;
+
+/** True if the byte names a defined opcode. */
+bool isValidOpcodeByte(std::uint8_t byte);
+
 /** True if the opcode is executed by the DMA engines. */
 bool isDmaOp(Opcode op);
 /** True if the opcode is executed by the VPU. */
@@ -69,8 +78,15 @@ struct Instruction
     /** Pack into the 64-bit machine encoding. */
     std::uint64_t encode() const;
 
-    /** Unpack from the 64-bit machine encoding. */
+    /** Unpack from the 64-bit machine encoding. Panics if the opcode
+     *  byte is not a defined opcode — use tryDecode for untrusted
+     *  words. */
     static Instruction decode(std::uint64_t word);
+
+    /** Unpack from the 64-bit machine encoding; nullopt when the
+     *  opcode byte does not name a defined opcode. Total over all
+     *  2^64 words — never UB. */
+    static std::optional<Instruction> tryDecode(std::uint64_t word);
 
     /** Human-readable rendering, e.g. "XPU.BR g0 x16 (n=500)". */
     std::string toString() const;

@@ -1,6 +1,9 @@
 #include "program.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "common/logging.h"
 
 namespace morphling::compiler {
 
@@ -31,6 +34,15 @@ Program::groupStream(std::uint8_t group) const
             out.push_back(inst);
     }
     return out;
+}
+
+unsigned
+Program::numGroups() const
+{
+    unsigned groups = 0;
+    for (const auto &inst : instrs_)
+        groups = std::max<unsigned>(groups, inst.group + 1u);
+    return groups;
 }
 
 std::map<Opcode, std::uint64_t>
@@ -68,8 +80,13 @@ Program::deserialize(const std::string &name,
                      const std::vector<std::uint64_t> &words)
 {
     Program prog(name);
-    for (auto w : words)
-        prog.add(Instruction::decode(w));
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        auto inst = Instruction::tryDecode(words[i]);
+        fatal_if(!inst, "program '", name, "': word ", i,
+                 " has invalid opcode byte ",
+                 static_cast<unsigned>((words[i] >> 56) & 0xFF));
+        prog.add(*inst);
+    }
     return prog;
 }
 
@@ -79,6 +96,20 @@ Program::disassemble() const
     std::ostringstream oss;
     for (std::size_t i = 0; i < instrs_.size(); ++i)
         oss << i << ": " << instrs_[i].toString() << '\n';
+    return oss.str();
+}
+
+std::string
+Program::disassembleByGroup() const
+{
+    std::ostringstream oss;
+    for (unsigned g = 0; g < numGroups(); ++g) {
+        oss << "group " << g << '\n';
+        for (const auto &inst : instrs_) {
+            if (inst.group == g)
+                oss << "  " << inst.toString() << '\n';
+        }
+    }
     return oss.str();
 }
 

@@ -64,6 +64,10 @@ class Program
     /** Instructions belonging to one scheduling group, in order. */
     std::vector<Instruction> groupStream(std::uint8_t group) const;
 
+    /** Number of scheduling groups present (highest group id + 1;
+     *  0 for an empty program). */
+    unsigned numGroups() const;
+
     /** Count of instructions per opcode (used by tests and dumps). */
     std::map<Opcode, std::uint64_t> histogram() const;
 
@@ -73,12 +77,18 @@ class Program
     /** Pack to 64-bit words. */
     std::vector<std::uint64_t> serialize() const;
 
-    /** Unpack from 64-bit words. */
+    /** Unpack from 64-bit words. Exits with a diagnostic on a word
+     *  whose opcode byte is invalid (untrusted input, not a bug). */
     static Program deserialize(const std::string &name,
                                const std::vector<std::uint64_t> &words);
 
     /** Multi-line disassembly. */
     std::string disassemble() const;
+
+    /** Disassembly grouped by scheduling group: one `group N` header
+     *  per group followed by that group's stream in program order.
+     *  Stable format — the golden disassembly test diffs it. */
+    std::string disassembleByGroup() const;
 
   private:
     std::string name_;

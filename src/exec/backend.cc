@@ -1,0 +1,30 @@
+#include "backend.h"
+
+#include "common/logging.h"
+
+namespace morphling::exec {
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::kFunctional:
+        return "functional";
+      case BackendKind::kTiming:
+        return "timing";
+      case BackendKind::kCosim:
+        return "cosim";
+    }
+    panic("unknown backend kind ", static_cast<int>(kind));
+}
+
+ExecutionResult
+ExecutionBackend::run(const compiler::Program &program, const Job &job)
+{
+    load(program, job);
+    while (step())
+        ;
+    return finish();
+}
+
+} // namespace morphling::exec

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Pluggable execution backends over the compiled instruction stream.
+ *
+ * The compiled compiler::Program is the single artifact every layer
+ * consumes (docs/execution_model.md): the same stream that drives the
+ * cycle model can be interpreted against real ciphertexts. An
+ * ExecutionBackend retires a Program instruction by instruction —
+ * FunctionalBackend computes real TFHE data, TimingBackend replays the
+ * arch::Accelerator cycle model's retirement, and cosim.h locks the two
+ * together to cross-check that one IR means one behaviour.
+ *
+ * Retirement contract shared by all backends: every program instruction
+ * is retired exactly once, and instructions of the same group retire in
+ * program order (groups may interleave; the interleaving is
+ * backend-specific but deterministic).
+ */
+
+#ifndef MORPHLING_EXEC_BACKEND_H
+#define MORPHLING_EXEC_BACKEND_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "compiler/program.h"
+#include "tfhe/batch.h"
+#include "tfhe/lwe.h"
+
+namespace morphling::exec {
+
+/** Which backend executes a program (e.g. the service's
+ *  ServiceConfig::backend knob). */
+enum class BackendKind
+{
+    kFunctional, //!< interpret against real ciphertexts
+    kTiming,     //!< cycle model only, no data
+    kCosim       //!< functional + timing in lockstep, cross-checked
+};
+
+/** Stable name for logs and config dumps. */
+const char *backendKindName(BackendKind kind);
+
+/** One retired instruction, as reported by a backend. */
+struct RetiredInstruction
+{
+    std::size_t index = 0;      //!< position in Program::instructions()
+    compiler::Instruction inst; //!< the instruction itself
+    std::uint64_t seq = 0;      //!< backend-local retirement sequence
+    /** Virtual completion time. Simulator ticks for the timing
+     *  backend; 0 for the functional backend (untimed). */
+    std::uint64_t tick = 0;
+};
+
+/**
+ * The data a program executes against. The timing backend ignores the
+ * ciphertexts; the functional backend requires inputs/lut whenever the
+ * program performs blind rotations. Pointees must outlive the run.
+ */
+struct Job
+{
+    /** One input LWE ciphertext per blind-rotation slot; size must
+     *  equal Program::totalBlindRotations(). */
+    const std::vector<tfhe::LweCiphertext> *inputs = nullptr;
+
+    /** The LUT every bootstrap in the program evaluates. */
+    const std::vector<tfhe::Torus32> *lut = nullptr;
+
+    /** Execution knobs (threads within the batch, noise audit). */
+    tfhe::BatchOptions options;
+};
+
+/** What one backend produced over one program execution. */
+struct ExecutionResult
+{
+    std::string_view backend; //!< name() of the producing backend
+
+    /** Key-switched result ciphertexts, one per blind-rotation slot
+     *  (functional backends only; see hasOutputs). */
+    std::vector<tfhe::LweCiphertext> outputs;
+    bool hasOutputs = false;
+
+    /** Cycle-model report (timing backends only; see hasReport). */
+    arch::SimReport report;
+    bool hasReport = false;
+
+    /** Full retirement log in retirement order. */
+    std::vector<RetiredInstruction> retired;
+};
+
+/**
+ * A machine that executes compiled Programs.
+ *
+ * Two driving styles:
+ *  - run(program, job): load + retire everything + finish, using
+ *    whatever internal parallelism the backend supports.
+ *  - load() then step() until nullopt then finish(): single-stepped
+ *    retirement, the mode the lockstep co-simulator drives.
+ *
+ * Backends are single-driver objects: do not interleave calls from
+ * multiple threads. A backend may be reused by calling load() again
+ * after finish().
+ */
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    virtual std::string_view name() const = 0;
+
+    /** Bind a program and its data; resets any previous run. */
+    virtual void load(const compiler::Program &program,
+                      const Job &job) = 0;
+
+    /** Retire the next instruction, or nullopt when the program has
+     *  fully retired. */
+    virtual std::optional<RetiredInstruction> step() = 0;
+
+    /** True once every instruction has retired. */
+    virtual bool done() const = 0;
+
+    /** Collect the results of the loaded run. */
+    virtual ExecutionResult finish() = 0;
+
+    /** Convenience: load, retire everything, finish. Overridden by
+     *  backends with a faster internal path. */
+    virtual ExecutionResult run(const compiler::Program &program,
+                                const Job &job);
+};
+
+} // namespace morphling::exec
+
+#endif // MORPHLING_EXEC_BACKEND_H

@@ -1,0 +1,296 @@
+#include "cosim.h"
+
+#include <deque>
+#include <sstream>
+
+#include "common/logging.h"
+#include "exec/timing_backend.h"
+#include "telemetry/telemetry.h"
+
+namespace morphling::exec {
+
+using compiler::Opcode;
+
+namespace {
+
+/** Bounded error collector: keeps diagnostics readable when a broken
+ *  backend would otherwise emit thousands. */
+class ErrorSink
+{
+  public:
+    explicit ErrorSink(std::vector<std::string> &errors,
+                       std::size_t max)
+        : errors_(errors), max_(max)
+    {
+    }
+
+    template <typename... Args>
+    void
+    add(Args &&...args)
+    {
+        ++total_;
+        if (errors_.size() >= max_)
+            return;
+        std::ostringstream oss;
+        (oss << ... << args);
+        errors_.push_back(oss.str());
+    }
+
+    std::size_t total() const { return total_; }
+
+  private:
+    std::vector<std::string> &errors_;
+    std::size_t max_;
+    std::size_t total_ = 0;
+};
+
+/** Exactly-once coverage plus per-group program-order check of one
+ *  backend's retirement log. */
+void
+checkRetirement(const compiler::Program &program,
+                const std::vector<RetiredInstruction> &retired,
+                std::string_view backend, ErrorSink &sink)
+{
+    if (retired.size() != program.size()) {
+        sink.add(backend, " retired ", retired.size(), " of ",
+                 program.size(), " instructions");
+    }
+    std::vector<char> seen(program.size(), 0);
+    for (const auto &r : retired) {
+        if (r.index >= program.size()) {
+            sink.add(backend, " retired out-of-range index ", r.index);
+            continue;
+        }
+        if (seen[r.index]) {
+            sink.add(backend, " retired instruction ", r.index, " (",
+                     r.inst.toString(), ") more than once");
+        }
+        seen[r.index] = 1;
+        if (!(r.inst == program.at(r.index))) {
+            sink.add(backend, " retired a mutated instruction at ",
+                     r.index, ": ", r.inst.toString(), " vs ",
+                     program.at(r.index).toString());
+        }
+    }
+
+    // Per-group program order: the subsequence of retired indices of
+    // each group must be strictly increasing (program order).
+    std::vector<std::size_t> last(program.numGroups(), 0);
+    std::vector<char> started(program.numGroups(), 0);
+    for (const auto &r : retired) {
+        if (r.index >= program.size())
+            continue;
+        const unsigned g = program.at(r.index).group;
+        if (started[g] && r.index <= last[g]) {
+            sink.add(backend, " violated group ", g,
+                     " program order: index ", r.index, " after ",
+                     last[g]);
+        }
+        started[g] = 1;
+        last[g] = r.index;
+    }
+}
+
+/** Dependency-order checks over the timing backend's raw completion
+ *  log: tick monotonicity within every chunk chain, and barrier
+ *  segmentation (nothing after a rendezvous completes before it
+ *  releases). */
+void
+checkCompletionOrder(const compiler::Program &program,
+                     const std::vector<RetiredInstruction> &completions,
+                     ErrorSink &sink)
+{
+    if (completions.size() != program.size())
+        return; // coverage diagnostics already emitted
+
+    std::vector<std::uint64_t> tick_of(program.size(), 0);
+    for (const auto &r : completions) {
+        if (r.index < program.size())
+            tick_of[r.index] = r.tick;
+    }
+
+    // Chains mirror the HW scheduler: a new chain starts at each
+    // staging head (LD_LWE / LD_DATA) or barrier. Within a chain,
+    // completion ticks must be monotone — instruction j depends on
+    // j-1.
+    const auto &instrs = program.instructions();
+    std::vector<std::uint64_t> chain_last(program.numGroups(), 0);
+    std::vector<char> in_chain(program.numGroups(), 0);
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const auto &inst = instrs[i];
+        const unsigned g = inst.group;
+        const bool starts_chain = inst.op == Opcode::DmaLoadLwe ||
+                                  inst.op == Opcode::DmaLoadData ||
+                                  inst.op == Opcode::Barrier;
+        if (starts_chain || !in_chain[g]) {
+            in_chain[g] = 1;
+            chain_last[g] = tick_of[i];
+            continue;
+        }
+        if (tick_of[i] < chain_last[g]) {
+            sink.add("timing completed ", inst.toString(),
+                     " (index ", i, ") at tick ", tick_of[i],
+                     ", before its chain predecessor at ",
+                     chain_last[g]);
+        }
+        chain_last[g] = std::max(chain_last[g], tick_of[i]);
+    }
+
+    // Barrier segmentation: every instruction after a barrier set must
+    // complete no earlier than the rendezvous released.
+    std::uint64_t floor = 0;
+    std::uint64_t pending_floor = 0;
+    bool pending = false;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        if (instrs[i].op == Opcode::Barrier) {
+            pending_floor = std::max(pending_floor, tick_of[i]);
+            pending = true;
+            continue;
+        }
+        if (pending) {
+            floor = std::max(floor, pending_floor);
+            pending = false;
+            pending_floor = 0;
+        }
+        if (tick_of[i] < floor) {
+            sink.add("timing completed ", instrs[i].toString(),
+                     " (index ", i, ") at tick ", tick_of[i],
+                     ", before the preceding barrier released at ",
+                     floor);
+        }
+    }
+}
+
+} // namespace
+
+std::string
+CosimReport::summary() const
+{
+    std::ostringstream oss;
+    if (ok()) {
+        oss << "cosim OK: " << instructions << " instructions, "
+            << lockstepComparisons << " lockstep comparisons";
+        if (timing.hasReport)
+            oss << ", " << timing.report.cycles << " cycles";
+    } else {
+        oss << "cosim FAILED with " << errors.size()
+            << " diagnostics; first: " << errors.front();
+    }
+    return oss.str();
+}
+
+LockstepCosim::LockstepCosim(ExecutionBackend &functional,
+                             ExecutionBackend &timing,
+                             CosimOptions options)
+    : functional_(functional), timing_(timing), options_(options)
+{
+}
+
+CosimReport
+LockstepCosim::run(const compiler::Program &program, const Job &job)
+{
+    MORPHLING_SPAN("exec", "cosim");
+    CosimReport report;
+    report.instructions = program.size();
+    ErrorSink sink(report.errors, options_.maxErrors);
+
+    functional_.load(program, job);
+    timing_.load(program, job);
+
+    // Retire both backends instruction by instruction, matching the
+    // streams per group as they advance. Backends interleave groups
+    // differently (round-robin vs. simulated time), so the match
+    // point is the per-group queue, not the global sequence.
+    const unsigned n_groups = std::max(1u, program.numGroups());
+    std::vector<std::deque<RetiredInstruction>> fq(n_groups);
+    std::vector<std::deque<RetiredInstruction>> tq(n_groups);
+    std::vector<RetiredInstruction> f_log, t_log;
+    f_log.reserve(program.size());
+    t_log.reserve(program.size());
+
+    bool f_done = false, t_done = false;
+    while (!f_done || !t_done) {
+        if (!f_done) {
+            if (auto r = functional_.step()) {
+                f_log.push_back(*r);
+                if (r->inst.group < n_groups)
+                    fq[r->inst.group].push_back(*r);
+            } else {
+                f_done = true;
+            }
+        }
+        if (!t_done) {
+            if (auto r = timing_.step()) {
+                t_log.push_back(*r);
+                if (r->inst.group < n_groups)
+                    tq[r->inst.group].push_back(*r);
+            } else {
+                t_done = true;
+            }
+        }
+        for (unsigned g = 0; g < n_groups; ++g) {
+            while (!fq[g].empty() && !tq[g].empty()) {
+                const auto &f = fq[g].front();
+                const auto &t = tq[g].front();
+                if (f.index != t.index || !(f.inst == t.inst)) {
+                    sink.add("lockstep mismatch in group ", g, ": ",
+                             functional_.name(), " retired index ",
+                             f.index, " (", f.inst.toString(), "), ",
+                             timing_.name(), " retired index ",
+                             t.index, " (", t.inst.toString(), ")");
+                }
+                ++report.lockstepComparisons;
+                fq[g].pop_front();
+                tq[g].pop_front();
+            }
+        }
+    }
+    for (unsigned g = 0; g < n_groups; ++g) {
+        if (!fq[g].empty() || !tq[g].empty()) {
+            sink.add("group ", g, " retirement counts differ: ",
+                     functional_.name(), " has ", fq[g].size(),
+                     " unmatched, ", timing_.name(), " has ",
+                     tq[g].size());
+        }
+    }
+
+    checkRetirement(program, f_log, functional_.name(), sink);
+    checkRetirement(program, t_log, timing_.name(), sink);
+
+    if (const auto *tb = dynamic_cast<TimingBackend *>(&timing_))
+        checkCompletionOrder(program, tb->completionOrder(), sink);
+
+    report.functional = functional_.finish();
+    report.timing = timing_.finish();
+
+    // End-of-program ciphertext correctness vs. the library reference.
+    if (options_.referenceKeys != nullptr && job.inputs != nullptr &&
+        job.lut != nullptr && report.functional.hasOutputs) {
+        const auto reference = tfhe::batchBootstrap(
+            *options_.referenceKeys, *job.inputs, *job.lut,
+            job.options);
+        if (reference.size() != report.functional.outputs.size()) {
+            sink.add("output count mismatch: backend produced ",
+                     report.functional.outputs.size(),
+                     ", reference produced ", reference.size());
+        } else {
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+                if (report.functional.outputs[i].raw() !=
+                    reference[i].raw()) {
+                    sink.add("output ", i, " is not bit-identical to "
+                             "the tfhe::bootstrapInto reference");
+                }
+            }
+        }
+    }
+
+    if (sink.total() > report.errors.size()) {
+        report.errors.push_back(
+            "... " +
+            std::to_string(sink.total() - report.errors.size()) +
+            " further diagnostics suppressed");
+    }
+    return report;
+}
+
+} // namespace morphling::exec

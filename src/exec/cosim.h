@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lockstep co-simulation: retire a functional and a timing backend
+ * over the same compiled Program, cross-checking as they go.
+ *
+ * Checks performed (docs/execution_model.md):
+ *  - lockstep per-group order: both backends retire the identical
+ *    instruction sequence within every scheduling group, matched
+ *    incrementally as the two retirement streams advance;
+ *  - coverage: each backend retires every program instruction exactly
+ *    once;
+ *  - program order: each backend's per-group retirement sequence equals
+ *    the group's stream in the Program;
+ *  - dependency order (timing backends): raw completion ticks are
+ *    monotone within every chunk chain, and no instruction after a
+ *    barrier completes before the barrier releases;
+ *  - end-of-program correctness (opt-in via referenceKeys): functional
+ *    outputs are bit-identical to the tfhe::batchBootstrap reference.
+ *
+ * Mismatches are collected as readable diagnostics in CosimReport, not
+ * panics — the co-simulator is the test oracle, so it must survive a
+ * broken backend to describe it.
+ */
+
+#ifndef MORPHLING_EXEC_COSIM_H
+#define MORPHLING_EXEC_COSIM_H
+
+#include <string>
+#include <vector>
+
+#include "exec/backend.h"
+#include "tfhe/serialize.h"
+
+namespace morphling::exec {
+
+/** Knobs of one co-simulation run. */
+struct CosimOptions
+{
+    /** When set, functional outputs are additionally checked
+     *  bit-exact against the tfhe::batchBootstrap reference (only
+     *  meaningful when the functional backend uses the workspace XPU
+     *  engine, which shares the library's arithmetic). */
+    const tfhe::EvaluationKeys *referenceKeys = nullptr;
+
+    /** Stop collecting diagnostics after this many. */
+    std::size_t maxErrors = 16;
+};
+
+/** Outcome of one co-simulation run. */
+struct CosimReport
+{
+    std::vector<std::string> errors;
+    std::uint64_t instructions = 0;        //!< program size
+    std::uint64_t lockstepComparisons = 0; //!< matched retirement pairs
+    ExecutionResult functional;
+    ExecutionResult timing;
+
+    bool ok() const { return errors.empty(); }
+
+    /** One-line human-readable verdict. */
+    std::string summary() const;
+};
+
+/**
+ * Drives two backends instruction-by-instruction over one program.
+ * The first backend must produce outputs (hasOutputs), the second a
+ * report (hasReport) — conventionally FunctionalBackend and
+ * TimingBackend, but any ExecutionBackend pair satisfying the
+ * retirement contract can be cross-checked (tests use stub backends to
+ * prove mismatches are caught).
+ */
+class LockstepCosim
+{
+  public:
+    LockstepCosim(ExecutionBackend &functional,
+                  ExecutionBackend &timing, CosimOptions options = {});
+
+    /** Execute `program` on both backends in lockstep. */
+    CosimReport run(const compiler::Program &program, const Job &job);
+
+  private:
+    ExecutionBackend &functional_;
+    ExecutionBackend &timing_;
+    CosimOptions options_;
+};
+
+} // namespace morphling::exec
+
+#endif // MORPHLING_EXEC_COSIM_H

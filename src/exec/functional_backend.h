@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The functional execution backend: interprets a compiled Program
+ * against real LWE ciphertexts.
+ *
+ * DMA instructions move ciphertext/key data through modeled per-chunk
+ * staging buffers, VPU instructions run the library's mod-switch /
+ * sample-extract / key-switch stages, and XpuBlindRotate runs a real
+ * blind rotation. Because each chunk executes the exact stage sequence
+ * of tfhe::bootstrapInto (mod-switch -> workspace blind rotation ->
+ * sample extraction -> key switching), the outputs are bit-identical
+ * to the library reference — the property the lockstep co-simulator
+ * asserts.
+ *
+ * The backend doubles as an IR validity checker: a stream that loads a
+ * chunk twice, rotates before mod-switching, stores before
+ * key-switching, or whose DMA.LD_LWE totals disagree with its XPU.BR
+ * totals panics instead of silently computing garbage.
+ */
+
+#ifndef MORPHLING_EXEC_FUNCTIONAL_BACKEND_H
+#define MORPHLING_EXEC_FUNCTIONAL_BACKEND_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/functional/functional_xpu.h"
+#include "exec/backend.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/keyset.h"
+#include "tfhe/serialize.h"
+#include "tfhe/workspace.h"
+
+namespace morphling::exec {
+
+/** Which engine executes XpuBlindRotate instructions. */
+enum class XpuEngine
+{
+    /** The zero-allocation workspace blind rotation
+     *  (tfhe::blindRotate through a BootstrapWorkspace): bit-exact vs.
+     *  tfhe::bootstrapInto. The default, and the only engine the
+     *  bit-exactness co-sim check admits. */
+    kWorkspace,
+
+    /** The merge-split FFT datapath model
+     *  (arch::functional::FunctionalXpu, Figure 5): computes real
+     *  rotations that decrypt identically but differ from the library
+     *  path by sub-noise rounding (see tests/test_functional_xpu.cc).
+     *  Requires a caller-supplied coefficient-domain BSK. */
+    kDatapath
+};
+
+/** Construction-time knobs of the functional backend. */
+struct FunctionalConfig
+{
+    XpuEngine xpuEngine = XpuEngine::kWorkspace;
+
+    /** Coefficient-domain BSK for XpuEngine::kDatapath (generate via
+     *  arch::functional::generateRawBsk; needs secret keys). Must
+     *  outlive the backend. Ignored by kWorkspace. */
+    const std::vector<tfhe::GgswCiphertext> *rawBsk = nullptr;
+
+    /** VPE array geometry for the datapath engine. */
+    unsigned datapathRows = 4;
+    unsigned datapathCols = 4;
+};
+
+/**
+ * Interprets Programs against real ciphertexts. Holds references to
+ * the key material — the keys must outlive the backend.
+ */
+class FunctionalBackend final : public ExecutionBackend
+{
+  public:
+    explicit FunctionalBackend(const tfhe::EvaluationKeys &keys,
+                               FunctionalConfig config = {});
+    explicit FunctionalBackend(const tfhe::KeySet &keys,
+                               FunctionalConfig config = {});
+
+    std::string_view name() const override { return "functional"; }
+
+    void load(const compiler::Program &program,
+              const Job &job) override;
+    std::optional<RetiredInstruction> step() override;
+    bool done() const override;
+    ExecutionResult finish() override;
+
+    /** Fast path: barrier-delimited segments execute their groups in
+     *  parallel (Job::options.threads workers, each with its own
+     *  workspace) while preserving per-group program order. Falls back
+     *  to sequential stepping for 1 thread or the datapath engine
+     *  (which is single-instance stateful). */
+    ExecutionResult run(const compiler::Program &program,
+                        const Job &job) override;
+
+  private:
+    /** Pipeline state of one LD_LWE..ST_LWE chunk. The booleans track
+     *  stage progress so malformed streams panic. */
+    struct Chunk
+    {
+        std::size_t slotBegin = 0; //!< first input/output slot covered
+        unsigned count = 0;
+        bool staged = false;
+        bool modSwitched = false;
+        bool bskArmed = false;
+        bool rotated = false;
+        bool extracted = false;
+        bool kskLoaded = false;
+        bool keySwitched = false;
+        bool stored = false;
+        std::vector<tfhe::LweCiphertext> staging; //!< DMA'd inputs
+        std::vector<std::vector<std::uint32_t>> switched;
+        std::vector<tfhe::GlweCiphertext> accs;
+        std::vector<tfhe::LweCiphertext> extractedCts;
+        std::vector<tfhe::LweCiphertext> results;
+    };
+
+    /** One program instruction with its chunk binding (-1 for ops that
+     *  carry no chunk data: barriers, LD_DATA, PALU). */
+    struct InstrRef
+    {
+        std::size_t index = 0;
+        int chunk = -1;
+    };
+
+    struct Group
+    {
+        std::vector<InstrRef> stream; //!< program order
+        std::size_t pc = 0;
+    };
+
+    void reset();
+    void bindProgram(const compiler::Program &program, const Job &job);
+    void execute(const InstrRef &ref, tfhe::BootstrapWorkspace &ws);
+    void blindRotateChunk(Chunk &chunk, tfhe::BootstrapWorkspace &ws);
+    RetiredInstruction makeRetired(std::size_t index);
+    /** All unfinished groups sit at the same barrier: retire it for
+     *  every group (into pendingRetire_) and advance past it. */
+    void releaseBarrier();
+    void runParallel(unsigned threads);
+    bool allFinished() const;
+
+    const tfhe::TfheParams &params_;
+    const tfhe::BootstrapKey &bsk_;
+    const tfhe::KeySwitchKey &ksk_;
+    FunctionalConfig config_;
+    std::unique_ptr<arch::functional::FunctionalXpu> xpu_;
+
+    const compiler::Program *program_ = nullptr;
+    const std::vector<tfhe::LweCiphertext> *inputs_ = nullptr;
+    bool loaded_ = false;
+    tfhe::TorusPolynomial testPoly_;
+    std::vector<Chunk> chunks_;
+    std::vector<Group> groups_;
+    std::vector<tfhe::LweCiphertext> outputs_;
+    std::vector<RetiredInstruction> log_;
+    std::deque<RetiredInstruction> pendingRetire_;
+    std::uint64_t seq_ = 0;
+    unsigned rr_ = 0; //!< round-robin group cursor for step()
+};
+
+} // namespace morphling::exec
+
+#endif // MORPHLING_EXEC_FUNCTIONAL_BACKEND_H

@@ -1,0 +1,108 @@
+#include "timing_backend.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace morphling::exec {
+
+TimingBackend::TimingBackend(arch::ArchConfig config,
+                             const tfhe::TfheParams &params)
+    : accel_(std::move(config), params)
+{
+}
+
+void
+TimingBackend::load(const compiler::Program &program, const Job &job)
+{
+    (void)job; // the cycle model carries no ciphertext data
+    completions_.clear();
+    retireOrder_.clear();
+    cursor_ = 0;
+
+    report_ = accel_.run(
+        program,
+        [this](std::size_t index, const compiler::Instruction &inst,
+               std::uint64_t tick) {
+            RetiredInstruction r;
+            r.index = index;
+            r.inst = inst;
+            r.seq = completions_.size();
+            r.tick = tick;
+            completions_.push_back(r);
+        });
+
+    // Coverage: the simulation must have completed every instruction
+    // exactly once — anything else is a scheduler bug.
+    panic_if(completions_.size() != program.size(),
+             "simulation completed ", completions_.size(), " of ",
+             program.size(), " instructions");
+    std::vector<char> seen(program.size(), 0);
+    for (const auto &r : completions_) {
+        panic_if(seen[r.index], "instruction ", r.index,
+                 " completed twice");
+        seen[r.index] = 1;
+    }
+
+    // Architectural retirement: per group in program order, each
+    // instruction retiring at the running max of its group's
+    // completion ticks (ROB view over the overlapping chains).
+    std::vector<std::uint64_t> tick_of(program.size(), 0);
+    for (const auto &r : completions_)
+        tick_of[r.index] = r.tick;
+
+    std::vector<std::uint64_t> group_floor(program.numGroups(), 0);
+    retireOrder_.reserve(program.size());
+    const auto &instrs = program.instructions();
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        auto &floor = group_floor[instrs[i].group];
+        floor = std::max(floor, tick_of[i]);
+        RetiredInstruction r;
+        r.index = i;
+        r.inst = instrs[i];
+        r.tick = floor;
+        retireOrder_.push_back(r);
+    }
+    std::stable_sort(retireOrder_.begin(), retireOrder_.end(),
+                     [](const RetiredInstruction &a,
+                        const RetiredInstruction &b) {
+                         return a.tick < b.tick;
+                     });
+    for (std::size_t i = 0; i < retireOrder_.size(); ++i)
+        retireOrder_[i].seq = i;
+
+    loaded_ = true;
+}
+
+std::optional<RetiredInstruction>
+TimingBackend::step()
+{
+    panic_if(!loaded_, "step() before load()");
+    if (cursor_ >= retireOrder_.size())
+        return std::nullopt;
+    return retireOrder_[cursor_++];
+}
+
+bool
+TimingBackend::done() const
+{
+    return loaded_ && cursor_ >= retireOrder_.size();
+}
+
+ExecutionResult
+TimingBackend::finish()
+{
+    panic_if(!loaded_, "finish() before load()");
+    panic_if(!done(), "finish() before the program fully retired");
+    ExecutionResult result;
+    result.backend = name();
+    result.report = report_;
+    result.hasReport = true;
+    result.retired = std::move(retireOrder_);
+    retireOrder_.clear();
+    cursor_ = 0;
+    loaded_ = false;
+    return result;
+}
+
+} // namespace morphling::exec

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "exec/cosim.h"
+#include "exec/functional_backend.h"
+#include "exec/timing_backend.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 
@@ -82,12 +85,16 @@ normalized(ServiceConfig config)
 BootstrapService::BootstrapService(tfhe::EvaluationKeys keys,
                                    ServiceConfig config)
     : keys_(std::move(keys)), config_(normalized(config)),
-      start_(ServiceClock::now())
+      start_(ServiceClock::now()), scheduler_(keys_.params)
 {
     fatal_if(config_.superbatchSize == 0,
              "superbatchSize must be positive");
     fatal_if(config_.maxOutstanding == 0,
              "maxOutstanding must be positive");
+    fatal_if(config_.backend == exec::BackendKind::kTiming,
+             "BackendKind::kTiming produces cycle counts, not "
+             "ciphertexts; the service cannot fulfil requests with it "
+             "(use kFunctional, or kCosim for a checked run)");
 
     // Create every stat up front so snapshots can lookup() them even
     // before the first request.
@@ -355,6 +362,51 @@ BootstrapService::assemblerMain()
     workCv_.notify_all();
 }
 
+const compiler::Program &
+BootstrapService::programFor(std::size_t count)
+{
+    std::lock_guard<std::mutex> lk(programMu_);
+    auto it = programs_.find(count);
+    if (it == programs_.end()) {
+        MORPHLING_SPAN("service", "compile_batch");
+        it = programs_
+                 .emplace(count, scheduler_.scheduleBootstrapBatch(
+                                     static_cast<std::uint64_t>(count)))
+                 .first;
+    }
+    return it->second;
+}
+
+std::vector<tfhe::LweCiphertext>
+BootstrapService::executeBatch(
+    const std::vector<tfhe::LweCiphertext> &inputs,
+    const std::vector<tfhe::Torus32> &lut)
+{
+    const compiler::Program &program = programFor(inputs.size());
+    exec::Job job;
+    job.inputs = &inputs;
+    job.lut = &lut;
+    job.options = config_.batch;
+
+    if (config_.backend == exec::BackendKind::kCosim) {
+        exec::FunctionalBackend functional(keys_);
+        exec::TimingBackend timing(config_.timing, keys_.params);
+        exec::CosimOptions copts;
+        copts.referenceKeys = &keys_;
+        exec::LockstepCosim cosim(functional, timing, copts);
+        auto report = cosim.run(program, job);
+        panic_if(!report.ok(), "service co-simulation diverged: ",
+                 report.summary());
+        return std::move(report.functional.outputs);
+    }
+
+    exec::FunctionalBackend backend(keys_);
+    auto result = backend.run(program, job);
+    panic_if(!result.hasOutputs,
+             "functional backend returned no outputs");
+    return std::move(result.outputs);
+}
+
 void
 BootstrapService::workerMain()
 {
@@ -381,8 +433,7 @@ BootstrapService::workerMain()
         std::vector<tfhe::LweCiphertext> outputs;
         {
             MORPHLING_SPAN("service", "execute_batch");
-            outputs = tfhe::batchBootstrap(keys_, inputs, *batch.lut,
-                                           config_.batch);
+            outputs = executeBatch(inputs, *batch.lut);
         }
         const auto t1 = ServiceClock::now();
         panic_if(outputs.size() != count, "batch size mismatch");

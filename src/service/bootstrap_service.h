@@ -10,9 +10,11 @@
  *   submit()/trySubmit() -> per-LUT pending bucket -> assembler thread
  *   groups compiler::kSuperbatchSize requests sharing a LUT into one
  *   Superbatch (or flushes a partial batch after maxWait, so light
- *   load still makes progress) -> worker pool bootstraps the batch via
- *   the unified tfhe::batchBootstrap hot path -> each request's
- *   std::future is fulfilled.
+ *   load still makes progress) -> worker pool compiles the batch to a
+ *   Morphling Program (cached per batch size) and executes it through
+ *   the ServiceConfig::backend execution backend
+ *   (docs/execution_model.md) -> each request's std::future is
+ *   fulfilled.
  *
  * Backpressure: the number of accepted-but-uncompleted requests is
  * bounded by ServiceConfig::maxOutstanding. submit() blocks for space;
@@ -24,8 +26,9 @@
  * race submitters against shutdown().
  *
  * Thread safety: every public method may be called from any thread.
- * Key material is read-only after construction; per-batch execution
- * uses the lock-free tfhe batch path.
+ * Key material is read-only after construction; each worker drives its
+ * own execution backend instance, and the compiled-program cache is the
+ * only state batches share.
  */
 
 #ifndef MORPHLING_SERVICE_BOOTSTRAP_SERVICE_H
@@ -36,13 +39,16 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "arch/config.h"
 #include "compiler/sw_scheduler.h"
+#include "exec/backend.h"
 #include "service/service_stats.h"
 #include "tfhe/batch.h"
 
@@ -75,6 +81,19 @@ struct ServiceConfig
      *  within the batch, optional noise audit). The default (1 thread
      *  per batch) parallelizes across batches via numWorkers. */
     tfhe::BatchOptions batch;
+
+    /**
+     * Which execution backend runs a superbatch's compiled Program.
+     * kFunctional is the production path; kCosim additionally retires
+     * the program through the cycle model in lockstep and panics on any
+     * divergence (a deep self-check — orders of magnitude slower).
+     * kTiming is rejected at construction: it produces no ciphertexts,
+     * so the service could never fulfil its promises.
+     */
+    exec::BackendKind backend = exec::BackendKind::kFunctional;
+
+    /** Accelerator geometry for the kCosim timing side. */
+    arch::ArchConfig timing;
 };
 
 /**
@@ -189,9 +208,25 @@ class BootstrapService
     void assemblerMain();
     void workerMain();
 
+    /** The compiled Program bootstrapping `count` ciphertexts, compiled
+     *  on first use and cached (superbatches repeat sizes heavily: full
+     *  batches always, partial flushes often). Thread-safe; the
+     *  returned reference stays valid for the service's lifetime. */
+    const compiler::Program &programFor(std::size_t count);
+
+    /** Execute one assembled superbatch through the configured
+     *  execution backend; returns one output per input, in order. */
+    std::vector<tfhe::LweCiphertext>
+    executeBatch(const std::vector<tfhe::LweCiphertext> &inputs,
+                 const std::vector<tfhe::Torus32> &lut);
+
     const tfhe::EvaluationKeys keys_;
     const ServiceConfig config_;
     const ServiceClock::time_point start_;
+    const compiler::SwScheduler scheduler_; //!< compiles superbatches
+
+    mutable std::mutex programMu_; //!< guards programs_
+    std::map<std::size_t, compiler::Program> programs_;
 
     mutable std::mutex mu_;
     std::condition_variable spaceCv_;    //!< submitters await capacity

@@ -25,34 +25,13 @@ bootstrapOne(const BootstrapKey &bsk, const KeySwitchKey &ksk,
                   BootstrapWorkspace::forThisThread());
 }
 
-void
-auditLutMargin(const TfheParams &params,
-               const std::vector<Torus32> &lut, const BatchOptions &opts)
-{
-    if (!opts.checkNoise || lut.empty())
-        return;
-    const NoiseModel model(params);
-    // The input-side error that must stay inside half a LUT slot is the
-    // fresh ciphertext noise plus the mod-switch rounding; a refreshed
-    // input is the common case, so audit the refreshed level.
-    const double input_variance =
-        model.bootstrapOutputVariance() + model.modSwitchVariance();
-    const double sigmas = model.slotSigmas(
-        static_cast<std::uint32_t>(lut.size()), input_variance);
-    if (sigmas < opts.minSlotSigmas) {
-        warn("batch LUT over ", lut.size(), " messages has only ",
-             sigmas, " sigmas of noise margin (want >= ",
-             opts.minSlotSigmas, "); expect decode failures");
-    }
-}
-
 std::vector<LweCiphertext>
 runBatch(const TfheParams &params, const BootstrapKey &bsk,
          const KeySwitchKey &ksk,
          const std::vector<LweCiphertext> &inputs,
          const std::vector<Torus32> &lut, const BatchOptions &opts)
 {
-    auditLutMargin(params, lut, opts);
+    auditBatchLut(params, lut, opts);
     const auto test_poly = buildTestPolynomial(params.polyDegree, lut);
 
     unsigned threads = opts.threads;
@@ -91,6 +70,27 @@ runBatch(const TfheParams &params, const BootstrapKey &bsk,
 }
 
 } // namespace
+
+void
+auditBatchLut(const TfheParams &params, const std::vector<Torus32> &lut,
+              const BatchOptions &opts)
+{
+    if (!opts.checkNoise || lut.empty())
+        return;
+    const NoiseModel model(params);
+    // The input-side error that must stay inside half a LUT slot is the
+    // fresh ciphertext noise plus the mod-switch rounding; a refreshed
+    // input is the common case, so audit the refreshed level.
+    const double input_variance =
+        model.bootstrapOutputVariance() + model.modSwitchVariance();
+    const double sigmas = model.slotSigmas(
+        static_cast<std::uint32_t>(lut.size()), input_variance);
+    if (sigmas < opts.minSlotSigmas) {
+        warn("batch LUT over ", lut.size(), " messages has only ",
+             sigmas, " sigmas of noise margin (want >= ",
+             opts.minSlotSigmas, "); expect decode failures");
+    }
+}
 
 std::vector<LweCiphertext>
 batchBootstrap(const KeySet &keys,

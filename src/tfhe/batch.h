@@ -53,6 +53,17 @@ struct BatchOptions
 };
 
 /**
+ * Audit a LUT against the analytic noise model per
+ * BatchOptions::checkNoise (warn() when the slot margin is thin).
+ * No-op when opts.checkNoise is false or the LUT is empty. Shared by
+ * the batch path and the exec::FunctionalBackend so both entry points
+ * apply the same audit.
+ */
+void auditBatchLut(const TfheParams &params,
+                   const std::vector<Torus32> &lut,
+                   const BatchOptions &opts);
+
+/**
  * Programmable-bootstrap every ciphertext with the same LUT. Results
  * are in input order and independent of opts.threads.
  */

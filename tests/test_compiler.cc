@@ -4,6 +4,10 @@
  * (batching of 64 LWEs into 4 groups, dependent streams, barriers).
  */
 
+#include <fstream>
+#include <random>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "compiler/isa.h"
@@ -46,6 +50,61 @@ TEST(Isa, OpcodeClassesArePartition)
             EXPECT_EQ(classes, 1) << opcodeName(op);
         EXPECT_FALSE(opcodeName(op).empty());
     }
+}
+
+TEST(Isa, TryDecodeIsTotalOverRandomWords)
+{
+    // Property fuzz over the full 64-bit word space: every word either
+    // decodes to an instruction that re-encodes to the identical word,
+    // or is rejected — deterministically, never UB. The opcode byte is
+    // drawn uniformly, so both outcomes are exercised heavily.
+    std::mt19937_64 rng(0xD15A55E3B1Eull);
+    std::size_t valid = 0, rejected = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const std::uint64_t word = rng();
+        const auto inst = Instruction::tryDecode(word);
+        const auto op_byte =
+            static_cast<std::uint8_t>((word >> 56) & 0xFF);
+        ASSERT_EQ(inst.has_value(), isValidOpcodeByte(op_byte))
+            << "word " << word;
+        if (inst) {
+            // Lossless: the four fields partition all 64 bits.
+            EXPECT_EQ(inst->encode(), word);
+            EXPECT_EQ(Instruction::decode(word), *inst);
+            ++valid;
+        } else {
+            // Rejection is deterministic.
+            EXPECT_FALSE(Instruction::tryDecode(word).has_value());
+            ++rejected;
+        }
+    }
+    EXPECT_GT(valid, 0u);
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST(Isa, ValidOpcodeBytesAreExactlyTheEnum)
+{
+    for (unsigned b = 0; b < 256; ++b)
+        EXPECT_EQ(isValidOpcodeByte(static_cast<std::uint8_t>(b)),
+                  b < kOpcodeCount)
+            << "byte " << b;
+}
+
+TEST(IsaDeathTest, DecodeRejectsInvalidOpcodeByte)
+{
+    const std::uint64_t word = 0xFFull << 56;
+    ASSERT_FALSE(Instruction::tryDecode(word).has_value());
+    EXPECT_DEATH((void)Instruction::decode(word), "invalid opcode");
+}
+
+TEST(ProgramDeathTest, DeserializeRejectsInvalidOpcodeByte)
+{
+    Program prog("p");
+    prog.add({Opcode::DmaLoadLwe, 0, 1, 4});
+    auto words = prog.serialize();
+    words.push_back(0xABull << 56);
+    EXPECT_DEATH((void)Program::deserialize("p", words),
+                 "invalid opcode");
 }
 
 TEST(Program, SerializeRoundTrip)
@@ -177,6 +236,37 @@ TEST_F(SchedulerFixture, BskBytesMatchTransformFormat)
 {
     // (k+1) l_b (k+1) polys of N/2 complex64 = 8 * 512 * 8 bytes.
     EXPECT_EQ(scheduler.bskBytesPerIteration(), 8ull * 512 * 8);
+}
+
+TEST_F(SchedulerFixture, SuperbatchDisassemblyMatchesGolden)
+{
+    // The canonical 64-LWE superbatch, disassembled group by group and
+    // diffed against a checked-in golden file. A diff means either the
+    // scheduler's emission or the disassembly format changed — both are
+    // contracts other layers (backends, the co-simulator, humans
+    // reading traces) depend on; regenerate the golden only for an
+    // intentional change.
+    const Program prog = scheduler.scheduleBootstrapBatch(64);
+    EXPECT_EQ(prog.numGroups(), 4u);
+    const std::string disasm = prog.disassembleByGroup();
+
+    const std::string path =
+        std::string(MORPHLING_TEST_DATA_DIR) + "/superbatch64.disasm";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path;
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(disasm, golden.str());
+}
+
+TEST(Program, NumGroups)
+{
+    Program prog("p");
+    EXPECT_EQ(prog.numGroups(), 0u);
+    prog.add({Opcode::VpuModSwitch, 0, 1, 0});
+    EXPECT_EQ(prog.numGroups(), 1u);
+    prog.add({Opcode::VpuModSwitch, 2, 1, 0});
+    EXPECT_EQ(prog.numGroups(), 3u);
 }
 
 TEST(Workload, Totals)

@@ -212,7 +212,7 @@ TEST_F(FunctionalXpuFixture, BlindRotationDecryptsCorrectly)
         const auto ct = encryptPadded(keys(), m, space, rng);
         const auto switched =
             modSwitch(ct, keys().params.polyDegree);
-        const auto acc = xpu.blindRotate(tp, switched);
+        const auto acc = xpu.runBlindRotate(tp, switched);
         const auto out = keys().ksk.apply(acc.sampleExtract());
         EXPECT_EQ(decryptPadded(keys(), out, space), (m + 1) % 4)
             << "m=" << m;
@@ -250,7 +250,7 @@ TEST_F(FunctionalXpuFixture, MatchesLibraryBlindRotation)
                          a_tilde);
     }
 
-    const auto got = xpu.blindRotate(tp, switched);
+    const auto got = xpu.runBlindRotate(tp, switched);
     for (unsigned c = 0; c <= keys().params.glweDimension; ++c) {
         for (unsigned j = 0; j < keys().params.polyDegree; ++j) {
             EXPECT_LT(torusDistance(got.component(c)[j],
@@ -281,7 +281,7 @@ TEST_F(FunctionalXpuFixture, BatchSharesBskAcrossRows)
             modSwitch(cts.back(), keys().params.polyDegree));
     }
 
-    const auto accs = xpu.blindRotateBatch(tp, batch);
+    const auto accs = xpu.runBlindRotateBatch(tp, batch);
     ASSERT_EQ(accs.size(), 4u);
     for (std::size_t i = 0; i < accs.size(); ++i) {
         const auto out = keys().ksk.apply(accs[i].sampleExtract());
@@ -301,7 +301,7 @@ TEST_F(FunctionalXpuFixture, DatapathCountersMatchClosedForm)
     const auto tp = buildTestPolynomial(keys().params.polyDegree, lut);
     const auto ct = encryptPadded(keys(), 1, 4, rng);
     const auto switched = modSwitch(ct, keys().params.polyDegree);
-    xpu.blindRotate(tp, switched);
+    xpu.runBlindRotate(tp, switched);
 
     const auto after = xpu.stats();
     const auto iters = after.iterations - before.iterations;

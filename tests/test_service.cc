@@ -268,5 +268,64 @@ TEST_F(ServiceFixture, ShutdownDrainsAllAcceptedRequests)
     EXPECT_TRUE(service.stopped());
 }
 
+TEST_F(ServiceFixture, CosimBackendServesCorrectResults)
+{
+    // The deep self-check path: every superbatch runs through the
+    // lockstep co-simulator (functional + cycle model, cross-checked,
+    // outputs verified against the tfhe reference). Results must be
+    // indistinguishable from the functional path.
+    ServiceConfig config;
+    config.superbatchSize = 8;
+    config.numWorkers = 1;
+    config.backend = exec::BackendKind::kCosim;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(tfhe::makePaddedLut(
+        kSpace, [](std::uint32_t m) { return (m + 1) % kSpace; }));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        futures.push_back(service.submit(encrypt(i % kSpace), lut));
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        expectReady(futures[i]);
+        EXPECT_EQ(decrypt(futures[i].get()),
+                  (i % kSpace + 1) % kSpace)
+            << i;
+    }
+}
+
+TEST_F(ServiceFixture, ProgramCacheCompilesEachSizeOnce)
+{
+    // Two full batches of the same size reuse one compiled Program; a
+    // timer-flushed partial batch compiles its own. (Observable only
+    // indirectly — correct results across mixed batch sizes.)
+    ServiceConfig config;
+    config.superbatchSize = 4;
+    config.maxWait = 20ms;
+    config.numWorkers = 2;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(tfhe::makePaddedLut(
+        kSpace, [](std::uint32_t m) { return m; }));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (std::uint32_t i = 0; i < 11; ++i) // 2 full + 1 partial of 3
+        futures.push_back(service.submit(encrypt(i % kSpace), lut));
+    for (std::uint32_t i = 0; i < 11; ++i) {
+        expectReady(futures[i]);
+        EXPECT_EQ(decrypt(futures[i].get()), i % kSpace) << i;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, 11u);
+}
+
+TEST(ServiceConfigDeathTest, TimingBackendIsRejected)
+{
+    Rng rng(0x7E57);
+    const KeySet keys = KeySet::generate(tfhe::paramsTest(), rng);
+    ServiceConfig config;
+    config.backend = exec::BackendKind::kTiming;
+    EXPECT_DEATH(BootstrapService service(keys, config),
+                 "kTiming");
+}
+
 } // namespace
 } // namespace morphling::service
