@@ -1,6 +1,7 @@
 #include "program.h"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 
 #include "common/logging.h"
@@ -45,6 +46,35 @@ Program::numGroups() const
     return groups;
 }
 
+ProgramSlice
+Program::sliceGroups(const std::string &name,
+                     const std::vector<std::uint8_t> &groups) const
+{
+    panic_if(groups.empty(), "sliceGroups with no groups");
+    // Dense remap table: source group id -> slice-local id.
+    std::array<int, 256> local;
+    local.fill(-1);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        panic_if(i > 0 && groups[i] <= groups[i - 1],
+                 "sliceGroups groups must be ascending and unique");
+        local[groups[i]] = static_cast<int>(i);
+    }
+
+    ProgramSlice slice;
+    slice.program = Program(name);
+    slice.groups = groups;
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+        const int remapped = local[instrs_[i].group];
+        if (remapped < 0)
+            continue;
+        Instruction inst = instrs_[i];
+        inst.group = static_cast<std::uint8_t>(remapped);
+        slice.program.add(inst);
+        slice.globalIndex.push_back(i);
+    }
+    return slice;
+}
+
 std::map<Opcode, std::uint64_t>
 Program::histogram() const
 {
@@ -86,6 +116,65 @@ Program::deserialize(const std::string &name,
                  " has invalid opcode byte ",
                  static_cast<unsigned>((words[i] >> 56) & 0xFF));
         prog.add(*inst);
+    }
+    return prog;
+}
+
+std::vector<std::uint64_t>
+Program::serializeFramed() const
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(3 + instrs_.size());
+    words.push_back(kFramedMagic);
+    words.push_back(static_cast<std::uint64_t>(instrs_.size()));
+    words.push_back(static_cast<std::uint64_t>(numGroups()));
+    for (const auto &inst : instrs_)
+        words.push_back(inst.encode());
+    return words;
+}
+
+std::optional<Program>
+Program::tryDeserializeFramed(const std::string &name,
+                              const std::vector<std::uint64_t> &words,
+                              std::string *error)
+{
+    const auto fail = [&](std::string message) -> std::optional<Program> {
+        if (error != nullptr)
+            *error = "program '" + name + "': " + std::move(message);
+        return std::nullopt;
+    };
+
+    if (words.size() < 3)
+        return fail("framed buffer of " + std::to_string(words.size()) +
+                    " words is shorter than the 3-word header");
+    if (words[0] != kFramedMagic)
+        return fail("bad magic/version word");
+    const std::uint64_t count = words[1];
+    if (words.size() - 3 < count)
+        return fail("truncated: header declares " +
+                    std::to_string(count) + " instructions, buffer "
+                    "holds " + std::to_string(words.size() - 3));
+    if (words.size() - 3 > count)
+        return fail("oversized: " +
+                    std::to_string(words.size() - 3 - count) +
+                    " trailing words after the declared " +
+                    std::to_string(count) + " instructions");
+
+    Program prog(name);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto inst = Instruction::tryDecode(words[3 + i]);
+        if (!inst) {
+            return fail(
+                "word " + std::to_string(i) +
+                " has invalid opcode byte " +
+                std::to_string((words[3 + i] >> 56) & 0xFF));
+        }
+        prog.add(*inst);
+    }
+    if (prog.numGroups() != words[2]) {
+        return fail("group count mismatch: header declares " +
+                    std::to_string(words[2]) + " groups, stream has " +
+                    std::to_string(prog.numGroups()));
     }
     return prog;
 }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,8 @@ struct Workload
     std::uint64_t totalLinearMacs() const;
 };
 
+struct ProgramSlice;
+
 /** The compiled instruction stream. */
 class Program
 {
@@ -68,6 +71,21 @@ class Program
      *  0 for an empty program). */
     unsigned numGroups() const;
 
+    /**
+     * Carve out the streams of a subset of scheduling groups as a
+     * standalone sub-program (see ProgramSlice). `groups` must be
+     * non-empty, sorted ascending and duplicate-free; ids beyond
+     * numGroups() are permitted (they contribute empty streams), so a
+     * fixed round-robin shard assignment works for any program.
+     * Groups are data-independent between barriers, so a slice
+     * executes correctly on its own backend; the slice keeps each
+     * group's barrier instructions, making the rendezvous local to
+     * the slice's groups.
+     */
+    ProgramSlice sliceGroups(const std::string &name,
+                             const std::vector<std::uint8_t> &groups)
+        const;
+
     /** Count of instructions per opcode (used by tests and dumps). */
     std::map<Opcode, std::uint64_t> histogram() const;
 
@@ -82,6 +100,30 @@ class Program
     static Program deserialize(const std::string &name,
                                const std::vector<std::uint64_t> &words);
 
+    /** First word of the framed container: 'MORPHP' + format version,
+     *  bumped on any layout change. */
+    static constexpr std::uint64_t kFramedMagic = 0x4D4F52504850'0001ull;
+
+    /**
+     * Pack to a self-describing container for the on-disk program
+     * cache: [kFramedMagic, instruction count, numGroups(),
+     * instruction words...]. The redundant header fields are what
+     * tryDeserializeFramed validates against.
+     */
+    std::vector<std::uint64_t> serializeFramed() const;
+
+    /**
+     * Decode a framed container without trusting it: returns nullopt
+     * (with a diagnostic in *error when given) on a short or oversized
+     * buffer, a bad magic/version word, an invalid opcode byte, or a
+     * group count disagreeing with the header — the hardened surface a
+     * cache of on-disk programs decodes through.
+     */
+    static std::optional<Program>
+    tryDeserializeFramed(const std::string &name,
+                         const std::vector<std::uint64_t> &words,
+                         std::string *error = nullptr);
+
     /** Multi-line disassembly. */
     std::string disassemble() const;
 
@@ -93,6 +135,25 @@ class Program
   private:
     std::string name_;
     std::vector<Instruction> instrs_;
+};
+
+/**
+ * One shard's view of a Program (Program::sliceGroups): the
+ * instruction streams of a subset of its scheduling groups, in
+ * original program order, with group ids remapped densely to
+ * 0..groups.size()-1 (backends size their group tables from the
+ * highest id, and a barrier rendezvous must not wait on groups the
+ * shard does not own). `groups[i]` names the source group that became
+ * slice-local group i; `globalIndex[j]` maps slice instruction j back
+ * to its index in the source Program — how a sharded runner merges
+ * per-shard retirement logs into global program order
+ * (exec/sharded_backend.h).
+ */
+struct ProgramSlice
+{
+    Program program;
+    std::vector<std::uint8_t> groups;     //!< ascending source ids
+    std::vector<std::size_t> globalIndex; //!< slice index -> source index
 };
 
 } // namespace morphling::compiler

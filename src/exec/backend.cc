@@ -14,6 +14,8 @@ backendKindName(BackendKind kind)
         return "timing";
       case BackendKind::kCosim:
         return "cosim";
+      case BackendKind::kShardedFunctional:
+        return "sharded-functional";
     }
     panic("unknown backend kind ", static_cast<int>(kind));
 }

@@ -38,7 +38,10 @@ enum class BackendKind
 {
     kFunctional, //!< interpret against real ciphertexts
     kTiming,     //!< cycle model only, no data
-    kCosim       //!< functional + timing in lockstep, cross-checked
+    kCosim,      //!< functional + timing in lockstep, cross-checked
+    /** Superbatch fanned out across ServiceConfig::numShards
+     *  functional workers (exec::ShardedBackend). */
+    kShardedFunctional
 };
 
 /** Stable name for logs and config dumps. */

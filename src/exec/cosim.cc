@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "exec/sharded_backend.h"
 #include "exec/timing_backend.h"
 #include "telemetry/telemetry.h"
 
@@ -161,6 +162,46 @@ checkCompletionOrder(const compiler::Program &program,
     }
 }
 
+/** Sharded-reference checks: the shard slices must partition the
+ *  program (every group owned by exactly one shard, slice streams
+ *  jointly covering every instruction), and each timing shard's
+ *  shard-local completion log must satisfy the same dependency-order
+ *  invariants as a monolithic timing backend. */
+void
+checkSharded(const compiler::Program &program,
+             const ShardedBackend &sharded, ErrorSink &sink)
+{
+    const unsigned n_groups = program.numGroups();
+    std::vector<unsigned> owners(n_groups, 0);
+    std::size_t covered = 0;
+    for (unsigned s = 0; s < sharded.numShards(); ++s) {
+        const auto &slice = sharded.slice(s);
+        for (const unsigned g : slice.groups) {
+            if (g < n_groups)
+                ++owners[g];
+        }
+        covered += slice.program.size();
+    }
+    for (unsigned g = 0; g < n_groups; ++g) {
+        if (owners[g] != 1) {
+            sink.add("sharded partition: group ", g, " is owned by ",
+                     owners[g], " shards, expected exactly one");
+        }
+    }
+    if (covered != program.size()) {
+        sink.add("sharded partition: slices cover ", covered, " of ",
+                 program.size(), " instructions");
+    }
+    for (unsigned s = 0; s < sharded.numShards(); ++s) {
+        const auto *tb = dynamic_cast<const TimingBackend *>(
+            &sharded.shardBackend(s));
+        if (tb != nullptr) {
+            checkCompletionOrder(sharded.slice(s).program,
+                                 tb->completionOrder(), sink);
+        }
+    }
+}
+
 } // namespace
 
 std::string
@@ -257,8 +298,12 @@ LockstepCosim::run(const compiler::Program &program, const Job &job)
     checkRetirement(program, f_log, functional_.name(), sink);
     checkRetirement(program, t_log, timing_.name(), sink);
 
-    if (const auto *tb = dynamic_cast<TimingBackend *>(&timing_))
-        checkCompletionOrder(program, tb->completionOrder(), sink);
+    for (ExecutionBackend *backend : {&functional_, &timing_}) {
+        if (const auto *tb = dynamic_cast<TimingBackend *>(backend))
+            checkCompletionOrder(program, tb->completionOrder(), sink);
+        else if (const auto *sb = dynamic_cast<ShardedBackend *>(backend))
+            checkSharded(program, *sb, sink);
+    }
 
     report.functional = functional_.finish();
     report.timing = timing_.finish();

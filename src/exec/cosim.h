@@ -14,6 +14,11 @@
  *  - dependency order (timing backends): raw completion ticks are
  *    monotone within every chunk chain, and no instruction after a
  *    barrier completes before the barrier releases;
+ *  - sharded references (either side a ShardedBackend): the shard
+ *    slices partition the program — every group owned by exactly one
+ *    shard, slices jointly covering each instruction once — and every
+ *    timing shard's shard-local completion log passes the
+ *    dependency-order checks above against its slice;
  *  - end-of-program correctness (opt-in via referenceKeys): functional
  *    outputs are bit-identical to the tfhe::batchBootstrap reference.
  *

@@ -1,10 +1,12 @@
 #include "bootstrap_service.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/logging.h"
 #include "exec/cosim.h"
 #include "exec/functional_backend.h"
+#include "exec/sharded_backend.h"
 #include "exec/timing_backend.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -82,19 +84,34 @@ normalized(ServiceConfig config)
 
 } // namespace
 
+std::optional<std::string>
+ServiceConfig::validate() const
+{
+    if (superbatchSize == 0)
+        return "superbatchSize must be positive";
+    if (maxOutstanding == 0)
+        return "maxOutstanding must be positive";
+    if (backend == exec::BackendKind::kTiming) {
+        return "BackendKind::kTiming produces cycle counts, not "
+               "ciphertexts; the service cannot fulfil requests with "
+               "it (use kFunctional, or kCosim for a checked run)";
+    }
+    if (backend == exec::BackendKind::kShardedFunctional &&
+        numShards == 0) {
+        return "kShardedFunctional needs numShards >= 1";
+    }
+    return std::nullopt;
+}
+
 BootstrapService::BootstrapService(tfhe::EvaluationKeys keys,
                                    ServiceConfig config)
     : keys_(std::move(keys)), config_(normalized(config)),
       start_(ServiceClock::now()), scheduler_(keys_.params)
 {
-    fatal_if(config_.superbatchSize == 0,
-             "superbatchSize must be positive");
-    fatal_if(config_.maxOutstanding == 0,
-             "maxOutstanding must be positive");
-    fatal_if(config_.backend == exec::BackendKind::kTiming,
-             "BackendKind::kTiming produces cycle counts, not "
-             "ciphertexts; the service cannot fulfil requests with it "
-             "(use kFunctional, or kCosim for a checked run)");
+    // A misconfigured service is the caller's error to report, not a
+    // process abort: validate() returns the diagnostic, we throw it.
+    if (const auto error = config_.validate())
+        throw std::invalid_argument("BootstrapService: " + *error);
 
     // Create every stat up front so snapshots can lookup() them even
     // before the first request.
@@ -398,6 +415,15 @@ BootstrapService::executeBatch(
         panic_if(!report.ok(), "service co-simulation diverged: ",
                  report.summary());
         return std::move(report.functional.outputs);
+    }
+
+    if (config_.backend == exec::BackendKind::kShardedFunctional) {
+        auto sharded = exec::ShardedBackend::functional(
+            keys_, config_.numShards);
+        auto result = sharded.run(program, job);
+        panic_if(!result.hasOutputs,
+                 "sharded backend returned no outputs");
+        return std::move(result.outputs);
     }
 
     exec::FunctionalBackend backend(keys_);

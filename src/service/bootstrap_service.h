@@ -84,16 +84,28 @@ struct ServiceConfig
 
     /**
      * Which execution backend runs a superbatch's compiled Program.
-     * kFunctional is the production path; kCosim additionally retires
-     * the program through the cycle model in lockstep and panics on any
-     * divergence (a deep self-check — orders of magnitude slower).
-     * kTiming is rejected at construction: it produces no ciphertexts,
-     * so the service could never fulfil its promises.
+     * kFunctional is the production path; kShardedFunctional fans each
+     * superbatch's group streams out across `numShards` functional
+     * workers (exec::ShardedBackend) with bit-identical outputs;
+     * kCosim additionally retires the program through the cycle model
+     * in lockstep and panics on any divergence (a deep self-check —
+     * orders of magnitude slower). kTiming is rejected by validate():
+     * it produces no ciphertexts, so the service could never fulfil
+     * its promises.
      */
     exec::BackendKind backend = exec::BackendKind::kFunctional;
 
+    /** Shards per superbatch for kShardedFunctional; defaults to the
+     *  paper's one-shard-per-group split of the 4-group superbatch. */
+    unsigned numShards = compiler::kNumGroups;
+
     /** Accelerator geometry for the kCosim timing side. */
     arch::ArchConfig timing;
+
+    /** First configuration error, or nullopt when the config can run.
+     *  The BootstrapService constructor throws std::invalid_argument
+     *  with this message instead of aborting the process. */
+    std::optional<std::string> validate() const;
 };
 
 /**
@@ -104,7 +116,8 @@ class BootstrapService
 {
   public:
     /** Serve with evaluation keys only (the deployment-split server
-     *  needs no secret material). */
+     *  needs no secret material). Throws std::invalid_argument when
+     *  ServiceConfig::validate() rejects the configuration. */
     explicit BootstrapService(tfhe::EvaluationKeys keys,
                               ServiceConfig config = {});
 

@@ -118,6 +118,112 @@ TEST(Program, SerializeRoundTrip)
         EXPECT_EQ(back.at(i), prog.at(i));
 }
 
+TEST(Program, FramedSerializeRoundTrip)
+{
+    Program prog("cacheable");
+    prog.add({Opcode::DmaLoadLwe, 0, 16, 123});
+    prog.add({Opcode::XpuBlindRotate, 0, 16, 500});
+    prog.add({Opcode::VpuKeySwitch, 1, 16, 0});
+    const auto words = prog.serializeFramed();
+    ASSERT_EQ(words.size(), prog.size() + 3);
+    EXPECT_EQ(words[0], Program::kFramedMagic);
+    EXPECT_EQ(words[1], prog.size());
+    EXPECT_EQ(words[2], prog.numGroups());
+
+    std::string error;
+    const auto back =
+        Program::tryDeserializeFramed("cacheable", words, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    ASSERT_EQ(back->size(), prog.size());
+    for (std::size_t i = 0; i < prog.size(); ++i)
+        EXPECT_EQ(back->at(i), prog.at(i));
+    EXPECT_EQ(back->numGroups(), prog.numGroups());
+}
+
+TEST(Program, FramedDecodeRejectsTruncatedBuffer)
+{
+    Program prog("p");
+    prog.add({Opcode::DmaLoadLwe, 0, 4, 1});
+    prog.add({Opcode::XpuBlindRotate, 0, 4, 500});
+    auto words = prog.serializeFramed();
+
+    // Shorter than the header itself.
+    std::string error;
+    EXPECT_FALSE(Program::tryDeserializeFramed(
+                     "p", {words[0], words[1]}, &error)
+                     .has_value());
+    EXPECT_NE(error.find("header"), std::string::npos);
+
+    // Header intact, instruction words cut off.
+    auto truncated = words;
+    truncated.pop_back();
+    EXPECT_FALSE(
+        Program::tryDeserializeFramed("p", truncated, &error)
+            .has_value());
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+
+    // Trailing garbage after the declared count.
+    auto oversized = words;
+    oversized.push_back(0);
+    EXPECT_FALSE(
+        Program::tryDeserializeFramed("p", oversized, &error)
+            .has_value());
+    EXPECT_NE(error.find("oversized"), std::string::npos);
+}
+
+TEST(Program, FramedDecodeRejectsBadMagicAndOpcode)
+{
+    Program prog("p");
+    prog.add({Opcode::DmaLoadLwe, 0, 4, 1});
+    const auto words = prog.serializeFramed();
+
+    auto bad_magic = words;
+    bad_magic[0] ^= 1;
+    std::string error;
+    EXPECT_FALSE(
+        Program::tryDeserializeFramed("p", bad_magic, &error)
+            .has_value());
+    EXPECT_NE(error.find("magic"), std::string::npos);
+
+    auto bad_opcode = words;
+    bad_opcode[3] = 0xABull << 56;
+    EXPECT_FALSE(
+        Program::tryDeserializeFramed("p", bad_opcode, &error)
+            .has_value());
+    EXPECT_NE(error.find("invalid opcode"), std::string::npos);
+}
+
+TEST(Program, FramedDecodeRejectsGroupCountMismatch)
+{
+    Program prog("p");
+    prog.add({Opcode::VpuModSwitch, 0, 1, 0});
+    prog.add({Opcode::VpuModSwitch, 3, 1, 0});
+    auto words = prog.serializeFramed();
+    ASSERT_EQ(words[2], 4u);
+    words[2] = 2; // header lies about the group count
+    std::string error;
+    EXPECT_FALSE(Program::tryDeserializeFramed("p", words, &error)
+                     .has_value());
+    EXPECT_NE(error.find("group count mismatch"), std::string::npos);
+}
+
+TEST(Program, SliceGroupsRemapsDensely)
+{
+    Program prog("p");
+    prog.add({Opcode::VpuModSwitch, 0, 1, 0});
+    prog.add({Opcode::VpuModSwitch, 2, 2, 0});
+    prog.add({Opcode::VpuModSwitch, 3, 3, 0});
+    prog.add({Opcode::VpuKeySwitch, 2, 4, 0});
+    const auto slice = prog.sliceGroups("odd", {2, 3});
+    ASSERT_EQ(slice.program.size(), 3u);
+    EXPECT_EQ(slice.program.numGroups(), 2u);
+    EXPECT_EQ(slice.program.at(0).group, 0u); // source group 2
+    EXPECT_EQ(slice.program.at(1).group, 1u); // source group 3
+    EXPECT_EQ(slice.program.at(2).group, 0u);
+    EXPECT_EQ(slice.globalIndex,
+              (std::vector<std::size_t>{1, 2, 3}));
+}
+
 TEST(Program, GroupStreamFilters)
 {
     Program prog("p");

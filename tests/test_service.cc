@@ -11,6 +11,8 @@
 #include <chrono>
 #include <future>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -317,14 +319,78 @@ TEST_F(ServiceFixture, ProgramCacheCompilesEachSizeOnce)
     EXPECT_EQ(stats.completed, 11u);
 }
 
-TEST(ServiceConfigDeathTest, TimingBackendIsRejected)
+TEST_F(ServiceFixture, ShardedFunctionalBackendEndToEnd)
 {
+    ServiceConfig config;
+    config.superbatchSize = 16;
+    config.numWorkers = 1;
+    config.maxWait = 20ms;
+    config.backend = exec::BackendKind::kShardedFunctional;
+    config.numShards = 4;
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(tfhe::makePaddedLut(
+        kSpace, [](std::uint32_t m) { return (m + 1) % kSpace; }));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (std::uint32_t i = 0; i < 32; ++i)
+        futures.push_back(service.submit(encrypt(i % kSpace), lut));
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        expectReady(futures[i]);
+        EXPECT_EQ(decrypt(futures[i].get()),
+                  (i % kSpace + 1) % kSpace)
+            << i;
+    }
+}
+
+TEST(ServiceConfigValidate, AcceptsRunnableConfigs)
+{
+    EXPECT_EQ(ServiceConfig{}.validate(), std::nullopt);
+    ServiceConfig sharded;
+    sharded.backend = exec::BackendKind::kShardedFunctional;
+    sharded.numShards = 2;
+    EXPECT_EQ(sharded.validate(), std::nullopt);
+    ServiceConfig cosim;
+    cosim.backend = exec::BackendKind::kCosim;
+    EXPECT_EQ(cosim.validate(), std::nullopt);
+}
+
+TEST(ServiceConfigValidate, ReportsEachMisconfiguration)
+{
+    ServiceConfig empty_batch;
+    empty_batch.superbatchSize = 0;
+    ASSERT_TRUE(empty_batch.validate().has_value());
+
+    ServiceConfig no_capacity;
+    no_capacity.maxOutstanding = 0;
+    ASSERT_TRUE(no_capacity.validate().has_value());
+
+    ServiceConfig timing;
+    timing.backend = exec::BackendKind::kTiming;
+    const auto error = timing.validate();
+    ASSERT_TRUE(error.has_value());
+    EXPECT_NE(error->find("kTiming"), std::string::npos);
+
+    ServiceConfig zero_shards;
+    zero_shards.backend = exec::BackendKind::kShardedFunctional;
+    zero_shards.numShards = 0;
+    EXPECT_TRUE(zero_shards.validate().has_value());
+}
+
+TEST(ServiceConfigValidate, ConstructorThrowsInsteadOfAborting)
+{
+    // A misconfigured service must be reportable by the caller, not a
+    // process abort (the old behaviour was fatal()).
     Rng rng(0x7E57);
     const KeySet keys = KeySet::generate(tfhe::paramsTest(), rng);
     ServiceConfig config;
     config.backend = exec::BackendKind::kTiming;
-    EXPECT_DEATH(BootstrapService service(keys, config),
-                 "kTiming");
+    try {
+        BootstrapService service(keys, config);
+        FAIL() << "construction accepted a kTiming backend";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("kTiming"),
+                  std::string::npos);
+    }
 }
 
 } // namespace
