@@ -5,9 +5,11 @@
  * multiplexer circuits over encrypted bit vectors — the gate-level
  * workload class the paper's XGBoost benchmark belongs to.
  *
- * Also compiles the tournament to a Morphling workload and reports the
- * simulated accelerator time next to the host time, closing the loop
- * between the functional circuit and the performance model.
+ * The tournament is a circuit::Circuit submitted whole through
+ * BootstrapService::submitCircuit, so the service's worker pool
+ * lowers and schedules it level by level. The accelerator model then
+ * prices a paper-scale batch of the same circuit, closing the loop
+ * between the functional path and the performance model.
  *
  * Build & run:  ./build/examples/private_auction
  */
@@ -16,25 +18,26 @@
 #include <iostream>
 #include <vector>
 
-#include "apps/circuit.h"
 #include "arch/accelerator.h"
+#include "circuit/circuit.h"
 #include "common/rng.h"
 #include "compiler/sw_scheduler.h"
+#include "service/bootstrap_service.h"
 #include "tfhe/params.h"
 
 using namespace morphling;
-using namespace morphling::apps;
+using circuit::Circuit;
+using circuit::Wire;
 
 namespace {
 
 /** Build max(a, b) over `bits`-wide inputs: compare, then mux each
  *  output bit. */
 void
-buildMax(Circuit &c, const std::vector<Circuit::Wire> &a,
-         const std::vector<Circuit::Wire> &b,
-         std::vector<Circuit::Wire> &out)
+buildMax(Circuit &c, const std::vector<Wire> &a,
+         const std::vector<Wire> &b, std::vector<Wire> &out)
 {
-    const auto a_ge_b = buildGreaterEqual(c, a, b);
+    const auto a_ge_b = circuit::buildGreaterEqual(c, a, b);
     for (std::size_t i = 0; i < a.size(); ++i)
         out.push_back(c.mux(a_ge_b, a[i], b[i]));
 }
@@ -49,24 +52,23 @@ main()
 
     // Build the tournament circuit: max(max(b0,b1), max(b2,b3)).
     Circuit c;
-    std::vector<std::vector<Circuit::Wire>> in(bids.size());
+    std::vector<std::vector<Wire>> in(bids.size());
     for (auto &bid_wires : in) {
         for (unsigned i = 0; i < bits; ++i)
-            bid_wires.push_back(c.input());
+            bid_wires.push_back(c.bitInput());
     }
-    std::vector<Circuit::Wire> semi1, semi2, winner;
+    std::vector<Wire> semi1, semi2, winner;
     buildMax(c, in[0], in[1], semi1);
     buildMax(c, in[2], in[3], semi2);
     buildMax(c, semi1, semi2, winner);
     for (auto w : winner)
         c.markOutput(w);
 
-    std::cout << "tournament circuit: " << c.numGates() << " gates, "
-              << c.bootstrapCount() << " bootstraps, depth "
-              << c.bootstrapDepth() << "\n";
+    std::cout << "tournament circuit: " << c.bootstrapCount()
+              << " bootstraps, depth " << c.bootstrapDepth() << "\n";
 
     // Sanity on plaintext first.
-    std::vector<bool> plain_in;
+    std::vector<std::uint32_t> plain_in;
     for (auto bid : bids) {
         for (unsigned i = 0; i < bits; ++i)
             plain_in.push_back((bid >> i) & 1);
@@ -77,18 +79,23 @@ main()
         plain_max |= static_cast<unsigned>(plain_out[i]) << i;
     std::cout << "plaintext check: max bid = " << plain_max << "\n";
 
-    // Encrypted run.
+    // Encrypted run, submitted whole to the bootstrap service.
     const auto &params = tfhe::paramsTest();
     Rng rng(0xB1D5);
     std::cout << "generating keys for " << params.summary() << "\n";
     const tfhe::KeySet keys = tfhe::KeySet::generate(params, rng);
 
     std::vector<tfhe::LweCiphertext> enc_in;
-    for (bool b : plain_in)
-        enc_in.push_back(tfhe::encryptBit(keys, b, rng));
+    for (std::uint32_t b : plain_in)
+        enc_in.push_back(tfhe::encryptBit(keys, b != 0, rng));
+
+    service::ServiceConfig config;
+    config.numWorkers = 2;
+    service::BootstrapService service(keys, config);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto enc_out = c.evaluateEncrypted(keys, enc_in);
+    auto future = service.submitCircuit(c, enc_in);
+    const auto enc_out = future.get();
     const auto t1 = std::chrono::steady_clock::now();
 
     unsigned enc_max = 0;

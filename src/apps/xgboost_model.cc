@@ -58,32 +58,34 @@ XgboostModel::predict(const std::vector<std::uint32_t> &features) const
 
 namespace {
 
+using circuit::Circuit;
+using circuit::Wire;
+
 /** Constant wires for a two's-complement value. */
-std::vector<Circuit::Wire>
+std::vector<Wire>
 constantBits(Circuit &c, std::int32_t value, unsigned bits)
 {
-    std::vector<Circuit::Wire> out;
+    std::vector<Wire> out;
     for (unsigned i = 0; i < bits; ++i)
         out.push_back(c.constant(((value >> i) & 1) != 0));
     return out;
 }
 
 /** Mux two bit vectors. */
-std::vector<Circuit::Wire>
-muxBits(Circuit &c, Circuit::Wire select,
-        const std::vector<Circuit::Wire> &on_true,
-        const std::vector<Circuit::Wire> &on_false)
+std::vector<Wire>
+muxBits(Circuit &c, Wire select, const std::vector<Wire> &on_true,
+        const std::vector<Wire> &on_false)
 {
-    std::vector<Circuit::Wire> out;
+    std::vector<Wire> out;
     for (std::size_t i = 0; i < on_true.size(); ++i)
         out.push_back(c.mux(select, on_true[i], on_false[i]));
     return out;
 }
 
 /** Recursive oblivious descent: the selected leaf's score bits. */
-std::vector<Circuit::Wire>
+std::vector<Wire>
 selectLeaf(Circuit &c, const Tree &tree,
-           const std::vector<Circuit::Wire> &decisions, unsigned node,
+           const std::vector<Wire> &decisions, unsigned node,
            unsigned score_bits)
 {
     if (node >= tree.internalNodes()) {
@@ -101,37 +103,37 @@ selectLeaf(Circuit &c, const Tree &tree,
 
 } // namespace
 
-Circuit
+circuit::Circuit
 XgboostModel::buildCircuit(unsigned score_bits) const
 {
     Circuit c;
     // Feature inputs, LSB first per feature.
-    std::vector<std::vector<Circuit::Wire>> feature_wires(numFeatures);
+    std::vector<std::vector<Wire>> feature_wires(numFeatures);
     for (auto &bits : feature_wires) {
         for (unsigned i = 0; i < featureBits; ++i)
-            bits.push_back(c.input());
+            bits.push_back(c.bitInput());
     }
 
-    std::vector<Circuit::Wire> score =
-        constantBits(c, 0, score_bits);
+    std::vector<Wire> score = constantBits(c, 0, score_bits);
     for (const auto &tree : trees) {
         // All node comparisons of a tree are independent (oblivious
         // evaluation touches every node).
-        std::vector<Circuit::Wire> decisions;
+        std::vector<Wire> decisions;
         decisions.reserve(tree.internalNodes());
         for (unsigned n = 0; n < tree.internalNodes(); ++n) {
             const auto threshold_bits = constantBits(
                 c, static_cast<std::int32_t>(tree.threshold[n]),
                 featureBits);
-            decisions.push_back(buildGreaterEqual(
+            decisions.push_back(circuit::buildGreaterEqual(
                 c, feature_wires[tree.featureIndex[n]],
                 threshold_bits));
         }
         const auto leaf =
             selectLeaf(c, tree, decisions, 0, score_bits);
-        std::vector<Circuit::Wire> sum;
-        buildRippleAdder(c, score, leaf, sum); // carry-out dropped:
-                                               // mod 2^score_bits
+        std::vector<Wire> sum;
+        circuit::buildRippleAdder(c, score, leaf,
+                                  sum); // carry-out dropped:
+                                        // mod 2^score_bits
         score = std::move(sum);
     }
     for (auto w : score)

@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "apps/circuit.h"
+#include "circuit/circuit.h"
 #include "common/rng.h"
 #include "compiler/program.h"
 
@@ -72,7 +72,7 @@ struct XgboostModel
      *
      * @param score_bits output width (must fit the score range)
      */
-    Circuit buildCircuit(unsigned score_bits) const;
+    circuit::Circuit buildCircuit(unsigned score_bits) const;
 
     /** Scheduler workload for `batch` parallel inferences of the
      *  compiled circuit. */

@@ -85,33 +85,6 @@ class FunctionalXpu
                         const std::vector<std::vector<std::uint32_t>>
                             &switched_batch);
 
-    /**
-     * @deprecated The free-standing datapath path is now internal to
-     * the execution-backend stack: compile a Program and run it
-     * through exec::FunctionalBackend with XpuEngine::kDatapath
-     * (docs/execution_model.md). Thin wrapper kept so pre-backend
-     * callers compile.
-     */
-    [[deprecated("execute a compiled Program through "
-                 "exec::FunctionalBackend (XpuEngine::kDatapath)")]]
-    tfhe::GlweCiphertext
-    blindRotate(const tfhe::TorusPolynomial &test_poly,
-                const std::vector<std::uint32_t> &switched)
-    {
-        return runBlindRotate(test_poly, switched);
-    }
-
-    /** @deprecated See blindRotate. */
-    [[deprecated("execute a compiled Program through "
-                 "exec::FunctionalBackend (XpuEngine::kDatapath)")]]
-    std::vector<tfhe::GlweCiphertext>
-    blindRotateBatch(const tfhe::TorusPolynomial &test_poly,
-                     const std::vector<std::vector<std::uint32_t>>
-                         &switched_batch)
-    {
-        return runBlindRotateBatch(test_poly, switched_batch);
-    }
-
     /** Lifetime datapath statistics (MACs summed over the VPEs). */
     XpuDatapathStats stats() const;
 

@@ -1,0 +1,668 @@
+#include "circuit.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "tfhe/bootstrap.h"
+
+namespace morphling::circuit {
+
+using tfhe::BoolGate;
+using tfhe::KeySet;
+using tfhe::LweCiphertext;
+
+tfhe::BoolGate
+toBoolGate(Op op)
+{
+    switch (op) {
+      case Op::And:
+        return BoolGate::And;
+      case Op::Or:
+        return BoolGate::Or;
+      case Op::Xor:
+        return BoolGate::Xor;
+      case Op::Nand:
+        return BoolGate::Nand;
+      case Op::Nor:
+        return BoolGate::Nor;
+      case Op::Xnor:
+        return BoolGate::Xnor;
+      default:
+        panic("node op ", static_cast<int>(op), " is not a bool gate");
+    }
+}
+
+unsigned
+costOf(Op op)
+{
+    switch (op) {
+      case Op::BitInput:
+      case Op::WordInput:
+      case Op::Const:
+      case Op::Not:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+Wire
+Circuit::addNode(Node node)
+{
+    nodes_.push_back(node);
+    return static_cast<Wire>(nodes_.size() - 1);
+}
+
+Wire
+Circuit::bitInput()
+{
+    ++numInputs_;
+    Node n;
+    n.op = Op::BitInput;
+    return addNode(n);
+}
+
+Wire
+Circuit::wordInput(std::uint32_t space)
+{
+    ++numInputs_;
+    Node n;
+    n.op = Op::WordInput;
+    n.space = space;
+    return addNode(n);
+}
+
+Wire
+Circuit::constant(bool value)
+{
+    Node n;
+    n.op = Op::Const;
+    n.constValue = value;
+    return addNode(n);
+}
+
+Wire
+Circuit::gate(BoolGate op, Wire a, Wire b)
+{
+    panic_if(a < 0 || a >= static_cast<Wire>(nodes_.size()),
+             "dangling wire a");
+    panic_if(b < 0 || b >= static_cast<Wire>(nodes_.size()),
+             "dangling wire b");
+    panic_if(isWord(a) || isWord(b), "gate ", tfhe::boolGateName(op),
+             " needs bit wires");
+    Node n;
+    switch (op) {
+      case BoolGate::And:
+        n.op = Op::And;
+        break;
+      case BoolGate::Or:
+        n.op = Op::Or;
+        break;
+      case BoolGate::Xor:
+        n.op = Op::Xor;
+        break;
+      case BoolGate::Nand:
+        n.op = Op::Nand;
+        break;
+      case BoolGate::Nor:
+        n.op = Op::Nor;
+        break;
+      case BoolGate::Xnor:
+        n.op = Op::Xnor;
+        break;
+    }
+    n.a = a;
+    n.b = b;
+    return addNode(n);
+}
+
+Wire
+Circuit::invert(Wire a)
+{
+    panic_if(a < 0 || a >= static_cast<Wire>(nodes_.size()),
+             "dangling wire");
+    panic_if(isWord(a), "not needs a bit wire");
+    Node n;
+    n.op = Op::Not;
+    n.a = a;
+    return addNode(n);
+}
+
+Wire
+Circuit::mux(Wire select, Wire on_true, Wire on_false)
+{
+    const Wire not_select = invert(select);
+    const Wire picked_true = gate(BoolGate::And, select, on_true);
+    const Wire picked_false = gate(BoolGate::And, not_select, on_false);
+    return gate(BoolGate::Or, picked_true, picked_false);
+}
+
+LutId
+Circuit::registerLut(std::uint32_t space,
+                     const std::vector<std::uint32_t> &table)
+{
+    panic_if(space == 0, "padded LUT needs a nonzero message space");
+    panic_if(table.size() != space, "LUT over a ", space,
+             "-value space needs ", space, " entries, got ",
+             table.size());
+    LutTable t;
+    t.space = space;
+    t.plain = table;
+    t.torus.reserve(space);
+    for (std::uint32_t m : table)
+        t.torus.push_back(tfhe::encodePadded(m % space, space));
+    luts_.push_back(std::move(t));
+    return static_cast<LutId>(luts_.size() - 1);
+}
+
+LutId
+Circuit::registerTorusLut(std::vector<tfhe::Torus32> entries)
+{
+    panic_if(entries.empty(), "empty torus LUT");
+    LutTable t;
+    t.torus = std::move(entries);
+    luts_.push_back(std::move(t));
+    return static_cast<LutId>(luts_.size() - 1);
+}
+
+Wire
+Circuit::applyLut(LutId lut, Wire a)
+{
+    panic_if(lut < 0 || lut >= static_cast<LutId>(luts_.size()),
+             "unknown LUT ", lut);
+    panic_if(a < 0 || a >= static_cast<Wire>(nodes_.size()),
+             "dangling wire");
+    panic_if(!isWord(a), "lut needs a word wire");
+    const auto &table = luts_[static_cast<std::size_t>(lut)];
+    const std::uint32_t in_space = nodes_[a].space;
+    panic_if(table.space != 0 && in_space != 0 &&
+                 table.space != in_space,
+             "LUT over a ", table.space,
+             "-value space applied to a wire over ", in_space);
+    Node n;
+    n.op = Op::Lut;
+    n.a = a;
+    n.lut = lut;
+    n.space = table.space;
+    return addNode(n);
+}
+
+void
+Circuit::markOutput(Wire wire)
+{
+    panic_if(wire < 0 || wire >= static_cast<Wire>(nodes_.size()),
+             "dangling output wire");
+    outputs_.push_back(wire);
+}
+
+const Node &
+Circuit::node(Wire w) const
+{
+    panic_if(w < 0 || w >= static_cast<Wire>(nodes_.size()),
+             "dangling wire ", w);
+    return nodes_[w];
+}
+
+const LutTable &
+Circuit::lutTable(LutId id) const
+{
+    panic_if(id < 0 || id >= static_cast<LutId>(luts_.size()),
+             "unknown LUT ", id);
+    return luts_[static_cast<std::size_t>(id)];
+}
+
+bool
+Circuit::isWord(Wire w) const
+{
+    const Op op = node(w).op;
+    return op == Op::WordInput || op == Op::Lut;
+}
+
+std::uint64_t
+Circuit::bootstrapCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &n : nodes_)
+        total += costOf(n.op);
+    return total;
+}
+
+std::vector<unsigned>
+Circuit::levels() const
+{
+    std::vector<unsigned> level(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const auto &n = nodes_[i];
+        unsigned in_level = 0;
+        for (Wire w : {n.a, n.b}) {
+            if (w >= 0)
+                in_level = std::max(in_level, level[w]);
+        }
+        level[i] = in_level + (costOf(n.op) > 0 ? 1 : 0);
+    }
+    return level;
+}
+
+unsigned
+Circuit::bootstrapDepth() const
+{
+    unsigned depth = 0;
+    for (unsigned l : levels())
+        depth = std::max(depth, l);
+    return depth;
+}
+
+std::vector<std::uint32_t>
+Circuit::evaluatePlain(const std::vector<std::uint32_t> &inputs) const
+{
+    panic_if(inputs.size() != numInputs_, "expected ", numInputs_,
+             " inputs, got ", inputs.size());
+    std::vector<std::uint32_t> value(nodes_.size(), 0);
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const auto &n = nodes_[i];
+        switch (n.op) {
+          case Op::BitInput:
+            value[i] = inputs[next_input++];
+            panic_if(value[i] > 1, "bit input ", i, " is ", value[i]);
+            break;
+          case Op::WordInput:
+            value[i] = inputs[next_input++];
+            panic_if(n.space != 0 && value[i] >= n.space,
+                     "word input ", i, " is ", value[i],
+                     " over a ", n.space, "-value space");
+            break;
+          case Op::Const:
+            value[i] = n.constValue ? 1 : 0;
+            break;
+          case Op::Not:
+            value[i] = value[n.a] ^ 1u;
+            break;
+          case Op::And:
+            value[i] = value[n.a] & value[n.b];
+            break;
+          case Op::Or:
+            value[i] = value[n.a] | value[n.b];
+            break;
+          case Op::Xor:
+            value[i] = value[n.a] ^ value[n.b];
+            break;
+          case Op::Nand:
+            value[i] = (value[n.a] & value[n.b]) ^ 1u;
+            break;
+          case Op::Nor:
+            value[i] = (value[n.a] | value[n.b]) ^ 1u;
+            break;
+          case Op::Xnor:
+            value[i] = (value[n.a] ^ value[n.b]) ^ 1u;
+            break;
+          case Op::Lut: {
+            const auto &table = luts_[static_cast<std::size_t>(n.lut)];
+            panic_if(table.space == 0,
+                     "raw torus LUT has no plaintext semantics");
+            value[i] = table.plain[value[n.a] % table.space];
+            break;
+          }
+        }
+    }
+    std::vector<std::uint32_t> out;
+    out.reserve(outputs_.size());
+    for (Wire w : outputs_)
+        out.push_back(value[w]);
+    return out;
+}
+
+std::vector<LweCiphertext>
+Circuit::evaluateEncrypted(const KeySet &keys,
+                           const std::vector<LweCiphertext> &inputs)
+    const
+{
+    panic_if(inputs.size() != numInputs_, "expected ", numInputs_,
+             " input ciphertexts, got ", inputs.size());
+    std::vector<LweCiphertext> value(nodes_.size());
+    std::size_t next_input = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const auto &n = nodes_[i];
+        switch (n.op) {
+          case Op::BitInput:
+          case Op::WordInput:
+            value[i] = inputs[next_input++];
+            break;
+          case Op::Const:
+            value[i] = tfhe::trivialBit(keys, n.constValue);
+            break;
+          case Op::Not:
+            value[i] = tfhe::gateNot(value[n.a]);
+            break;
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Nand:
+          case Op::Nor:
+          case Op::Xnor:
+            value[i] = tfhe::gateApply(keys, toBoolGate(n.op),
+                                       value[n.a], value[n.b]);
+            break;
+          case Op::Lut: {
+            const auto &table = luts_[static_cast<std::size_t>(n.lut)];
+            value[i] = tfhe::programmableBootstrap(keys, value[n.a],
+                                                   table.torus);
+            break;
+          }
+        }
+    }
+    std::vector<LweCiphertext> out;
+    out.reserve(outputs_.size());
+    for (Wire w : outputs_)
+        out.push_back(value[w]);
+    return out;
+}
+
+compiler::Workload
+Circuit::toWorkload(const std::string &name, std::uint64_t count) const
+{
+    // One stage per bootstrap level; all `count` evaluations of the
+    // circuit run the same level concurrently.
+    const auto lv = levels();
+    std::vector<std::uint64_t> per_level(bootstrapDepth() + 1, 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        per_level[lv[i]] += costOf(nodes_[i].op);
+
+    compiler::Workload w;
+    w.name = name;
+    for (std::size_t level = 1; level < per_level.size(); ++level) {
+        if (per_level[level] == 0)
+            continue;
+        w.stages.push_back({per_level[level] * count, 0});
+    }
+    return w;
+}
+
+// --- Text format ---------------------------------------------------------
+
+namespace {
+
+constexpr const char *kHeader = "morphling-circuit v1";
+
+const char *
+opDirective(Op op)
+{
+    switch (op) {
+      case Op::BitInput:
+        return "in";
+      case Op::WordInput:
+        return "win";
+      case Op::Const:
+        return "const";
+      case Op::Not:
+        return "not";
+      case Op::And:
+        return "and";
+      case Op::Or:
+        return "or";
+      case Op::Xor:
+        return "xor";
+      case Op::Nand:
+        return "nand";
+      case Op::Nor:
+        return "nor";
+      case Op::Xnor:
+        return "xnor";
+      case Op::Lut:
+        return "lut";
+    }
+    panic("unknown op");
+}
+
+} // namespace
+
+std::string
+Circuit::toText() const
+{
+    std::ostringstream out;
+    out << kHeader << "\n";
+    for (const auto &t : luts_) {
+        if (t.space != 0) {
+            out << "table " << t.space;
+            for (std::uint32_t v : t.plain)
+                out << ' ' << v;
+        } else {
+            out << "ttable " << t.torus.size();
+            for (tfhe::Torus32 v : t.torus)
+                out << ' ' << static_cast<std::uint32_t>(v);
+        }
+        out << "\n";
+    }
+    for (const auto &n : nodes_) {
+        out << opDirective(n.op);
+        switch (n.op) {
+          case Op::BitInput:
+            break;
+          case Op::WordInput:
+            out << ' ' << n.space;
+            break;
+          case Op::Const:
+            out << ' ' << (n.constValue ? 1 : 0);
+            break;
+          case Op::Not:
+            out << ' ' << n.a;
+            break;
+          case Op::Lut:
+            out << ' ' << n.lut << ' ' << n.a;
+            break;
+          default:
+            out << ' ' << n.a << ' ' << n.b;
+            break;
+        }
+        out << "\n";
+    }
+    for (Wire w : outputs_)
+        out << "out " << w << "\n";
+    return out.str();
+}
+
+std::optional<Circuit>
+Circuit::tryFromText(const std::string &text, std::string *error)
+{
+    auto fail = [&](unsigned line_no, const std::string &what) {
+        if (error != nullptr) {
+            *error = "circuit text line " + std::to_string(line_no) +
+                     ": " + what;
+        }
+        return std::nullopt;
+    };
+
+    Circuit c;
+    std::istringstream in(text);
+    std::string line;
+    unsigned line_no = 0;
+    bool have_header = false;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream tokens(line);
+        std::string word;
+        if (!(tokens >> word))
+            continue; // blank or comment-only line
+        if (!have_header) {
+            std::string version;
+            tokens >> version;
+            if (word + " " + version != kHeader)
+                return fail(line_no, "expected header \"" +
+                                         std::string(kHeader) + "\"");
+            have_header = true;
+            continue;
+        }
+
+        // Every remaining directive takes small non-negative integer
+        // operands.
+        std::vector<long long> args;
+        long long v = 0;
+        while (tokens >> v)
+            args.push_back(v);
+        if (!tokens.eof())
+            return fail(line_no, "malformed operand");
+        const auto wire_ok = [&](long long w) {
+            return w >= 0 && w < static_cast<long long>(c.numNodes());
+        };
+        const auto bit_wire_ok = [&](long long w) {
+            return wire_ok(w) && !c.isWord(static_cast<Wire>(w));
+        };
+
+        if (word == "table") {
+            if (args.size() < 2 || args[0] <= 0 ||
+                args.size() != static_cast<std::size_t>(args[0]) + 1)
+                return fail(line_no, "table needs <space> entries");
+            std::vector<std::uint32_t> entries;
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                if (args[i] < 0 || args[i] >= args[0])
+                    return fail(line_no, "table entry out of range");
+                entries.push_back(static_cast<std::uint32_t>(args[i]));
+            }
+            c.registerLut(static_cast<std::uint32_t>(args[0]), entries);
+        } else if (word == "ttable") {
+            if (args.size() < 2 || args[0] <= 0 ||
+                args.size() != static_cast<std::size_t>(args[0]) + 1)
+                return fail(line_no, "ttable needs <count> entries");
+            std::vector<tfhe::Torus32> entries;
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                if (args[i] < 0 || args[i] > 0xFFFFFFFFll)
+                    return fail(line_no, "ttable entry out of range");
+                entries.push_back(static_cast<tfhe::Torus32>(
+                    static_cast<std::uint32_t>(args[i])));
+            }
+            c.registerTorusLut(std::move(entries));
+        } else if (word == "in") {
+            if (!args.empty())
+                return fail(line_no, "in takes no operands");
+            c.bitInput();
+        } else if (word == "win") {
+            if (args.size() != 1 || args[0] < 0)
+                return fail(line_no, "win needs a message space");
+            c.wordInput(static_cast<std::uint32_t>(args[0]));
+        } else if (word == "const") {
+            if (args.size() != 1 || (args[0] != 0 && args[0] != 1))
+                return fail(line_no, "const needs 0 or 1");
+            c.constant(args[0] == 1);
+        } else if (word == "not") {
+            if (args.size() != 1 || !bit_wire_ok(args[0]))
+                return fail(line_no, "not needs one existing bit wire");
+            c.invert(static_cast<Wire>(args[0]));
+        } else if (word == "mux") {
+            if (args.size() != 3 || !bit_wire_ok(args[0]) ||
+                !bit_wire_ok(args[1]) || !bit_wire_ok(args[2]))
+                return fail(line_no, "mux needs three existing bit "
+                                     "wires");
+            c.mux(static_cast<Wire>(args[0]),
+                  static_cast<Wire>(args[1]),
+                  static_cast<Wire>(args[2]));
+        } else if (word == "lut") {
+            if (args.size() != 2 ||
+                args[0] < 0 ||
+                args[0] >= static_cast<long long>(c.numLuts()) ||
+                !wire_ok(args[1]) ||
+                !c.isWord(static_cast<Wire>(args[1])))
+                return fail(line_no, "lut needs a registered table and "
+                                     "an existing word wire");
+            const auto &table =
+                c.lutTable(static_cast<LutId>(args[0]));
+            const std::uint32_t in_space =
+                c.node(static_cast<Wire>(args[1])).space;
+            if (table.space != 0 && in_space != 0 &&
+                table.space != in_space)
+                return fail(line_no, "lut space mismatch");
+            c.applyLut(static_cast<LutId>(args[0]),
+                       static_cast<Wire>(args[1]));
+        } else if (word == "out") {
+            if (args.size() != 1 || !wire_ok(args[0]))
+                return fail(line_no, "out needs one existing wire");
+            c.markOutput(static_cast<Wire>(args[0]));
+        } else {
+            bool matched = false;
+            for (const BoolGate g :
+                 {BoolGate::And, BoolGate::Or, BoolGate::Xor,
+                  BoolGate::Nand, BoolGate::Nor, BoolGate::Xnor}) {
+                if (word != tfhe::boolGateName(g))
+                    continue;
+                if (args.size() != 2 || !bit_wire_ok(args[0]) ||
+                    !bit_wire_ok(args[1]))
+                    return fail(line_no, word + " needs two existing "
+                                                "bit wires");
+                c.gate(g, static_cast<Wire>(args[0]),
+                       static_cast<Wire>(args[1]));
+                matched = true;
+                break;
+            }
+            if (!matched)
+                return fail(line_no, "unknown directive \"" + word +
+                                         "\"");
+        }
+    }
+
+    if (!have_header)
+        return fail(line_no, "empty input (missing header)");
+    return c;
+}
+
+Circuit
+Circuit::fromText(const std::string &text)
+{
+    std::string error;
+    auto c = tryFromText(text, &error);
+    panic_if(!c.has_value(), error);
+    return std::move(*c);
+}
+
+// --- Standard builders ---------------------------------------------------
+
+Wire
+buildRippleAdder(Circuit &circuit, const std::vector<Wire> &a,
+                 const std::vector<Wire> &b, std::vector<Wire> &sum)
+{
+    panic_if(a.size() != b.size(), "operand width mismatch");
+    Wire carry = circuit.constant(false);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto a_xor_b = circuit.gate(BoolGate::Xor, a[i], b[i]);
+        sum.push_back(circuit.gate(BoolGate::Xor, a_xor_b, carry));
+        const auto gen = circuit.gate(BoolGate::And, a[i], b[i]);
+        const auto prop = circuit.gate(BoolGate::And, a_xor_b, carry);
+        carry = circuit.gate(BoolGate::Or, gen, prop);
+    }
+    return carry;
+}
+
+Wire
+buildGreaterEqual(Circuit &circuit, const std::vector<Wire> &a,
+                  const std::vector<Wire> &b)
+{
+    panic_if(a.size() != b.size(), "operand width mismatch");
+    // From LSB up: ge = (a_i > b_i) | ((a_i == b_i) & ge_below);
+    // a_i > b_i  ==  a_i & !b_i.
+    Wire ge = circuit.constant(true);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto not_b = circuit.invert(b[i]);
+        const auto gt = circuit.gate(BoolGate::And, a[i], not_b);
+        const auto eq = circuit.gate(BoolGate::Xnor, a[i], b[i]);
+        const auto keep = circuit.gate(BoolGate::And, eq, ge);
+        ge = circuit.gate(BoolGate::Or, gt, keep);
+    }
+    return ge;
+}
+
+Wire
+buildEqual(Circuit &circuit, const std::vector<Wire> &a,
+           const std::vector<Wire> &b)
+{
+    panic_if(a.size() != b.size() || a.empty(),
+             "operand width mismatch");
+    Wire acc = circuit.gate(BoolGate::Xnor, a[0], b[0]);
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const auto bit_eq = circuit.gate(BoolGate::Xnor, a[i], b[i]);
+        acc = circuit.gate(BoolGate::And, acc, bit_eq);
+    }
+    return acc;
+}
+
+} // namespace morphling::circuit

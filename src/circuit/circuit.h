@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The TFHE circuit IR: whole encrypted programs as first-class objects.
+ *
+ * A circuit is a typed netlist over SSA wire ids. Two wire types
+ * mirror the two encodings of tfhe/encoding.h:
+ *  - bit wires (+-1/8 boolean convention), produced by bit inputs,
+ *    constants and gates — every two-input gate is one linear
+ *    combination plus one *sign* bootstrap;
+ *  - word wires (padded-integer convention), produced by word inputs
+ *    and multi-bit LUT nodes — each LUT node is one programmable
+ *    bootstrap through a table registered on the circuit.
+ *
+ * The IR carries its own topological levelization (bootstrapped nodes
+ * advance a level; linear NOT stays on its inputs' level), a text
+ * format for loading circuits from files, plaintext and gate-by-gate
+ * encrypted evaluation (the ground truth the executor is checked
+ * against bit-for-bit), and lowering to compiled compiler::Programs
+ * (lowering.h) executed by exec::CircuitExecutor over any functional
+ * ExecutionBackend.
+ */
+
+#ifndef MORPHLING_CIRCUIT_CIRCUIT_H
+#define MORPHLING_CIRCUIT_CIRCUIT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/program.h"
+#include "tfhe/encoding.h"
+
+namespace morphling::circuit {
+
+/** SSA wire id: the index of the node that produces the wire. */
+using Wire = int;
+
+/** Index of a LUT table registered on a circuit. */
+using LutId = int;
+
+/** Node kinds. Sources and Not are free; gates cost one sign
+ *  bootstrap, Lut one programmable bootstrap. */
+enum class Op : std::uint8_t
+{
+    BitInput,  //!< source: one encrypted bit
+    WordInput, //!< source: one padded-integer ciphertext
+    Const,     //!< trivial (noiseless) constant bit
+    Not,       //!< linear negation, free
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+    Lut, //!< word -> word through a registered table
+};
+
+/** The bootstrap table of a Lut node. */
+struct LutTable
+{
+    /** Message space p of a padded-integer table; 0 for a raw torus
+     *  table (opaque entries, no plaintext semantics). */
+    std::uint32_t space = 0;
+
+    /** f(m) for m in [0, space); empty for raw tables. */
+    std::vector<std::uint32_t> plain;
+
+    /** The bootstrap LUT entries (what the blind rotation consumes). */
+    std::vector<tfhe::Torus32> torus;
+};
+
+/** One circuit node. */
+struct Node
+{
+    Op op = Op::BitInput;
+    Wire a = -1;
+    Wire b = -1;
+    bool constValue = false;
+    LutId lut = -1;          //!< Op::Lut only
+    std::uint32_t space = 0; //!< word wires: message space (0 = raw)
+};
+
+/**
+ * A typed encrypted-program netlist. Wires are created in dependency
+ * order by construction; inputs are numbered in creation order
+ * (mixing bit and word inputs freely).
+ */
+class Circuit
+{
+  public:
+    /** Add a primary bit input; returns its wire. */
+    Wire bitInput();
+
+    /** Add a primary word input over a padded message space (0 for an
+     *  opaque/raw word, usable only with raw torus tables). */
+    Wire wordInput(std::uint32_t space);
+
+    /** Add a constant bit wire. */
+    Wire constant(bool value);
+
+    /** Add a two-input bootstrapped gate over bit wires. */
+    Wire gate(tfhe::BoolGate op, Wire a, Wire b);
+
+    /** Add a linear (free) negation of a bit wire. */
+    Wire invert(Wire a);
+
+    /** select ? on_true : on_false, desugared at construction into
+     *  not/and/and/or (three bootstraps, two levels) — exactly the
+     *  decomposition of tfhe::gateMux, so gate-by-gate evaluation
+     *  stays bit-identical. Occupies four wire ids; returns the
+     *  last (the Or). */
+    Wire mux(Wire select, Wire on_true, Wire on_false);
+
+    /** Register a padded-integer LUT: entry m of `table` is f(m),
+     *  encoded over the same space so LUT outputs chain. */
+    LutId registerLut(std::uint32_t space,
+                      const std::vector<std::uint32_t> &table);
+
+    /** Register a raw torus table (e.g. the service's pre-encoded
+     *  LUTs). No plaintext semantics: evaluatePlain panics on circuits
+     *  using it. */
+    LutId registerTorusLut(std::vector<tfhe::Torus32> entries);
+
+    /** Add a programmable bootstrap of a word wire through a
+     *  registered table; returns a word wire over the table's space. */
+    Wire applyLut(LutId lut, Wire a);
+
+    /** Mark a wire as a circuit output (any type; repeats allowed). */
+    void markOutput(Wire wire);
+
+    unsigned numInputs() const { return numInputs_; }
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(nodes_.size());
+    }
+    const Node &node(Wire w) const;
+    const std::vector<Wire> &outputs() const { return outputs_; }
+    unsigned numLuts() const
+    {
+        return static_cast<unsigned>(luts_.size());
+    }
+    const LutTable &lutTable(LutId id) const;
+
+    /** True when the wire carries a padded-integer word. */
+    bool isWord(Wire w) const;
+
+    /** Total bootstraps one evaluation costs. */
+    std::uint64_t bootstrapCount() const;
+
+    /** Depth in bootstrap levels (the critical path no batching can
+     *  parallelize across). */
+    unsigned bootstrapDepth() const;
+
+    /** Topological bootstrap level of every node: bootstrapped nodes
+     *  sit one past their deepest input; sources and Not stay on their
+     *  inputs' level (level 0 for sources). */
+    std::vector<unsigned> levels() const;
+
+    /**
+     * Evaluate on plaintext values, one per input in creation order:
+     * 0/1 for bit inputs, m in [0, space) for word inputs. Returns the
+     * output wires' values. Panics on circuits with raw torus tables.
+     */
+    std::vector<std::uint32_t>
+    evaluatePlain(const std::vector<std::uint32_t> &inputs) const;
+
+    /**
+     * Gate-by-gate homomorphic evaluation via the tfhe/encoding.h
+     * gate API — the bit-identical reference for the lowered
+     * executor path (exec::CircuitExecutor).
+     */
+    std::vector<tfhe::LweCiphertext>
+    evaluateEncrypted(const tfhe::KeySet &keys,
+                      const std::vector<tfhe::LweCiphertext> &inputs)
+        const;
+
+    /** Compile to a schedulable workload: one stage per bootstrap
+     *  level, `count` independent evaluations batched together. */
+    compiler::Workload toWorkload(const std::string &name,
+                                  std::uint64_t count = 1) const;
+
+    /** @{
+     * Text format (docs/circuit_ir.md): a "morphling-circuit v1"
+     * header, then one directive per line — `table`/`ttable` register
+     * LUTs, `in`/`win`/`const`/`not`/`and`/`or`/`xor`/`nand`/`nor`/
+     * `xnor`/`lut` create wires in id order, `mux` is loader sugar for
+     * the four-wire desugaring, `out` marks outputs. '#' starts a
+     * comment. toText() -> fromText() round-trips exactly.
+     */
+    std::string toText() const;
+
+    /** Parse; on malformed input returns nullopt and, when `error` is
+     *  non-null, a one-line diagnostic naming the offending line. */
+    static std::optional<Circuit> tryFromText(const std::string &text,
+                                              std::string *error =
+                                                  nullptr);
+
+    /** Parse or panic (for trusted/embedded circuit text). */
+    static Circuit fromText(const std::string &text);
+    /** @} */
+
+  private:
+    Wire addNode(Node node);
+
+    std::vector<Node> nodes_;
+    std::vector<LutTable> luts_;
+    std::vector<Wire> outputs_;
+    unsigned numInputs_ = 0;
+};
+
+/** The tfhe::BoolGate of a gate node op; panics for non-gate ops. */
+tfhe::BoolGate toBoolGate(Op op);
+
+/** Bootstraps a node costs (0 for sources, Const and Not). */
+unsigned costOf(Op op);
+
+// --- Standard builders ---------------------------------------------------
+
+/**
+ * Ripple-carry adder over little-endian bit vectors; appends sum wires
+ * (same width) to `sum` and returns the carry-out wire.
+ */
+Wire buildRippleAdder(Circuit &circuit, const std::vector<Wire> &a,
+                      const std::vector<Wire> &b, std::vector<Wire> &sum);
+
+/** a >= b over little-endian unsigned bit vectors (one output wire). */
+Wire buildGreaterEqual(Circuit &circuit, const std::vector<Wire> &a,
+                       const std::vector<Wire> &b);
+
+/** a == b over bit vectors (one output wire). */
+Wire buildEqual(Circuit &circuit, const std::vector<Wire> &a,
+                const std::vector<Wire> &b);
+
+} // namespace morphling::circuit
+
+#endif // MORPHLING_CIRCUIT_CIRCUIT_H

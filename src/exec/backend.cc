@@ -1,8 +1,52 @@
 #include "backend.h"
 
 #include "common/logging.h"
+#include "exec/functional_backend.h"
+#include "exec/sharded_backend.h"
+#include "exec/timing_backend.h"
 
 namespace morphling::exec {
+
+namespace {
+
+Job
+makeJob(const std::vector<tfhe::LweCiphertext> &inputs,
+        const std::vector<tfhe::Torus32> &lut, bool sign_lut,
+        tfhe::BatchOptions options)
+{
+    panic_if(sign_lut && lut.size() != 1,
+             "sign jobs carry exactly one LUT entry (mu), got ",
+             lut.size());
+    Job job;
+    job.inputs = &inputs;
+    job.lut = &lut;
+    job.signLut = sign_lut;
+    job.options = options;
+    return job;
+}
+
+template <typename Keys>
+std::unique_ptr<ExecutionBackend>
+makeBackendImpl(const Keys &keys, const BackendSpec &spec)
+{
+    switch (spec.kind) {
+      case BackendKind::kFunctional:
+        return std::make_unique<FunctionalBackend>(keys);
+      case BackendKind::kTiming:
+        return std::make_unique<TimingBackend>(spec.timing,
+                                               keys.params);
+      case BackendKind::kShardedFunctional:
+        panic_if(spec.numShards == 0, "sharded backend needs >= 1 shard");
+        return std::make_unique<ShardedBackend>(
+            ShardedBackend::functional(keys, spec.numShards));
+      case BackendKind::kCosim:
+        panic("kCosim is not a standalone backend; drive a "
+              "LockstepCosim (exec/cosim.h) instead");
+    }
+    panic("unknown backend kind ", static_cast<int>(spec.kind));
+}
+
+} // namespace
 
 const char *
 backendKindName(BackendKind kind)
@@ -27,6 +71,33 @@ ExecutionBackend::run(const compiler::Program &program, const Job &job)
     while (step())
         ;
     return finish();
+}
+
+Job
+Job::batch(const std::vector<tfhe::LweCiphertext> &inputs,
+           const std::vector<tfhe::Torus32> &lut,
+           tfhe::BatchOptions options)
+{
+    return makeJob(inputs, lut, false, options);
+}
+
+Job
+Job::sign(const std::vector<tfhe::LweCiphertext> &inputs,
+          const std::vector<tfhe::Torus32> &mu, tfhe::BatchOptions options)
+{
+    return makeJob(inputs, mu, true, options);
+}
+
+std::unique_ptr<ExecutionBackend>
+makeBackend(const tfhe::EvaluationKeys &keys, const BackendSpec &spec)
+{
+    return makeBackendImpl(keys, spec);
+}
+
+std::unique_ptr<ExecutionBackend>
+makeBackend(const tfhe::KeySet &keys, const BackendSpec &spec)
+{
+    return makeBackendImpl(keys, spec);
 }
 
 } // namespace morphling::exec

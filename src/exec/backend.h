@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -59,9 +60,13 @@ struct RetiredInstruction
 };
 
 /**
- * The data a program executes against. The timing backend ignores the
+ * The single submission type every backend (and the service) accepts:
+ * the data a program executes against. The timing backend ignores the
  * ciphertexts; the functional backend requires inputs/lut whenever the
  * program performs blind rotations. Pointees must outlive the run.
+ *
+ * Build one through the batch()/sign() factories below rather than by
+ * assigning fields — they encode the two LUT modes correctly.
  */
 struct Job
 {
@@ -69,11 +74,34 @@ struct Job
      *  equal Program::totalBlindRotations(). */
     const std::vector<tfhe::LweCiphertext> *inputs = nullptr;
 
-    /** The LUT every bootstrap in the program evaluates. */
+    /** The LUT every bootstrap in the program evaluates. In sign mode
+     *  (signLut below) it holds exactly one entry: mu. */
     const std::vector<tfhe::Torus32> *lut = nullptr;
+
+    /** When true, blind rotations use the constant sign test
+     *  polynomial tfhe::constantTestPolynomial(N, (*lut)[0]) — gate
+     *  bootstrapping, mapping every ciphertext to +-mu by phase sign —
+     *  instead of the padded staircase tfhe::buildTestPolynomial
+     *  derives from a message LUT. The two are distinct test-vector
+     *  families: no staircase LUT can express the constant polynomial
+     *  (its top half-slot is pinned to -lut[0]). */
+    bool signLut = false;
 
     /** Execution knobs (threads within the batch, noise audit). */
     tfhe::BatchOptions options;
+
+    /** A programmable-bootstrap job: every input evaluated through the
+     *  padded staircase LUT. */
+    static Job batch(const std::vector<tfhe::LweCiphertext> &inputs,
+                     const std::vector<tfhe::Torus32> &lut,
+                     tfhe::BatchOptions options = {});
+
+    /** A gate-bootstrap job: every input sign-bootstrapped to +-mu,
+     *  where `mu` is a one-entry vector owned by the caller (kept as a
+     *  vector so Job stays non-owning and uniform). */
+    static Job sign(const std::vector<tfhe::LweCiphertext> &inputs,
+                    const std::vector<tfhe::Torus32> &mu,
+                    tfhe::BatchOptions options = {});
 };
 
 /** What one backend produced over one program execution. */
@@ -133,6 +161,35 @@ class ExecutionBackend
     virtual ExecutionResult run(const compiler::Program &program,
                                 const Job &job);
 };
+
+/**
+ * Everything needed to stand up one execution backend — the single
+ * spec the service and the circuit executor build backends from
+ * instead of per-kind constructor piles.
+ */
+struct BackendSpec
+{
+    BackendKind kind = BackendKind::kFunctional;
+
+    /** Functional workers for kShardedFunctional. */
+    unsigned numShards = 4;
+
+    /** Accelerator geometry for kTiming. */
+    arch::ArchConfig timing;
+};
+
+/**
+ * Build the backend a spec describes. kCosim is not constructible here
+ * — the lockstep co-simulator drives two backends and lives behind its
+ * own API (cosim.h); asking for it panics. The keys must outlive the
+ * returned backend.
+ */
+std::unique_ptr<ExecutionBackend>
+makeBackend(const tfhe::EvaluationKeys &keys, const BackendSpec &spec = {});
+
+/** KeySet convenience: same backends, keys taken from the bundle. */
+std::unique_ptr<ExecutionBackend> makeBackend(const tfhe::KeySet &keys,
+                                              const BackendSpec &spec = {});
 
 } // namespace morphling::exec
 

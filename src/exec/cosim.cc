@@ -311,9 +311,13 @@ LockstepCosim::run(const compiler::Program &program, const Job &job)
     // End-of-program ciphertext correctness vs. the library reference.
     if (options_.referenceKeys != nullptr && job.inputs != nullptr &&
         job.lut != nullptr && report.functional.hasOutputs) {
-        const auto reference = tfhe::batchBootstrap(
-            *options_.referenceKeys, *job.inputs, *job.lut,
-            job.options);
+        const auto reference =
+            job.signLut ? tfhe::batchSignBootstrap(
+                              *options_.referenceKeys, *job.inputs,
+                              (*job.lut)[0], job.options)
+                        : tfhe::batchBootstrap(*options_.referenceKeys,
+                                               *job.inputs, *job.lut,
+                                               job.options);
         if (reference.size() != report.functional.outputs.size()) {
             sink.add("output count mismatch: backend produced ",
                      report.functional.outputs.size(),

@@ -171,9 +171,20 @@ FunctionalBackend::bindProgram(const compiler::Program &program,
         panic_if(job.lut == nullptr || job.lut->empty(),
                  "program performs blind rotations but the job has no "
                  "LUT");
-        tfhe::auditBatchLut(params_, *job.lut, job.options);
-        tfhe::buildTestPolynomialInto(params_.polyDegree, *job.lut,
-                                      testPoly_);
+        if (job.signLut) {
+            // Gate bootstrapping: the whole ring maps to one magnitude
+            // (sign extraction). No staircase slot structure exists, so
+            // the message-space noise audit does not apply.
+            panic_if(job.lut->size() != 1,
+                     "sign jobs carry exactly one LUT entry (mu), got ",
+                     job.lut->size());
+            testPoly_ = tfhe::constantTestPolynomial(params_.polyDegree,
+                                                     (*job.lut)[0]);
+        } else {
+            tfhe::auditBatchLut(params_, *job.lut, job.options);
+            tfhe::buildTestPolynomialInto(params_.polyDegree, *job.lut,
+                                          testPoly_);
+        }
         outputs_.assign(total_br,
                         tfhe::LweCiphertext(params_.lweDimension));
     }

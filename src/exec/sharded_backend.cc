@@ -70,6 +70,19 @@ ShardedBackend::functional(const tfhe::EvaluationKeys &keys,
 }
 
 ShardedBackend
+ShardedBackend::functional(const tfhe::KeySet &keys, unsigned numShards,
+                           FunctionalConfig config)
+{
+    fatal_if(numShards == 0, "sharded backend needs >= 1 shard");
+    std::vector<std::unique_ptr<ExecutionBackend>> shards;
+    shards.reserve(numShards);
+    for (unsigned s = 0; s < numShards; ++s)
+        shards.push_back(
+            std::make_unique<FunctionalBackend>(keys, config));
+    return ShardedBackend(std::move(shards));
+}
+
+ShardedBackend
 ShardedBackend::timing(const arch::ArchConfig &config,
                        const tfhe::TfheParams &params,
                        unsigned numShards)
@@ -180,6 +193,7 @@ ShardedBackend::load(const compiler::Program &program, const Job &job)
         Job shard_job;
         shard_job.inputs = &shardInputs_[s];
         shard_job.lut = job.lut;
+        shard_job.signLut = job.signLut;
         shard_job.options = job.options;
         results[s] = shards_[s]->run(slices_[s].program, shard_job);
         const std::uint64_t cpu1 = threadCpuNanos();

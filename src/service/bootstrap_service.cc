@@ -4,9 +4,9 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "exec/circuit_executor.h"
 #include "exec/cosim.h"
 #include "exec/functional_backend.h"
-#include "exec/sharded_backend.h"
 #include "exec/timing_backend.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
@@ -62,6 +62,11 @@ struct ServiceTelem
     telemetry::Histogram &requestLatencyUs =
         reg.histogram("service.request_latency_us",
                       "submit -> completion");
+    telemetry::Counter &circuits =
+        reg.counter("service.circuits", "circuit submissions accepted");
+    telemetry::Histogram &circuitLatencyUs =
+        reg.histogram("service.circuit_latency_us",
+                      "submitCircuit -> completion");
 
     static ServiceTelem &
     get()
@@ -123,10 +128,14 @@ BootstrapService::BootstrapService(tfhe::EvaluationKeys keys,
     stats_.scalar("timerFlushes", "partial batches shipped by timer");
     stats_.scalar("drainFlushes", "partial batches shipped by drain");
     stats_.scalar("deadlineMisses", "requests dispatched past deadline");
+    stats_.scalar("circuits", "circuit submissions accepted");
+    stats_.scalar("circuitsCompleted", "circuit promises fulfilled");
+    stats_.scalar("circuitBootstraps", "bootstraps retired in circuits");
     stats_.histogram("occupancy", "requests per dispatched batch");
     stats_.histogram("queueLatencyUs", "submit -> batch assembly");
     stats_.histogram("batchLatencyUs", "batch assembly -> completion");
     stats_.histogram("requestLatencyUs", "submit -> completion");
+    stats_.histogram("circuitLatencyUs", "submitCircuit -> completion");
 
     assembler_ = std::thread(&BootstrapService::assemblerMain, this);
     workers_.reserve(config_.numWorkers);
@@ -174,6 +183,51 @@ BootstrapService::trySubmit(
     std::optional<ServiceClock::time_point> deadline)
 {
     return enqueue(std::move(ct), lut, deadline, /*block=*/false);
+}
+
+std::future<std::vector<tfhe::LweCiphertext>>
+BootstrapService::submitCircuit(circuit::Circuit circuit,
+                                std::vector<tfhe::LweCiphertext> inputs)
+{
+    MORPHLING_SPAN("service", "submit_circuit");
+    // Re-check the config at the circuit entry point as well: the
+    // constructor already threw on a bad config, but this keeps the
+    // invariant local (and cheap) should construction paths multiply.
+    if (const auto error = config_.validate())
+        throw std::invalid_argument("BootstrapService: " + *error);
+    panic_if(inputs.size() != circuit.numInputs(), "circuit has ",
+             circuit.numInputs(), " inputs, got ", inputs.size());
+
+    CircuitJob job;
+    // A circuit's admission weight is its bootstrap count, so a large
+    // circuit occupies proportional superbatch capacity; linear-only
+    // circuits still weigh 1 (they hold a promise slot).
+    job.cost = std::max<std::uint64_t>(1, circuit.bootstrapCount());
+    job.circuit = std::move(circuit);
+    job.inputs = std::move(inputs);
+    auto future = job.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        fatal_if(draining_,
+                 "submitCircuit on a shut-down BootstrapService");
+        spaceCv_.wait(lk, [&] {
+            return draining_ || outstanding_ < config_.maxOutstanding;
+        });
+        fatal_if(draining_,
+                 "BootstrapService shut down under a blocked "
+                 "submitCircuit");
+        job.submitted = ServiceClock::now();
+        outstanding_ += job.cost;
+        ++stats_.scalar("circuits");
+        MORPHLING_TELEMETRY_ONLY({
+            auto &telem = ServiceTelem::get();
+            telem.circuits.inc();
+            telem.outstanding.set(static_cast<double>(outstanding_));
+        })
+        circuitReady_.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+    return future;
 }
 
 std::optional<std::future<tfhe::LweCiphertext>>
@@ -245,6 +299,7 @@ BootstrapService::assembleLocked(LutId lut, FlushReason reason)
     panic_if(take == 0, "assembling an empty bucket");
 
     Superbatch batch;
+    batch.lutId = lut;
     batch.lut = luts_[lut];
     batch.reason = reason;
     batch.requests.reserve(take);
@@ -379,33 +434,71 @@ BootstrapService::assemblerMain()
     workCv_.notify_all();
 }
 
-const compiler::Program &
-BootstrapService::programFor(std::size_t count)
+const BootstrapService::CachedBatch &
+BootstrapService::batchCircuitFor(LutId lut, std::size_t count)
 {
     std::lock_guard<std::mutex> lk(programMu_);
-    auto it = programs_.find(count);
-    if (it == programs_.end()) {
+    const auto key = std::make_pair(lut, count);
+    auto it = batchCircuits_.find(key);
+    if (it == batchCircuits_.end()) {
         MORPHLING_SPAN("service", "compile_batch");
-        it = programs_
-                 .emplace(count, scheduler_.scheduleBootstrapBatch(
-                                     static_cast<std::uint64_t>(count)))
-                 .first;
+        // The one-level circuit: `count` word inputs, each bootstrapped
+        // through the registered LUT. Its single LoweredStep's Program
+        // is exactly scheduleBootstrapBatch(count), so caching by
+        // (lut, count) subsumes the old per-count program cache.
+        std::shared_ptr<const std::vector<tfhe::Torus32>> table;
+        {
+            std::lock_guard<std::mutex> service_lk(mu_);
+            table = luts_[lut];
+        }
+        CachedBatch cached;
+        cached.circuit = std::make_unique<circuit::Circuit>();
+        const circuit::LutId table_id =
+            cached.circuit->registerTorusLut(*table);
+        for (std::size_t i = 0; i < count; ++i) {
+            const circuit::Wire in = cached.circuit->wordInput(0);
+            cached.circuit->markOutput(
+                cached.circuit->applyLut(table_id, in));
+        }
+        cached.lowered = circuit::lower(*cached.circuit, scheduler_);
+        it = batchCircuits_.emplace(key, std::move(cached)).first;
     }
     return it->second;
 }
 
+std::unique_ptr<exec::ExecutionBackend>
+BootstrapService::makeWorkerBackend() const
+{
+    exec::BackendSpec spec;
+    // kCosim's lockstep pair is driven inline in executeBatch; circuit
+    // jobs under kCosim run on the functional half.
+    spec.kind = config_.backend == exec::BackendKind::kCosim
+                    ? exec::BackendKind::kFunctional
+                    : config_.backend;
+    spec.numShards = config_.numShards;
+    spec.timing = config_.timing;
+    return exec::makeBackend(keys_, spec);
+}
+
 std::vector<tfhe::LweCiphertext>
 BootstrapService::executeBatch(
-    const std::vector<tfhe::LweCiphertext> &inputs,
-    const std::vector<tfhe::Torus32> &lut)
+    const Superbatch &batch,
+    const std::vector<tfhe::LweCiphertext> &inputs)
 {
-    const compiler::Program &program = programFor(inputs.size());
-    exec::Job job;
-    job.inputs = &inputs;
-    job.lut = &lut;
-    job.options = config_.batch;
+    const CachedBatch &cached =
+        batchCircuitFor(batch.lutId, inputs.size());
 
     if (config_.backend == exec::BackendKind::kCosim) {
+        // The lockstep pair needs both backends at once, which the
+        // single-backend CircuitExecutor cannot drive; a one-level
+        // circuit is a single Program run, so feed it directly.
+        panic_if(cached.lowered.numLevels() != 1 ||
+                     cached.lowered.levels[0].size() != 1,
+                 "single-LUT batch lowered to an unexpected shape");
+        const compiler::Program &program =
+            cached.lowered.levels[0][0].program;
+        const exec::Job job =
+            exec::Job::batch(inputs, *batch.lut, config_.batch);
         exec::FunctionalBackend functional(keys_);
         exec::TimingBackend timing(config_.timing, keys_.params);
         exec::CosimOptions copts;
@@ -417,19 +510,25 @@ BootstrapService::executeBatch(
         return std::move(report.functional.outputs);
     }
 
-    if (config_.backend == exec::BackendKind::kShardedFunctional) {
-        auto sharded = exec::ShardedBackend::functional(
-            keys_, config_.numShards);
-        auto result = sharded.run(program, job);
-        panic_if(!result.hasOutputs,
-                 "sharded backend returned no outputs");
-        return std::move(result.outputs);
-    }
+    auto backend = makeWorkerBackend();
+    exec::CircuitExecutor executor(keys_.params, *backend,
+                                   config_.batch);
+    auto result = executor.run(cached.lowered, inputs);
+    panic_if(result.outputs.size() != inputs.size(),
+             "batch circuit produced ", result.outputs.size(),
+             " outputs for ", inputs.size(), " requests");
+    return std::move(result.outputs);
+}
 
-    exec::FunctionalBackend backend(keys_);
-    auto result = backend.run(program, job);
-    panic_if(!result.hasOutputs,
-             "functional backend returned no outputs");
+std::vector<tfhe::LweCiphertext>
+BootstrapService::executeCircuit(CircuitJob &job)
+{
+    MORPHLING_SPAN("service", "execute_circuit");
+    const auto lowered = circuit::lower(job.circuit, scheduler_);
+    auto backend = makeWorkerBackend();
+    exec::CircuitExecutor executor(keys_.params, *backend,
+                                   config_.batch);
+    auto result = executor.run(lowered, job.inputs);
     return std::move(result.outputs);
 }
 
@@ -438,15 +537,52 @@ BootstrapService::workerMain()
 {
     for (;;) {
         Superbatch batch;
+        bool have_batch = false;
+        CircuitJob circuit_job;
         {
             std::unique_lock<std::mutex> lk(mu_);
             workCv_.wait(lk, [&] {
-                return !ready_.empty() || assemblerDone_;
+                return !ready_.empty() || !circuitReady_.empty() ||
+                       assemblerDone_;
             });
-            if (ready_.empty())
+            if (!ready_.empty()) {
+                // Superbatches first: they aggregate many small
+                // requests whose latency budget is the flush timer.
+                batch = std::move(ready_.front());
+                ready_.pop_front();
+                have_batch = true;
+            } else if (!circuitReady_.empty()) {
+                circuit_job = std::move(circuitReady_.front());
+                circuitReady_.pop_front();
+            } else {
                 return; // drained and assembler retired
-            batch = std::move(ready_.front());
-            ready_.pop_front();
+            }
+        }
+
+        if (!have_batch) {
+            auto outputs = executeCircuit(circuit_job);
+            const auto t1 = ServiceClock::now();
+            const std::uint64_t bootstraps =
+                circuit_job.circuit.bootstrapCount();
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                ++stats_.scalar("circuitsCompleted");
+                stats_.scalar("circuitBootstraps") +=
+                    static_cast<double>(bootstraps);
+                stats_.histogram("circuitLatencyUs")
+                    .sample(toMicros(t1 - circuit_job.submitted));
+                outstanding_ -= circuit_job.cost;
+                MORPHLING_TELEMETRY_ONLY({
+                    auto &telem = ServiceTelem::get();
+                    telem.circuitLatencyUs.observe(
+                        toMicros(t1 - circuit_job.submitted));
+                    telem.outstanding.set(
+                        static_cast<double>(outstanding_));
+                })
+            }
+            spaceCv_.notify_all();
+            circuit_job.promise.set_value(std::move(outputs));
+            continue;
         }
 
         const std::size_t count = batch.requests.size();
@@ -459,7 +595,7 @@ BootstrapService::workerMain()
         std::vector<tfhe::LweCiphertext> outputs;
         {
             MORPHLING_SPAN("service", "execute_batch");
-            outputs = executeBatch(inputs, *batch.lut);
+            outputs = executeBatch(batch, inputs);
         }
         const auto t1 = ServiceClock::now();
         panic_if(outputs.size() != count, "batch size mismatch");
@@ -557,6 +693,9 @@ BootstrapService::stats() const
     out.timerFlushes = scalar("timerFlushes");
     out.drainFlushes = scalar("drainFlushes");
     out.deadlineMisses = scalar("deadlineMisses");
+    out.circuits = scalar("circuits");
+    out.circuitsCompleted = scalar("circuitsCompleted");
+    out.circuitBootstraps = scalar("circuitBootstraps");
     out.pending = pendingCount_;
     out.outstanding = outstanding_;
     out.elapsedSeconds = std::chrono::duration<double>(
@@ -566,6 +705,7 @@ BootstrapService::stats() const
     out.queueLatencyUs = histogram("queueLatencyUs");
     out.batchLatencyUs = histogram("batchLatencyUs");
     out.requestLatencyUs = histogram("requestLatencyUs");
+    out.circuitLatencyUs = histogram("circuitLatencyUs");
     out.raw = stats_;
     return out;
 }

@@ -10,11 +10,18 @@
  *   submit()/trySubmit() -> per-LUT pending bucket -> assembler thread
  *   groups compiler::kSuperbatchSize requests sharing a LUT into one
  *   Superbatch (or flushes a partial batch after maxWait, so light
- *   load still makes progress) -> worker pool compiles the batch to a
- *   Morphling Program (cached per batch size) and executes it through
- *   the ServiceConfig::backend execution backend
- *   (docs/execution_model.md) -> each request's std::future is
+ *   load still makes progress) -> worker pool lowers the batch as a
+ *   one-level circuit to a Morphling Program (cached per LUT and batch
+ *   size) and executes it through the ServiceConfig::backend execution
+ *   backend (docs/execution_model.md) -> each request's std::future is
  *   fulfilled.
+ *
+ * Whole circuits ride the same pool: submitCircuit() accepts a
+ * circuit::Circuit plus its input ciphertexts, a worker lowers it
+ * (circuit/lowering.h) and runs the level-ordered Program DAG through
+ * an exec::CircuitExecutor over the configured backend
+ * (docs/circuit_ir.md). The single-LUT path above *is* the one-level
+ * special case of this pipeline — one API, one execution substrate.
  *
  * Backpressure: the number of accepted-but-uncompleted requests is
  * bounded by ServiceConfig::maxOutstanding. submit() blocks for space;
@@ -47,6 +54,8 @@
 #include <vector>
 
 #include "arch/config.h"
+#include "circuit/circuit.h"
+#include "circuit/lowering.h"
 #include "compiler/sw_scheduler.h"
 #include "exec/backend.h"
 #include "service/service_stats.h"
@@ -162,6 +171,21 @@ class BootstrapService
               std::optional<ServiceClock::time_point> deadline =
                   std::nullopt);
 
+    /**
+     * Submit a whole circuit: `inputs` carries one ciphertext per
+     * circuit input (creation order), the future yields one ciphertext
+     * per marked output. The circuit is lowered level by level and
+     * executed through exec::CircuitExecutor on the configured
+     * backend (kCosim circuits run on the functional backend; the
+     * lockstep cross-check covers the single-LUT path). The circuit's
+     * bootstrap count weighs against maxOutstanding, so big circuits
+     * apply proportional backpressure; blocks at the bound like
+     * submit(). fatal() if the service has been shut down.
+     */
+    std::future<std::vector<tfhe::LweCiphertext>>
+    submitCircuit(circuit::Circuit circuit,
+                  std::vector<tfhe::LweCiphertext> inputs);
+
     /** Ship every partial batch now instead of waiting for the flush
      *  timer (asynchronous; does not wait for completion). */
     void flush();
@@ -200,9 +224,20 @@ class BootstrapService
 
     struct Superbatch
     {
+        LutId lutId = 0;
         std::shared_ptr<const std::vector<tfhe::Torus32>> lut;
         std::vector<Request> requests;
         FlushReason reason = FlushReason::kFull;
+    };
+
+    /** One accepted submitCircuit() job awaiting a worker. */
+    struct CircuitJob
+    {
+        circuit::Circuit circuit;
+        std::vector<tfhe::LweCiphertext> inputs;
+        std::uint64_t cost = 0; //!< outstanding_ weight (bootstraps)
+        ServiceClock::time_point submitted;
+        std::promise<std::vector<tfhe::LweCiphertext>> promise;
     };
 
     std::optional<std::future<tfhe::LweCiphertext>>
@@ -221,25 +256,45 @@ class BootstrapService
     void assemblerMain();
     void workerMain();
 
-    /** The compiled Program bootstrapping `count` ciphertexts, compiled
-     *  on first use and cached (superbatches repeat sizes heavily: full
-     *  batches always, partial flushes often). Thread-safe; the
-     *  returned reference stays valid for the service's lifetime. */
-    const compiler::Program &programFor(std::size_t count);
+    /** One cached single-LUT batch lowering: the one-level circuit
+     *  plus its compiled Program (LoweredCircuit points into the
+     *  heap-held Circuit, so entries are stable once created). */
+    struct CachedBatch
+    {
+        std::unique_ptr<circuit::Circuit> circuit;
+        circuit::LoweredCircuit lowered;
+    };
 
-    /** Execute one assembled superbatch through the configured
-     *  execution backend; returns one output per input, in order. */
+    /** The one-level circuit bootstrapping `count` ciphertexts through
+     *  a registered LUT, lowered on first use and cached (superbatches
+     *  repeat sizes heavily: full batches always, partial flushes
+     *  often). Thread-safe; the returned reference stays valid for the
+     *  service's lifetime. */
+    const CachedBatch &batchCircuitFor(LutId lut, std::size_t count);
+
+    /** The backend a worker executes against, per ServiceConfig
+     *  (kCosim maps to functional here; the lockstep pair is built
+     *  inline in executeBatch). */
+    std::unique_ptr<exec::ExecutionBackend> makeWorkerBackend() const;
+
+    /** Execute one assembled superbatch — as a one-level circuit —
+     *  through the configured execution backend; returns one output
+     *  per input, in order. */
     std::vector<tfhe::LweCiphertext>
-    executeBatch(const std::vector<tfhe::LweCiphertext> &inputs,
-                 const std::vector<tfhe::Torus32> &lut);
+    executeBatch(const Superbatch &batch,
+                 const std::vector<tfhe::LweCiphertext> &inputs);
+
+    /** Lower and run one submitted circuit. */
+    std::vector<tfhe::LweCiphertext> executeCircuit(CircuitJob &job);
 
     const tfhe::EvaluationKeys keys_;
     const ServiceConfig config_;
     const ServiceClock::time_point start_;
     const compiler::SwScheduler scheduler_; //!< compiles superbatches
 
-    mutable std::mutex programMu_; //!< guards programs_
-    std::map<std::size_t, compiler::Program> programs_;
+    mutable std::mutex programMu_; //!< guards batchCircuits_
+    std::map<std::pair<LutId, std::size_t>, CachedBatch>
+        batchCircuits_;
 
     mutable std::mutex mu_;
     std::condition_variable spaceCv_;    //!< submitters await capacity
@@ -251,6 +306,7 @@ class BootstrapService
         luts_;
     std::vector<std::deque<Request>> pending_; //!< one bucket per LUT
     std::deque<Superbatch> ready_;
+    std::deque<CircuitJob> circuitReady_; //!< accepted circuits
     std::size_t pendingCount_ = 0;
     std::size_t outstanding_ = 0;
     bool draining_ = false;

@@ -33,6 +33,11 @@ struct ServiceStats
     std::uint64_t drainFlushes = 0;  //!< partial, shipped by shutdown
     std::uint64_t deadlineMisses = 0; //!< dispatched past their deadline
 
+    // --- circuit submissions ------------------------------------------
+    std::uint64_t circuits = 0;          //!< circuits accepted
+    std::uint64_t circuitsCompleted = 0; //!< circuit promises fulfilled
+    std::uint64_t circuitBootstraps = 0; //!< bootstraps retired in circuits
+
     // --- instantaneous state ------------------------------------------
     std::uint64_t pending = 0;     //!< accepted, not yet in a batch
     std::uint64_t outstanding = 0; //!< accepted, not yet completed
@@ -43,6 +48,7 @@ struct ServiceStats
     sim::Histogram queueLatencyUs;   //!< submit -> batch assembly
     sim::Histogram batchLatencyUs;   //!< batch assembly -> completion
     sim::Histogram requestLatencyUs; //!< submit -> completion
+    sim::Histogram circuitLatencyUs; //!< submitCircuit -> completion
 
     /** Everything above in stat-set form, for dump(). */
     sim::StatSet raw{"service"};

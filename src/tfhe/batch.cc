@@ -26,14 +26,11 @@ bootstrapOne(const BootstrapKey &bsk, const KeySwitchKey &ksk,
 }
 
 std::vector<LweCiphertext>
-runBatch(const TfheParams &params, const BootstrapKey &bsk,
-         const KeySwitchKey &ksk,
+runBatch(const BootstrapKey &bsk, const KeySwitchKey &ksk,
+         const TorusPolynomial &test_poly,
          const std::vector<LweCiphertext> &inputs,
-         const std::vector<Torus32> &lut, const BatchOptions &opts)
+         const BatchOptions &opts)
 {
-    auditBatchLut(params, lut, opts);
-    const auto test_poly = buildTestPolynomial(params.polyDegree, lut);
-
     unsigned threads = opts.threads;
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
@@ -97,7 +94,10 @@ batchBootstrap(const KeySet &keys,
                const std::vector<LweCiphertext> &inputs,
                const std::vector<Torus32> &lut, const BatchOptions &opts)
 {
-    return runBatch(keys.params, keys.bsk, keys.ksk, inputs, lut, opts);
+    auditBatchLut(keys.params, lut, opts);
+    return runBatch(keys.bsk, keys.ksk,
+                    buildTestPolynomial(keys.params.polyDegree, lut),
+                    inputs, opts);
 }
 
 std::vector<LweCiphertext>
@@ -105,17 +105,20 @@ batchBootstrap(const EvaluationKeys &keys,
                const std::vector<LweCiphertext> &inputs,
                const std::vector<Torus32> &lut, const BatchOptions &opts)
 {
-    return runBatch(keys.params, keys.bsk, keys.ksk, inputs, lut, opts);
+    auditBatchLut(keys.params, lut, opts);
+    return runBatch(keys.bsk, keys.ksk,
+                    buildTestPolynomial(keys.params.polyDegree, lut),
+                    inputs, opts);
 }
 
 std::vector<LweCiphertext>
-parallelBatchBootstrap(const KeySet &keys,
-                       const std::vector<LweCiphertext> &inputs,
-                       const std::vector<Torus32> &lut, unsigned threads)
+batchSignBootstrap(const EvaluationKeys &keys,
+                   const std::vector<LweCiphertext> &inputs, Torus32 mu,
+                   const BatchOptions &opts)
 {
-    BatchOptions opts;
-    opts.threads = threads;
-    return batchBootstrap(keys, inputs, lut, opts);
+    return runBatch(keys.bsk, keys.ksk,
+                    constantTestPolynomial(keys.params.polyDegree, mu),
+                    inputs, opts);
 }
 
 ParallelEfficiency

@@ -85,15 +85,18 @@ batchBootstrap(const EvaluationKeys &keys,
                const BatchOptions &opts = {});
 
 /**
- * @deprecated Thin wrapper over batchBootstrap(keys, inputs, lut,
- * BatchOptions{threads}); kept so pre-BatchOptions callers compile.
+ * Sign-bootstrap every ciphertext back to +-mu — the batched form of
+ * signBootstrap and the primitive behind boolean gate circuits. Uses
+ * the constant test polynomial (NOT a staircase LUT: gates need the
+ * whole negacyclic ring mapped to one magnitude, which no
+ * buildTestPolynomial vector can express). Same batching/threading
+ * semantics as batchBootstrap; also the reference the co-simulator
+ * checks sign-LUT jobs (exec::Job::sign) against.
  */
-[[deprecated("use batchBootstrap(keys, inputs, lut, BatchOptions)")]]
 std::vector<LweCiphertext>
-parallelBatchBootstrap(const KeySet &keys,
-                       const std::vector<LweCiphertext> &inputs,
-                       const std::vector<Torus32> &lut,
-                       unsigned threads = 0);
+batchSignBootstrap(const EvaluationKeys &keys,
+                   const std::vector<LweCiphertext> &inputs, Torus32 mu,
+                   const BatchOptions &opts = {});
 
 /** Outcome of the parallel-efficiency probe. */
 struct ParallelEfficiency

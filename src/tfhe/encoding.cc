@@ -31,76 +31,121 @@ trivialBit(const KeySet &keys, bool bit)
     return LweCiphertext::trivial(keys.params.lweDimension, mu);
 }
 
-namespace {
-
-/** Shared tail of all two-input gates: sign-bootstrap the linear
- *  combination back to a fresh +-1/8 ciphertext. */
-LweCiphertext
-finishGate(const KeySet &keys, LweCiphertext linear)
+const char *
+boolGateName(BoolGate gate)
 {
-    return signBootstrap(keys, linear, boolMu());
+    switch (gate) {
+    case BoolGate::And:
+        return "and";
+    case BoolGate::Or:
+        return "or";
+    case BoolGate::Xor:
+        return "xor";
+    case BoolGate::Nand:
+        return "nand";
+    case BoolGate::Nor:
+        return "nor";
+    case BoolGate::Xnor:
+        return "xnor";
+    }
+    panic("unknown BoolGate");
 }
 
-} // namespace
+LweCiphertext
+gateLinear(BoolGate gate, const LweCiphertext &a, const LweCiphertext &b)
+{
+    switch (gate) {
+    case BoolGate::Nand: {
+        // (0,..,1/8) - a - b: positive phase unless both inputs are
+        // true.
+        LweCiphertext lin =
+            LweCiphertext::trivial(a.dimension(), boolMu());
+        lin.subAssign(a);
+        lin.subAssign(b);
+        return lin;
+    }
+    case BoolGate::And: {
+        LweCiphertext lin =
+            LweCiphertext::trivial(a.dimension(), 0 - boolMu());
+        lin.addAssign(a);
+        lin.addAssign(b);
+        return lin;
+    }
+    case BoolGate::Or: {
+        LweCiphertext lin =
+            LweCiphertext::trivial(a.dimension(), boolMu());
+        lin.addAssign(a);
+        lin.addAssign(b);
+        return lin;
+    }
+    case BoolGate::Nor: {
+        LweCiphertext lin =
+            LweCiphertext::trivial(a.dimension(), 0 - boolMu());
+        lin.subAssign(a);
+        lin.subAssign(b);
+        return lin;
+    }
+    case BoolGate::Xor: {
+        // 2(a + b) + 1/4: lands at +1/4 when a != b, at -1/4
+        // otherwise.
+        LweCiphertext lin = a;
+        lin.addAssign(b);
+        lin.scaleAssign(2);
+        lin.addPlain(doubleToTorus32(0.25));
+        return lin;
+    }
+    case BoolGate::Xnor: {
+        LweCiphertext lin = a;
+        lin.addAssign(b);
+        lin.scaleAssign(-2);
+        lin.addPlain(0 - doubleToTorus32(0.25));
+        return lin;
+    }
+    }
+    panic("unknown BoolGate");
+}
+
+LweCiphertext
+gateApply(const KeySet &keys, BoolGate gate, const LweCiphertext &a,
+          const LweCiphertext &b)
+{
+    return signBootstrap(keys, gateLinear(gate, a, b), boolMu());
+}
 
 LweCiphertext
 gateNand(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
 {
-    // (0,..,1/8) - a - b: positive phase unless both inputs are true.
-    LweCiphertext lin = LweCiphertext::trivial(a.dimension(), boolMu());
-    lin.subAssign(a);
-    lin.subAssign(b);
-    return finishGate(keys, lin);
+    return gateApply(keys, BoolGate::Nand, a, b);
 }
 
 LweCiphertext
 gateAnd(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
 {
-    LweCiphertext lin =
-        LweCiphertext::trivial(a.dimension(), 0 - boolMu());
-    lin.addAssign(a);
-    lin.addAssign(b);
-    return finishGate(keys, lin);
+    return gateApply(keys, BoolGate::And, a, b);
 }
 
 LweCiphertext
 gateOr(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
 {
-    LweCiphertext lin = LweCiphertext::trivial(a.dimension(), boolMu());
-    lin.addAssign(a);
-    lin.addAssign(b);
-    return finishGate(keys, lin);
+    return gateApply(keys, BoolGate::Or, a, b);
 }
 
 LweCiphertext
 gateNor(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
 {
-    LweCiphertext lin =
-        LweCiphertext::trivial(a.dimension(), 0 - boolMu());
-    lin.subAssign(a);
-    lin.subAssign(b);
-    return finishGate(keys, lin);
+    return gateApply(keys, BoolGate::Nor, a, b);
 }
 
 LweCiphertext
 gateXor(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
 {
-    // 2(a + b) + 1/4: lands at +1/4 when a != b, at -1/4 otherwise.
-    LweCiphertext lin = a;
-    lin.addAssign(b);
-    lin.scaleAssign(2);
-    lin.addPlain(doubleToTorus32(0.25));
-    return finishGate(keys, lin);
+    return gateApply(keys, BoolGate::Xor, a, b);
 }
 
 LweCiphertext
 gateXnor(const KeySet &keys, const LweCiphertext &a, const LweCiphertext &b)
 {
-    LweCiphertext lin = a;
-    lin.addAssign(b);
-    lin.scaleAssign(-2);
-    lin.addPlain(0 - doubleToTorus32(0.25));
-    return finishGate(keys, lin);
+    return gateApply(keys, BoolGate::Xnor, a, b);
 }
 
 LweCiphertext

@@ -35,6 +35,39 @@ bool decryptBit(const KeySet &keys, const LweCiphertext &ct);
 /** Trivial (noiseless) encryption of a constant bit. */
 LweCiphertext trivialBit(const KeySet &keys, bool bit);
 
+/** The two-input bootstrapped gate kinds of the boolean convention.
+ *  Every gate is one linear combination followed by one sign
+ *  bootstrap; the enum is shared by the gate functions below, the
+ *  circuit IR (circuit/circuit.h) and its text format. */
+enum class BoolGate : std::uint8_t
+{
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor
+};
+
+/** Stable lower-case name ("and", "xor", ...) for logs and the
+ *  circuit text format. */
+const char *boolGateName(BoolGate gate);
+
+/**
+ * The linear pre-bootstrap combination of a two-input gate: the
+ * ciphertext whose *sign* the gate's sign bootstrap extracts back to
+ * +-1/8. Exposed so the circuit executor's compiled-Program path and
+ * the direct gate functions below compute bit-identical ciphertexts
+ * from the same arithmetic.
+ */
+LweCiphertext gateLinear(BoolGate gate, const LweCiphertext &a,
+                         const LweCiphertext &b);
+
+/** Apply one bootstrapped two-input gate (gateLinear + sign
+ *  bootstrap). The named gate functions below are thin wrappers. */
+LweCiphertext gateApply(const KeySet &keys, BoolGate gate,
+                        const LweCiphertext &a, const LweCiphertext &b);
+
 /** @{ Two-input bootstrapped gates. Each costs one bootstrap. */
 LweCiphertext gateNand(const KeySet &keys, const LweCiphertext &a,
                        const LweCiphertext &b);

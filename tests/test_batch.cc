@@ -2,8 +2,8 @@
  * @file
  * Tests of batched/parallel bootstrapping: order preservation,
  * sequential-parallel equivalence of decrypted results, thread-count
- * edge cases, BatchOptions (noise audit, deprecated wrapper) and the
- * efficiency probe.
+ * edge cases, BatchOptions (noise audit), the batched sign bootstrap
+ * and the efficiency probe.
  */
 
 #include <gtest/gtest.h>
@@ -147,19 +147,32 @@ TEST_F(BatchFixture, NoiseAuditWarnsOnlyBelowThreshold)
     EXPECT_EQ(warnCount(), before + 1);
 }
 
-TEST_F(BatchFixture, DeprecatedParallelWrapperStillWorks)
+TEST_F(BatchFixture, SignBootstrapMatchesGateConvention)
 {
-    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
-        return (m + 3) % 4;
-    });
-    const auto inputs = encryptBatch({2, 0});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const auto out = parallelBatchBootstrap(keys(), inputs, lut, 2);
-#pragma GCC diagnostic pop
-    ASSERT_EQ(out.size(), 2u);
-    EXPECT_EQ(decryptPadded(keys(), out[0], 4), 1u);
-    EXPECT_EQ(decryptPadded(keys(), out[1], 4), 3u);
+    // batchSignBootstrap is the batched form of signBootstrap: every
+    // boolean ciphertext refreshes to exactly +-mu by phase sign, and
+    // it must be bit-identical to the single-ciphertext reference.
+    const std::vector<bool> bits = {true, false, false, true, true};
+    std::vector<LweCiphertext> inputs;
+    for (bool b : bits)
+        inputs.push_back(encryptBit(keys(), b, rng));
+
+    const auto eval_keys = EvaluationKeys::fromKeySet(keys());
+    const auto out = batchSignBootstrap(eval_keys, inputs, boolMu());
+    ASSERT_EQ(out.size(), bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        EXPECT_EQ(decryptBit(keys(), out[i]), bits[i]) << i;
+        const auto ref = signBootstrap(keys(), inputs[i], boolMu());
+        EXPECT_EQ(out[i].raw(), ref.raw()) << i;
+    }
+
+    // Threaded run is bit-identical to the sequential one.
+    BatchOptions two;
+    two.threads = 2;
+    const auto par = batchSignBootstrap(eval_keys, inputs, boolMu(), two);
+    ASSERT_EQ(par.size(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(par[i].raw(), out[i].raw()) << i;
 }
 
 TEST_F(BatchFixture, EfficiencyProbeProducesSaneNumbers)

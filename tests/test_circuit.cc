@@ -1,20 +1,22 @@
 /**
  * @file
- * Tests of the boolean circuit layer: netlist bookkeeping, plaintext
- * vs encrypted evaluation equivalence (exhaustive for small widths,
- * randomized for larger circuits), the standard builders, and workload
- * compilation.
+ * Tests of the circuit IR: netlist bookkeeping, plaintext vs encrypted
+ * evaluation equivalence (exhaustive for small widths, randomized for
+ * larger circuits), the standard builders, multi-bit LUT nodes,
+ * workload compilation, and the text format (round-trip plus
+ * malformed-input diagnostics).
  */
 
 #include <gtest/gtest.h>
 
-#include "apps/circuit.h"
+#include "circuit/circuit.h"
 #include "common/rng.h"
 #include "tfhe/params.h"
 
-namespace morphling::apps {
+namespace morphling::circuit {
 namespace {
 
+using tfhe::BoolGate;
 using tfhe::KeySet;
 using tfhe::LweCiphertext;
 
@@ -38,20 +40,20 @@ class CircuitFixture : public ::testing::Test
     Rng rng{0x90125};
 
     std::vector<LweCiphertext>
-    encryptBits(const std::vector<bool> &bits)
+    encryptBits(const std::vector<std::uint32_t> &bits)
     {
         std::vector<LweCiphertext> out;
-        for (bool b : bits)
-            out.push_back(tfhe::encryptBit(keys(), b, rng));
+        for (std::uint32_t b : bits)
+            out.push_back(tfhe::encryptBit(keys(), b != 0, rng));
         return out;
     }
 
-    std::vector<bool>
+    std::vector<std::uint32_t>
     decryptBits(const std::vector<LweCiphertext> &cts)
     {
-        std::vector<bool> out;
+        std::vector<std::uint32_t> out;
         for (const auto &ct : cts)
-            out.push_back(tfhe::decryptBit(keys(), ct));
+            out.push_back(tfhe::decryptBit(keys(), ct) ? 1 : 0);
         return out;
     }
 
@@ -63,29 +65,46 @@ KeySet *CircuitFixture::keys_ = nullptr;
 TEST_F(CircuitFixture, CountsAndDepth)
 {
     Circuit c;
-    const auto a = c.input();
-    const auto b = c.input();
-    const auto x = c.gate(GateOp::Xor, a, b); // level 1
-    const auto y = c.gate(GateOp::And, x, b); // level 2
-    const auto n = c.gate(GateOp::Not, y);    // linear, stays level 2
+    const auto a = c.bitInput();
+    const auto b = c.bitInput();
+    const auto x = c.gate(BoolGate::Xor, a, b); // level 1
+    const auto y = c.gate(BoolGate::And, x, b); // level 2
+    const auto n = c.invert(y);                 // linear, stays level 2
     c.markOutput(n);
     EXPECT_EQ(c.numInputs(), 2u);
     EXPECT_EQ(c.bootstrapCount(), 2u);
+    EXPECT_EQ(c.bootstrapDepth(), 2u);
+    const auto lv = c.levels();
+    EXPECT_EQ(lv[static_cast<std::size_t>(x)], 1u);
+    EXPECT_EQ(lv[static_cast<std::size_t>(y)], 2u);
+    EXPECT_EQ(lv[static_cast<std::size_t>(n)], 2u);
+}
+
+TEST_F(CircuitFixture, MuxDesugarsToGateMuxDecomposition)
+{
+    Circuit c;
+    const auto s = c.bitInput();
+    const auto t = c.bitInput();
+    const auto f = c.bitInput();
+    c.markOutput(c.mux(s, t, f));
+    // not/and/and/or: three bootstraps over two levels, four wires.
+    EXPECT_EQ(c.numNodes(), 7u);
+    EXPECT_EQ(c.bootstrapCount(), 3u);
     EXPECT_EQ(c.bootstrapDepth(), 2u);
 }
 
 TEST_F(CircuitFixture, PlainEvaluationTruthTable)
 {
     Circuit c;
-    const auto a = c.input();
-    const auto b = c.input();
-    c.markOutput(c.gate(GateOp::Nand, a, b));
+    const auto a = c.bitInput();
+    const auto b = c.bitInput();
+    c.markOutput(c.gate(BoolGate::Nand, a, b));
     c.markOutput(c.mux(a, b, c.constant(true)));
-    for (int ia = 0; ia <= 1; ++ia) {
-        for (int ib = 0; ib <= 1; ++ib) {
-            const auto out = c.evaluatePlain({ia != 0, ib != 0});
-            EXPECT_EQ(out[0], !(ia && ib));
-            EXPECT_EQ(out[1], ia ? (ib != 0) : true);
+    for (std::uint32_t ia = 0; ia <= 1; ++ia) {
+        for (std::uint32_t ib = 0; ib <= 1; ++ib) {
+            const auto out = c.evaluatePlain({ia, ib});
+            EXPECT_EQ(out[0], !(ia && ib) ? 1u : 0u);
+            EXPECT_EQ(out[1], ia ? ib : 1u);
         }
     }
 }
@@ -95,17 +114,17 @@ TEST_F(CircuitFixture, EncryptedMatchesPlainExhaustive3Bits)
     // A small mixed circuit over 3 inputs, checked on all 8 input
     // combinations.
     Circuit c;
-    const auto a = c.input();
-    const auto b = c.input();
-    const auto s = c.input();
-    const auto x = c.gate(GateOp::Xor, a, b);
-    const auto m = c.mux(s, x, c.gate(GateOp::Nor, a, b));
+    const auto a = c.bitInput();
+    const auto b = c.bitInput();
+    const auto s = c.bitInput();
+    const auto x = c.gate(BoolGate::Xor, a, b);
+    const auto m = c.mux(s, x, c.gate(BoolGate::Nor, a, b));
     c.markOutput(m);
-    c.markOutput(c.gate(GateOp::And, m, a));
+    c.markOutput(c.gate(BoolGate::And, m, a));
 
     for (unsigned v = 0; v < 8; ++v) {
-        const std::vector<bool> in = {(v & 1) != 0, (v & 2) != 0,
-                                      (v & 4) != 0};
+        const std::vector<std::uint32_t> in = {v & 1, (v >> 1) & 1,
+                                               (v >> 2) & 1};
         const auto plain = c.evaluatePlain(in);
         const auto enc =
             decryptBits(c.evaluateEncrypted(keys(), encryptBits(in)));
@@ -113,42 +132,58 @@ TEST_F(CircuitFixture, EncryptedMatchesPlainExhaustive3Bits)
     }
 }
 
-TEST_F(CircuitFixture, RippleAdderEncrypted)
+TEST_F(CircuitFixture, RippleAdderGolden)
 {
     Circuit c;
-    std::vector<Circuit::Wire> a, b, sum;
+    std::vector<Wire> a, b, sum;
     for (int i = 0; i < 4; ++i)
-        a.push_back(c.input());
+        a.push_back(c.bitInput());
     for (int i = 0; i < 4; ++i)
-        b.push_back(c.input());
+        b.push_back(c.bitInput());
     const auto carry = buildRippleAdder(c, a, b, sum);
     for (auto w : sum)
         c.markOutput(w);
     c.markOutput(carry);
 
+    // Plaintext golden sweep over a sample of operand pairs, then one
+    // encrypted spot check.
+    for (unsigned x : {0u, 5u, 13u, 15u}) {
+        for (unsigned y : {0u, 2u, 11u, 15u}) {
+            std::vector<std::uint32_t> in;
+            for (int i = 0; i < 4; ++i)
+                in.push_back((x >> i) & 1);
+            for (int i = 0; i < 4; ++i)
+                in.push_back((y >> i) & 1);
+            const auto bits = c.evaluatePlain(in);
+            unsigned result = 0;
+            for (int i = 0; i < 5; ++i)
+                result |= bits[static_cast<std::size_t>(i)] << i;
+            EXPECT_EQ(result, x + y) << x << " + " << y;
+        }
+    }
+
     const unsigned x = 13, y = 11;
-    std::vector<bool> in;
+    std::vector<std::uint32_t> in;
     for (int i = 0; i < 4; ++i)
         in.push_back((x >> i) & 1);
     for (int i = 0; i < 4; ++i)
         in.push_back((y >> i) & 1);
-
     const auto bits =
         decryptBits(c.evaluateEncrypted(keys(), encryptBits(in)));
     unsigned result = 0;
     for (int i = 0; i < 5; ++i)
-        result |= static_cast<unsigned>(bits[i]) << i;
+        result |= bits[static_cast<std::size_t>(i)] << i;
     EXPECT_EQ(result, x + y);
 }
 
 TEST_F(CircuitFixture, ComparatorMatchesPlainRandomized)
 {
     Circuit c;
-    std::vector<Circuit::Wire> a, b;
+    std::vector<Wire> a, b;
     for (int i = 0; i < 4; ++i)
-        a.push_back(c.input());
+        a.push_back(c.bitInput());
     for (int i = 0; i < 4; ++i)
-        b.push_back(c.input());
+        b.push_back(c.bitInput());
     c.markOutput(buildGreaterEqual(c, a, b));
     c.markOutput(buildEqual(c, a, b));
 
@@ -156,26 +191,53 @@ TEST_F(CircuitFixture, ComparatorMatchesPlainRandomized)
     for (int rep = 0; rep < 4; ++rep) {
         const unsigned x = static_cast<unsigned>(values.nextBelow(16));
         const unsigned y = static_cast<unsigned>(values.nextBelow(16));
-        std::vector<bool> in;
+        std::vector<std::uint32_t> in;
         for (int i = 0; i < 4; ++i)
             in.push_back((x >> i) & 1);
         for (int i = 0; i < 4; ++i)
             in.push_back((y >> i) & 1);
         const auto bits =
             decryptBits(c.evaluateEncrypted(keys(), encryptBits(in)));
-        EXPECT_EQ(bits[0], x >= y) << x << " vs " << y;
-        EXPECT_EQ(bits[1], x == y) << x << " vs " << y;
+        EXPECT_EQ(bits[0], x >= y ? 1u : 0u) << x << " vs " << y;
+        EXPECT_EQ(bits[1], x == y ? 1u : 0u) << x << " vs " << y;
+    }
+}
+
+TEST_F(CircuitFixture, LutWordCircuit)
+{
+    // A 4-value word squared mod 4 through a multi-bit LUT node,
+    // chained into a second table (negation mod 4).
+    Circuit c;
+    const auto in = c.wordInput(4);
+    const auto square = c.registerLut(4, {0, 1, 0, 1});
+    const auto negate = c.registerLut(4, {0, 3, 2, 1});
+    const auto sq = c.applyLut(square, in);
+    c.markOutput(sq);
+    c.markOutput(c.applyLut(negate, sq));
+    EXPECT_EQ(c.bootstrapCount(), 2u);
+    EXPECT_EQ(c.bootstrapDepth(), 2u);
+
+    for (std::uint32_t m = 0; m < 4; ++m) {
+        const auto plain = c.evaluatePlain({m});
+        EXPECT_EQ(plain[0], (m * m) % 4);
+        EXPECT_EQ(plain[1], (4 - (m * m) % 4) % 4);
+
+        const std::vector<LweCiphertext> enc_in = {
+            tfhe::encryptPadded(keys(), m, 4, rng)};
+        const auto enc = c.evaluateEncrypted(keys(), enc_in);
+        EXPECT_EQ(tfhe::decryptPadded(keys(), enc[0], 4), plain[0]);
+        EXPECT_EQ(tfhe::decryptPadded(keys(), enc[1], 4), plain[1]);
     }
 }
 
 TEST_F(CircuitFixture, WorkloadCompilation)
 {
     Circuit c;
-    std::vector<Circuit::Wire> a, b, sum;
+    std::vector<Wire> a, b, sum;
     for (int i = 0; i < 8; ++i)
-        a.push_back(c.input());
+        a.push_back(c.bitInput());
     for (int i = 0; i < 8; ++i)
-        b.push_back(c.input());
+        b.push_back(c.bitInput());
     c.markOutput(buildRippleAdder(c, a, b, sum));
 
     const auto w = c.toWorkload("adder8", 64);
@@ -189,9 +251,110 @@ TEST_F(CircuitFixture, WorkloadCompilation)
 TEST_F(CircuitFixture, DanglingWireDies)
 {
     Circuit c;
-    const auto a = c.input();
-    EXPECT_DEATH(c.gate(GateOp::And, a, 99), "dangling");
+    const auto a = c.bitInput();
+    EXPECT_DEATH(c.gate(BoolGate::And, a, 99), "dangling");
+}
+
+TEST_F(CircuitFixture, TextRoundTrip)
+{
+    Circuit c;
+    const auto a = c.bitInput();
+    const auto b = c.bitInput();
+    const auto word = c.wordInput(4);
+    const auto table = c.registerLut(4, {1, 2, 3, 0});
+    const auto x = c.gate(BoolGate::Xor, a, b);
+    const auto m = c.mux(x, a, c.constant(false));
+    c.markOutput(m);
+    c.markOutput(c.invert(x));
+    c.markOutput(c.applyLut(table, word));
+
+    const std::string text = c.toText();
+    const Circuit back = Circuit::fromText(text);
+    EXPECT_EQ(back.toText(), text); // exact round-trip
+    EXPECT_EQ(back.numInputs(), c.numInputs());
+    EXPECT_EQ(back.numNodes(), c.numNodes());
+    EXPECT_EQ(back.bootstrapCount(), c.bootstrapCount());
+    EXPECT_EQ(back.outputs(), c.outputs());
+
+    // Same function, not just the same shape.
+    for (std::uint32_t v = 0; v < 4; ++v) {
+        const std::vector<std::uint32_t> in = {v & 1, (v >> 1) & 1, v};
+        EXPECT_EQ(back.evaluatePlain(in), c.evaluatePlain(in));
+    }
+}
+
+TEST_F(CircuitFixture, TextLoaderMuxSugar)
+{
+    // `mux` in text form desugars exactly like Circuit::mux.
+    const std::string text = "morphling-circuit v1\n"
+                             "in\nin\nin\n"
+                             "mux 0 1 2\n"
+                             "out 6\n";
+    const Circuit c = Circuit::fromText(text);
+    EXPECT_EQ(c.numNodes(), 7u);
+    EXPECT_EQ(c.bootstrapCount(), 3u);
+    EXPECT_EQ(c.evaluatePlain({1, 1, 0})[0], 1u);
+    EXPECT_EQ(c.evaluatePlain({0, 1, 0})[0], 0u);
+}
+
+TEST_F(CircuitFixture, TextLoaderCommentsAndBlankLines)
+{
+    const std::string text = "# boolean majority-ish demo\n"
+                             "morphling-circuit v1\n"
+                             "\n"
+                             "in\nin # second input\n"
+                             "and 0 1\n"
+                             "out 2\n";
+    const Circuit c = Circuit::fromText(text);
+    EXPECT_EQ(c.numInputs(), 2u);
+    EXPECT_EQ(c.evaluatePlain({1, 1})[0], 1u);
+}
+
+TEST_F(CircuitFixture, TextLoaderRejectsMalformedInput)
+{
+    const struct
+    {
+        const char *text;
+        const char *expect; //!< substring of the diagnostic
+    } cases[] = {
+        {"", "missing header"},
+        {"not-a-circuit v9\n", "expected header"},
+        {"morphling-circuit v1\nin\nand 0 5\n", "existing bit"},
+        {"morphling-circuit v1\nfrob 1 2\n", "unknown directive"},
+        {"morphling-circuit v1\nin\nnot 0 0\n", "not needs"},
+        {"morphling-circuit v1\nconst 2\n", "const needs 0 or 1"},
+        {"morphling-circuit v1\ntable 4 0 1 2\n", "table needs"},
+        {"morphling-circuit v1\ntable 4 0 1 2 9\n", "out of range"},
+        {"morphling-circuit v1\nin\nlut 0 0\n", "lut needs"},
+        {"morphling-circuit v1\nin\nout 3\n", "out needs"},
+        {"morphling-circuit v1\nin\nin\nand 0 x\n",
+         "malformed operand"},
+        // Bit wire where a word is required and vice versa.
+        {"morphling-circuit v1\nwin 4\nin\nand 0 1\n", "existing bit"},
+        {"morphling-circuit v1\ntable 2 0 1\nin\nlut 0 0\n",
+         "lut needs"},
+    };
+    for (const auto &tc : cases) {
+        std::string error;
+        const auto c = Circuit::tryFromText(tc.text, &error);
+        EXPECT_FALSE(c.has_value()) << tc.text;
+        EXPECT_NE(error.find(tc.expect), std::string::npos)
+            << "diagnostic for \"" << tc.text << "\" was: " << error;
+    }
+}
+
+TEST_F(CircuitFixture, TextLoaderSpaceMismatchRejected)
+{
+    // A space-4 table applied to a space-2 word.
+    const std::string text = "morphling-circuit v1\n"
+                             "table 4 0 1 2 3\n"
+                             "win 2\n"
+                             "lut 0 0\n";
+    std::string error;
+    EXPECT_FALSE(Circuit::tryFromText(text, &error).has_value());
+    EXPECT_NE(error.find("space mismatch"), std::string::npos)
+        << error;
 }
 
 } // namespace
-} // namespace morphling::apps
+} // namespace morphling::circuit
