@@ -18,6 +18,7 @@
 #include "tfhe/bootstrap.h"
 #include "tfhe/encoding.h"
 #include "tfhe/fft.h"
+#include "tfhe/fft_dispatch.h"
 #include "tfhe/workspace.h"
 
 using namespace morphling;
@@ -265,6 +266,133 @@ BENCHMARK(BM_ParallelBatchBootstrap)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.5);
 
+// ---------------------------------------------------------------------
+// SIMD kernel tiers: the benchmarks below are registered once per tier
+// the host supports (BM_BatchFftForward/avx512/1024, ...), forcing the
+// dispatch so the per-tier speedups land side by side in
+// BENCH_cpu_primitives.json. Items processed counts polynomials, so
+// per-item times compare directly across tiers and against the
+// single-polynomial BM_ForwardFft/BM_InverseFft.
+// ---------------------------------------------------------------------
+
+constexpr unsigned kFftBatch = 8; //!< l_b*(k+1) of set I, one CMux load
+
+void
+runBatchFftForward(benchmark::State &state, FftDispatchTier tier,
+                   unsigned n)
+{
+    forceFftDispatchTier(tier);
+    const BatchFft bfft(n);
+    Rng rng(11);
+    std::vector<IntPolynomial> polys(kFftBatch, IntPolynomial(n));
+    std::vector<FourierPolynomial> spectra(kFftBatch,
+                                           FourierPolynomial(n));
+    std::vector<const IntPolynomial *> in;
+    std::vector<FourierPolynomial *> out;
+    for (unsigned i = 0; i < kFftBatch; ++i) {
+        for (unsigned j = 0; j < n; ++j)
+            polys[i][j] = static_cast<std::int32_t>(rng.nextU32());
+        in.push_back(&polys[i]);
+        out.push_back(&spectra[i]);
+    }
+    for (auto _ : state) {
+        bfft.forward(in.data(), out.data(), kFftBatch);
+        benchmark::DoNotOptimize(spectra[0].re(0));
+    }
+    state.SetItemsProcessed(state.iterations() * kFftBatch);
+    state.SetLabel(fftDispatchTierName(tier));
+    resetFftDispatchTier();
+}
+
+void
+runBatchFftInverse(benchmark::State &state, FftDispatchTier tier,
+                   unsigned n)
+{
+    forceFftDispatchTier(tier);
+    const BatchFft bfft(n);
+    Rng rng(12);
+    std::vector<FourierPolynomial> spectra(kFftBatch,
+                                           FourierPolynomial(n));
+    std::vector<FourierPolynomial> pristine(kFftBatch,
+                                            FourierPolynomial(n));
+    std::vector<TorusPolynomial> outs(kFftBatch, TorusPolynomial(n));
+    std::vector<FourierPolynomial *> in;
+    std::vector<TorusPolynomial *> out;
+    for (unsigned i = 0; i < kFftBatch; ++i) {
+        for (unsigned j = 0; j < pristine[i].size(); ++j) {
+            pristine[i].re(j) = rng.nextDouble() * 1e6;
+            pristine[i].im(j) = rng.nextDouble() * 1e6;
+        }
+        in.push_back(&spectra[i]);
+        out.push_back(&outs[i]);
+    }
+    for (auto _ : state) {
+        // inverseInPlace may clobber its input (scalar-tier contract);
+        // restore from the pristine copy so every iteration transforms
+        // real data instead of blown-up leftovers that would force the
+        // slow wide-value rounding guard and skew the comparison.
+        for (unsigned i = 0; i < kFftBatch; ++i)
+            spectra[i] = pristine[i];
+        bfft.inverseInPlace(in.data(), out.data(), kFftBatch);
+        benchmark::DoNotOptimize(outs[0][0]);
+    }
+    state.SetItemsProcessed(state.iterations() * kFftBatch);
+    state.SetLabel(fftDispatchTierName(tier));
+    resetFftDispatchTier();
+}
+
+void
+runDispatchBootstrap(benchmark::State &state, FftDispatchTier tier)
+{
+    // The full workspace bootstrap under a forced kernel tier: the
+    // end-to-end evidence for the SIMD speedup (scalar row vs widest
+    // row of this family).
+    forceFftDispatchTier(tier);
+    const auto &keys = keysFor("I");
+    Rng rng(13);
+    const auto lut = makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto tp = buildTestPolynomial(keys.params.polyDegree, lut);
+    auto ct = encryptPadded(keys, 1, 4, rng);
+    LweCiphertext out;
+    BootstrapWorkspace ws;
+    for (auto _ : state) {
+        bootstrapInto(keys.bsk, keys.ksk, tp, ct, out, ws);
+        benchmark::DoNotOptimize(out.body());
+        std::swap(ct, out);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(fftDispatchTierName(tier)) + ", set I");
+    resetFftDispatchTier();
+}
+
+void
+registerDispatchTierBenchmarks()
+{
+    for (const auto tier : supportedFftDispatchTiers()) {
+        const std::string tn = fftDispatchTierName(tier);
+        for (const unsigned n : {1024u, 2048u}) {
+            benchmark::RegisterBenchmark(
+                ("BM_BatchFftForward/" + tn + "/" + std::to_string(n))
+                    .c_str(),
+                [tier, n](benchmark::State &s) {
+                    runBatchFftForward(s, tier, n);
+                });
+            benchmark::RegisterBenchmark(
+                ("BM_BatchFftInverse/" + tn + "/" + std::to_string(n))
+                    .c_str(),
+                [tier, n](benchmark::State &s) {
+                    runBatchFftInverse(s, tier, n);
+                });
+        }
+        benchmark::RegisterBenchmark(
+            ("BM_DispatchBootstrap/" + tn).c_str(),
+            [tier](benchmark::State &s) { runDispatchBootstrap(s, tier); })
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
 void
 BM_GateBootstrap(benchmark::State &state)
 {
@@ -309,10 +437,18 @@ main(int argc, char **argv)
         args.push_back(fmt_flag.data());
     }
 
+    registerDispatchTierBenchmarks();
+
     int count = static_cast<int>(args.size());
     benchmark::Initialize(&count, args.data());
     if (benchmark::ReportUnrecognizedArguments(count, args.data()))
         return 1;
+    // Stamp the report with the auto-selected tier so JSON consumers
+    // know which kernels produced the untiered rows.
+    benchmark::AddCustomContext(
+        "fft_dispatch",
+        morphling::tfhe::fftDispatchTierName(
+            morphling::tfhe::activeFftDispatchTier()));
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate the batched-FFT dispatch rows of BENCH_cpu_primitives.json.
+
+Run by the perf-smoke CI leg after `bench_cpu_primitives --json` with a
+filter covering the dispatch families. Checks:
+
+  1. BM_BatchFftForward, BM_BatchFftInverse and BM_DispatchBootstrap
+     entries exist, including the scalar tier (always registered).
+  2. When a vector tier ran on this host, the widest tier's batched
+     forward FFT at N=1024 beats scalar by a generous margin. The real
+     speedup is ~2x on AVX-512 hardware; the 1.15x gate only catches a
+     dispatch path that silently routes wide batches through the scalar
+     kernels (shared CI runners are too noisy for a tight threshold).
+
+Exits non-zero with a diagnostic on any failure.
+"""
+
+import json
+import sys
+
+# Tier lane widths, used to pick the widest tier that produced rows.
+WIDTH = {"scalar": 1, "neon": 2, "avx2": 4, "avx512": 8}
+
+# Below this ratio the widest tier is indistinguishable from scalar and
+# the wide-kernel path is assumed broken. Generous on purpose: see the
+# module docstring.
+MIN_SPEEDUP = 1.15
+
+
+def fail(msg):
+    print(f"check_fft_dispatch_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_cpu_primitives.json")
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    rows = {b["name"]: b for b in report.get("benchmarks", [])}
+
+    for family in ("BM_BatchFftForward", "BM_BatchFftInverse",
+                   "BM_DispatchBootstrap"):
+        names = [n for n in rows if n.startswith(family + "/")]
+        if not names:
+            fail(f"no {family} entries in report")
+        if not any("/scalar" in n for n in names):
+            fail(f"{family} has no scalar-tier row")
+        print(f"ok: {family}: {len(names)} rows")
+
+    tiers = sorted(
+        {n.split("/")[1] for n in rows if n.startswith("BM_BatchFftForward/")},
+        key=lambda t: WIDTH.get(t, 0),
+    )
+    widest = tiers[-1]
+    if WIDTH.get(widest, 0) <= 1:
+        print("ok: only the scalar tier is supported here; "
+              "skipping the speedup gate")
+        return
+
+    scalar = rows.get("BM_BatchFftForward/scalar/1024")
+    wide = rows.get("BM_BatchFftForward/%s/1024" % widest)
+    if scalar is None or wide is None:
+        fail("missing BM_BatchFftForward/{scalar,%s}/1024 rows" % widest)
+    speedup = scalar["real_time"] / wide["real_time"]
+    print(f"ok: forward FFT N=1024 {widest} vs scalar: {speedup:.2f}x")
+    if speedup < MIN_SPEEDUP:
+        fail(f"{widest} tier is only {speedup:.2f}x over scalar "
+             f"(< {MIN_SPEEDUP}x): wide-kernel dispatch looks broken")
+
+    dispatch = report.get("context", {}).get("fft_dispatch")
+    if not dispatch:
+        fail("context.fft_dispatch missing from report")
+    print(f"ok: context.fft_dispatch = {dispatch}")
+
+
+if __name__ == "__main__":
+    main()

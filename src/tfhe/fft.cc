@@ -1,35 +1,23 @@
 #include "fft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "tfhe/fft_dispatch.h"
 
 namespace morphling::tfhe {
 
 namespace {
 
-/**
- * Round a double onto the discretized 32-bit torus.
- *
- * llrint compiles to a single conversion instruction and the
- * int64 -> uint32 conversion wraps mod 2^32 exactly, so no libm
- * remainder() is needed on the hot path. Magnitudes at or beyond 2^62
- * (conceivable only for adversarial single-level-gadget accumulations,
- * far outside any parameter set here) take the slow exact range
- * reduction to stay defined.
- */
-inline Torus32
-roundToTorus(double v)
-{
-    constexpr double kGuard = 4.611686018427387904e18; // 2^62
-    if (v >= kGuard || v <= -kGuard)
-        v = std::remainder(v, 4294967296.0);
-    return static_cast<Torus32>(static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(std::llrint(v))));
-}
+// Rounding onto the discretized torus is shared with the SIMD kernel
+// tiers (fft_kernels.h) so every tier wraps identically: llrint + the
+// exact int64 -> uint32 wrap, with the slow remainder() reduction only
+// beyond 2^62 (far outside any parameter set here).
+using detail::roundToTorus;
 
 } // namespace
 
@@ -285,15 +273,8 @@ void
 FourierPolynomial::addAssign(const FourierPolynomial &a)
 {
     panic_if(size() != a.size(), "size mismatch in Fourier addAssign");
-    double *__restrict pr = re_.data();
-    double *__restrict pi = im_.data();
-    const double *__restrict ar = a.re_.data();
-    const double *__restrict ai = a.im_.data();
-    const unsigned count = size();
-    for (unsigned i = 0; i < count; ++i) {
-        pr[i] += ar[i];
-        pi[i] += ai[i];
-    }
+    detail::activeBatchKernels().add(size(), a.re_.data(), a.im_.data(),
+                                     re_.data(), im_.data());
 }
 
 void
@@ -302,17 +283,9 @@ FourierPolynomial::mulAddAssign(const FourierPolynomial &a,
 {
     panic_if(size() != a.size() || size() != b.size(),
              "size mismatch in Fourier mulAddAssign");
-    double *__restrict pr = re_.data();
-    double *__restrict pi = im_.data();
-    const double *__restrict ar = a.re_.data();
-    const double *__restrict ai = a.im_.data();
-    const double *__restrict br = b.re_.data();
-    const double *__restrict bi = b.im_.data();
-    const unsigned count = size();
-    for (unsigned i = 0; i < count; ++i) {
-        pr[i] += ar[i] * br[i] - ai[i] * bi[i];
-        pi[i] += ar[i] * bi[i] + ai[i] * br[i];
-    }
+    detail::activeBatchKernels().mulAdd(size(), a.re_.data(), a.im_.data(),
+                                        b.re_.data(), b.im_.data(),
+                                        re_.data(), im_.data());
 }
 
 NegacyclicFft::NegacyclicFft(unsigned ring_degree)
@@ -503,6 +476,167 @@ NegacyclicFft::forDegree(unsigned ring_degree)
     auto &slot = cache[ring_degree];
     if (!slot)
         slot = std::make_unique<NegacyclicFft>(ring_degree);
+    return *slot;
+}
+
+BatchFft::BatchFft(unsigned ring_degree) : fft_(ring_degree)
+{
+    const Radix4Fft &core = fft_.fft_;
+    stageLen_.resize(core.numStages());
+    stageTw_.resize(core.numStages());
+    for (unsigned s = 0; s < core.numStages(); ++s) {
+        stageLen_[s] = core.stageLen(s);
+        stageTw_[s] = core.stageTwiddles(s);
+    }
+
+    view_.n = fft_.n_;
+    view_.half = fft_.half_;
+    view_.numStages = core.numStages();
+    view_.radix2Tail = core.hasRadix2Tail();
+    view_.stageLen = stageLen_.data();
+    view_.stageTw = stageTw_.data();
+    view_.twistRe = fft_.twistRe_.data();
+    view_.twistIm = fft_.twistIm_.data();
+
+    // Lane scratch for the widest tier, so a later dispatch override
+    // to a wider kernel never needs a reallocation.
+    laneRe_.resize(static_cast<std::size_t>(detail::kMaxFftLanes) *
+                   fft_.half_);
+    laneIm_.resize(laneRe_.size());
+    padRe_.resize(fft_.half_);
+    padIm_.resize(fft_.half_);
+    padTorus_.resize(fft_.n_);
+}
+
+const detail::BatchKernels *
+BatchFft::pickKernel(const detail::KernelLadder &ladder,
+                     unsigned remaining) const
+{
+    // Rungs are widest-first; take the widest whose lanes all get real
+    // work. Track the narrowest vector rung along the way: a short
+    // group of >= 2 still beats per-polynomial scalar calls when run
+    // through it with the leftover lanes padded.
+    const detail::BatchKernels *pad = nullptr;
+    for (unsigned r = 0; r < ladder.count; ++r) {
+        const detail::BatchKernels *k = ladder.rung[r];
+        if (k->width <= 1 || view_.half % k->width != 0)
+            continue;
+        if (k->width <= remaining)
+            return k;
+        pad = k;
+    }
+    return remaining >= 2 ? pad : nullptr;
+}
+
+void
+BatchFft::forward(const std::int32_t *const *in,
+                  FourierPolynomial *const *out, unsigned count) const
+{
+    const detail::KernelLadder &ladder = detail::activeKernelLadder();
+    unsigned i = 0;
+    while (i < count) {
+        const detail::BatchKernels *k = pickKernel(ladder, count - i);
+        if (!k) {
+            // Scalar tier, too-small transform, or a lone trailing
+            // polynomial: the single-polynomial engine (bit-identical
+            // by construction).
+            fft_.forwardFromInt(in[i], *out[i]);
+            ++i;
+            continue;
+        }
+        const unsigned real = std::min(k->width, count - i);
+        const std::int32_t *in_w[detail::kMaxFftLanes];
+        double *re_w[detail::kMaxFftLanes];
+        double *im_w[detail::kMaxFftLanes];
+        for (unsigned w = 0; w < real; ++w) {
+            FourierPolynomial &o = *out[i + w];
+            panic_if(o.ringDegree() != fft_.n_,
+                     "FourierPolynomial degree mismatch");
+            in_w[w] = in[i + w];
+            re_w[w] = o.reData();
+            im_w[w] = o.imData();
+        }
+        // Idle lanes of a padded short group re-transform the first
+        // polynomial into the shared throwaway spectrum.
+        for (unsigned w = real; w < k->width; ++w) {
+            in_w[w] = in[i];
+            re_w[w] = padRe_.data();
+            im_w[w] = padIm_.data();
+        }
+        k->forwardW(view_, in_w, re_w, im_w, laneRe_.data(),
+                    laneIm_.data());
+        i += real;
+    }
+}
+
+void
+BatchFft::forward(const IntPolynomial *const *in,
+                  FourierPolynomial *const *out, unsigned count) const
+{
+    const std::int32_t *raw[detail::kMaxFftLanes];
+    unsigned i = 0;
+    while (i < count) {
+        const unsigned group =
+            std::min(count - i, detail::kMaxFftLanes);
+        for (unsigned w = 0; w < group; ++w) {
+            panic_if(in[i + w]->degree() != fft_.n_,
+                     "polynomial degree mismatch");
+            raw[w] = in[i + w]->data();
+        }
+        forward(raw, out + i, group);
+        i += group;
+    }
+}
+
+void
+BatchFft::inverseInPlace(FourierPolynomial *const *in,
+                         TorusPolynomial *const *out, unsigned count) const
+{
+    const detail::KernelLadder &ladder = detail::activeKernelLadder();
+    unsigned i = 0;
+    while (i < count) {
+        const detail::BatchKernels *k = pickKernel(ladder, count - i);
+        if (!k) {
+            fft_.inverseInPlace(*in[i], *out[i]);
+            ++i;
+            continue;
+        }
+        const unsigned real = std::min(k->width, count - i);
+        const double *re_w[detail::kMaxFftLanes];
+        const double *im_w[detail::kMaxFftLanes];
+        Torus32 *out_w[detail::kMaxFftLanes];
+        for (unsigned w = 0; w < real; ++w) {
+            FourierPolynomial &f = *in[i + w];
+            panic_if(f.ringDegree() != fft_.n_,
+                     "FourierPolynomial degree mismatch");
+            panic_if(out[i + w]->degree() != fft_.n_,
+                     "polynomial degree mismatch");
+            re_w[w] = f.reData();
+            im_w[w] = f.imData();
+            out_w[w] = out[i + w]->data();
+        }
+        // Idle lanes re-read the first spectrum (the vector kernel
+        // copies inputs to scratch before writing any output, so the
+        // aliasing is read-then-write safe) and round into the shared
+        // throwaway torus buffer.
+        for (unsigned w = real; w < k->width; ++w) {
+            re_w[w] = in[i]->reData();
+            im_w[w] = in[i]->imData();
+            out_w[w] = padTorus_.data();
+        }
+        k->inverseW(view_, re_w, im_w, out_w, laneRe_.data(),
+                    laneIm_.data());
+        i += real;
+    }
+}
+
+const BatchFft &
+BatchFft::forDegree(unsigned ring_degree)
+{
+    thread_local std::map<unsigned, std::unique_ptr<BatchFft>> cache;
+    auto &slot = cache[ring_degree];
+    if (!slot)
+        slot = std::make_unique<BatchFft>(ring_degree);
     return *slot;
 }
 

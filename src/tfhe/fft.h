@@ -31,6 +31,14 @@
  *    multiply/accumulate commutes with any fixed permutation, so
  *    nothing outside the engine ever needs to undo it.
  *
+ * On top of NegacyclicFft sits BatchFft, the SIMD batch engine: it
+ * transforms W polynomials per call (W = lane width of the dispatched
+ * kernel tier, see fft_dispatch.h) with their coefficients interleaved
+ * across vector lanes, so every butterfly — including the small-span
+ * stages that defeat within-polynomial vectorization — runs at full
+ * vector width. All tiers are bit-identical to the scalar engine; the
+ * bootstrap pipeline routes all l*(k+1) per-CMux transforms through it.
+ *
  * Precision: coefficients are carried as doubles. For every parameter
  * set in params.h the accumulated products stay within (or their
  * round-off stays far below) the 53-bit mantissa, so the FFT path is
@@ -45,9 +53,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
+#include "tfhe/fft_kernels.h"
 #include "tfhe/polynomial.h"
 
 namespace morphling::tfhe {
+
+class BatchFft;
+
+namespace detail {
+struct KernelLadder;
+}
 
 /**
  * A plain iterative radix-2 complex FFT of a fixed power-of-two size,
@@ -157,7 +173,9 @@ class Radix4Fft
  *
  * Stored as separate real/imaginary arrays (structure-of-arrays), which
  * mirrors the hardware's packed 64-bit complex datapath and vectorizes
- * well.
+ * well. Both arrays are 64-byte aligned (kSimdAlignment) so the SIMD
+ * kernel tiers can stream them with full-width vector accesses that
+ * never straddle a cache line.
  */
 class FourierPolynomial
 {
@@ -183,21 +201,23 @@ class FourierPolynomial
     /** Reset to the zero transform. */
     void clear();
 
-    /** this += a (element-wise complex addition). */
+    /** this += a (element-wise complex addition). Routed through the
+     *  dispatched SIMD kernel tier. */
     void addAssign(const FourierPolynomial &a);
 
     /** this += a * b (element-wise complex multiply-accumulate).
      *
      * This is the VPE inner loop: one call corresponds to one
      * polynomial multiplication accumulated into POLY-ACC-REG entirely
-     * in the transform domain.
+     * in the transform domain. Routed through the dispatched SIMD
+     * kernel tier.
      */
     void mulAddAssign(const FourierPolynomial &a,
                       const FourierPolynomial &b);
 
   private:
     unsigned ringDegree_ = 0;
-    std::vector<double> re_, im_;
+    AlignedVector<double> re_, im_;
 };
 
 /**
@@ -259,12 +279,89 @@ class NegacyclicFft
     unsigned half_; //!< transform size N/2
 
     Radix4Fft fft_; //!< the N/2-point complex core
-    std::vector<double> twistRe_, twistIm_; //!< e^{i*pi*j/N}
+    AlignedVector<double> twistRe_, twistIm_; //!< e^{i*pi*j/N}
 
     // Scratch reused by the const-preserving inverse (mutable:
     // transforms are logically const). This is why an engine is
     // single-thread-only; forDegree() hands out one engine per thread.
-    mutable std::vector<double> scratchRe_, scratchIm_;
+    mutable AlignedVector<double> scratchRe_, scratchIm_;
+
+    friend class BatchFft; //!< shares the tables for batched transforms
+};
+
+/**
+ * SIMD batch front end over NegacyclicFft: transforms up to
+ * detail::kMaxFftLanes polynomials per kernel call by interleaving
+ * their coefficients across vector lanes (see fft_kernels.h).
+ *
+ * The kernel tier (scalar / AVX2 / AVX-512 / NEON) is resolved by
+ * fft_dispatch.h at first use and acts as a width *ceiling*: whole
+ * groups of W = tier lane width go through the widest kernel, and a
+ * short group descends the dispatch ladder to the widest narrower
+ * kernel it can still fill (e.g. 4 transforms on an AVX-512 host use
+ * the AVX2 kernel rather than falling back to scalar). A trailing
+ * group of >= 2 polynomials too small for even the narrowest vector
+ * kernel runs through it anyway with idle lanes re-transforming the
+ * first polynomial into a shared throwaway buffer — cheaper than
+ * per-polynomial scalar calls. Lone polynomials, the scalar tier, and
+ * transforms too small to interleave (N/2 % W != 0) take the scalar
+ * engine. All paths are bit-identical, so batching and ladder descent
+ * never change results.
+ *
+ * Allocation-free after construction: the interleaved lane scratch is
+ * preallocated at the widest tier. Instances carry mutable scratch and
+ * are single-thread-only, like NegacyclicFft; forDegree() returns a
+ * per-thread cached instance.
+ */
+class BatchFft
+{
+  public:
+    explicit BatchFft(unsigned ring_degree);
+
+    BatchFft(const BatchFft &) = delete;
+    BatchFft &operator=(const BatchFft &) = delete;
+
+    unsigned ringDegree() const { return fft_.ringDegree(); }
+
+    /** The wrapped single-polynomial engine (scalar fallback path). */
+    const NegacyclicFft &engine() const { return fft_; }
+
+    /** Batched forward transform of `count` coefficient arrays (read as
+     *  signed 32-bit integers) into `count` spectra. */
+    void forward(const std::int32_t *const *in,
+                 FourierPolynomial *const *out, unsigned count) const;
+
+    /** Batched forward transform of `count` integer polynomials. */
+    void forward(const IntPolynomial *const *in,
+                 FourierPolynomial *const *out, unsigned count) const;
+
+    /** Batched inverse + round of `count` spectra into `count` torus
+     *  polynomials, destroying the spectra (hot-path contract of
+     *  NegacyclicFft::inverseInPlace). */
+    void inverseInPlace(FourierPolynomial *const *in,
+                        TorusPolynomial *const *out, unsigned count) const;
+
+    /** Per-thread cached engine for ring degree N. */
+    static const BatchFft &forDegree(unsigned ring_degree);
+
+  private:
+    /** Widest ladder rung usable for a group of `remaining` transforms,
+     *  or nullptr when the scalar engine is the right path. */
+    const detail::BatchKernels *
+    pickKernel(const detail::KernelLadder &ladder,
+               unsigned remaining) const;
+
+    NegacyclicFft fft_;                 //!< owns all transform tables
+    std::vector<unsigned> stageLen_;    //!< radix-4 spans (view backing)
+    std::vector<const double *> stageTw_; //!< per-stage twiddle blocks
+    detail::NegacyclicView view_;       //!< borrowed view for kernels
+
+    // Interleaved lane scratch, sized for the widest tier; mutable for
+    // the same logically-const reason as NegacyclicFft's scratch.
+    mutable AlignedVector<double> laneRe_, laneIm_;
+    // Shared throwaway outputs for idle padded lanes of a short group.
+    mutable AlignedVector<double> padRe_, padIm_;
+    mutable AlignedVector<Torus32> padTorus_;
 };
 
 } // namespace morphling::tfhe

@@ -1,0 +1,269 @@
+#include "fft_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "tfhe/fft_kernels.h"
+
+namespace morphling::tfhe {
+
+namespace {
+
+using detail::BatchKernels;
+
+/** Kernel table for a tier, nullptr when not compiled in. */
+const BatchKernels *
+tierKernels(FftDispatchTier tier)
+{
+    switch (tier) {
+    case FftDispatchTier::kScalar:
+        return &detail::scalarBatchKernels();
+    case FftDispatchTier::kAvx2:
+        return detail::avx2BatchKernels();
+    case FftDispatchTier::kAvx512:
+        return detail::avx512BatchKernels();
+    case FftDispatchTier::kNeon:
+        return detail::neonBatchKernels();
+    }
+    return nullptr;
+}
+
+/** CPU capability probe (compile-time support checked separately). */
+bool
+cpuSupports(FftDispatchTier tier)
+{
+    switch (tier) {
+    case FftDispatchTier::kScalar:
+        return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case FftDispatchTier::kAvx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    case FftDispatchTier::kAvx512:
+        return __builtin_cpu_supports("avx512f") != 0;
+#endif
+#if defined(__aarch64__)
+    case FftDispatchTier::kNeon:
+        return true; // double-precision NEON is baseline AArch64
+#endif
+    default:
+        return false;
+    }
+}
+
+/** Widest supported tier: auto-selection policy. */
+FftDispatchTier
+bestSupportedTier()
+{
+    for (FftDispatchTier t : {FftDispatchTier::kAvx512,
+                              FftDispatchTier::kAvx2,
+                              FftDispatchTier::kNeon})
+        if (fftDispatchTierSupported(t))
+            return t;
+    return FftDispatchTier::kScalar;
+}
+
+/** Parse a MORPHLING_FFT_DISPATCH value; empty/auto/unknown -> auto
+ *  (unknown additionally warns). */
+FftDispatchTier
+resolveFromEnv()
+{
+    const char *env = std::getenv("MORPHLING_FFT_DISPATCH");
+    const std::string v = env ? env : "";
+    if (v.empty() || v == "auto")
+        return bestSupportedTier();
+
+    FftDispatchTier requested;
+    if (v == "scalar")
+        requested = FftDispatchTier::kScalar;
+    else if (v == "avx2")
+        requested = FftDispatchTier::kAvx2;
+    else if (v == "avx512")
+        requested = FftDispatchTier::kAvx512;
+    else if (v == "neon")
+        requested = FftDispatchTier::kNeon;
+    else {
+        warn("MORPHLING_FFT_DISPATCH=", v,
+             " not recognized (auto/scalar/avx2/avx512/neon); using auto");
+        return bestSupportedTier();
+    }
+    if (!fftDispatchTierSupported(requested)) {
+        warn("MORPHLING_FFT_DISPATCH=", v,
+             " not supported on this host; using auto");
+        return bestSupportedTier();
+    }
+    return requested;
+}
+
+// The active kernel table. nullptr until first resolution; writes only
+// under g_mutex, reads are one relaxed atomic load on the hot path.
+std::atomic<const BatchKernels *> g_active{nullptr};
+std::atomic<const detail::KernelLadder *> g_ladder{nullptr};
+std::mutex g_mutex;
+
+/** Descending-width ladder for a tier: the tier itself, then every
+ *  supported narrower tier, always ending at scalar. Built once per
+ *  tier; the storage is immortal so published pointers stay valid. */
+const detail::KernelLadder &
+ladderFor(FftDispatchTier tier)
+{
+    static detail::KernelLadder ladders[4];
+    static std::once_flag built;
+    std::call_once(built, [] {
+        for (FftDispatchTier t : {FftDispatchTier::kScalar,
+                                  FftDispatchTier::kAvx2,
+                                  FftDispatchTier::kAvx512,
+                                  FftDispatchTier::kNeon}) {
+            if (!fftDispatchTierSupported(t))
+                continue;
+            const BatchKernels *top = tierKernels(t);
+            detail::KernelLadder &ladder =
+                ladders[static_cast<unsigned>(t)];
+            // Gather every supported table no wider than the ceiling,
+            // then sort widest first by repeated max selection (at
+            // most four rungs, so simplicity beats an std::sort).
+            const BatchKernels *pool[4];
+            unsigned n = 0;
+            for (FftDispatchTier u : {FftDispatchTier::kScalar,
+                                      FftDispatchTier::kAvx2,
+                                      FftDispatchTier::kAvx512,
+                                      FftDispatchTier::kNeon})
+                if (fftDispatchTierSupported(u) &&
+                    tierKernels(u)->width <= top->width)
+                    pool[n++] = tierKernels(u);
+            while (ladder.count < n) {
+                unsigned best = 0;
+                for (unsigned i = 1; i < n; ++i)
+                    if (pool[i] && (!pool[best] ||
+                                    pool[i]->width > pool[best]->width))
+                        best = i;
+                ladder.rung[ladder.count++] = pool[best];
+                pool[best] = nullptr;
+            }
+        }
+    });
+    return ladders[static_cast<unsigned>(tier)];
+}
+
+/** Publish a tier: set the table, log once per change, update the
+ *  telemetry gauge so exported metrics carry the kernel width. */
+void
+publish(FftDispatchTier tier, const char *how)
+{
+    const BatchKernels *k = tierKernels(tier);
+    panic_if(!k, "publishing unsupported FFT dispatch tier");
+    static const BatchKernels *last_logged = nullptr;
+    g_ladder.store(&ladderFor(tier), std::memory_order_release);
+    g_active.store(k, std::memory_order_release);
+    telemetry::MetricsRegistry::instance()
+        .gauge("tfhe.fft_dispatch_width",
+               "SIMD lane width of the active negacyclic FFT kernels")
+        .set(k->width);
+    if (k != last_logged) { // re-selecting the same tier stays quiet
+        last_logged = k;    // (bench loops force per repetition)
+        inform("tfhe: negacyclic FFT dispatch -> ", k->name, " (",
+               k->width, " lane", k->width == 1 ? "" : "s", ", ", how,
+               ")");
+    }
+}
+
+} // namespace
+
+const char *
+fftDispatchTierName(FftDispatchTier tier)
+{
+    switch (tier) {
+    case FftDispatchTier::kScalar:
+        return "scalar";
+    case FftDispatchTier::kAvx2:
+        return "avx2";
+    case FftDispatchTier::kAvx512:
+        return "avx512";
+    case FftDispatchTier::kNeon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+fftDispatchTierSupported(FftDispatchTier tier)
+{
+    return tierKernels(tier) != nullptr && cpuSupports(tier);
+}
+
+std::vector<FftDispatchTier>
+supportedFftDispatchTiers()
+{
+    std::vector<FftDispatchTier> out{FftDispatchTier::kScalar};
+    for (FftDispatchTier t : {FftDispatchTier::kNeon,
+                              FftDispatchTier::kAvx2,
+                              FftDispatchTier::kAvx512})
+        if (fftDispatchTierSupported(t))
+            out.push_back(t);
+    return out;
+}
+
+FftDispatchTier
+activeFftDispatchTier()
+{
+    const BatchKernels &k = detail::activeBatchKernels();
+    if (&k == &detail::scalarBatchKernels())
+        return FftDispatchTier::kScalar;
+    if (&k == detail::avx2BatchKernels())
+        return FftDispatchTier::kAvx2;
+    if (&k == detail::avx512BatchKernels())
+        return FftDispatchTier::kAvx512;
+    return FftDispatchTier::kNeon;
+}
+
+void
+forceFftDispatchTier(FftDispatchTier tier)
+{
+    panic_if(!fftDispatchTierSupported(tier),
+             "cannot force unsupported FFT dispatch tier ",
+             fftDispatchTierName(tier));
+    std::lock_guard<std::mutex> lock(g_mutex);
+    publish(tier, "forced");
+}
+
+void
+resetFftDispatchTier()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_ladder.store(nullptr, std::memory_order_release);
+    g_active.store(nullptr, std::memory_order_release);
+}
+
+namespace detail {
+
+const BatchKernels &
+activeBatchKernels()
+{
+    const BatchKernels *k = g_active.load(std::memory_order_acquire);
+    if (k)
+        return *k;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    k = g_active.load(std::memory_order_acquire);
+    if (!k) {
+        publish(resolveFromEnv(), "first use");
+        k = g_active.load(std::memory_order_acquire);
+    }
+    return *k;
+}
+
+const KernelLadder &
+activeKernelLadder()
+{
+    const KernelLadder *l = g_ladder.load(std::memory_order_acquire);
+    if (l)
+        return *l;
+    activeBatchKernels(); // resolves and publishes the ladder too
+    return *g_ladder.load(std::memory_order_acquire);
+}
+
+} // namespace detail
+
+} // namespace morphling::tfhe

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Runtime dispatch for the batched negacyclic FFT kernels.
+ *
+ * The library ships one binary with scalar, AVX2, AVX-512 and NEON
+ * butterfly kernels compiled side by side (each translation unit with
+ * its own ISA flags); the widest tier the host CPU supports is selected
+ * once, on first use, via CPUID (x86) / architecture baseline (ARM).
+ * All tiers produce bit-identical outputs (tests force each tier and
+ * assert exact equality), so dispatch is purely a throughput decision.
+ *
+ * The MORPHLING_FFT_DISPATCH environment variable overrides the
+ * selection: auto (default), scalar, avx2, avx512 or neon. Requesting
+ * an unsupported tier warns and falls back to auto. The resolved tier
+ * is reported once through inform() and the telemetry gauge
+ * tfhe.fft_dispatch_width, so benchmark JSON and service logs record
+ * which kernel produced their numbers.
+ */
+
+#ifndef MORPHLING_TFHE_FFT_DISPATCH_H
+#define MORPHLING_TFHE_FFT_DISPATCH_H
+
+#include <vector>
+
+namespace morphling::tfhe {
+
+namespace detail {
+struct BatchKernels;
+}
+
+/** The kernel tiers, narrowest to widest. */
+enum class FftDispatchTier { kScalar, kAvx2, kAvx512, kNeon };
+
+/** Tier name as used in logs, env values and bench labels. */
+const char *fftDispatchTierName(FftDispatchTier tier);
+
+/** True when the tier is compiled in and the host CPU supports it. */
+bool fftDispatchTierSupported(FftDispatchTier tier);
+
+/** All runnable tiers on this host, scalar first, widest last. */
+std::vector<FftDispatchTier> supportedFftDispatchTiers();
+
+/**
+ * The tier every batched transform currently routes through. Resolved
+ * once on first call (environment override, then widest supported) and
+ * logged; later calls are a single atomic load.
+ */
+FftDispatchTier activeFftDispatchTier();
+
+/**
+ * Force a specific tier (testing/benchmark hook). The tier must be
+ * supported on this host. Takes effect for subsequent batched calls;
+ * do not call concurrently with running transforms.
+ */
+void forceFftDispatchTier(FftDispatchTier tier);
+
+/** Drop any forced tier and re-resolve from the environment + CPU on
+ *  next use. */
+void resetFftDispatchTier();
+
+namespace detail {
+
+/** Kernel table of the active tier (resolving it on first use). */
+const BatchKernels &activeBatchKernels();
+
+/**
+ * The active tier and every supported narrower tier, widths strictly
+ * descending, always ending in the scalar table. The active tier is a
+ * width *ceiling*, not the only kernel: a batch smaller than its lane
+ * count descends the ladder to the widest kernel that still fills its
+ * lanes (all tiers are bit-identical, so this is purely a throughput
+ * decision). Forcing the scalar tier leaves only the scalar rung.
+ */
+struct KernelLadder
+{
+    const BatchKernels *rung[4] = {nullptr, nullptr, nullptr, nullptr};
+    unsigned count = 0;
+};
+
+/** Ladder of the active tier (resolving it on first use). */
+const KernelLadder &activeKernelLadder();
+
+} // namespace detail
+
+} // namespace morphling::tfhe
+
+#endif // MORPHLING_TFHE_FFT_DISPATCH_H

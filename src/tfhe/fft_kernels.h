@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Internal interface between the negacyclic FFT front end (fft.cc,
+ * fft_dispatch.cc) and the ISA-specific batched butterfly kernels
+ * (fft_kernels_{scalar,avx2,avx512,neon}.cc).
+ *
+ * The batched engine vectorizes across the *batch axis*: W polynomials
+ * are transformed simultaneously with their coefficients interleaved
+ * lane-wise (element j of lane w lives at scratch[j*W + w]). Every
+ * butterfly position then maps to exactly one W-wide vector with the
+ * twiddle broadcast across lanes, so all stages — including the
+ * smallest spans and the radix-2 tail that defeat within-polynomial
+ * vectorization — run at full vector width. Because each lane performs
+ * exactly the scalar algorithm's operation sequence per element, the
+ * batched output is bit-identical to the scalar path for every tier
+ * (asserted in tests/test_workspace.cc).
+ *
+ * Each kernel translation unit is compiled with its own ISA flags plus
+ * -ffp-contract=off (no FMA contraction: contraction would change
+ * rounding and break bit-identity with the baseline scalar build).
+ */
+
+#ifndef MORPHLING_TFHE_FFT_KERNELS_H
+#define MORPHLING_TFHE_FFT_KERNELS_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "tfhe/torus.h"
+
+namespace morphling::tfhe::detail {
+
+/** Widest lane count any kernel tier uses (AVX-512: 8 doubles). */
+inline constexpr unsigned kMaxFftLanes = 8;
+
+/**
+ * Borrowed view of one NegacyclicFft engine's precomputed tables:
+ * everything a kernel needs to run the transform, with no ownership.
+ * Pointers remain valid for the lifetime of the owning engine.
+ */
+struct NegacyclicView
+{
+    unsigned n = 0;           //!< ring degree N
+    unsigned half = 0;        //!< transform size N/2
+    unsigned numStages = 0;   //!< radix-4 stage count
+    bool radix2Tail = false;  //!< trailing radix-2 stage present
+    const unsigned *stageLen = nullptr;    //!< span per stage (desc)
+    const double *const *stageTw = nullptr; //!< 6-block twiddles/stage
+    const double *twistRe = nullptr;        //!< e^{i*pi*j/N} real
+    const double *twistIm = nullptr;        //!< e^{i*pi*j/N} imag
+};
+
+/**
+ * One dispatch tier's kernel table. forwardW/inverseW transform exactly
+ * `width` polynomials per call over the caller's interleaved scratch
+ * (capacity >= width * half doubles per plane, 64-byte aligned).
+ */
+struct BatchKernels
+{
+    unsigned width = 1;             //!< lanes per batched call (W)
+    const char *name = "scalar";    //!< tier name for logs/benches
+
+    /**
+     * Negacyclic forward of W integer polynomials: fold + twist fused
+     * with the lane transpose, all butterfly stages on the interleaved
+     * layout, then de-transpose into each polynomial's SoA spectrum
+     * (out_re[w] / out_im[w], digit-reversed order).
+     */
+    void (*forwardW)(const NegacyclicView &t,
+                     const std::int32_t *const *in,
+                     double *const *out_re, double *const *out_im,
+                     double *scratch_re, double *scratch_im) = nullptr;
+
+    /**
+     * Unscaled-inverse + untwist + scale + round of W spectra into W
+     * torus polynomials. Consumes (clobbers) nothing of the inputs:
+     * spectra are copied into the interleaved scratch first.
+     */
+    void (*inverseW)(const NegacyclicView &t,
+                     const double *const *in_re,
+                     const double *const *in_im,
+                     Torus32 *const *out,
+                     double *scratch_re, double *scratch_im) = nullptr;
+
+    /** Pointwise complex multiply-accumulate over flat SoA arrays:
+     *  p += a * b (the VPE inner loop). Any count. */
+    void (*mulAdd)(unsigned count, const double *ar, const double *ai,
+                   const double *br, const double *bi, double *pr,
+                   double *pi) = nullptr;
+
+    /** Pointwise complex accumulate: p += a. Any count. */
+    void (*add)(unsigned count, const double *ar, const double *ai,
+                double *pr, double *pi) = nullptr;
+};
+
+/**
+ * Round a double onto the discretized 32-bit torus. Shared by the
+ * scalar inverse path and every vector kernel's store stage so the
+ * rounding behaviour (llrint + wrap-around cast, guarded exact range
+ * reduction beyond 2^62) is one definition across tiers.
+ */
+inline Torus32
+roundToTorus(double v)
+{
+    constexpr double kGuard = 4.611686018427387904e18; // 2^62
+    if (v >= kGuard || v <= -kGuard)
+        v = std::remainder(v, 4294967296.0);
+    return static_cast<Torus32>(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(std::llrint(v))));
+}
+
+/** Portable reference tier (W = 1); always available, and the bit-exact
+ *  semantics every vector tier must reproduce. */
+const BatchKernels &scalarBatchKernels();
+
+// Vector tiers: each returns nullptr when the tier was not compiled in
+// (wrong architecture or compiler lacks the ISA support).
+const BatchKernels *avx2BatchKernels();
+const BatchKernels *avx512BatchKernels();
+const BatchKernels *neonBatchKernels();
+
+} // namespace morphling::tfhe::detail
+
+#endif // MORPHLING_TFHE_FFT_KERNELS_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * AVX2 tier (W = 4 doubles) of the batched negacyclic FFT kernels.
+ * Compiled with -mavx2 -ffp-contract=off on x86-64; on other targets
+ * (or compilers without AVX2 support) the factory degrades to nullptr
+ * and the dispatcher never offers the tier.
+ *
+ * No FMA intrinsics on purpose: separate mul/add keeps each lane's
+ * rounding identical to the scalar path (the bit-identity contract of
+ * fft_kernels_impl.h).
+ */
+
+#include "tfhe/fft_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "tfhe/fft_kernels_impl.h"
+
+namespace morphling::tfhe::detail {
+namespace {
+
+struct Avx2Traits
+{
+    static constexpr unsigned kWidth = 4;
+    using Vec = __m256d;
+
+    static Vec load(const double *p) { return _mm256_loadu_pd(p); }
+    static void store(double *p, Vec v) { _mm256_storeu_pd(p, v); }
+    static Vec splat(double x) { return _mm256_set1_pd(x); }
+    static Vec add(Vec a, Vec b) { return _mm256_add_pd(a, b); }
+    static Vec sub(Vec a, Vec b) { return _mm256_sub_pd(a, b); }
+    static Vec mul(Vec a, Vec b) { return _mm256_mul_pd(a, b); }
+    static Vec cvtInt32(const std::int32_t *p)
+    {
+        return _mm256_cvtepi32_pd(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+    }
+
+    /** 4x4 in-register transpose (unpack pairs, then cross 128-bit
+     *  lanes). */
+    static void transpose(Vec *r)
+    {
+        const __m256d t0 = _mm256_unpacklo_pd(r[0], r[1]);
+        const __m256d t1 = _mm256_unpackhi_pd(r[0], r[1]);
+        const __m256d t2 = _mm256_unpacklo_pd(r[2], r[3]);
+        const __m256d t3 = _mm256_unpackhi_pd(r[2], r[3]);
+        r[0] = _mm256_permute2f128_pd(t0, t2, 0x20);
+        r[1] = _mm256_permute2f128_pd(t1, t3, 0x20);
+        r[2] = _mm256_permute2f128_pd(t0, t2, 0x31);
+        r[3] = _mm256_permute2f128_pd(t1, t3, 0x31);
+    }
+};
+
+} // namespace
+
+const BatchKernels *
+avx2BatchKernels()
+{
+    static const BatchKernels k = makeBatchKernels<Avx2Traits>("avx2");
+    return &k;
+}
+
+} // namespace morphling::tfhe::detail
+
+#else // !__AVX2__
+
+namespace morphling::tfhe::detail {
+
+const BatchKernels *
+avx2BatchKernels()
+{
+    return nullptr;
+}
+
+} // namespace morphling::tfhe::detail
+
+#endif

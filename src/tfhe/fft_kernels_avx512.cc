@@ -1,0 +1,101 @@
+/**
+ * @file
+ * AVX-512 tier (W = 8 doubles) of the batched negacyclic FFT kernels.
+ * Compiled with -mavx512f -ffp-contract=off on x86-64; degrades to a
+ * nullptr factory elsewhere. Only AVX-512F instructions are used
+ * (loads, arithmetic, unpack/shuffle_f64x2, cvtepi32_pd), so the tier
+ * runs on every AVX-512 part from Skylake-SP on.
+ *
+ * No FMA intrinsics — see the bit-identity contract in
+ * fft_kernels_impl.h.
+ */
+
+#include "tfhe/fft_kernels.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "tfhe/fft_kernels_impl.h"
+
+namespace morphling::tfhe::detail {
+namespace {
+
+struct Avx512Traits
+{
+    static constexpr unsigned kWidth = 8;
+    using Vec = __m512d;
+
+    static Vec load(const double *p) { return _mm512_loadu_pd(p); }
+    static void store(double *p, Vec v) { _mm512_storeu_pd(p, v); }
+    static Vec splat(double x) { return _mm512_set1_pd(x); }
+    static Vec add(Vec a, Vec b) { return _mm512_add_pd(a, b); }
+    static Vec sub(Vec a, Vec b) { return _mm512_sub_pd(a, b); }
+    static Vec mul(Vec a, Vec b) { return _mm512_mul_pd(a, b); }
+    static Vec cvtInt32(const std::int32_t *p)
+    {
+        return _mm512_cvtepi32_pd(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p)));
+    }
+
+    /**
+     * 8x8 in-register transpose in three stages: unpack adjacent rows
+     * into 2-element column pairs, then two rounds of 128-bit chunk
+     * shuffles (imm 0x88 picks chunks {0,2} of each source, 0xDD picks
+     * {1,3}) that gather the pairs into full columns.
+     */
+    static void transpose(Vec *r)
+    {
+        const __m512d t0 = _mm512_unpacklo_pd(r[0], r[1]);
+        const __m512d t1 = _mm512_unpackhi_pd(r[0], r[1]);
+        const __m512d t2 = _mm512_unpacklo_pd(r[2], r[3]);
+        const __m512d t3 = _mm512_unpackhi_pd(r[2], r[3]);
+        const __m512d t4 = _mm512_unpacklo_pd(r[4], r[5]);
+        const __m512d t5 = _mm512_unpackhi_pd(r[4], r[5]);
+        const __m512d t6 = _mm512_unpacklo_pd(r[6], r[7]);
+        const __m512d t7 = _mm512_unpackhi_pd(r[6], r[7]);
+
+        const __m512d u0 = _mm512_shuffle_f64x2(t0, t2, 0x88);
+        const __m512d u1 = _mm512_shuffle_f64x2(t1, t3, 0x88);
+        const __m512d u2 = _mm512_shuffle_f64x2(t0, t2, 0xDD);
+        const __m512d u3 = _mm512_shuffle_f64x2(t1, t3, 0xDD);
+        const __m512d u4 = _mm512_shuffle_f64x2(t4, t6, 0x88);
+        const __m512d u5 = _mm512_shuffle_f64x2(t5, t7, 0x88);
+        const __m512d u6 = _mm512_shuffle_f64x2(t4, t6, 0xDD);
+        const __m512d u7 = _mm512_shuffle_f64x2(t5, t7, 0xDD);
+
+        r[0] = _mm512_shuffle_f64x2(u0, u4, 0x88);
+        r[1] = _mm512_shuffle_f64x2(u1, u5, 0x88);
+        r[2] = _mm512_shuffle_f64x2(u2, u6, 0x88);
+        r[3] = _mm512_shuffle_f64x2(u3, u7, 0x88);
+        r[4] = _mm512_shuffle_f64x2(u0, u4, 0xDD);
+        r[5] = _mm512_shuffle_f64x2(u1, u5, 0xDD);
+        r[6] = _mm512_shuffle_f64x2(u2, u6, 0xDD);
+        r[7] = _mm512_shuffle_f64x2(u3, u7, 0xDD);
+    }
+};
+
+} // namespace
+
+const BatchKernels *
+avx512BatchKernels()
+{
+    static const BatchKernels k = makeBatchKernels<Avx512Traits>("avx512");
+    return &k;
+}
+
+} // namespace morphling::tfhe::detail
+
+#else // !__AVX512F__
+
+namespace morphling::tfhe::detail {
+
+const BatchKernels *
+avx512BatchKernels()
+{
+    return nullptr;
+}
+
+} // namespace morphling::tfhe::detail
+
+#endif

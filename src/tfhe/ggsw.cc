@@ -53,7 +53,14 @@ gadgetDecomposePlanned(const TorusPolynomial &poly, const GadgetPlan &plan,
         if (p.degree() != n)
             p = IntPolynomial(n);
     }
+    gadgetDecomposePlannedInto(poly, plan, out.data());
+}
 
+void
+gadgetDecomposePlannedInto(const TorusPolynomial &poly,
+                           const GadgetPlan &plan, IntPolynomial *out)
+{
+    const unsigned n = poly.degree();
     const Torus32 *__restrict src = poly.data();
     const std::uint32_t offset = plan.offset;
     const std::uint32_t mask = plan.mask;
@@ -63,6 +70,7 @@ gadgetDecomposePlanned(const TorusPolynomial &poly, const GadgetPlan &plan,
     // level to keep the inner loop free of cross-level state.
     for (unsigned j = 0; j < plan.levels; ++j) {
         const unsigned shift = 32 - (j + 1) * plan.baseBits;
+        panic_if(out[j].degree() != n, "digit polynomial degree mismatch");
         std::int32_t *__restrict dst = out[j].data();
         for (unsigned c = 0; c < n; ++c) {
             const std::uint32_t shifted = src[c] + offset;
@@ -120,17 +128,25 @@ FourierGgsw::fromGgsw(const GgswCiphertext &ggsw)
 
     panic_if(ggsw.numRows() == 0, "empty GGSW");
     const unsigned n = ggsw.row(0).polyDegree();
-    const auto &fft = NegacyclicFft::forDegree(n);
+
+    // All (k+1)*l_b*(k+1) transforms of the key material go through one
+    // batched forward call (torus coefficients read as signed 32-bit
+    // integers, as in NegacyclicFft::forward(TorusPolynomial)).
+    std::vector<const std::int32_t *> in;
+    std::vector<FourierPolynomial *> spectra;
     for (unsigned r = 0; r < ggsw.numRows(); ++r) {
         const auto &row = ggsw.row(r);
         auto &dst = out.rows_[r];
-        dst.reserve(row.dimension() + 1);
+        dst.resize(row.dimension() + 1);
         for (unsigned c = 0; c <= row.dimension(); ++c) {
-            FourierPolynomial fp(n);
-            fft.forward(row.component(c), fp);
-            dst.push_back(std::move(fp));
+            dst[c] = FourierPolynomial(n);
+            in.push_back(reinterpret_cast<const std::int32_t *>(
+                row.component(c).data()));
+            spectra.push_back(&dst[c]);
         }
     }
+    BatchFft::forDegree(n).forward(in.data(), spectra.data(),
+                                   static_cast<unsigned>(in.size()));
     return out;
 }
 
@@ -178,7 +194,9 @@ namespace {
  * Stage (1) of the Fourier external product: decompose all components
  * of `input` and transform each digit polynomial into ws.digitsF.
  * These (k+1)*l_b forward transforms are the ones the hardware shares
- * across a VPE row (input transform-domain reuse).
+ * across a VPE row (input transform-domain reuse); on the CPU substrate
+ * they go through BatchFft as a single batched call, so the SIMD tiers
+ * transform several digit polynomials per pass.
  */
 void
 decomposeAndTransform(const FourierGgsw &ggsw, const GlweCiphertext &input,
@@ -192,11 +210,25 @@ decomposeAndTransform(const FourierGgsw &ggsw, const GlweCiphertext &input,
     panic_if(ggsw.numCols() != k + 1, "GGSW column count mismatch");
 
     ws.ensure(k, n, levels, ggsw.baseBits());
-    const auto &fft = NegacyclicFft::forDegree(n);
-    for (unsigned u = 0; u <= k; ++u) {
-        gadgetDecomposePlanned(input.component(u), ws.plan, ws.digits);
-        for (unsigned j = 0; j < levels; ++j)
-            fft.forward(ws.digits[j], ws.digitsF[u * levels + j]);
+    for (unsigned u = 0; u <= k; ++u)
+        gadgetDecomposePlannedInto(input.component(u), ws.plan,
+                                   ws.digits.data() + u * levels);
+    BatchFft::forDegree(n).forward(ws.batchDigits.data(),
+                                   ws.batchDigitsF.data(),
+                                   (k + 1) * levels);
+}
+
+/** Stage (2): the (k+1) transform-domain dot products of equation (2),
+ *  one per output component, accumulated into ws.accF. */
+void
+accumulateColumns(const FourierGgsw &ggsw, BootstrapWorkspace &ws,
+                  unsigned k)
+{
+    const unsigned rows = ggsw.numRows();
+    for (unsigned c = 0; c <= k; ++c) {
+        ws.accF[c].clear();
+        for (unsigned r = 0; r < rows; ++r)
+            ws.accF[c].mulAddAssign(ws.digitsF[r], ggsw.at(r, c));
     }
 }
 
@@ -214,15 +246,13 @@ externalProductFourier(const FourierGgsw &ggsw, const GlweCiphertext &input,
 
     // (2): one dot product per output component, accumulated entirely
     // in the transform domain (output transform-domain reuse: a single
-    // inverse FFT per component, not per product).
-    const auto &fft = NegacyclicFft::forDegree(n);
-    const unsigned rows = ggsw.numRows();
-    for (unsigned c = 0; c <= k; ++c) {
-        ws.accF.clear();
-        for (unsigned r = 0; r < rows; ++r)
-            ws.accF.mulAddAssign(ws.digitsF[r], ggsw.at(r, c));
-        fft.inverseInPlace(ws.accF, result.component(c));
-    }
+    // inverse FFT per component, not per product). The k+1 inverse
+    // transforms run as one batched call straight into `result`.
+    accumulateColumns(ggsw, ws, k);
+    for (unsigned c = 0; c <= k; ++c)
+        ws.batchTorus[c] = &result.component(c);
+    BatchFft::forDegree(n).inverseInPlace(ws.batchAccF.data(),
+                                          ws.batchTorus.data(), k + 1);
 }
 
 GlweCiphertext
@@ -246,19 +276,17 @@ cmuxRotateInPlace(const FourierGgsw &ggsw, GlweCiphertext &acc,
     for (unsigned c = 0; c <= k; ++c)
         acc.component(c).rotateDiffInto(power, ws.diff.component(c));
 
-    // ... then ACC += BSK [.] Lambda, the external product inverse FFTs
-    // landing in ws.prod and accumulating straight into the rotating
-    // accumulator (no result/copy ciphertexts).
+    // ... then ACC += BSK [.] Lambda, the external product's k+1
+    // inverse FFTs batched into ws.prods and accumulated straight into
+    // the rotating accumulator (no result/copy ciphertexts).
     decomposeAndTransform(ggsw, ws.diff, ws);
-    const auto &fft = NegacyclicFft::forDegree(n);
-    const unsigned rows = ggsw.numRows();
-    for (unsigned c = 0; c <= k; ++c) {
-        ws.accF.clear();
-        for (unsigned r = 0; r < rows; ++r)
-            ws.accF.mulAddAssign(ws.digitsF[r], ggsw.at(r, c));
-        fft.inverseInPlace(ws.accF, ws.prod);
-        acc.component(c).addAssign(ws.prod);
-    }
+    accumulateColumns(ggsw, ws, k);
+    for (unsigned c = 0; c <= k; ++c)
+        ws.batchTorus[c] = &ws.prods[c];
+    BatchFft::forDegree(n).inverseInPlace(ws.batchAccF.data(),
+                                          ws.batchTorus.data(), k + 1);
+    for (unsigned c = 0; c <= k; ++c)
+        acc.component(c).addAssign(ws.prods[c]);
 }
 
 GlweCiphertext

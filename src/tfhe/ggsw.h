@@ -64,6 +64,17 @@ void gadgetDecomposePlanned(const TorusPolynomial &poly,
                             const GadgetPlan &plan,
                             std::vector<IntPolynomial> &out);
 
+/**
+ * Pointer-range variant of the planned decomposition: writes the
+ * plan.levels digit polynomials into out[0..levels), which must already
+ * have the polynomial's degree. Lets the workspace lay the digit
+ * polynomials of all GLWE components out contiguously for one batched
+ * forward FFT.
+ */
+void gadgetDecomposePlannedInto(const TorusPolynomial &poly,
+                                const GadgetPlan &plan,
+                                IntPolynomial *out);
+
 /** Scalar version, used by tests and by key switching internals. */
 void gadgetDecomposeScalar(Torus32 value, unsigned base_bits,
                            unsigned levels, std::int32_t *digits);

@@ -9,31 +9,54 @@ BootstrapWorkspace::ensure(unsigned glwe_dim, unsigned poly_degree,
     if (plan.baseBits != base_bits || plan.levels != levels)
         plan = makeGadgetPlan(base_bits, levels);
 
+    const std::size_t rows =
+        static_cast<std::size_t>(glwe_dim + 1) * levels;
     const bool same_ring =
         glweDim_ == glwe_dim && polyDegree_ == poly_degree;
-    if (same_ring && digits.size() == levels)
+    if (same_ring && digits.size() == rows)
         return;
 
-    digits.resize(levels);
+    // One digit polynomial and one transform per GGSW row, so a whole
+    // external product's (k+1)*l_b forward FFTs can run as one batched
+    // call over them.
+    digits.resize(rows);
     for (auto &p : digits) {
         if (p.degree() != poly_degree)
             p = IntPolynomial(poly_degree);
     }
-
-    const std::size_t rows =
-        static_cast<std::size_t>(glwe_dim + 1) * levels;
     digitsF.resize(rows);
     for (auto &fp : digitsF) {
         if (fp.ringDegree() != poly_degree)
             fp = FourierPolynomial(poly_degree);
     }
 
-    if (accF.ringDegree() != poly_degree)
-        accF = FourierPolynomial(poly_degree);
+    // One accumulator and one inverse output per GLWE component, so the
+    // k+1 inverse FFTs batch the same way.
+    accF.resize(glwe_dim + 1);
+    for (auto &fp : accF) {
+        if (fp.ringDegree() != poly_degree)
+            fp = FourierPolynomial(poly_degree);
+    }
     if (diff.dimension() != glwe_dim || !same_ring)
         diff = GlweCiphertext(glwe_dim, poly_degree);
-    if (prod.degree() != poly_degree)
-        prod = TorusPolynomial(poly_degree);
+    prods.resize(glwe_dim + 1);
+    for (auto &p : prods) {
+        if (p.degree() != poly_degree)
+            p = TorusPolynomial(poly_degree);
+    }
+
+    // Pointer views for the batched FFT calls: targets are stable until
+    // the next reshaping ensure().
+    batchDigits.resize(rows);
+    batchDigitsF.resize(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        batchDigits[r] = &digits[r];
+        batchDigitsF[r] = &digitsF[r];
+    }
+    batchAccF.resize(glwe_dim + 1);
+    for (unsigned c = 0; c <= glwe_dim; ++c)
+        batchAccF[c] = &accF[c];
+    batchTorus.resize(glwe_dim + 1);
 
     glweDim_ = glwe_dim;
     polyDegree_ = poly_degree;

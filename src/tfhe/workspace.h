@@ -61,11 +61,21 @@ class BootstrapWorkspace
 
     // --- external product / CMux scratch -----------------------------
     GadgetPlan plan;                   //!< hoisted decomposition consts
-    std::vector<IntPolynomial> digits; //!< l_b digit polynomials
+    std::vector<IntPolynomial> digits; //!< (k+1)*l_b digit polynomials
     std::vector<FourierPolynomial> digitsF; //!< (k+1)*l_b transforms
-    FourierPolynomial accF;            //!< transform-domain accumulator
+    std::vector<FourierPolynomial> accF; //!< k+1 transform accumulators
     GlweCiphertext diff;               //!< X^a * ACC - ACC
-    TorusPolynomial prod;              //!< one inverse-FFT output
+    std::vector<TorusPolynomial> prods; //!< k+1 inverse-FFT outputs
+
+    // Stable pointer views over the buffers above, preshaped by
+    // ensure() so the batched FFT entry points (BatchFft) can be fed
+    // without per-call allocation. batchTorus is filled per call (its
+    // targets live in the caller's ciphertext); the rest point at the
+    // workspace's own buffers.
+    std::vector<const IntPolynomial *> batchDigits;  //!< -> digits
+    std::vector<FourierPolynomial *> batchDigitsF;   //!< -> digitsF
+    std::vector<FourierPolynomial *> batchAccF;      //!< -> accF
+    std::vector<TorusPolynomial *> batchTorus;       //!< k+1 slots
 
     // --- bootstrap pipeline scratch ----------------------------------
     GlweCiphertext acc;                 //!< blind-rotation accumulator
