@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Multi-tenant front door under mixed load, against the single-tenant
+ * baseline:
+ *
+ *  1. Baseline: one tenant pushes kRequests through a
+ *     MultiTenantService; per-request p50/p99 and superbatch density
+ *     (batch fill fraction) set the reference.
+ *  2. Mixed load: two tenants with equal quotas submit the same
+ *     volume concurrently, each through its own per-tenant service
+ *     (tenants cannot share superbatches: one BSK per batch). The
+ *     fairness headline is worst-tenant p99 over best-tenant p99,
+ *     gated at <= 3x by scripts/check_multitenant_bench.py in the
+ *     perf-smoke CI leg (the quantiles are log-bucket estimates, so a
+ *     factor-2 bucket edge alone must not trip the gate).
+ *
+ * Latency quantiles come from the per-tenant telemetry histograms —
+ * the same numbers a production scrape would see.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/multi_tenant_service.h"
+#include "tfhe/encoding.h"
+
+using namespace morphling;
+using namespace morphling::service;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::uint32_t kSpace = 4;
+constexpr unsigned kRequests = 512; //!< per tenant
+
+double
+seconds(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+ServiceConfig
+serviceTemplate()
+{
+    ServiceConfig config;
+    config.maxOutstanding = kRequests; // measure batching, not admission
+    config.maxWait = std::chrono::microseconds(5000);
+    config.numWorkers = 1; // overridden per tenant by quota weight
+    return config;
+}
+
+/** Drive one tenant: saturating submission of kRequests. */
+void
+drive(MultiTenantService &front, const TenantId &tenant,
+      const tfhe::KeySet &keys, LutId lut, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::future<tfhe::LweCiphertext>> futures;
+    futures.reserve(kRequests);
+    for (unsigned i = 0; i < kRequests; ++i) {
+        futures.push_back(front.submit(
+            tenant,
+            tfhe::encryptPadded(keys, i % kSpace, kSpace, rng), lut));
+    }
+    for (auto &f : futures)
+        f.wait();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Report report(argc, argv, "multitenant");
+    bench::banner("Multi-tenant service",
+                  "per-tenant p50/p99 and superbatch density under "
+                  "mixed load vs. a single-tenant baseline");
+
+    const tfhe::TfheParams &params = tfhe::paramsTest();
+    Rng rngA(0x7E4A), rngB(0x7E4B);
+    const tfhe::KeySet keysA = tfhe::KeySet::generate(params, rngA);
+    const tfhe::KeySet keysB = tfhe::KeySet::generate(params, rngB);
+    const auto evalA = tfhe::EvaluationKeys::fromKeySet(keysA);
+    const auto evalB = tfhe::EvaluationKeys::fromKeySet(keysB);
+    const auto lut = tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+        return (m + 1) % kSpace;
+    });
+    const unsigned superbatch = serviceTemplate().superbatchSize;
+
+    // --- single-tenant baseline --------------------------------------
+    double solo_seconds = 0;
+    TenantStats solo;
+    double solo_density = 0;
+    {
+        telemetry::MetricsRegistry metrics;
+        MultiTenantConfig config;
+        config.service = serviceTemplate();
+        config.metrics = &metrics;
+        MultiTenantService front(config);
+        front.addTenant("solo", evalA);
+        const LutId id = front.registerLut("solo", lut);
+
+        const auto t0 = Clock::now();
+        drive(front, "solo", keysA, id, 0x501);
+        solo_seconds = seconds(Clock::now() - t0);
+        solo = front.stats("solo");
+        if (const auto svc = front.serviceStats("solo"))
+            solo_density = svc->meanOccupancy(superbatch);
+    }
+    const double solo_bs = kRequests / solo_seconds;
+
+    // --- mixed load: two equal tenants, concurrent ---------------------
+    double mixed_seconds = 0;
+    TenantStats a, b;
+    double density_a = 0, density_b = 0;
+    {
+        telemetry::MetricsRegistry metrics;
+        MultiTenantConfig config;
+        config.service = serviceTemplate();
+        config.registry.maxResident = 2;
+        config.metrics = &metrics;
+        MultiTenantService front(config);
+        front.addTenant("a", evalA);
+        front.addTenant("b", evalB);
+        const LutId lutIdA = front.registerLut("a", lut);
+        const LutId lutIdB = front.registerLut("b", lut);
+
+        const auto t0 = Clock::now();
+        std::thread ta([&] { drive(front, "a", keysA, lutIdA, 0xA); });
+        std::thread tb([&] { drive(front, "b", keysB, lutIdB, 0xB); });
+        ta.join();
+        tb.join();
+        mixed_seconds = seconds(Clock::now() - t0);
+        a = front.stats("a");
+        b = front.stats("b");
+        if (const auto svc = front.serviceStats("a"))
+            density_a = svc->meanOccupancy(superbatch);
+        if (const auto svc = front.serviceStats("b"))
+            density_b = svc->meanOccupancy(superbatch);
+    }
+    const double mixed_bs = 2.0 * kRequests / mixed_seconds;
+    const double worst_p99 = std::max(a.p99LatencyUs, b.p99LatencyUs);
+    const double best_p99 =
+        std::max(1.0, std::min(a.p99LatencyUs, b.p99LatencyUs));
+    const double fairness = worst_p99 / best_p99;
+
+    Table t({"Scenario", "Tenant", "p50 us", "p99 us", "density",
+             "BS/s"});
+    t.addRow({"baseline", "solo", Table::fmt(solo.p50LatencyUs, 0),
+              Table::fmt(solo.p99LatencyUs, 0),
+              Table::fmt(solo_density, 2),
+              Table::fmtCount(static_cast<std::uint64_t>(solo_bs))});
+    t.addRow({"mixed", "a", Table::fmt(a.p50LatencyUs, 0),
+              Table::fmt(a.p99LatencyUs, 0),
+              Table::fmt(density_a, 2), "-"});
+    t.addRow({"mixed", "b", Table::fmt(b.p50LatencyUs, 0),
+              Table::fmt(b.p99LatencyUs, 0),
+              Table::fmt(density_b, 2),
+              Table::fmtCount(static_cast<std::uint64_t>(mixed_bs))});
+    t.print(std::cout);
+    bench::note("tenants never share a superbatch (one BSK per "
+                "batch); density is per-tenant mean batch fill. "
+                "fairness = worst p99 / best p99 = " +
+                Table::fmt(fairness, 2) + "x (CI gate: <= 3x)");
+
+    report.add("baseline_p50", "TEST params, 1 tenant",
+               solo.p50LatencyUs, "us");
+    report.add("baseline_p99", "TEST params, 1 tenant",
+               solo.p99LatencyUs, "us");
+    report.add("baseline_density", "TEST params, 1 tenant",
+               solo_density, "fraction");
+    report.add("baseline_throughput", "TEST params, 1 tenant", solo_bs,
+               "BS/s");
+    report.add("tenant_a_p50", "TEST params, mixed 2-tenant",
+               a.p50LatencyUs, "us");
+    report.add("tenant_a_p99", "TEST params, mixed 2-tenant",
+               a.p99LatencyUs, "us");
+    report.add("tenant_b_p50", "TEST params, mixed 2-tenant",
+               b.p50LatencyUs, "us");
+    report.add("tenant_b_p99", "TEST params, mixed 2-tenant",
+               b.p99LatencyUs, "us");
+    report.add("tenant_a_density", "TEST params, mixed 2-tenant",
+               density_a, "fraction");
+    report.add("tenant_b_density", "TEST params, mixed 2-tenant",
+               density_b, "fraction");
+    report.add("mixed_throughput", "TEST params, mixed 2-tenant",
+               mixed_bs, "BS/s");
+    report.add("fairness_p99_ratio", "TEST params, mixed 2-tenant",
+               fairness, "x");
+    return 0;
+}

@@ -1,12 +1,16 @@
 /**
  * @file
- * The deployment split every FHE service uses — now served through the
- * blessed public surface, service::BootstrapService: the client keeps
- * the secret key; the server receives only evaluation keys (BSK + KSK)
- * and ciphertexts over the wire, batches concurrent queries into
- * Morphling-style 64-LWE superbatches, computes blindly on a worker
- * pool, and returns ciphertexts only the client can open. Wire format:
- * this library's versioned binary serialization (tfhe/serialize.h).
+ * The deployment split every FHE service uses — now multi-tenant,
+ * served through the front door, service::MultiTenantService: each
+ * client keeps its own secret key; the server enrolls each tenant's
+ * evaluation keys (BSK + KSK) behind a content-derived fingerprint,
+ * routes ciphertext queries by tenant id, and batches each tenant's
+ * queries into Morphling-style 64-LWE superbatches (tenants never
+ * share a superbatch — one bootstrapping key per batch). Per-tenant
+ * token buckets bound how hard one tenant can push, and per-tenant
+ * stats expose p50/p99 latency the way a production scrape would.
+ * Wire format: this library's versioned binary serialization
+ * (tfhe/serialize.h).
  *
  * Build & run:  ./build/examples/client_server
  */
@@ -18,64 +22,94 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "service/bootstrap_service.h"
+#include "service/multi_tenant_service.h"
 #include "tfhe/encoding.h"
 #include "tfhe/serialize.h"
 
 using namespace morphling;
 using namespace morphling::tfhe;
-using morphling::service::BootstrapService;
 using morphling::service::LutId;
-using morphling::service::ServiceConfig;
+using morphling::service::MultiTenantConfig;
+using morphling::service::MultiTenantService;
+using morphling::service::TenantId;
+using morphling::service::TenantQuota;
 
 namespace {
 
-/**
- * What the untrusted server runs: no KeySet, no secret bits. It
- * stands up one BootstrapService over the deserialized evaluation
- * keys and answers a stream of independent queries; the service
- * assembles them into superbatches, and its flush timer ships partial
- * batches so a light trickle of clients still gets answers.
- */
-std::vector<std::string>
-serverSide(const std::string &eval_keys_wire,
-           const std::vector<std::string> &query_wires)
-{
-    std::istringstream keys_in(eval_keys_wire);
-    EvaluationKeys keys = loadEvaluationKeys(keys_in);
+/** One client's identity: its own keys and its own queries. */
+struct Client {
+    TenantId name;
+    KeySet keys;
+    std::vector<std::uint32_t> queries;
+};
 
-    ServiceConfig config;
-    config.maxWait = std::chrono::milliseconds(5);
-    BootstrapService service(std::move(keys), config);
+/**
+ * What the untrusted server runs: no KeySet, no secret bits. One
+ * MultiTenantService fronts every tenant; enrollment hands it only
+ * serialized evaluation keys, and each query carries its tenant id.
+ */
+std::vector<std::vector<std::string>>
+serverSide(const std::vector<std::pair<TenantId, std::string>> &enrollments,
+           const std::vector<std::pair<TenantId, std::string>> &queries)
+{
+    MultiTenantConfig config;
+    config.service.maxWait = std::chrono::milliseconds(5);
+    MultiTenantService front(config);
+
+    // Enroll every tenant. The registry fingerprints the keys
+    // (content-derived, stable across restarts) and keeps the hot set
+    // resident; a modest rate quota bounds each tenant's burst.
+    TenantQuota quota;
+    quota.ratePerSec = 1000;
+    quota.burst = 64;
+    for (const auto &[tenant, wire] : enrollments) {
+        std::istringstream keys_in(wire);
+        const auto fp = front.addTenant(
+            tenant, loadEvaluationKeys(keys_in), quota);
+        std::cout << "server: enrolled '" << tenant
+                  << "' (key fingerprint " << std::hex << fp << std::dec
+                  << ")\n";
+    }
 
     // The service: a private threshold check, f(m) = (m >= 4), plus a
-    // noise refresh — one programmable bootstrap per query.
-    const LutId threshold = service.registerLut(
-        makePaddedLut(8, [](std::uint32_t m) {
-            return m >= 4 ? 1u : 0u;
-        }));
+    // noise refresh — one programmable bootstrap per query. Each
+    // tenant gets its own LUT table (ids are per-tenant).
+    const auto table = makePaddedLut(8, [](std::uint32_t m) {
+        return m >= 4 ? 1u : 0u;
+    });
+    std::vector<LutId> luts;
+    for (const auto &[tenant, wire] : enrollments)
+        luts.push_back(front.registerLut(tenant, table));
 
-    // Accept every query first (they arrive interleaved in a real
-    // deployment); futures keep answers paired with their queries.
+    // Accept every query first (they arrive interleaved across
+    // tenants in a real deployment); the front door routes each to
+    // its tenant's service and admission bucket.
     std::vector<std::future<LweCiphertext>> answers;
-    for (const auto &wire : query_wires) {
+    std::vector<std::size_t> owner;
+    for (const auto &[tenant, wire] : queries) {
         std::istringstream query_in(wire);
-        answers.push_back(
-            service.submit(loadCiphertext(query_in), threshold));
+        std::size_t which = 0;
+        while (enrollments[which].first != tenant)
+            ++which;
+        owner.push_back(which);
+        answers.push_back(front.submit(
+            tenant, loadCiphertext(query_in), luts[which]));
     }
 
-    std::vector<std::string> out;
-    for (auto &answer : answers) {
+    std::vector<std::vector<std::string>> out(enrollments.size());
+    for (std::size_t i = 0; i < answers.size(); ++i) {
         std::ostringstream wire;
-        saveCiphertext(wire, answer.get());
-        out.push_back(wire.str());
+        saveCiphertext(wire, answers[i].get());
+        out[owner[i]].push_back(wire.str());
     }
 
-    const auto stats = service.stats();
-    std::cout << "server: " << stats.completed << " bootstraps in "
-              << stats.superbatches << " superbatch(es), "
-              << stats.timerFlushes << " shipped by the flush timer\n";
-    service.shutdown();
+    for (const auto &[tenant, wire] : enrollments) {
+        const auto stats = front.stats(tenant);
+        std::cout << "server: '" << tenant << "': " << stats.completed
+                  << " bootstraps, p99 " << stats.p99LatencyUs
+                  << " us, " << stats.throttled << " throttled\n";
+    }
+    front.shutdown();
     return out;
 }
 
@@ -84,42 +118,65 @@ serverSide(const std::string &eval_keys_wire,
 int
 main()
 {
-    // --- Client: key ceremony ----------------------------------------
+    // --- Clients: independent key ceremonies --------------------------
     const TfheParams &params = paramsTest();
     Rng rng(0xC11E47);
-    std::cout << "client: generating keys for " << params.summary()
+    std::cout << "clients: generating keys for " << params.summary()
               << "\n";
-    const KeySet keys = KeySet::generate(params, rng);
+    std::vector<Client> clients;
+    clients.push_back({"alice", KeySet::generate(params, rng),
+                       {2, 6, 3, 7}});
+    clients.push_back({"bob", KeySet::generate(params, rng),
+                       {5, 1, 4}});
 
-    std::ostringstream eval_wire;
-    saveEvaluationKeys(eval_wire, EvaluationKeys::fromKeySet(keys));
-    std::cout << "client: evaluation keys serialized ("
-              << eval_wire.str().size() / 1024
-              << " KiB; the secret key never leaves)\n";
-
-    // --- Client: encrypt a burst of queries ---------------------------
-    const std::vector<std::uint32_t> queries = {2, 6, 3, 7, 4, 0};
-    std::vector<std::string> query_wires;
-    for (std::uint32_t m : queries) {
+    // Each client serializes only its evaluation keys; the secret key
+    // never leaves the client.
+    std::vector<std::pair<TenantId, std::string>> enrollments;
+    for (const auto &client : clients) {
         std::ostringstream wire;
-        saveCiphertext(wire, encryptPadded(keys, m, 8, rng));
-        query_wires.push_back(wire.str());
+        saveEvaluationKeys(wire, EvaluationKeys::fromKeySet(client.keys));
+        std::cout << "client " << client.name
+                  << ": evaluation keys serialized ("
+                  << wire.str().size() / 1024 << " KiB)\n";
+        enrollments.emplace_back(client.name, wire.str());
     }
 
-    // --- Server: blind, batched computation ---------------------------
-    const auto answer_wires = serverSide(eval_wire.str(), query_wires);
+    // --- Clients: encrypt interleaved bursts of queries ---------------
+    std::vector<std::pair<TenantId, std::string>> query_wires;
+    for (std::size_t round = 0;; ++round) {
+        bool any = false;
+        for (auto &client : clients) {
+            if (round >= client.queries.size())
+                continue;
+            any = true;
+            std::ostringstream wire;
+            saveCiphertext(wire, encryptPadded(
+                client.keys, client.queries[round], 8, rng));
+            query_wires.emplace_back(client.name, wire.str());
+        }
+        if (!any)
+            break;
+    }
 
-    // --- Client: decrypt the responses --------------------------------
+    // --- Server: blind, batched, multi-tenant computation --------------
+    const auto answer_wires = serverSide(enrollments, query_wires);
+
+    // --- Clients: decrypt their own responses --------------------------
     bool all_correct = true;
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-        std::istringstream answer_in(answer_wires[i]);
-        const LweCiphertext answer = loadCiphertext(answer_in);
-        const std::uint32_t verdict = decryptPadded(keys, answer, 8);
-        const bool expect = queries[i] >= 4;
-        all_correct &= verdict == (expect ? 1u : 0u);
-        std::cout << "client: is " << queries[i] << " >= 4?  server says "
-                  << (verdict ? "yes" : "no") << " (expect "
-                  << (expect ? "yes" : "no") << ")\n";
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+        const Client &client = clients[c];
+        for (std::size_t i = 0; i < client.queries.size(); ++i) {
+            std::istringstream answer_in(answer_wires[c][i]);
+            const LweCiphertext answer = loadCiphertext(answer_in);
+            const std::uint32_t verdict =
+                decryptPadded(client.keys, answer, 8);
+            const bool expect = client.queries[i] >= 4;
+            all_correct &= verdict == (expect ? 1u : 0u);
+            std::cout << "client " << client.name << ": is "
+                      << client.queries[i] << " >= 4?  server says "
+                      << (verdict ? "yes" : "no") << " (expect "
+                      << (expect ? "yes" : "no") << ")\n";
+        }
     }
     if (!all_correct) {
         std::cout << "MISMATCH: at least one verdict was wrong\n";

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate the fairness gate in BENCH_multitenant.json.
+
+Run by the perf-smoke CI leg after `bench_multitenant --json`. Checks:
+
+  1. The baseline and both mixed-load tenants reported p99 latency and
+     superbatch density rows.
+  2. Fairness: under the symmetric two-tenant mixed load the
+     worst-tenant p99 stays within MAX_P99_RATIO of the best-tenant
+     p99. The quantiles are power-of-two log-bucket estimates, so a
+     single bucket edge is already a 2x step; the 3x gate only
+     catches a front door that systematically starves one tenant.
+  3. Sanity: densities are in (0, 1] and throughputs are positive.
+
+Exits non-zero with a diagnostic on any failure.
+"""
+
+import json
+import sys
+
+# Worst-tenant p99 over best-tenant p99 under symmetric load. See the
+# module docstring for why this is 3x and not tighter.
+MAX_P99_RATIO = 3.0
+
+REQUIRED = (
+    "baseline_p99",
+    "baseline_density",
+    "baseline_throughput",
+    "tenant_a_p99",
+    "tenant_b_p99",
+    "tenant_a_density",
+    "tenant_b_density",
+    "mixed_throughput",
+    "fairness_p99_ratio",
+)
+
+
+def fail(msg):
+    print(f"check_multitenant_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_multitenant.json")
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    rows = {m["name"]: m["value"] for m in report.get("metrics", [])}
+    for name in REQUIRED:
+        if name not in rows:
+            fail(f"metric {name} missing from report")
+    print(f"ok: all {len(REQUIRED)} required metrics present")
+
+    for name in ("baseline_density", "tenant_a_density",
+                 "tenant_b_density"):
+        density = rows[name]
+        if not 0.0 < density <= 1.0:
+            fail(f"{name} = {density} outside (0, 1]")
+    print("ok: superbatch densities in (0, 1]")
+
+    for name in ("baseline_throughput", "mixed_throughput"):
+        if rows[name] <= 0:
+            fail(f"{name} = {rows[name]} is not positive")
+
+    worst = max(rows["tenant_a_p99"], rows["tenant_b_p99"])
+    best = max(1.0, min(rows["tenant_a_p99"], rows["tenant_b_p99"]))
+    ratio = worst / best
+    print(f"ok: mixed-load p99 worst/best = {ratio:.2f}x")
+    if abs(ratio - rows["fairness_p99_ratio"]) > 1e-6:
+        fail(f"fairness_p99_ratio {rows['fairness_p99_ratio']:.4f} "
+             f"disagrees with recomputed {ratio:.4f}")
+    if ratio > MAX_P99_RATIO:
+        fail(f"worst-tenant p99 is {ratio:.2f}x the best tenant's "
+             f"(> {MAX_P99_RATIO}x): the front door is starving a "
+             "tenant under symmetric load")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,8 +6,32 @@
 
 namespace morphling::circuit {
 
+namespace {
+
+/** Compile one batch Program, going through the disk cache when one
+ *  is attached (hit = compilation skipped; any rejection falls back
+ *  to a fresh compile whose result refreshes the entry). */
+compiler::Program
+compileBatch(const compiler::SwScheduler &scheduler,
+             std::uint64_t count, compiler::ProgramDiskCache *cache)
+{
+    if (cache == nullptr)
+        return scheduler.scheduleBootstrapBatch(count);
+    const auto key = compiler::ProgramCacheKey::forBatch(
+        scheduler.params(), scheduler.config(), count);
+    std::string why;
+    if (auto program = cache->load(key, &why))
+        return std::move(*program);
+    auto program = scheduler.scheduleBootstrapBatch(count);
+    cache->store(key, program);
+    return program;
+}
+
+} // namespace
+
 LoweredCircuit
-lower(const Circuit &circuit, const compiler::SwScheduler &scheduler)
+lower(const Circuit &circuit, const compiler::SwScheduler &scheduler,
+      compiler::ProgramDiskCache *cache)
 {
     LoweredCircuit lowered;
     lowered.circuit = &circuit;
@@ -40,8 +64,8 @@ lower(const Circuit &circuit, const compiler::SwScheduler &scheduler)
             step.lutEntries =
                 key < 0 ? std::vector<tfhe::Torus32>{tfhe::boolMu()}
                         : circuit.lutTable(key).torus;
-            step.program = scheduler.scheduleBootstrapBatch(
-                step.nodes.size());
+            step.program =
+                compileBatch(scheduler, step.nodes.size(), cache);
             lowered.totalBootstraps += step.nodes.size();
             lowered.levels[l].push_back(std::move(step));
         }

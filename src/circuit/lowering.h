@@ -21,6 +21,7 @@
 
 #include "circuit/circuit.h"
 #include "compiler/program.h"
+#include "compiler/program_cache.h"
 #include "compiler/sw_scheduler.h"
 
 namespace morphling::circuit {
@@ -69,9 +70,17 @@ struct LoweredCircuit
     }
 };
 
-/** Lower a circuit against a scheduler's batching geometry. */
+/**
+ * Lower a circuit against a scheduler's batching geometry. When a
+ * program disk cache is given, each step's batch Program is loaded
+ * from it when a valid entry exists and stored after compilation
+ * otherwise, so cold processes skip compilation of familiar batch
+ * shapes (docs/service.md). The cache is consulted single-threaded by
+ * the caller's locking discipline.
+ */
 LoweredCircuit lower(const Circuit &circuit,
-                     const compiler::SwScheduler &scheduler);
+                     const compiler::SwScheduler &scheduler,
+                     compiler::ProgramDiskCache *cache = nullptr);
 
 } // namespace morphling::circuit
 

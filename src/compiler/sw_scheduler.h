@@ -49,6 +49,7 @@ class SwScheduler
                          SchedulerConfig config = {});
 
     const SchedulerConfig &config() const { return config_; }
+    const tfhe::TfheParams &params() const { return params_; }
 
     /** Compile a multi-stage workload. */
     Program schedule(const Workload &workload) const;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "exec/sharded_backend.h"
+#include "tfhe/encoding.h"
 #include "exec/timing_backend.h"
 #include "telemetry/telemetry.h"
 
@@ -322,6 +323,22 @@ LockstepCosim::run(const compiler::Program &program, const Job &job)
             sink.add("output count mismatch: backend produced ",
                      report.functional.outputs.size(),
                      ", reference produced ", reference.size());
+        } else if (options_.decryptKeys != nullptr) {
+            // Decrypt-level equivalence: the oracle for engines whose
+            // arithmetic is correct but not bit-identical (kDatapath).
+            const auto &ks = *options_.decryptKeys;
+            const std::uint32_t space = options_.messageSpace;
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+                const auto got = tfhe::decryptPadded(
+                    ks, report.functional.outputs[i], space);
+                const auto want =
+                    tfhe::decryptPadded(ks, reference[i], space);
+                if (got != want) {
+                    sink.add("output ", i, " decrypts to ", got,
+                             ", reference decrypts to ", want,
+                             " (space ", space, ")");
+                }
+            }
         } else {
             for (std::size_t i = 0; i < reference.size(); ++i) {
                 if (report.functional.outputs[i].raw() !=

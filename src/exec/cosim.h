@@ -20,7 +20,9 @@
  *    timing shard's shard-local completion log passes the
  *    dependency-order checks above against its slice;
  *  - end-of-program correctness (opt-in via referenceKeys): functional
- *    outputs are bit-identical to the tfhe::batchBootstrap reference.
+ *    outputs are bit-identical to the tfhe::batchBootstrap reference —
+ *    or, with decryptKeys set, decrypt to the same padded messages
+ *    (the equivalence level the kDatapath engine guarantees).
  *
  * Mismatches are collected as readable diagnostics in CosimReport, not
  * panics — the co-simulator is the test oracle, so it must survive a
@@ -30,10 +32,12 @@
 #ifndef MORPHLING_EXEC_COSIM_H
 #define MORPHLING_EXEC_COSIM_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "exec/backend.h"
+#include "tfhe/keyset.h"
 #include "tfhe/serialize.h"
 
 namespace morphling::exec {
@@ -46,6 +50,19 @@ struct CosimOptions
      *  meaningful when the functional backend uses the workspace XPU
      *  engine, which shares the library's arithmetic). */
     const tfhe::EvaluationKeys *referenceKeys = nullptr;
+
+    /** Decrypt-level equivalence mode: when set (together with
+     *  referenceKeys), the end-of-program check decrypts both the
+     *  backend outputs and the library reference with these secret
+     *  keys and compares padded messages over `messageSpace` instead
+     *  of raw ciphertext bits. This is the check the
+     *  XpuEngine::kDatapath merge-split FFT engine can pass — its
+     *  rotations differ from the library path by sub-noise rounding,
+     *  so bit-exactness is the wrong oracle for it. */
+    const tfhe::KeySet *decryptKeys = nullptr;
+
+    /** Padded message space of the decrypt-level comparison. */
+    std::uint32_t messageSpace = 4;
 
     /** Stop collecting diagnostics after this many. */
     std::size_t maxErrors = 16;

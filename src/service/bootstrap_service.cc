@@ -77,6 +77,18 @@ struct ServiceTelem
 };
 #endif // MORPHLING_TELEMETRY_ENABLED
 
+/** Deref the shared key material, throwing (not crashing) on null —
+ *  runs in the constructor's initializer list, before any member that
+ *  needs the params. */
+const tfhe::EvaluationKeys &
+requireKeys(const std::shared_ptr<const tfhe::EvaluationKeys> &keys)
+{
+    if (keys == nullptr)
+        throw std::invalid_argument(
+            "BootstrapService: null key material");
+    return *keys;
+}
+
 ServiceConfig
 normalized(ServiceConfig config)
 {
@@ -96,27 +108,51 @@ ServiceConfig::validate() const
         return "superbatchSize must be positive";
     if (maxOutstanding == 0)
         return "maxOutstanding must be positive";
+    if (maxWait.count() < 0)
+        return "maxWait must be non-negative (a negative flush timer "
+               "would ship every batch before it can fill)";
     if (backend == exec::BackendKind::kTiming) {
         return "BackendKind::kTiming produces cycle counts, not "
                "ciphertexts; the service cannot fulfil requests with "
                "it (use kFunctional, or kCosim for a checked run)";
     }
-    if (backend == exec::BackendKind::kShardedFunctional &&
-        numShards == 0) {
-        return "kShardedFunctional needs numShards >= 1";
+    // numShards is rejected for every backend, not just the sharded
+    // one: a config that flips backend kinds at runtime must not hide
+    // a zero until the flip happens.
+    if (numShards == 0) {
+        return "numShards must be >= 1 (kShardedFunctional divides "
+               "superbatch groups by it)";
+    }
+    if (batch.checkNoise && batch.minSlotSigmas <= 0) {
+        return "batch.checkNoise with minSlotSigmas <= 0 can never "
+               "flag a thin noise margin; use a positive threshold or "
+               "disable checkNoise";
     }
     return std::nullopt;
 }
 
 BootstrapService::BootstrapService(tfhe::EvaluationKeys keys,
                                    ServiceConfig config)
+    : BootstrapService(std::make_shared<const tfhe::EvaluationKeys>(
+                           std::move(keys)),
+                       std::move(config))
+{
+}
+
+BootstrapService::BootstrapService(
+    std::shared_ptr<const tfhe::EvaluationKeys> keys,
+    ServiceConfig config)
     : keys_(std::move(keys)), config_(normalized(config)),
-      start_(ServiceClock::now()), scheduler_(keys_.params)
+      start_(ServiceClock::now()), scheduler_(requireKeys(keys_).params)
 {
     // A misconfigured service is the caller's error to report, not a
     // process abort: validate() returns the diagnostic, we throw it.
     if (const auto error = config_.validate())
         throw std::invalid_argument("BootstrapService: " + *error);
+    if (!config_.programCacheDir.empty()) {
+        diskCache_ = std::make_unique<compiler::ProgramDiskCache>(
+            config_.programCacheDir);
+    }
 
     // Create every stat up front so snapshots can lookup() them even
     // before the first request.
@@ -460,7 +496,8 @@ BootstrapService::batchCircuitFor(LutId lut, std::size_t count)
             cached.circuit->markOutput(
                 cached.circuit->applyLut(table_id, in));
         }
-        cached.lowered = circuit::lower(*cached.circuit, scheduler_);
+        cached.lowered = circuit::lower(*cached.circuit, scheduler_,
+                                        diskCache_.get());
         it = batchCircuits_.emplace(key, std::move(cached)).first;
     }
     return it->second;
@@ -477,7 +514,7 @@ BootstrapService::makeWorkerBackend() const
                     : config_.backend;
     spec.numShards = config_.numShards;
     spec.timing = config_.timing;
-    return exec::makeBackend(keys_, spec);
+    return exec::makeBackend(*keys_, spec);
 }
 
 std::vector<tfhe::LweCiphertext>
@@ -499,10 +536,10 @@ BootstrapService::executeBatch(
             cached.lowered.levels[0][0].program;
         const exec::Job job =
             exec::Job::batch(inputs, *batch.lut, config_.batch);
-        exec::FunctionalBackend functional(keys_);
-        exec::TimingBackend timing(config_.timing, keys_.params);
+        exec::FunctionalBackend functional(*keys_);
+        exec::TimingBackend timing(config_.timing, keys_->params);
         exec::CosimOptions copts;
-        copts.referenceKeys = &keys_;
+        copts.referenceKeys = keys_.get();
         exec::LockstepCosim cosim(functional, timing, copts);
         auto report = cosim.run(program, job);
         panic_if(!report.ok(), "service co-simulation diverged: ",
@@ -511,7 +548,7 @@ BootstrapService::executeBatch(
     }
 
     auto backend = makeWorkerBackend();
-    exec::CircuitExecutor executor(keys_.params, *backend,
+    exec::CircuitExecutor executor(keys_->params, *backend,
                                    config_.batch);
     auto result = executor.run(cached.lowered, inputs);
     panic_if(result.outputs.size() != inputs.size(),
@@ -524,9 +561,18 @@ std::vector<tfhe::LweCiphertext>
 BootstrapService::executeCircuit(CircuitJob &job)
 {
     MORPHLING_SPAN("service", "execute_circuit");
-    const auto lowered = circuit::lower(job.circuit, scheduler_);
+    // The disk cache is single-threaded by contract; circuit lowering
+    // from concurrent workers serializes on programMu_ only when one
+    // is attached (compilation is cheap next to execution).
+    const auto lowered = [&] {
+        if (diskCache_ == nullptr)
+            return circuit::lower(job.circuit, scheduler_);
+        std::lock_guard<std::mutex> lk(programMu_);
+        return circuit::lower(job.circuit, scheduler_,
+                              diskCache_.get());
+    }();
     auto backend = makeWorkerBackend();
-    exec::CircuitExecutor executor(keys_.params, *backend,
+    exec::CircuitExecutor executor(keys_->params, *backend,
                                    config_.batch);
     auto result = executor.run(lowered, job.inputs);
     return std::move(result.outputs);
@@ -581,6 +627,13 @@ BootstrapService::workerMain()
                 })
             }
             spaceCv_.notify_all();
+            if (config_.onComplete) {
+                CompletionInfo info;
+                info.latencyUs = toMicros(t1 - circuit_job.submitted);
+                info.circuit = true;
+                info.bootstraps = std::max<std::uint64_t>(1, bootstraps);
+                config_.onComplete(info);
+            }
             circuit_job.promise.set_value(std::move(outputs));
             continue;
         }
@@ -625,6 +678,19 @@ BootstrapService::workerMain()
             })
         }
         spaceCv_.notify_all();
+
+        // Per-request completion hook (tenant SLO tracking): fired
+        // before the promises so a client that sees its future ready
+        // also sees its latency recorded.
+        if (config_.onComplete) {
+            for (const auto &request : batch.requests) {
+                CompletionInfo info;
+                info.latencyUs = toMicros(t1 - request.submitted);
+                info.deadlineMissed =
+                    request.deadline && t1 > *request.deadline;
+                config_.onComplete(info);
+            }
+        }
 
         MORPHLING_SPAN("service", "complete");
         for (std::size_t i = 0; i < count; ++i)

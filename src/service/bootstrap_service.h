@@ -45,11 +45,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,6 +70,24 @@ using LutId = std::uint32_t;
 
 /** The clock used for deadlines, flush timing and latency stats. */
 using ServiceClock = std::chrono::steady_clock;
+
+/** One completed submission, as observed by the worker loop. */
+struct CompletionInfo
+{
+    double latencyUs = 0;         //!< submit -> promise fulfilled
+    bool circuit = false;         //!< submitCircuit vs single-LUT
+    std::uint64_t bootstraps = 1; //!< admission weight released
+    bool deadlineMissed = false;  //!< dispatched past its deadline
+};
+
+/**
+ * Observer invoked by worker threads for every completed request (and
+ * once per completed circuit), after the service's own bookkeeping and
+ * before the promise is fulfilled. Must be thread-safe and cheap —
+ * it runs on the execution hot path. The tenant front door installs
+ * one per tenant to feed SLO histograms (tenant_stats.h).
+ */
+using CompletionObserver = std::function<void(const CompletionInfo &)>;
 
 /** Configuration of a BootstrapService. */
 struct ServiceConfig
@@ -111,6 +131,19 @@ struct ServiceConfig
     /** Accelerator geometry for the kCosim timing side. */
     arch::ArchConfig timing;
 
+    /**
+     * Directory of the on-disk compiled-Program cache
+     * (compiler::ProgramDiskCache). When non-empty, every batch shape
+     * the service compiles is persisted there and cold starts load it
+     * back instead of re-compiling; corrupt or stale entries fall back
+     * to compilation. Empty (the default) keeps the cache in-memory
+     * only.
+     */
+    std::string programCacheDir;
+
+    /** Per-completion observer hook; default none. */
+    CompletionObserver onComplete;
+
     /** First configuration error, or nullopt when the config can run.
      *  The BootstrapService constructor throws std::invalid_argument
      *  with this message instead of aborting the process. */
@@ -129,6 +162,14 @@ class BootstrapService
      *  ServiceConfig::validate() rejects the configuration. */
     explicit BootstrapService(tfhe::EvaluationKeys keys,
                               ServiceConfig config = {});
+
+    /** Serve shared key material without copying it — the form the
+     *  tenant registry hands out, so an LRU eviction does not tear
+     *  the keys out from under a draining service. The pointee is
+     *  treated as immutable for the service's lifetime. */
+    explicit BootstrapService(
+        std::shared_ptr<const tfhe::EvaluationKeys> keys,
+        ServiceConfig config = {});
 
     /** Convenience: serve from a full key set (extracts the
      *  evaluation half). */
@@ -287,14 +328,15 @@ class BootstrapService
     /** Lower and run one submitted circuit. */
     std::vector<tfhe::LweCiphertext> executeCircuit(CircuitJob &job);
 
-    const tfhe::EvaluationKeys keys_;
+    const std::shared_ptr<const tfhe::EvaluationKeys> keys_;
     const ServiceConfig config_;
     const ServiceClock::time_point start_;
     const compiler::SwScheduler scheduler_; //!< compiles superbatches
 
-    mutable std::mutex programMu_; //!< guards batchCircuits_
+    mutable std::mutex programMu_; //!< guards batchCircuits_/diskCache_
     std::map<std::pair<LutId, std::size_t>, CachedBatch>
         batchCircuits_;
+    std::unique_ptr<compiler::ProgramDiskCache> diskCache_;
 
     mutable std::mutex mu_;
     std::condition_variable spaceCv_;    //!< submitters await capacity

@@ -1,0 +1,194 @@
+#include "tenant_registry.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace morphling::service {
+
+namespace {
+
+/** FNV-1a 64 over the serialized bytes — the same function
+ *  tfhe::fingerprintEvaluationKeys streams through, applied to the
+ *  cold copy we already hold (tested equal in test_tenant.cc). */
+tfhe::KeyFingerprint
+fingerprintBytes(const std::string &bytes)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+std::size_t
+clampCapacity(std::size_t max_resident)
+{
+    return max_resident == 0 ? 1 : max_resident;
+}
+
+} // namespace
+
+TenantRegistry::TenantRegistry(TenantRegistryConfig config,
+                               telemetry::MetricsRegistry *metrics)
+    : config_{clampCapacity(config.maxResident)},
+      mHits_((metrics ? *metrics : telemetry::MetricsRegistry::instance())
+                 .counter("tenant.registry.hits",
+                          "acquire() served from resident keys")),
+      mWarmUps_(
+          (metrics ? *metrics : telemetry::MetricsRegistry::instance())
+              .counter("tenant.registry.warmups",
+                       "acquire() that re-materialized cold keys")),
+      mEvictions_(
+          (metrics ? *metrics : telemetry::MetricsRegistry::instance())
+              .counter("tenant.registry.evictions",
+                       "materialized keys dropped (LRU or release)")),
+      mWarmUpUs_(
+          (metrics ? *metrics : telemetry::MetricsRegistry::instance())
+              .histogram("tenant.registry.warmup_us",
+                         "cost of one key re-materialization")),
+      mResident_(
+          (metrics ? *metrics : telemetry::MetricsRegistry::instance())
+              .gauge("tenant.registry.resident",
+                     "tenants with materialized keys")),
+      mResidentBytes_(
+          (metrics ? *metrics : telemetry::MetricsRegistry::instance())
+              .gauge("tenant.registry.resident_bytes",
+                     "wire bytes of materialized keys")),
+      mCapacity_(
+          (metrics ? *metrics : telemetry::MetricsRegistry::instance())
+              .gauge("tenant.registry.capacity",
+                     "configured maxResident"))
+{
+    mCapacity_.set(static_cast<double>(config_.maxResident));
+}
+
+tfhe::KeyFingerprint
+TenantRegistry::enroll(const TenantId &tenant,
+                       const tfhe::EvaluationKeys &keys)
+{
+    std::ostringstream oss(std::ios::binary);
+    tfhe::saveEvaluationKeys(oss, keys);
+    std::string bytes = std::move(oss).str();
+    const auto fp = fingerprintBytes(bytes);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = entries_.try_emplace(tenant);
+    if (!inserted) {
+        if (it->second.fp == fp)
+            return fp; // byte-identical re-enrollment
+        evictLocked(it); // key rotation: drop the stale resident copy
+    }
+    it->second.fp = fp;
+    it->second.coldBytes = std::move(bytes);
+    return fp;
+}
+
+std::shared_ptr<const tfhe::EvaluationKeys>
+TenantRegistry::acquire(const TenantId &tenant)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(tenant);
+    if (it == entries_.end())
+        throw std::out_of_range("TenantRegistry: unknown tenant \"" +
+                                tenant + "\"");
+    auto &entry = it->second;
+    if (entry.keys != nullptr) {
+        ++hits_;
+        mHits_.inc();
+        lru_.splice(lru_.begin(), lru_, entry.lruPos);
+        return entry.keys;
+    }
+
+    // Warm-up: re-materialize from cold storage, measured — this is
+    // the cost an undersized working set pays on every re-admission.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::istringstream iss(entry.coldBytes, std::ios::binary);
+    entry.keys = std::make_shared<const tfhe::EvaluationKeys>(
+        tfhe::loadEvaluationKeys(iss));
+    const auto t1 = std::chrono::steady_clock::now();
+    lastWarmUpUs_ =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    ++warmUps_;
+    mWarmUps_.inc();
+    mWarmUpUs_.observe(lastWarmUpUs_);
+    lru_.push_front(tenant);
+    entry.lruPos = lru_.begin();
+    residentBytes_ += entry.coldBytes.size();
+
+    while (lru_.size() > config_.maxResident) {
+        auto victim = entries_.find(lru_.back());
+        evictLocked(victim);
+    }
+    mResident_.set(static_cast<double>(lru_.size()));
+    mResidentBytes_.set(static_cast<double>(residentBytes_));
+    return entry.keys;
+}
+
+void
+TenantRegistry::release(const TenantId &tenant)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(tenant);
+    if (it != entries_.end())
+        evictLocked(it);
+}
+
+void
+TenantRegistry::evictLocked(std::map<TenantId, Entry>::iterator it)
+{
+    auto &entry = it->second;
+    if (entry.keys == nullptr)
+        return;
+    entry.keys.reset(); // holders keep the keys alive; we let go
+    lru_.erase(entry.lruPos);
+    residentBytes_ -= entry.coldBytes.size();
+    ++evictions_;
+    mEvictions_.inc();
+    mResident_.set(static_cast<double>(lru_.size()));
+    mResidentBytes_.set(static_cast<double>(residentBytes_));
+}
+
+bool
+TenantRegistry::enrolled(const TenantId &tenant) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.count(tenant) != 0;
+}
+
+bool
+TenantRegistry::resident(const TenantId &tenant) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(tenant);
+    return it != entries_.end() && it->second.keys != nullptr;
+}
+
+std::optional<tfhe::KeyFingerprint>
+TenantRegistry::fingerprint(const TenantId &tenant) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(tenant);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second.fp;
+}
+
+TenantRegistryStats
+TenantRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    TenantRegistryStats s;
+    s.enrolled = entries_.size();
+    s.resident = lru_.size();
+    s.hits = hits_;
+    s.warmUps = warmUps_;
+    s.evictions = evictions_;
+    s.residentBytes = residentBytes_;
+    s.lastWarmUpUs = lastWarmUpUs_;
+    return s;
+}
+
+} // namespace morphling::service

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <streambuf>
 
 #include "common/logging.h"
 #include "tfhe/bootstrap.h"
@@ -161,6 +162,81 @@ readLwe(std::istream &is)
 }
 
 } // namespace
+
+namespace {
+
+/**
+ * A sink streambuf that folds every byte written into an FNV-1a hash
+ * (and a byte count) instead of storing it, so fingerprinting never
+ * materializes a second copy of multi-megabyte key material.
+ */
+class HashingStreambuf final : public std::streambuf
+{
+  public:
+    std::uint64_t hash() const { return hash_; }
+    std::size_t bytes() const { return bytes_; }
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (ch != traits_type::eof())
+            mix(static_cast<unsigned char>(ch));
+        return ch;
+    }
+
+    std::streamsize
+    xsputn(const char *data, std::streamsize n) override
+    {
+        for (std::streamsize i = 0; i < n; ++i)
+            mix(static_cast<unsigned char>(data[i]));
+        return n;
+    }
+
+  private:
+    void
+    mix(unsigned char byte)
+    {
+        hash_ ^= byte;
+        hash_ *= 0x100000001B3ull; // FNV-1a 64-bit prime
+        ++bytes_;
+    }
+
+    std::uint64_t hash_ = 0xCBF29CE484222325ull; // FNV offset basis
+    std::size_t bytes_ = 0;
+};
+
+} // namespace
+
+KeyFingerprint
+fingerprintEvaluationKeys(const EvaluationKeys &keys)
+{
+    HashingStreambuf sink;
+    std::ostream os(&sink);
+    saveEvaluationKeys(os, keys);
+    return sink.hash();
+}
+
+std::string
+fingerprintHex(KeyFingerprint fp)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[fp & 0xF];
+        fp >>= 4;
+    }
+    return out;
+}
+
+std::size_t
+evaluationKeysWireBytes(const EvaluationKeys &keys)
+{
+    HashingStreambuf sink;
+    std::ostream os(&sink);
+    saveEvaluationKeys(os, keys);
+    return sink.bytes();
+}
 
 EvaluationKeys
 EvaluationKeys::fromKeySet(const KeySet &keys)

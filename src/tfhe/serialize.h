@@ -16,6 +16,8 @@
 #ifndef MORPHLING_TFHE_SERIALIZE_H
 #define MORPHLING_TFHE_SERIALIZE_H
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -53,6 +55,27 @@ LweKey loadLweKey(std::istream &is, const TfheParams &params);
 void saveEvaluationKeys(std::ostream &os, const EvaluationKeys &keys);
 EvaluationKeys loadEvaluationKeys(std::istream &is);
 /** @} */
+
+/**
+ * Content-derived fingerprint of one tenant's evaluation-key material.
+ *
+ * Computed as FNV-1a over the canonical serialized stream
+ * (saveEvaluationKeys), so two processes holding the same keys agree
+ * on the fingerprint without exchanging the keys themselves, and any
+ * mutation of the BSK/KSK/parameters changes it. This is an identity
+ * for cache keying (service::TenantRegistry's LRU), not a
+ * cryptographic commitment — do not use it to authenticate keys.
+ */
+using KeyFingerprint = std::uint64_t;
+
+KeyFingerprint fingerprintEvaluationKeys(const EvaluationKeys &keys);
+
+/** The fingerprint as 16 lowercase hex digits (metric/file names). */
+std::string fingerprintHex(KeyFingerprint fp);
+
+/** Serialized size of the evaluation keys in bytes — the per-tenant
+ *  memory cost a key registry budgets against (BSK dominates). */
+std::size_t evaluationKeysWireBytes(const EvaluationKeys &keys);
 
 /**
  * Programmable bootstrap using only evaluation keys (the server-side

@@ -116,6 +116,54 @@ TEST_F(SerializeFixture, ServerBootstrapMatchesLocal)
     }
 }
 
+TEST_F(SerializeFixture, FingerprintStableAcrossRoundTrip)
+{
+    // The fingerprint is derived from the canonical wire format, so a
+    // second process that deserializes the same keys computes the same
+    // value — the property the tenant registry's LRU keying relies on.
+    const EvaluationKeys eval = EvaluationKeys::fromKeySet(keys());
+    const KeyFingerprint fp = fingerprintEvaluationKeys(eval);
+    EXPECT_EQ(fp, fingerprintEvaluationKeys(eval)); // deterministic
+
+    std::stringstream wire;
+    saveEvaluationKeys(wire, eval);
+    const EvaluationKeys reloaded = loadEvaluationKeys(wire);
+    EXPECT_EQ(fingerprintEvaluationKeys(reloaded), fp);
+
+    // The hex rendering is 16 lowercase hex digits.
+    const std::string hex = fingerprintHex(fp);
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+
+    // Wire size is the serialized length (what the registry budgets).
+    EXPECT_EQ(evaluationKeysWireBytes(eval), wire.str().size());
+}
+
+TEST_F(SerializeFixture, FingerprintDistinguishesKeys)
+{
+    const EvaluationKeys eval = EvaluationKeys::fromKeySet(keys());
+    const KeyFingerprint fp = fingerprintEvaluationKeys(eval);
+
+    // A different tenant's key ceremony yields a different fingerprint.
+    Rng other_rng(0x7E4A47);
+    const KeySet other =
+        KeySet::generate(paramsTest(), other_rng);
+    EXPECT_NE(fingerprintEvaluationKeys(
+                  EvaluationKeys::fromKeySet(other)),
+              fp);
+
+    // Even a single mutated KSK entry changes it: rebuild the keys
+    // from a serialized stream with one flipped payload byte.
+    std::stringstream wire;
+    saveEvaluationKeys(wire, eval);
+    std::string bytes = wire.str();
+    bytes[bytes.size() - 5] ^= 0x01; // inside the last KSK ciphertext
+    std::stringstream mutated(bytes);
+    const EvaluationKeys reloaded = loadEvaluationKeys(mutated);
+    EXPECT_NE(fingerprintEvaluationKeys(reloaded), fp);
+}
+
 TEST_F(SerializeFixture, RejectsBadMagic)
 {
     std::stringstream ss;

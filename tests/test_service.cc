@@ -8,11 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -391,6 +396,132 @@ TEST(ServiceConfigValidate, ConstructorThrowsInsteadOfAborting)
         EXPECT_NE(std::string(e.what()).find("kTiming"),
                   std::string::npos);
     }
+}
+
+TEST(ServiceConfigValidate, RejectsEachDegenerateCombination)
+{
+    ServiceConfig negative_wait;
+    negative_wait.maxWait = std::chrono::microseconds(-1);
+    auto error = negative_wait.validate();
+    ASSERT_TRUE(error.has_value());
+    EXPECT_NE(error->find("maxWait"), std::string::npos);
+
+    // numShards == 0 is rejected regardless of backend kind: a config
+    // that flips to kShardedFunctional at runtime must not have hidden
+    // the zero until the flip.
+    ServiceConfig zero_shards_functional;
+    zero_shards_functional.backend = exec::BackendKind::kFunctional;
+    zero_shards_functional.numShards = 0;
+    error = zero_shards_functional.validate();
+    ASSERT_TRUE(error.has_value());
+    EXPECT_NE(error->find("numShards"), std::string::npos);
+
+    ServiceConfig zero_shards_cosim;
+    zero_shards_cosim.backend = exec::BackendKind::kCosim;
+    zero_shards_cosim.numShards = 0;
+    EXPECT_TRUE(zero_shards_cosim.validate().has_value());
+
+    ServiceConfig bad_noise_gate;
+    bad_noise_gate.batch.checkNoise = true;
+    bad_noise_gate.batch.minSlotSigmas = 0;
+    error = bad_noise_gate.validate();
+    ASSERT_TRUE(error.has_value());
+    EXPECT_NE(error->find("minSlotSigmas"), std::string::npos);
+}
+
+TEST(ServiceConfigValidate, NullSharedKeysThrow)
+{
+    std::shared_ptr<const tfhe::EvaluationKeys> null_keys;
+    EXPECT_THROW(BootstrapService service(std::move(null_keys)),
+                 std::invalid_argument);
+}
+
+TEST_F(ServiceFixture, CompletionObserverSeesEveryRequest)
+{
+    std::atomic<std::uint64_t> completions{0};
+    std::atomic<std::uint64_t> weight{0};
+    std::atomic<bool> saw_circuit{false};
+    std::atomic<bool> saw_negative_latency{false};
+
+    ServiceConfig config;
+    config.superbatchSize = 4;
+    config.numWorkers = 1;
+    config.onComplete = [&](const CompletionInfo &info) {
+        completions.fetch_add(1);
+        weight.fetch_add(info.bootstraps);
+        if (info.circuit)
+            saw_circuit = true;
+        if (info.latencyUs < 0)
+            saw_negative_latency = true;
+    };
+    BootstrapService service(keys(), config);
+    const LutId lut = service.registerLut(
+        tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+            return (m + 1) % kSpace;
+        }));
+
+    std::vector<std::future<LweCiphertext>> futures;
+    for (std::uint32_t m = 0; m < 4; ++m)
+        futures.push_back(service.submit(encrypt(m), lut));
+    for (auto &future : futures)
+        expectReady(future);
+    service.shutdown();
+
+    EXPECT_EQ(completions.load(), 4u);
+    EXPECT_EQ(weight.load(), 4u); // single-LUT requests weigh 1 each
+    EXPECT_FALSE(saw_circuit.load());
+    EXPECT_FALSE(saw_negative_latency.load());
+}
+
+TEST_F(ServiceFixture, ProgramDiskCacheSurvivesRestartAndCorruption)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "morphling_test_prog_cache";
+    fs::remove_all(dir);
+
+    ServiceConfig config;
+    config.superbatchSize = 4;
+    config.numWorkers = 1;
+    config.maxWait = 5ms;
+    config.programCacheDir = dir.string();
+
+    const auto run_once = [&] {
+        BootstrapService service(keys(), config);
+        const LutId lut = service.registerLut(
+            tfhe::makePaddedLut(kSpace, [](std::uint32_t m) {
+                return (m + 2) % kSpace;
+            }));
+        std::vector<std::future<LweCiphertext>> futures;
+        for (std::uint32_t m = 0; m < 4; ++m)
+            futures.push_back(service.submit(encrypt(m), lut));
+        for (std::uint32_t m = 0; m < 4; ++m) {
+            expectReady(futures[m]);
+            ASSERT_EQ(decrypt(futures[m].get()), (m + 2) % kSpace)
+                << m;
+        }
+    };
+
+    run_once(); // cold start: compiles and persists the batch shape
+    std::size_t cached = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() == ".mprog")
+            ++cached;
+    }
+    ASSERT_GE(cached, 1u) << "no compiled program was persisted";
+
+    run_once(); // warm start: loads the persisted program
+
+    // Corrupt every cached entry; the service must fall back to
+    // compilation and still produce correct results.
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        std::ofstream os(entry.path(),
+                         std::ios::binary | std::ios::trunc);
+        os << "not a program";
+    }
+    run_once();
+
+    fs::remove_all(dir);
 }
 
 } // namespace
