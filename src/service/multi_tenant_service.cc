@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -55,7 +56,8 @@ MultiTenantService::Tenant::observe(const CompletionInfo &info)
     latencyUs->observe(info.latencyUs);
     completed->inc();
     bootstraps->inc(info.bootstraps);
-    if (quota.sloLatencyUs > 0 && info.latencyUs > quota.sloLatencyUs)
+    const double slo = sloLatencyUs.load(std::memory_order_relaxed);
+    if (slo > 0 && info.latencyUs > slo)
         sloBreaches->inc();
     if (info.deadlineMissed)
         deadlineMisses->inc();
@@ -92,7 +94,7 @@ MultiTenantService::addTenant(const TenantId &tenant,
     validateQuota(quota);
     const auto fp = registry_.enroll(tenant, keys);
 
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
     fatal_if(stopped_, "addTenant on a shut-down MultiTenantService");
     auto [it, inserted] = tenants_.try_emplace(tenant);
     if (inserted) {
@@ -117,8 +119,31 @@ MultiTenantService::addTenant(const TenantId &tenant,
             prefix + "latency_us", "submit -> completion latency");
         it->second = std::move(t);
     }
-    it->second->quota = quota;
-    it->second->fp = fp;
+    Tenant &t = *it->second;
+    // A live service keeps the keys and worker count it materialized
+    // with: a rotated fingerprint or changed weight must drain and
+    // tear it down, or submissions would keep evaluating under the
+    // rotated-out keys until an incidental LRU eviction.
+    const bool refresh = t.service != nullptr &&
+                         (t.fp != fp || t.weight != quota.weight);
+    t.fp = fp;
+    t.weight = quota.weight;
+    if (refresh)
+        drainAndTeardownLocked(lk, t);
+    lk.unlock();
+
+    // Each quota knob is rewritten under the lock (or atomic) its
+    // hot-path reader uses — re-adding a tenant under live traffic
+    // must not race admitters or completion callbacks.
+    {
+        std::lock_guard<std::mutex> alk(admitMu_);
+        t.ratePerSec = quota.ratePerSec;
+        t.burst = quota.burst;
+    }
+    // Blocked admitters re-derive their wait from the new rate.
+    admitCv_.notify_all();
+    t.sloLatencyUs.store(quota.sloLatencyUs,
+                         std::memory_order_relaxed);
     return fp;
 }
 
@@ -142,25 +167,35 @@ MultiTenantService::find(const TenantId &tenant) const
 bool
 MultiTenantService::admit(Tenant &t, double cost, bool block)
 {
-    if (t.quota.ratePerSec <= 0)
-        return true;
     std::unique_lock<std::mutex> lk(admitMu_);
     const auto refill = [&t] {
         const auto now = ServiceClock::now();
         if (!t.primed) {
             t.primed = true;
-            t.tokens = t.quota.burst; // first admission: full bucket
+            t.tokens = t.burst; // first admission: full bucket
         } else {
             const double dt =
                 std::chrono::duration<double>(now - t.lastRefill)
                     .count();
-            t.tokens = std::min(t.quota.burst,
-                                t.tokens + dt * t.quota.ratePerSec);
+            t.tokens = std::min(t.burst,
+                                t.tokens + dt * t.ratePerSec);
         }
         t.lastRefill = now;
     };
     refill();
-    while (t.tokens < cost) {
+    while (true) {
+        // Re-read the quota every pass: a re-enroll may rewrite it
+        // (under admitMu_) while we wait, including disabling
+        // throttling outright.
+        if (t.ratePerSec <= 0)
+            return true;
+        // Refill clamps tokens to burst, so a cost above the bucket
+        // depth could never be covered by waiting. Admit it once the
+        // bucket is full and let the balance go negative — the
+        // oversized draw is still paid back at ratePerSec.
+        const double need = std::min(cost, t.burst);
+        if (t.tokens >= need)
+            break;
         if (!block) {
             t.throttled->inc();
             return false;
@@ -169,10 +204,10 @@ MultiTenantService::admit(Tenant &t, double cost, bool block)
                  "submit on a shut-down MultiTenantService");
         // Tokens accrue with wall time only: sleep until the deficit
         // is covered (plus a tick), then re-check.
-        const double deficit = cost - t.tokens;
+        const double deficit = need - t.tokens;
         const auto wait = std::chrono::microseconds(
             1 + static_cast<std::int64_t>(
-                    1e6 * deficit / t.quota.ratePerSec));
+                    1e6 * deficit / t.ratePerSec));
         admitCv_.wait_for(lk, wait);
         refill();
     }
@@ -205,6 +240,29 @@ MultiTenantService::reclaimLocked()
     }
 }
 
+void
+MultiTenantService::drainAndTeardownLocked(
+    std::unique_lock<std::mutex> &lk, Tenant &t)
+{
+    // A submitter past materialize() (inflight counted, mu_ released)
+    // may still be calling into the service — destroying it under
+    // them is a use-after-free. Wait the forwarding window out: the
+    // count drops as soon as the inner submit returns, and the
+    // service keeps retiring work meanwhile, so even a
+    // backpressure-blocked submitter drains.
+    while (t.service != nullptr &&
+           t.inflight.load(std::memory_order_acquire) != 0) {
+        lk.unlock();
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        lk.lock();
+    }
+    if (t.service != nullptr) {
+        t.service->shutdown();
+        t.service.reset();
+        registry_.release(t.name);
+    }
+}
+
 BootstrapService &
 MultiTenantService::materialize(Tenant &t)
 {
@@ -218,7 +276,7 @@ MultiTenantService::materialize(Tenant &t)
     reclaimLocked();
     auto keys = registry_.acquire(t.name);
     ServiceConfig cfg = config_.service;
-    cfg.numWorkers = std::max(1u, t.quota.weight);
+    cfg.numWorkers = std::max(1u, t.weight);
     cfg.onComplete = [tenant = &t](const CompletionInfo &info) {
         tenant->observe(info);
     };
@@ -275,8 +333,15 @@ MultiTenantService::trySubmit(
         return std::nullopt;
     auto &svc = materialize(t);
     InflightGuard guard(&t);
-    t.submitted->inc();
-    return svc.trySubmit(std::move(ct), lut, deadline);
+    auto future = svc.trySubmit(std::move(ct), lut, deadline);
+    // Only a forwarded request is "submitted"; a saturation bounce is
+    // throttling like an empty bucket, and must not skew the
+    // per-tenant accounting the SLO and fairness gates read.
+    if (future.has_value())
+        t.submitted->inc();
+    else
+        t.throttled->inc();
+    return future;
 }
 
 std::future<std::vector<tfhe::LweCiphertext>>
@@ -350,22 +415,22 @@ MultiTenantService::flush()
 void
 MultiTenantService::shutdown()
 {
-    {
-        std::lock_guard<std::mutex> lk(admitMu_);
-        // Wake blocked admitters; they fatal() on the stopped flag,
-        // matching BootstrapService's submit-after-shutdown contract.
-    }
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
     if (stopped_)
         return;
     stopped_ = true;
-    admitCv_.notify_all();
-    for (auto &[name, t] : tenants_) {
-        if (t->service != nullptr) {
-            t->service->shutdown();
-            t->service.reset();
-        }
+    {
+        // Wake blocked admitters; they fatal() on the stopped flag,
+        // matching BootstrapService's submit-after-shutdown contract.
+        std::lock_guard<std::mutex> alk(admitMu_);
+        admitCv_.notify_all();
     }
+    // stopped_ keeps new submitters out of materialize(); draining
+    // each tenant's inflight count before destroying its service
+    // closes the race with one already past it (the same discipline
+    // reclaimLocked applies by only ever picking idle victims).
+    for (auto &[name, t] : tenants_)
+        drainAndTeardownLocked(lk, *t);
 }
 
 } // namespace morphling::service

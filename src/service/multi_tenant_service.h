@@ -92,7 +92,10 @@ class MultiTenantService
      * Enroll a tenant: keys go to the registry's cold storage (the
      * caller's copy is not retained), the quota takes effect on the
      * next admission. Re-adding an existing tenant updates quota and
-     * keys. Throws std::invalid_argument on a degenerate quota
+     * keys; when the key fingerprint or worker weight changes while
+     * the tenant's service is live, that service is drained and torn
+     * down so the next submission re-materializes under the new keys
+     * and weight. Throws std::invalid_argument on a degenerate quota
      * (negative rate/SLO, zero burst with a rate, zero weight).
      */
     tfhe::KeyFingerprint addTenant(const TenantId &tenant,
@@ -112,7 +115,8 @@ class MultiTenantService
                std::nullopt);
 
     /** Fail-fast submission: std::nullopt when the tenant's bucket is
-     *  empty (counted as throttled) or its service is saturated. */
+     *  empty or its service is saturated — both counted as throttled,
+     *  and only a forwarded request counts as submitted. */
     std::optional<std::future<tfhe::LweCiphertext>>
     trySubmit(const TenantId &tenant, tfhe::LweCiphertext ct,
               LutId lut,
@@ -120,7 +124,10 @@ class MultiTenantService
                   std::nullopt);
 
     /** Submit a whole circuit; draws bootstrapCount() tokens at once,
-     *  so big circuits pay proportional admission. */
+     *  so big circuits pay proportional admission. A circuit larger
+     *  than the bucket depth waits for a full bucket and leaves the
+     *  balance negative (paid back at ratePerSec) rather than
+     *  blocking forever on tokens the bucket can never hold. */
     std::future<std::vector<tfhe::LweCiphertext>>
     submitCircuit(const TenantId &tenant, circuit::Circuit circuit,
                   std::vector<tfhe::LweCiphertext> inputs);
@@ -144,11 +151,18 @@ class MultiTenantService
     void shutdown();
 
   private:
+    /** The quota is split across its readers' locks: re-adding a
+     *  tenant during live traffic rewrites each knob under the lock
+     *  (or atomic) its hot-path reader uses, so no reader ever sees a
+     *  torn or racing TenantQuota. */
     struct Tenant
     {
         TenantId name;
-        TenantQuota quota;
-        tfhe::KeyFingerprint fp = 0;
+        tfhe::KeyFingerprint fp = 0; //!< guarded by mu_
+
+        /** Worker-thread share of the service; guarded by mu_ (read
+         *  at materialization). */
+        unsigned weight = 1;
 
         /** LUT tables in registration order, replayed on every
          *  materialization so ids stay stable across evictions. */
@@ -158,10 +172,17 @@ class MultiTenantService
         std::uint64_t lastUsed = 0; //!< LRU tick, guarded by mu_
         std::atomic<std::uint32_t> inflight{0}; //!< submits in flight
 
-        // Token bucket, guarded by the owning service's admitMu_.
+        // Token bucket and its quota knobs, guarded by the owning
+        // service's admitMu_.
+        double ratePerSec = 0;
+        double burst = 0;
         double tokens = 0;
         ServiceClock::time_point lastRefill{};
         bool primed = false; //!< bucket starts full on first admit
+
+        /** SLO bound in microseconds, read lock-free by completion
+         *  callbacks on worker threads. */
+        std::atomic<double> sloLatencyUs{0};
 
         // Hot-path stats handles (lock-free; registry-owned).
         telemetry::Counter *submitted = nullptr;
@@ -192,7 +213,10 @@ class MultiTenantService
     const Tenant &find(const TenantId &tenant) const;
 
     /** Token-bucket admission of `cost` bootstraps; blocks until the
-     *  bucket refills when `block`, else returns false (throttled). */
+     *  bucket refills when `block`, else returns false (throttled).
+     *  A cost above the bucket depth is admitted once the bucket is
+     *  full and drives the balance negative — refill clamps tokens to
+     *  burst, so waiting for the full cost would never terminate. */
     bool admit(Tenant &t, double cost, bool block);
 
     /** Ensure the tenant's service is live (reclaiming the LRU idle
@@ -203,6 +227,13 @@ class MultiTenantService
     /** Tear down least-recently-used *idle* services until below
      *  maxLiveServices. Caller holds mu_. */
     void reclaimLocked();
+
+    /** Wait for the tenant's in-flight submitters to drain (releasing
+     *  `lk` while sleeping), then shut down and destroy its service
+     *  and release its registry keys. Caller holds mu_ via `lk`;
+     *  returns with it re-held. No-op when no service is live. */
+    void drainAndTeardownLocked(std::unique_lock<std::mutex> &lk,
+                                Tenant &t);
 
     const MultiTenantConfig config_;
     const std::size_t maxLive_;

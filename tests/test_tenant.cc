@@ -11,7 +11,12 @@
  *  - fairness under adversarial load: a flooding tenant exhausts its
  *    own token bucket and cannot push a trickle tenant past its SLO;
  *  - admission control: trySubmit bounces on an empty bucket, submit
- *    blocks until refill;
+ *    blocks until refill, and a circuit costing more than the bucket
+ *    depth is admitted against a full bucket (negative balance)
+ *    instead of blocking forever;
+ *  - key rotation: re-adding a tenant with different keys drains and
+ *    tears down its live service, so the next submission evaluates
+ *    under the rotated keys, not the stale ones;
  *  - per-tenant telemetry: labelled metrics land in both export
  *    formats, and the quantile estimator brackets the observations.
  *
@@ -29,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "circuit/circuit.h"
 #include "common/rng.h"
 #include "service/multi_tenant_service.h"
 #include "service/tenant_registry.h"
@@ -324,6 +330,84 @@ TEST_F(TenantFixture, AdmissionBucketBouncesAndRefills)
     ASSERT_EQ(f4.wait_for(60s), std::future_status::ready);
     EXPECT_EQ(tfhe::decryptPadded(keysA(), f4.get(), kSpace), 0u);
     EXPECT_EQ(front.stats("capped").completed, 4u);
+}
+
+TEST_F(TenantFixture, OversizedCircuitAdmitsAgainstSmallBucket)
+{
+    telemetry::MetricsRegistry metrics;
+    MultiTenantConfig config;
+    config.service = smallService();
+    config.metrics = &metrics;
+    MultiTenantService front(config);
+
+    // Refill clamps tokens to burst, so a draw above the bucket depth
+    // could never be covered by waiting: the blocking submitCircuit
+    // must admit it against a full bucket (driving the balance
+    // negative) rather than sleeping forever.
+    TenantQuota quota;
+    quota.ratePerSec = 1000;
+    quota.burst = 2;
+    front.addTenant("alice", evalA(), quota);
+
+    circuit::Circuit c;
+    std::vector<circuit::Wire> a, b, sum;
+    for (unsigned i = 0; i < 4; ++i)
+        a.push_back(c.bitInput());
+    for (unsigned i = 0; i < 4; ++i)
+        b.push_back(c.bitInput());
+    const auto carry = circuit::buildRippleAdder(c, a, b, sum);
+    for (auto w : sum)
+        c.markOutput(w);
+    c.markOutput(carry);
+    ASSERT_GT(static_cast<double>(c.bootstrapCount()), quota.burst);
+
+    const unsigned x = 5, y = 9;
+    std::vector<LweCiphertext> inputs;
+    for (unsigned i = 0; i < 4; ++i)
+        inputs.push_back(
+            tfhe::encryptBit(keysA(), ((x >> i) & 1) != 0, rng));
+    for (unsigned i = 0; i < 4; ++i)
+        inputs.push_back(
+            tfhe::encryptBit(keysA(), ((y >> i) & 1) != 0, rng));
+
+    auto f = front.submitCircuit("alice", c, std::move(inputs));
+    ASSERT_EQ(f.wait_for(60s), std::future_status::ready);
+    const auto outputs = f.get();
+    unsigned v = 0;
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+        v |= static_cast<unsigned>(
+                 tfhe::decryptBit(keysA(), outputs[i]))
+             << i;
+    }
+    EXPECT_EQ(v, x + y);
+}
+
+TEST_F(TenantFixture, KeyRotationRefreshesLiveService)
+{
+    telemetry::MetricsRegistry metrics;
+    MultiTenantConfig config;
+    config.service = smallService();
+    config.metrics = &metrics;
+    MultiTenantService front(config);
+
+    front.addTenant("alice", evalA());
+    const LutId lut = front.registerLut("alice", plusOneLut());
+    auto f1 = front.submit("alice", encryptA(1), lut);
+    ASSERT_EQ(f1.wait_for(60s), std::future_status::ready);
+    EXPECT_EQ(tfhe::decryptPadded(keysA(), f1.get(), kSpace), 2u);
+    EXPECT_TRUE(front.stats("alice").resident);
+
+    // Rotate to key set B while the service is live: the stale
+    // service must be drained and torn down, so the next submission
+    // re-materializes (replaying the LUT namespace) under the new
+    // keys instead of silently evaluating under the rotated-out ones.
+    const auto fp = front.addTenant("alice", evalB());
+    EXPECT_EQ(fp, tfhe::fingerprintEvaluationKeys(evalB()));
+    EXPECT_FALSE(front.stats("alice").resident);
+
+    auto f2 = front.submit("alice", encryptB(2), lut);
+    ASSERT_EQ(f2.wait_for(60s), std::future_status::ready);
+    EXPECT_EQ(tfhe::decryptPadded(keysB(), f2.get(), kSpace), 3u);
 }
 
 TEST_F(TenantFixture, RejectsDegenerateQuotasAndUnknownTenants)
