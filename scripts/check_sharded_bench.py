@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate the shared-HBM fleet rows of BENCH_sharded_scaling.json.
+
+Run by the perf-smoke CI leg after `bench_sharded_scaling --json`.
+Checks:
+
+  1. Context stamp: the report names the sharded_scaling bench and
+     carries the git SHA it was configured from.
+  2. Rows exist: mono reference plus private/fleet makespans, fleet
+     speedup and broadcast amortization for 1, 2 and 4 shards, and the
+     prefetch-depth ablation rows.
+  3. Gate: the 4-shard shared-HBM fleet makespan speedup over the mono
+     reference is >= 2.0x. The measured value is ~3.4x on the 1024-LWE
+     superbatch; the 2.0x gate only catches a fleet that regressed
+     back toward the private-memory BSK-streaming bound (~1.2x).
+  4. Broadcast conservation: delivered bytes = shards x fetched bytes
+     (every fetch serves every shard when the group-interleaved
+     schedule phase-aligns them), and the recorded amortization agrees.
+  5. Prefetch ablation: depth 2 (double buffer) must strictly reduce
+     both the XPU stall fraction and the makespan vs depth 1.
+
+Exits non-zero with a diagnostic on any failure.
+"""
+
+import json
+import sys
+
+# Fleet 4-shard makespan speedup over the 4x16 round-robin mono
+# schedule. See the module docstring for why this is 2.0 and not
+# tighter.
+MIN_FLEET_SPEEDUP = 2.0
+
+SHARDS = (1, 2, 4)
+
+
+def fail(msg):
+    print(f"check_sharded_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_sharded_scaling.json")
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    if report.get("bench") != "sharded_scaling":
+        fail(f"report names bench {report.get('bench')!r}, "
+             "expected 'sharded_scaling'")
+    sha = report.get("git_sha", "")
+    if not sha:
+        fail("report carries no git_sha context stamp")
+    print(f"ok: sharded_scaling report stamped with sha {sha}")
+
+    rows = {(m["name"], m["params"]): m["value"]
+            for m in report.get("metrics", [])}
+
+    def get(name, params):
+        if (name, params) not in rows:
+            fail(f"metric {name} [{params}] missing from report")
+        return rows[(name, params)]
+
+    mono = get("mono_makespan_cycles", "set I, 4x16 round-robin")
+    if mono <= 0:
+        fail(f"mono reference makespan {mono} is not positive")
+
+    for n in SHARDS:
+        params = f"set I, shards={n}"
+        private = get("private_makespan_cycles", params)
+        fleet = get("fleet_makespan_cycles", params)
+        speedup = get("fleet_speedup", params)
+        amort = get("fleet_broadcast_amortization", params)
+        fetched = get("fleet_bsk_fetched_bytes", params)
+        delivered = get("fleet_bsk_delivered_bytes", params)
+        if private <= 0 or fleet <= 0:
+            fail(f"non-positive makespan at shards={n}")
+        if abs(speedup - mono / fleet) > 1e-6 * speedup:
+            fail(f"fleet_speedup {speedup:.4f} at shards={n} disagrees "
+                 f"with mono/fleet = {mono / fleet:.4f}")
+        if fetched <= 0:
+            fail(f"fleet fetched no BSK bytes at shards={n}")
+        if abs(delivered - n * fetched) > 1e-6 * delivered:
+            fail(f"broadcast conservation: delivered {delivered} != "
+                 f"{n} x fetched {fetched} at shards={n}")
+        if abs(amort - delivered / fetched) > 1e-6 * amort:
+            fail(f"amortization {amort:.4f} disagrees with "
+                 f"delivered/fetched = {delivered / fetched:.4f} "
+                 f"at shards={n}")
+        print(f"ok: shards={n}: fleet {fleet:.0f} cycles, "
+              f"speedup {speedup:.2f}x, broadcast {amort:.2f}x")
+
+    speedup4 = rows[("fleet_speedup", "set I, shards=4")]
+    if speedup4 < MIN_FLEET_SPEEDUP:
+        fail(f"4-shard fleet speedup {speedup4:.2f}x is below the "
+             f"{MIN_FLEET_SPEEDUP}x gate: the shared fabric has "
+             "regressed toward the private-memory BSK-streaming bound")
+    print(f"ok: 4-shard fleet speedup {speedup4:.2f}x "
+          f">= {MIN_FLEET_SPEEDUP}x")
+
+    serial = get("prefetch_makespan_cycles", "set I, shards=4, depth=1")
+    buffered = get("prefetch_makespan_cycles",
+                   "set I, shards=4, depth=2")
+    stall1 = get("prefetch_xpu_stall_frac", "set I, shards=4, depth=1")
+    stall2 = get("prefetch_xpu_stall_frac", "set I, shards=4, depth=2")
+    if not buffered < serial:
+        fail(f"double-buffered makespan {buffered} is not below the "
+             f"serial-fetch makespan {serial}")
+    if not stall2 < stall1:
+        fail(f"double-buffered stall {stall2} is not below the "
+             f"serial-fetch stall {stall1}")
+    print(f"ok: prefetch ablation: stall {stall1:.3f} -> {stall2:.3f}, "
+          f"makespan {serial:.0f} -> {buffered:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,121 @@ Accelerator::run(const compiler::Program &program) const
 }
 
 SimReport
+buildSimReport(const ArchConfig &config,
+               const tfhe::TfheParams &params,
+               const SimReportInputs &in)
+{
+    panic_if(in.program == nullptr || in.xpu == nullptr ||
+                 in.vpu == nullptr,
+             "buildSimReport needs program, xpu and vpu observations");
+    const compiler::Program &program = *in.program;
+    const XpuComplex &xpu = *in.xpu;
+    const VpuModel &vpu = *in.vpu;
+
+    SimReport r;
+    r.cycles = in.cycles;
+    r.seconds = static_cast<double>(r.cycles) /
+                (config.clockGHz * 1e9);
+    r.bootstraps = program.totalBlindRotations();
+    r.throughputBs =
+        r.seconds > 0 ? static_cast<double>(r.bootstraps) / r.seconds
+                      : 0;
+    r.paramSet = params.name;
+    r.streamSets = xpu.streamSets();
+
+    const auto est = estimateBootstrap(params, config);
+    r.pipelineLatencyMs = est.latencyMs;
+    r.meanChunkLatencyMs = in.meanChunkLatencyCycles /
+                           (config.clockGHz * 1e6);
+
+    r.xpuBusyCycles = xpu.busyCycles();
+    r.xpuStallCycles = xpu.stallCycles();
+    r.xpuBusyFrac = static_cast<double>(r.xpuBusyCycles) / r.cycles;
+    r.xpuStallFrac = static_cast<double>(r.xpuStallCycles) / r.cycles;
+
+    using compiler::Opcode;
+    r.vpuKsCycles = vpu.busyCyclesFor(Opcode::VpuKeySwitch);
+    r.vpuMsCycles = vpu.busyCyclesFor(Opcode::VpuModSwitch);
+    r.vpuSeCycles = vpu.busyCyclesFor(Opcode::VpuSampleExtract);
+    r.vpuPaluCycles = vpu.busyCyclesFor(Opcode::VpuPAlu);
+    r.vpuBusyFrac = static_cast<double>(vpu.busyCycles()) /
+                    (static_cast<double>(r.cycles) *
+                     config.vpuLaneGroups);
+
+    r.chipPowerW = chipAreaPower(config).total().powerW;
+    if (r.bootstraps > 0) {
+        r.energyPerBsUj = r.chipPowerW * r.seconds /
+                          static_cast<double>(r.bootstraps) * 1e6;
+    }
+
+    r.hbmBytes = in.hbmBytes;
+    r.hbmAchievedGBs = in.hbmAchievedGBs;
+    r.bskBytes = in.bskBytes;
+    r.vpuDmaBytes = in.vpuDmaBytes;
+
+    // NoC accounting (Section V-D): the fixed-topology links sized so
+    // the default chip provides the paper's 4.8 TB/s, loaded with the
+    // traffic each dataflow edge carried during this run. The widest
+    // ports serve the Private-A1 crossbar — the rotator feeds two
+    // polynomial streams per row plus the IFFT writeback — and the
+    // remaining structures split the rest: per XPU,
+    // 512 + 128 + 128 + 232 = 1000 B/cycle, i.e. 4.8 TB/s at 4 XPUs
+    // and 1.2 GHz.
+    {
+        sim::EventQueue noc_eq;
+        sim::Noc noc(noc_eq);
+        auto &a1_xpu =
+            noc.addLink("a1_to_xpu_xbar", config.numXpus * 512);
+        auto &a2_xpu =
+            noc.addLink("a2_to_xpu_multicast", config.numXpus * 128);
+        auto &xpu_shared =
+            noc.addLink("xpu_to_shared_xbar", config.numXpus * 128);
+        auto &vpu_side =
+            noc.addLink("shared_b_to_vpu_xbar", config.numXpus * 232);
+        r.nocAggregateTBs = noc.aggregateBandwidthTBs(config.clockGHz);
+
+        const std::uint64_t kp1 = params.glweDimension + 1;
+        const std::uint64_t acc_poly_bytes =
+            kp1 * params.polyDegree * 4;
+        const std::uint64_t iterations =
+            r.bootstraps * params.lweDimension;
+        // ptrA + ptrB reads plus the writeback of every iteration.
+        a1_xpu.transfer(iterations * acc_poly_bytes * 3);
+        // BSK multicast: exactly the XPU DMA volume.
+        a2_xpu.transfer(r.bskBytes);
+        // Blind-rotation results out, extracted samples onward.
+        xpu_shared.transfer(r.bootstraps * acc_poly_bytes);
+        vpu_side.transfer(
+            r.vpuDmaBytes +
+            r.bootstraps * (params.extractedLweDimension() + 1) * 4);
+
+        // Normalize occupancy over the measured makespan.
+        for (const auto *link : {&a1_xpu, &a2_xpu, &xpu_shared,
+                                 &vpu_side}) {
+            const double busy_cycles =
+                static_cast<double>(link->totalBytes()) /
+                link->widthBytesPerCycle();
+            r.nocUtilization[link->name()] =
+                busy_cycles / static_cast<double>(r.cycles);
+        }
+    }
+
+    // Closed-form per-ciphertext latency decomposition (Figure 7-a):
+    // cycles spent in each pipeline stage for one bootstrap.
+    const auto round = epRoundTiming(params, config, config.vpeRows);
+    const auto vpu_cost = vpuTaskCycles(params, config);
+    r.latencyBreakdown["XPU (blind rotation)"] = static_cast<double>(
+        params.lweDimension * round.roundCycles());
+    r.latencyBreakdown["VPU (mod switch)"] =
+        static_cast<double>(vpu_cost.modSwitch);
+    r.latencyBreakdown["VPU (sample extract)"] =
+        static_cast<double>(vpu_cost.sampleExtract);
+    r.latencyBreakdown["VPU (key switch)"] =
+        static_cast<double>(vpu_cost.keySwitch);
+    return r;
+}
+
+SimReport
 Accelerator::run(const compiler::Program &program,
                  const RetireHook &on_retire) const
 {
@@ -46,7 +161,7 @@ Accelerator::run(const compiler::Program &program,
                            config_.xpuHbmChannels);
 
     BufferSet buffers(config_);
-    buffers.a2FitsDoubleBuffer(params_);
+    buffers.a2FitsPrefetch(params_, config_.bskPrefetchDepth);
 
     XpuComplex xpu(eq, config_, params_, xpu_dma);
     VpuModel vpu(eq, config_, params_);
@@ -60,107 +175,17 @@ Accelerator::run(const compiler::Program &program,
     eq.runAll();
     panic_if(!done, "simulation drained without completing the program");
 
-    // Compile the report.
-    SimReport r;
-    r.cycles = eq.now();
-    r.seconds = static_cast<double>(r.cycles) /
-                (config_.clockGHz * 1e9);
-    r.bootstraps = program.totalBlindRotations();
-    r.throughputBs =
-        r.seconds > 0 ? static_cast<double>(r.bootstraps) / r.seconds
-                      : 0;
-    r.paramSet = params_.name;
-    r.streamSets = xpu.streamSets();
-
-    const auto est = estimateBootstrap(params_, config_);
-    r.pipelineLatencyMs = est.latencyMs;
-    r.meanChunkLatencyMs = scheduler.chunkLatency().mean() /
-                           (config_.clockGHz * 1e6);
-
-    r.xpuBusyCycles = xpu.busyCycles();
-    r.xpuStallCycles = xpu.stallCycles();
-    r.xpuBusyFrac = static_cast<double>(r.xpuBusyCycles) / r.cycles;
-    r.xpuStallFrac = static_cast<double>(r.xpuStallCycles) / r.cycles;
-
-    using compiler::Opcode;
-    r.vpuKsCycles = vpu.busyCyclesFor(Opcode::VpuKeySwitch);
-    r.vpuMsCycles = vpu.busyCyclesFor(Opcode::VpuModSwitch);
-    r.vpuSeCycles = vpu.busyCyclesFor(Opcode::VpuSampleExtract);
-    r.vpuPaluCycles = vpu.busyCyclesFor(Opcode::VpuPAlu);
-    r.vpuBusyFrac = static_cast<double>(vpu.busyCycles()) /
-                    (static_cast<double>(r.cycles) *
-                     config_.vpuLaneGroups);
-
-    r.chipPowerW = chipAreaPower(config_).total().powerW;
-    if (r.bootstraps > 0) {
-        r.energyPerBsUj = r.chipPowerW * r.seconds /
-                          static_cast<double>(r.bootstraps) * 1e6;
-    }
-
-    r.hbmBytes = hbm.totalBytes();
-    r.hbmAchievedGBs = hbm.achievedBandwidthGBs();
-    r.bskBytes = xpu_dma.totalBytes();
-    r.vpuDmaBytes = vpu_dma.totalBytes();
-
-    // NoC accounting (Section V-D): the fixed-topology links sized so
-    // the default chip provides the paper's 4.8 TB/s, loaded with the
-    // traffic each dataflow edge carried during this run. The widest
-    // ports serve the Private-A1 crossbar — the rotator feeds two
-    // polynomial streams per row plus the IFFT writeback — and the
-    // remaining structures split the rest: per XPU,
-    // 512 + 128 + 128 + 232 = 1000 B/cycle, i.e. 4.8 TB/s at 4 XPUs
-    // and 1.2 GHz.
-    {
-        sim::Noc noc(eq);
-        auto &a1_xpu =
-            noc.addLink("a1_to_xpu_xbar", config_.numXpus * 512);
-        auto &a2_xpu =
-            noc.addLink("a2_to_xpu_multicast", config_.numXpus * 128);
-        auto &xpu_shared =
-            noc.addLink("xpu_to_shared_xbar", config_.numXpus * 128);
-        auto &vpu_side =
-            noc.addLink("shared_b_to_vpu_xbar", config_.numXpus * 232);
-        r.nocAggregateTBs = noc.aggregateBandwidthTBs(config_.clockGHz);
-
-        const std::uint64_t kp1 = params_.glweDimension + 1;
-        const std::uint64_t acc_poly_bytes =
-            kp1 * params_.polyDegree * 4;
-        const std::uint64_t iterations =
-            r.bootstraps * params_.lweDimension;
-        // ptrA + ptrB reads plus the writeback of every iteration.
-        a1_xpu.transfer(iterations * acc_poly_bytes * 3);
-        // BSK multicast: exactly the XPU DMA volume.
-        a2_xpu.transfer(r.bskBytes);
-        // Blind-rotation results out, extracted samples onward.
-        xpu_shared.transfer(r.bootstraps * acc_poly_bytes);
-        vpu_side.transfer(
-            r.vpuDmaBytes +
-            r.bootstraps * (params_.extractedLweDimension() + 1) * 4);
-
-        // Normalize occupancy over the measured makespan.
-        for (const auto *link : {&a1_xpu, &a2_xpu, &xpu_shared,
-                                 &vpu_side}) {
-            const double busy_cycles =
-                static_cast<double>(link->totalBytes()) /
-                link->widthBytesPerCycle();
-            r.nocUtilization[link->name()] =
-                busy_cycles / static_cast<double>(r.cycles);
-        }
-    }
-
-    // Closed-form per-ciphertext latency decomposition (Figure 7-a):
-    // cycles spent in each pipeline stage for one bootstrap.
-    const auto round = epRoundTiming(params_, config_, config_.vpeRows);
-    const auto vpu_cost = vpuTaskCycles(params_, config_);
-    r.latencyBreakdown["XPU (blind rotation)"] = static_cast<double>(
-        params_.lweDimension * round.roundCycles());
-    r.latencyBreakdown["VPU (mod switch)"] =
-        static_cast<double>(vpu_cost.modSwitch);
-    r.latencyBreakdown["VPU (sample extract)"] =
-        static_cast<double>(vpu_cost.sampleExtract);
-    r.latencyBreakdown["VPU (key switch)"] =
-        static_cast<double>(vpu_cost.keySwitch);
-    return r;
+    SimReportInputs in;
+    in.program = &program;
+    in.cycles = eq.now();
+    in.xpu = &xpu;
+    in.vpu = &vpu;
+    in.meanChunkLatencyCycles = scheduler.chunkLatency().mean();
+    in.hbmBytes = hbm.totalBytes();
+    in.hbmAchievedGBs = hbm.achievedBandwidthGBs();
+    in.bskBytes = xpu_dma.totalBytes();
+    in.vpuDmaBytes = vpu_dma.totalBytes();
+    return buildSimReport(config_, params_, in);
 }
 
 SimReport

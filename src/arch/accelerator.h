@@ -75,6 +75,33 @@ struct SimReport
     std::map<std::string, double> latencyBreakdown;
 };
 
+class XpuComplex;
+class VpuModel;
+
+/**
+ * Raw observations one simulated chip produced; everything
+ * buildSimReport needs beyond the configuration. The fleet model
+ * reuses this to assemble per-shard reports over the shared fabric.
+ */
+struct SimReportInputs
+{
+    const compiler::Program *program = nullptr;
+    std::uint64_t cycles = 0; //!< makespan (or shard finish tick)
+    const XpuComplex *xpu = nullptr;
+    const VpuModel *vpu = nullptr;
+    double meanChunkLatencyCycles = 0;
+    std::uint64_t hbmBytes = 0;
+    double hbmAchievedGBs = 0;
+    std::uint64_t bskBytes = 0;
+    std::uint64_t vpuDmaBytes = 0;
+};
+
+/** Assemble the SimReport (throughput, activity fractions, NoC and
+ *  latency breakdowns) from one chip's observations. */
+SimReport buildSimReport(const ArchConfig &config,
+                         const tfhe::TfheParams &params,
+                         const SimReportInputs &in);
+
 /** The simulated chip. */
 class Accelerator
 {

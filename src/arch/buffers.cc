@@ -1,5 +1,7 @@
 #include "buffers.h"
 
+#include <algorithm>
+
 #include "arch/timing.h"
 #include "common/logging.h"
 
@@ -56,14 +58,24 @@ BufferSet::BufferSet(const ArchConfig &config)
 bool
 BufferSet::a2FitsDoubleBuffer(const tfhe::TfheParams &params) const
 {
+    return a2FitsPrefetch(params, 2);
+}
+
+bool
+BufferSet::a2FitsPrefetch(const tfhe::TfheParams &params,
+                          unsigned depth) const
+{
     // Twiddle factors: one set of N/2 complex values per ring degree.
     const std::uint64_t twiddle_bytes = params.polyDegree / 2 * 8;
     const std::uint64_t demand =
-        2 * bskBytesPerIteration(params) + twiddle_bytes;
+        std::uint64_t{std::max(1u, depth)} *
+            bskBytesPerIteration(params) +
+        twiddle_bytes;
     if (demand > privateA2.capacityBytes()) {
         warn("Private-A2 (", privateA2.capacityBytes() / 1024,
-             " KiB) cannot double-buffer BSK iterations of set ",
-             params.name, " (needs ", demand / 1024, " KiB)");
+             " KiB) cannot hold ", depth,
+             " BSK iterations of set ", params.name, " (needs ",
+             demand / 1024, " KiB)");
         return false;
     }
     return true;

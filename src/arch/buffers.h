@@ -74,6 +74,14 @@ struct BufferSet
      * A2 fits it.
      */
     bool a2FitsDoubleBuffer(const tfhe::TfheParams &params) const;
+
+    /**
+     * Generalization of a2FitsDoubleBuffer to an arbitrary prefetch
+     * depth: `depth` iterations' worth of transform-domain GGSW
+     * (resident + in flight) plus the twiddle tables.
+     */
+    bool a2FitsPrefetch(const tfhe::TfheParams &params,
+                        unsigned depth) const;
 };
 
 } // namespace morphling::arch

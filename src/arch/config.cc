@@ -51,6 +51,8 @@ ArchConfig::validate() const
     fatal_if(xpuHbmChannels == 0 || vpuHbmChannels == 0,
              "both DMA paths need channels");
     fatal_if(maxStreamSets == 0, "maxStreamSets must be >= 1");
+    fatal_if(bskPrefetchDepth == 0,
+             "bskPrefetchDepth must be >= 1 (1 = no prefetch)");
 }
 
 ArchConfig

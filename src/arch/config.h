@@ -103,6 +103,17 @@ struct ArchConfig
     unsigned a1StreamSetFactor = 4;
 
     /**
+     * BSK slices kept resident-or-in-flight ahead of the running
+     * blind-rotation iteration. 2 is the paper's Private-A2 double
+     * buffer (BSK_{i+1} streams while BSK_i computes); 1 disables
+     * prefetch (serial fetch-then-compute, the ablation baseline);
+     * >= 3 additionally arms BSK_0 eagerly at LD_BSK dispatch and
+     * pipelines deeper, at the cost of more Private-A2 capacity
+     * (BufferSet::a2FitsPrefetch).
+     */
+    unsigned bskPrefetchDepth = 2;
+
+    /**
      * How long the XPU complex waits to gather additional
      * blind-rotation jobs into a wave before starting short-handed
      * (cycles). Small against a wave (hundreds of thousands of

@@ -1,0 +1,184 @@
+#include "fleet.h"
+
+#include <memory>
+#include <string>
+
+#include "arch/buffers.h"
+#include "arch/hw_scheduler.h"
+#include "arch/vpu.h"
+#include "arch/xpu.h"
+#include "common/logging.h"
+#include "sim/dma.h"
+#include "sim/event_queue.h"
+#include "sim/hbm.h"
+#include "telemetry/telemetry.h"
+
+namespace morphling::arch {
+
+namespace {
+
+/** Routes one shard's BSK fetches through the shared multicast DMA,
+ *  tagged by blind-rotation iteration so phase-aligned shards
+ *  coalesce onto one HBM read. */
+class FleetBskFetcher : public BskFetcher
+{
+  public:
+    FleetBskFetcher(sim::MulticastDma &dma, unsigned consumer)
+        : dma_(dma), consumer_(consumer)
+    {
+    }
+
+    void
+    fetch(std::uint64_t iteration, std::uint64_t bytes,
+          sim::EventQueue::Callback on_done) override
+    {
+        dma_.request(consumer_, iteration, bytes, std::move(on_done));
+    }
+
+  private:
+    sim::MulticastDma &dma_;
+    unsigned consumer_;
+};
+
+} // namespace
+
+AcceleratorFleet::AcceleratorFleet(ArchConfig config,
+                                   const tfhe::TfheParams &params,
+                                   unsigned num_shards)
+    : config_(std::move(config)), params_(params),
+      numShards_(num_shards)
+{
+    fatal_if(numShards_ == 0, "fleet needs at least one shard");
+    config_.validate();
+    params_.validate();
+}
+
+FleetReport
+AcceleratorFleet::run(
+    const std::vector<const compiler::Program *> &programs,
+    const std::vector<RetireHook> &hooks) const
+{
+    MORPHLING_SPAN("arch", "fleet_simulate");
+    panic_if(programs.size() != numShards_, "fleet of ", numShards_,
+             " shards given ", programs.size(), " programs");
+    panic_if(!hooks.empty() && hooks.size() != numShards_,
+             "retire hooks must be empty or one per shard");
+
+    // The shared fabric: the shards' HBM stacks unified. Channel count
+    // and aggregate bandwidth scale with the fleet; the per-channel
+    // rate is unchanged, so a single private stream is no faster — the
+    // win comes from broadcast striping over all BSK channels.
+    sim::EventQueue eq;
+    sim::HbmConfig fabric = config_.hbm;
+    fabric.channels *= numShards_;
+    fabric.bandwidthGBs *= static_cast<double>(numShards_);
+    sim::Hbm hbm(eq, fabric);
+
+    // Channel layout: per-shard VPU/KSK blocks first, then one
+    // contiguous block of all the BSK channels so broadcasts stripe
+    // across every shard's share of the fabric.
+    const unsigned vpu_ch = config_.vpuHbmChannels;
+    const unsigned bsk_first = vpu_ch * numShards_;
+    const unsigned bsk_channels = config_.xpuHbmChannels * numShards_;
+    sim::MulticastDma bsk_bus(
+        eq, hbm, "fleet_bsk", bsk_first, bsk_channels, numShards_,
+        std::max(2u, config_.bskPrefetchDepth));
+
+    struct Shard
+    {
+        std::unique_ptr<sim::DmaEngine> vpuDma;
+        std::unique_ptr<sim::DmaEngine> xpuDma;
+        std::unique_ptr<BufferSet> buffers;
+        std::unique_ptr<XpuComplex> xpu;
+        std::unique_ptr<VpuModel> vpu;
+        std::unique_ptr<FleetBskFetcher> fetcher;
+        std::unique_ptr<HwScheduler> sched;
+        bool done = false;
+        sim::Tick finish = 0;
+    };
+    std::vector<Shard> shards(numShards_);
+
+    for (unsigned s = 0; s < numShards_; ++s) {
+        Shard &sh = shards[s];
+        if (programs[s] == nullptr || programs[s]->size() == 0) {
+            sh.done = true;
+            continue;
+        }
+        const std::string tag = std::to_string(s);
+        sh.vpuDma = std::make_unique<sim::DmaEngine>(
+            eq, hbm, "vpu_dma" + tag, s * vpu_ch, vpu_ch);
+        // The private BSK engine is only the XpuComplex's fallback
+        // path; the fleet fetcher below owns all BSK traffic.
+        sh.xpuDma = std::make_unique<sim::DmaEngine>(
+            eq, hbm, "xpu_dma" + tag, bsk_first, bsk_channels);
+        sh.buffers = std::make_unique<BufferSet>(config_);
+        sh.buffers->a2FitsPrefetch(params_, config_.bskPrefetchDepth);
+        sh.xpu = std::make_unique<XpuComplex>(eq, config_, params_,
+                                              *sh.xpuDma);
+        sh.fetcher = std::make_unique<FleetBskFetcher>(bsk_bus, s);
+        sh.xpu->setBskFetcher(sh.fetcher.get());
+        sh.vpu = std::make_unique<VpuModel>(eq, config_, params_);
+        sh.sched = std::make_unique<HwScheduler>(
+            eq, *programs[s], config_, *sh.xpu, *sh.vpu, *sh.vpuDma,
+            *sh.xpuDma, [&eq, &sh]() {
+                sh.done = true;
+                sh.finish = eq.now();
+            });
+        if (!hooks.empty() && hooks[s])
+            sh.sched->setRetireHook(hooks[s]);
+    }
+
+    for (auto &sh : shards) {
+        if (sh.sched)
+            sh.sched->start();
+    }
+    eq.runAll();
+    for (unsigned s = 0; s < numShards_; ++s) {
+        panic_if(!shards[s].done, "fleet shard ", s,
+                 " drained without completing its program");
+    }
+
+    FleetReport fr;
+    fr.shards.reserve(numShards_);
+    for (unsigned s = 0; s < numShards_; ++s) {
+        const Shard &sh = shards[s];
+        if (!sh.sched) {
+            SimReport empty;
+            empty.paramSet = params_.name;
+            fr.shards.push_back(std::move(empty));
+            continue;
+        }
+        SimReportInputs in;
+        in.program = programs[s];
+        in.cycles = sh.finish;
+        in.xpu = sh.xpu.get();
+        in.vpu = sh.vpu.get();
+        in.meanChunkLatencyCycles = sh.sched->chunkLatency().mean();
+        in.vpuDmaBytes = sh.vpuDma->totalBytes();
+        in.bskBytes = bsk_bus.deliveredBytes(s);
+        in.hbmBytes = in.vpuDmaBytes + in.bskBytes;
+        const double seconds = static_cast<double>(sh.finish) /
+                               (config_.clockGHz * 1e9);
+        in.hbmAchievedGBs =
+            seconds > 0
+                ? static_cast<double>(in.hbmBytes) / seconds / 1e9
+                : 0.0;
+        fr.shards.push_back(buildSimReport(config_, params_, in));
+        fr.makespanCycles = std::max(fr.makespanCycles, sh.finish);
+    }
+    fr.makespanSeconds = static_cast<double>(fr.makespanCycles) /
+                         (config_.clockGHz * 1e9);
+    fr.bskFetchedBytes = bsk_bus.fetchedBytes();
+    fr.bskDeliveredBytes = bsk_bus.deliveredBytes();
+    fr.broadcastAmortization =
+        fr.bskFetchedBytes > 0
+            ? static_cast<double>(fr.bskDeliveredBytes) /
+                  static_cast<double>(fr.bskFetchedBytes)
+            : 1.0;
+    fr.broadcastFetches = bsk_bus.fetches();
+    fr.broadcastJoins = bsk_bus.joins();
+    fr.residencyHits = bsk_bus.residencyHits();
+    return fr;
+}
+
+} // namespace morphling::arch

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fleet model: N Morphling chips on one shared memory fabric.
+ *
+ * The private-memory sharded model hits the BSK-streaming bound: every
+ * chip independently streams the full bootstrapping key, so per-shard
+ * BSK transfer time stays constant while per-shard compute shrinks,
+ * capping 4-shard makespan scaling near 1.2x. The fleet model unifies
+ * the shards' HBM stacks into one fabric (channels and bandwidth scale
+ * with N, per-channel rate unchanged) and routes every BSK fetch
+ * through a shared multicast DMA keyed by blind-rotation iteration:
+ * shards phase-aligned on the same BSK slice coalesce into a single
+ * striped read over all N*xpuHbmChannels channels, so the slice
+ * transfer time drops by ~N while compute per shard stays put — the
+ * MATCHA-style key-transfer reuse lever, applied across chips.
+ */
+
+#ifndef MORPHLING_ARCH_FLEET_H
+#define MORPHLING_ARCH_FLEET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "arch/config.h"
+#include "arch/retire_hook.h"
+#include "compiler/program.h"
+#include "tfhe/params.h"
+
+namespace morphling::arch {
+
+/** Results of one fleet simulation. */
+struct FleetReport
+{
+    /** Per-shard reports; `cycles` is each shard's finish tick on the
+     *  shared clock. */
+    std::vector<SimReport> shards;
+
+    std::uint64_t makespanCycles = 0; //!< last shard's finish tick
+    double makespanSeconds = 0;
+
+    // BSK broadcast telemetry over the shared fabric.
+    std::uint64_t bskFetchedBytes = 0;   //!< actual HBM traffic
+    std::uint64_t bskDeliveredBytes = 0; //!< sum over shards
+    double broadcastAmortization = 1.0;  //!< delivered / fetched
+    std::uint64_t broadcastFetches = 0;  //!< fresh HBM reads
+    std::uint64_t broadcastJoins = 0;    //!< coalesced into in-flight
+    std::uint64_t residencyHits = 0;     //!< served from residency
+};
+
+/**
+ * N accelerators contending on (and broadcasting over) one shared
+ * memory fabric, advanced in a single deterministic event queue.
+ */
+class AcceleratorFleet
+{
+  public:
+    /**
+     * @param config     per-chip configuration (the fabric scales its
+     *                   HBM channels/bandwidth by num_shards)
+     * @param params     TFHE parameter set
+     * @param num_shards chips in the fleet
+     */
+    AcceleratorFleet(ArchConfig config, const tfhe::TfheParams &params,
+                     unsigned num_shards);
+
+    const ArchConfig &config() const { return config_; }
+    unsigned numShards() const { return numShards_; }
+
+    /**
+     * Simulate one program per shard to completion on the shared
+     * fabric. `hooks` (when non-empty) carries one retirement
+     * observation hook per shard; hooks never perturb the model.
+     * Shards with empty programs finish immediately.
+     */
+    FleetReport
+    run(const std::vector<const compiler::Program *> &programs,
+        const std::vector<RetireHook> &hooks = {}) const;
+
+  private:
+    ArchConfig config_;
+    const tfhe::TfheParams &params_;
+    unsigned numShards_;
+};
+
+} // namespace morphling::arch
+
+#endif // MORPHLING_ARCH_FLEET_H

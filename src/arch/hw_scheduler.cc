@@ -158,8 +158,10 @@ HwScheduler::dispatch(unsigned g, Chain &chain, const Chain::Slot &slot)
       case Opcode::DmaLoadBsk:
         // BSK streaming is owned by the XPU complex (per-iteration
         // prefetch into Private-A2); the instruction is the arming
-        // marker and completes immediately.
+        // marker and completes immediately. At prefetch depth >= 3
+        // the arm also starts BSK_0 streaming ahead of the wave.
         ++statSet_.scalar("bsk_arms", "DMA.LD_BSK markers seen");
+        xpu_.armColdPrefetch();
         continue_chain();
         break;
       case Opcode::VpuModSwitch:

@@ -112,33 +112,84 @@ XpuComplex::tryStartWave()
     stats_.histogram("wave_jobs", "jobs per wave")
         .sample(static_cast<double>(wave_.size()));
 
-    // Cold start: fetch BSK_0; compute begins when it lands.
-    bskReady_ = false;
-    waitingForBsk_ = true;
-    stallStart_ = eq_.now();
-    issuePrefetch(0);
+    // Cold start: BSK_0. If an eager arm (depth >= 3) already put it
+    // in flight — or it has landed — adopt that stream instead of
+    // issuing a duplicate; compute begins when it is resident.
+    bskIssuedSlices_ = 1;
+    bskArrivedSlices_ = 0;
+    if (coldArmIssued_) {
+        if (coldArmArrived_)
+            bskArrivedSlices_ = 1;
+        coldArmIssued_ = false;
+        coldArmArrived_ = false;
+        ++stats_.scalar("cold_arms_used",
+                        "waves whose BSK_0 was eagerly armed");
+    } else {
+        fetchBsk(0, [this]() { bskArrived(); });
+    }
+    if (bskArrivedSlices_ > waveIter_) {
+        waitingForBsk_ = false;
+        beginIteration();
+    } else {
+        waitingForBsk_ = true;
+        stallStart_ = eq_.now();
+    }
 }
 
 void
-XpuComplex::issuePrefetch(std::uint64_t iteration)
+XpuComplex::armColdPrefetch()
 {
-    if (iteration >= waveIterations_)
+    if (config_.bskPrefetchDepth < 3 || waveActive_ || coldArmIssued_)
         return;
+    coldArmIssued_ = true;
+    coldArmArrived_ = false;
+    ++stats_.scalar("cold_arms", "eager BSK_0 streams started");
+    fetchBsk(0, [this]() {
+        // If a wave adopted the arm before it landed, this is that
+        // wave's slice-0 arrival; otherwise hold it for the next wave.
+        if (waveActive_ && !coldArmIssued_)
+            bskArrived();
+        else
+            coldArmArrived_ = true;
+    });
+}
+
+void
+XpuComplex::fetchBsk(std::uint64_t slice, sim::EventQueue::Callback cb)
+{
     // One BSK stream per multicast domain: the A2 multicast reaches
     // multicastDomainXpus XPUs, so wider chips fetch the same GGSW
     // once per domain.
     const std::uint64_t domains = divCeil(
         config_.numXpus, config_.multicastDomainXpus);
-    bskDma_.load(bskBytesPerIteration(params_) * domains, [this]() {
-        bskArrived();
-    });
+    const std::uint64_t bytes = bskBytesPerIteration(params_) * domains;
+    if (fetcher_ != nullptr)
+        fetcher_->fetch(slice, bytes, std::move(cb));
+    else
+        bskDma_.load(bytes, std::move(cb));
+}
+
+void
+XpuComplex::pumpPrefetch()
+{
+    // Keep up to `bskPrefetchDepth` slices resident-or-in-flight ahead
+    // of the running iteration. Depth 2 is the paper's double buffer;
+    // depth 1 degenerates to a serial fetch-then-compute loop.
+    const std::uint64_t depth = std::max(1u, config_.bskPrefetchDepth);
+    const std::uint64_t target =
+        std::min(waveIterations_, waveIter_ + depth);
+    while (bskIssuedSlices_ < target) {
+        ++bskIssuedSlices_;
+        fetchBsk(bskIssuedSlices_ - 1, [this]() { bskArrived(); });
+    }
 }
 
 void
 XpuComplex::bskArrived()
 {
-    bskReady_ = true;
-    if (waitingForBsk_ && waveActive_) {
+    ++bskArrivedSlices_;
+    if (waitingForBsk_ && waveActive_ &&
+        bskArrivedSlices_ > waveIter_) {
         stallCycles_ += eq_.now() - stallStart_;
         MORPHLING_SIM_INTERVAL("xpu", "bsk_stall", stallStart_,
                                eq_.now(), 0);
@@ -152,11 +203,11 @@ XpuComplex::bskArrived()
 void
 XpuComplex::beginIteration()
 {
-    panic_if(!bskReady_, "iteration started without BSK");
-    bskReady_ = false;
+    panic_if(bskArrivedSlices_ <= waveIter_,
+             "iteration started without BSK");
 
     // Process every stream set back-to-back against the resident
-    // BSK_i; prefetch BSK_{i+1} under the compute.
+    // BSK_i; stream the next slice(s) under the compute.
     std::uint64_t cycles = 0;
     for (const auto &job : wave_) {
         if (job.iterations > waveIter_)
@@ -167,7 +218,7 @@ XpuComplex::beginIteration()
     MORPHLING_SIM_INTERVAL("xpu", "iteration", eq_.now(),
                            eq_.now() + cycles, 0);
 
-    issuePrefetch(waveIter_ + 1);
+    pumpPrefetch();
     eq_.scheduleIn(cycles, [this]() { finishIteration(); });
 }
 
@@ -194,7 +245,11 @@ XpuComplex::finishIteration()
         tryStartWave();
         return;
     }
-    if (bskReady_) {
+    // Without a prefetch buffer the next slice is only requested once
+    // the compute has finished (depth >= 2 issued it under compute).
+    if (config_.bskPrefetchDepth <= 1)
+        pumpPrefetch();
+    if (bskArrivedSlices_ > waveIter_) {
         beginIteration();
     } else {
         waitingForBsk_ = true;

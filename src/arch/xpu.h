@@ -32,12 +32,49 @@
 
 namespace morphling::arch {
 
+/**
+ * Source of BSK slices for the XPU complex.
+ *
+ * The default path streams from the chip's private BSK DMA engine;
+ * the fleet model substitutes a fetcher that routes requests through
+ * a shared multicast fabric so one HBM read feeds every shard
+ * phase-aligned on the same blind-rotation iteration.
+ */
+class BskFetcher
+{
+  public:
+    virtual ~BskFetcher() = default;
+
+    /**
+     * Deliver the BSK slice for blind-rotation iteration `iteration`
+     * (`bytes` bytes); `on_done` fires when it is resident.
+     */
+    virtual void fetch(std::uint64_t iteration, std::uint64_t bytes,
+                       sim::EventQueue::Callback on_done) = 0;
+};
+
 /** The four XPUs plus BSK streaming, as one schedulable resource. */
 class XpuComplex
 {
   public:
     XpuComplex(sim::EventQueue &eq, const ArchConfig &config,
                const tfhe::TfheParams &params, sim::DmaEngine &bsk_dma);
+
+    /**
+     * Route BSK fetches through `fetcher` instead of the private DMA
+     * engine. The caller keeps ownership; pass nullptr to restore the
+     * private path.
+     */
+    void setBskFetcher(BskFetcher *fetcher) { fetcher_ = fetcher; }
+
+    /**
+     * Eager cold-start arm: begin streaming BSK_0 before the wave has
+     * gathered, so the first iteration starts warm. Only active when
+     * `bskPrefetchDepth >= 3` (the default double buffer keeps the
+     * paper's cold-start behavior); the HW scheduler calls this when
+     * it dispatches an LD_BSK marker.
+     */
+    void armColdPrefetch();
 
     /**
      * Submit one group's blind rotation.
@@ -81,23 +118,30 @@ class XpuComplex
     void beginIteration();
     void finishIteration();
     void bskArrived();
-    void issuePrefetch(std::uint64_t iteration);
+    void pumpPrefetch();
+    void fetchBsk(std::uint64_t slice, sim::EventQueue::Callback cb);
 
     sim::EventQueue &eq_;
     const ArchConfig &config_;
     const tfhe::TfheParams &params_;
     sim::DmaEngine &bskDma_;
+    BskFetcher *fetcher_ = nullptr;
 
     std::vector<std::deque<Job>> pending_; //!< one queue per group
     std::size_t pendingJobs_ = 0;
     std::vector<Job> wave_;
     std::uint64_t waveIter_ = 0;
     std::uint64_t waveIterations_ = 0;
+    //! BSK slices issued / landed for the current wave. The next
+    //! iteration may begin once arrivals exceed waveIter_.
+    std::uint64_t bskIssuedSlices_ = 0;
+    std::uint64_t bskArrivedSlices_ = 0;
     bool waveActive_ = false;
-    bool bskReady_ = false;
     bool waitingForBsk_ = false;
     bool gatherArmed_ = false;
     bool gatherExpired_ = false;
+    bool coldArmIssued_ = false;
+    bool coldArmArrived_ = false;
     sim::Tick stallStart_ = 0;
 
     unsigned streamSets_;

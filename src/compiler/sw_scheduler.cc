@@ -87,15 +87,42 @@ SwScheduler::schedule(const Workload &workload) const
             }
         }
 
-        // Bootstraps: round-robin chunks of groupSize over the groups.
+        // Bootstraps over the groups, per the configured interleave.
         std::uint64_t remaining = stage.bootstraps;
-        while (remaining > 0) {
-            const auto chunk = static_cast<std::uint16_t>(
-                std::min<std::uint64_t>(remaining, config_.groupSize));
-            emitBootstrapChunk(prog, group, chunk);
-            remaining -= chunk;
-            group = static_cast<std::uint8_t>((group + 1) %
-                                              config_.numGroups);
+        if (config_.interleave == InterleaveMode::kGroupInterleaved) {
+            // Rounds of one chunk per group, sized evenly (±1), so
+            // every group's chunk sequence has the same length and
+            // the groups — and any shards sliced from them — hit the
+            // same blind-rotation iteration in the same round.
+            while (remaining > 0) {
+                const std::uint64_t round_total =
+                    std::min<std::uint64_t>(
+                        remaining, std::uint64_t{config_.numGroups} *
+                                       config_.groupSize);
+                const std::uint64_t base =
+                    round_total / config_.numGroups;
+                const std::uint64_t rem =
+                    round_total % config_.numGroups;
+                for (std::uint8_t g = 0; g < config_.numGroups; ++g) {
+                    const std::uint64_t chunk =
+                        base + (g < rem ? 1 : 0);
+                    if (chunk == 0)
+                        continue;
+                    emitBootstrapChunk(
+                        prog, g, static_cast<std::uint16_t>(chunk));
+                }
+                remaining -= round_total;
+            }
+        } else {
+            while (remaining > 0) {
+                const auto chunk = static_cast<std::uint16_t>(
+                    std::min<std::uint64_t>(remaining,
+                                            config_.groupSize));
+                emitBootstrapChunk(prog, group, chunk);
+                remaining -= chunk;
+                group = static_cast<std::uint8_t>(
+                    (group + 1) % config_.numGroups);
+            }
         }
 
         // Stage boundary: every group must finish before the next

@@ -33,12 +33,33 @@ inline constexpr unsigned kNumGroups = 4;   //!< concurrent groups
 inline constexpr unsigned kSuperbatchSize = kGroupSize * kNumGroups;
 /** @} */
 
+/**
+ * How bootstrap chunks are laid over the groups.
+ *
+ * - kRoundRobin:        chunks of groupSize walk the groups in order;
+ *                       uneven totals leave trailing groups with fewer
+ *                       chunks (the historical default).
+ * - kGroupInterleaved:  emission proceeds in rounds that split the
+ *                       round's ciphertexts evenly (±1) across ALL
+ *                       groups, so every group carries the same
+ *                       chunk-sequence length. Shards sliced from such
+ *                       a program stay phase-aligned on the same
+ *                       blind-rotation iteration, which is what lets
+ *                       fleet-mode BSK broadcasts coalesce.
+ */
+enum class InterleaveMode
+{
+    kRoundRobin,
+    kGroupInterleaved,
+};
+
 /** Batching/tiling knobs of the SW scheduler. */
 struct SchedulerConfig
 {
     unsigned groupSize = kGroupSize; //!< LWEs per group
     unsigned numGroups = kNumGroups; //!< groups per superbatch
     unsigned kskReuse = kSuperbatchSize; //!< cts amortizing one KSK fetch
+    InterleaveMode interleave = InterleaveMode::kRoundRobin;
 };
 
 /** Compiles workloads into Morphling instruction streams. */

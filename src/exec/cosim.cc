@@ -193,6 +193,16 @@ checkSharded(const compiler::Program &program,
         sink.add("sharded partition: slices cover ", covered, " of ",
                  program.size(), " instructions");
     }
+    if (sharded.fleetMode()) {
+        // Fleet shards have no inner TimingBackend; their raw
+        // shared-clock completion logs come straight off the backend.
+        const auto &logs = sharded.shardCompletions();
+        for (unsigned s = 0; s < sharded.numShards(); ++s) {
+            checkCompletionOrder(sharded.slice(s).program, logs[s],
+                                 sink);
+        }
+        return;
+    }
     for (unsigned s = 0; s < sharded.numShards(); ++s) {
         const auto *tb = dynamic_cast<const TimingBackend *>(
             &sharded.shardBackend(s));

@@ -95,6 +95,20 @@ ShardedBackend::timing(const arch::ArchConfig &config,
     return ShardedBackend(std::move(shards));
 }
 
+ShardedBackend
+ShardedBackend::fleetTiming(const arch::ArchConfig &config,
+                            const tfhe::TfheParams &params,
+                            unsigned numShards)
+{
+    fatal_if(numShards == 0, "sharded backend needs >= 1 shard");
+    ShardedBackend b;
+    b.fleetMode_ = true;
+    b.fleetShards_ = numShards;
+    b.fleetConfig_ = config;
+    b.fleetParams_ = &params;
+    return b;
+}
+
 const compiler::ProgramSlice &
 ShardedBackend::slice(unsigned s) const
 {
@@ -124,6 +138,8 @@ ShardedBackend::reset()
     makespan_ = 0;
     cursor_ = 0;
     loaded_ = false;
+    fleetReport_ = arch::FleetReport{};
+    shardCompletions_.clear();
 }
 
 void
@@ -181,43 +197,15 @@ ShardedBackend::load(const compiler::Program &program, const Job &job)
         }
     }
 
-    // Fan out: every shard executes its slice on its own thread
-    // against its own inner backend (single-driver objects, one
-    // driver each).
+    // Fan out. Private-memory shards run on their own threads against
+    // their own inner backends; fleet shards advance together in one
+    // shared-fabric event queue.
     std::vector<ExecutionResult> results(n_shards);
     stats_.resize(n_shards);
-    auto run_shard = [&](unsigned s) {
-        MORPHLING_SPAN("exec", "sharded.shard");
-        const auto wall0 = std::chrono::steady_clock::now();
-        const std::uint64_t cpu0 = threadCpuNanos();
-        Job shard_job;
-        shard_job.inputs = &shardInputs_[s];
-        shard_job.lut = job.lut;
-        shard_job.signLut = job.signLut;
-        shard_job.options = job.options;
-        results[s] = shards_[s]->run(slices_[s].program, shard_job);
-        const std::uint64_t cpu1 = threadCpuNanos();
-        auto &st = stats_[s];
-        st.shard = s;
-        st.groups = slices_[s].groups;
-        st.instructions = slices_[s].program.size();
-        st.blindRotations = slices_[s].program.totalBlindRotations();
-        st.wallNanos = wallNanosSince(wall0);
-        st.cpuNanos =
-            (cpu1 > cpu0) ? cpu1 - cpu0 : st.wallNanos; // clockless hosts
-        st.hasReport = results[s].hasReport;
-        st.cycles = results[s].hasReport ? results[s].report.cycles : 0;
-    };
-    if (n_shards == 1) {
-        run_shard(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_shards);
-        for (unsigned s = 0; s < n_shards; ++s)
-            pool.emplace_back(run_shard, s);
-        for (auto &t : pool)
-            t.join();
-    }
+    if (fleetMode_)
+        runShardsFleet(results);
+    else
+        runShardsThreaded(program, job, results);
 
     const auto merge0 = std::chrono::steady_clock::now();
     {
@@ -261,6 +249,101 @@ ShardedBackend::load(const compiler::Program &program, const Job &job)
     })
 
     loaded_ = true;
+}
+
+void
+ShardedBackend::runShardsThreaded(const compiler::Program &program,
+                                  const Job &job,
+                                  std::vector<ExecutionResult> &results)
+{
+    (void)program;
+    const unsigned n_shards = numShards();
+    auto run_shard = [&](unsigned s) {
+        MORPHLING_SPAN("exec", "sharded.shard");
+        const auto wall0 = std::chrono::steady_clock::now();
+        const std::uint64_t cpu0 = threadCpuNanos();
+        Job shard_job;
+        shard_job.inputs = &shardInputs_[s];
+        shard_job.lut = job.lut;
+        shard_job.signLut = job.signLut;
+        shard_job.options = job.options;
+        results[s] = shards_[s]->run(slices_[s].program, shard_job);
+        const std::uint64_t cpu1 = threadCpuNanos();
+        auto &st = stats_[s];
+        st.shard = s;
+        st.groups = slices_[s].groups;
+        st.instructions = slices_[s].program.size();
+        st.blindRotations = slices_[s].program.totalBlindRotations();
+        st.wallNanos = wallNanosSince(wall0);
+        st.cpuNanos =
+            (cpu1 > cpu0) ? cpu1 - cpu0 : st.wallNanos; // clockless hosts
+        st.hasReport = results[s].hasReport;
+        st.cycles = results[s].hasReport ? results[s].report.cycles : 0;
+    };
+    if (n_shards == 1) {
+        run_shard(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_shards);
+        for (unsigned s = 0; s < n_shards; ++s)
+            pool.emplace_back(run_shard, s);
+        for (auto &t : pool)
+            t.join();
+    }
+}
+
+void
+ShardedBackend::runShardsFleet(std::vector<ExecutionResult> &results)
+{
+    MORPHLING_SPAN("exec", "sharded.fleet");
+    const unsigned n_shards = numShards();
+    const auto wall0 = std::chrono::steady_clock::now();
+    const std::uint64_t cpu0 = threadCpuNanos();
+
+    arch::AcceleratorFleet fleet(fleetConfig_, *fleetParams_, n_shards);
+    std::vector<const compiler::Program *> programs;
+    std::vector<arch::RetireHook> hooks;
+    programs.reserve(n_shards);
+    hooks.reserve(n_shards);
+    shardCompletions_.assign(n_shards, {});
+    for (unsigned s = 0; s < n_shards; ++s) {
+        programs.push_back(&slices_[s].program);
+        auto &log = shardCompletions_[s];
+        log.reserve(slices_[s].program.size());
+        hooks.push_back([&log](std::size_t index,
+                               const compiler::Instruction &inst,
+                               std::uint64_t tick) {
+            RetiredInstruction r;
+            r.index = index;
+            r.inst = inst;
+            r.seq = log.size();
+            r.tick = tick;
+            log.push_back(r);
+        });
+    }
+    fleetReport_ = fleet.run(programs, hooks);
+
+    const std::uint64_t cpu1 = threadCpuNanos();
+    const std::uint64_t wall = wallNanosSince(wall0);
+    for (unsigned s = 0; s < n_shards; ++s) {
+        results[s].backend = "fleet-timing";
+        results[s].retired = architecturalRetirement(
+            slices_[s].program, shardCompletions_[s]);
+        results[s].hasOutputs = false;
+        results[s].hasReport = slices_[s].program.size() > 0;
+        results[s].report = fleetReport_.shards[s];
+        auto &st = stats_[s];
+        st.shard = s;
+        st.groups = slices_[s].groups;
+        st.instructions = slices_[s].program.size();
+        st.blindRotations = slices_[s].program.totalBlindRotations();
+        // Every fleet shard advances in the same event queue on one
+        // host thread; per-shard host time is not separable.
+        st.wallNanos = wall;
+        st.cpuNanos = (cpu1 > cpu0) ? cpu1 - cpu0 : wall;
+        st.hasReport = results[s].hasReport;
+        st.cycles = results[s].hasReport ? results[s].report.cycles : 0;
+    }
 }
 
 void

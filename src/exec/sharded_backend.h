@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "arch/config.h"
+#include "arch/fleet.h"
 #include "exec/backend.h"
 #include "exec/functional_backend.h"
 
@@ -94,6 +95,17 @@ class ShardedBackend final : public ExecutionBackend
                                  const tfhe::TfheParams &params,
                                  unsigned numShards);
 
+    /**
+     * N accelerators on one shared memory fabric (arch::AcceleratorFleet):
+     * BSK fetches broadcast across shards, all shards advance in one
+     * event queue, and per-shard cycles are finish ticks on the shared
+     * clock — the model that breaks the private-HBM BSK-streaming
+     * bound. `params` must outlive the backend.
+     */
+    static ShardedBackend fleetTiming(const arch::ArchConfig &config,
+                                      const tfhe::TfheParams &params,
+                                      unsigned numShards);
+
     std::string_view name() const override { return "sharded"; }
 
     /** Slice, dispatch every shard on its own thread, join, merge. */
@@ -104,7 +116,27 @@ class ShardedBackend final : public ExecutionBackend
 
     unsigned numShards() const
     {
-        return static_cast<unsigned>(shards_.size());
+        return fleetMode_ ? fleetShards_
+                          : static_cast<unsigned>(shards_.size());
+    }
+
+    /** True when this backend runs shards over the shared fabric. */
+    bool fleetMode() const { return fleetMode_; }
+
+    /** Fleet broadcast telemetry of the last load(); only valid in
+     *  fleet mode after a load. */
+    const arch::FleetReport &fleetReport() const { return fleetReport_; }
+
+    /**
+     * Raw per-shard completion logs (slice-local indices, shared-clock
+     * ticks) of the last fleet-mode load(); the co-simulator checks
+     * dependency order against these since fleet shards have no inner
+     * TimingBackend. Empty outside fleet mode.
+     */
+    const std::vector<std::vector<RetiredInstruction>> &
+    shardCompletions() const
+    {
+        return shardCompletions_;
     }
 
     /** Per-shard outcome of the last load(); valid until the next
@@ -123,7 +155,13 @@ class ShardedBackend final : public ExecutionBackend
     std::uint64_t makespan() const { return makespan_; }
 
   private:
+    ShardedBackend() = default; //!< fleet-mode factory path
+
     void reset();
+    void runShardsThreaded(const compiler::Program &program,
+                           const Job &job,
+                           std::vector<ExecutionResult> &results);
+    void runShardsFleet(std::vector<ExecutionResult> &results);
     void mergeRetirement(const compiler::Program &program,
                          std::vector<ExecutionResult> &results);
     void mergeOutputs(const compiler::Program &program,
@@ -131,6 +169,15 @@ class ShardedBackend final : public ExecutionBackend
     void mergeReports(std::vector<ExecutionResult> &results);
 
     std::vector<std::unique_ptr<ExecutionBackend>> shards_;
+
+    // Fleet mode (shared-fabric timing): no inner backends; the
+    // AcceleratorFleet runs every shard in one event queue.
+    bool fleetMode_ = false;
+    unsigned fleetShards_ = 0;
+    arch::ArchConfig fleetConfig_{};
+    const tfhe::TfheParams *fleetParams_ = nullptr;
+    arch::FleetReport fleetReport_{};
+    std::vector<std::vector<RetiredInstruction>> shardCompletions_;
 
     // State of the last load(), cleared by the next one.
     std::vector<compiler::ProgramSlice> slices_;

@@ -6,6 +6,51 @@
 
 namespace morphling::exec {
 
+std::vector<RetiredInstruction>
+architecturalRetirement(const compiler::Program &program,
+                        const std::vector<RetiredInstruction> &completions)
+{
+    // Coverage: the simulation must have completed every instruction
+    // exactly once — anything else is a scheduler bug.
+    panic_if(completions.size() != program.size(),
+             "simulation completed ", completions.size(), " of ",
+             program.size(), " instructions");
+    std::vector<char> seen(program.size(), 0);
+    for (const auto &r : completions) {
+        panic_if(r.index >= program.size(),
+                 "instruction index ", r.index, " out of range");
+        panic_if(seen[r.index], "instruction ", r.index,
+                 " completed twice");
+        seen[r.index] = 1;
+    }
+
+    std::vector<std::uint64_t> tick_of(program.size(), 0);
+    for (const auto &r : completions)
+        tick_of[r.index] = r.tick;
+
+    std::vector<std::uint64_t> group_floor(program.numGroups(), 0);
+    std::vector<RetiredInstruction> retired;
+    retired.reserve(program.size());
+    const auto &instrs = program.instructions();
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        auto &floor = group_floor[instrs[i].group];
+        floor = std::max(floor, tick_of[i]);
+        RetiredInstruction r;
+        r.index = i;
+        r.inst = instrs[i];
+        r.tick = floor;
+        retired.push_back(r);
+    }
+    std::stable_sort(retired.begin(), retired.end(),
+                     [](const RetiredInstruction &a,
+                        const RetiredInstruction &b) {
+                         return a.tick < b.tick;
+                     });
+    for (std::size_t i = 0; i < retired.size(); ++i)
+        retired[i].seq = i;
+    return retired;
+}
+
 TimingBackend::TimingBackend(arch::ArchConfig config,
                              const tfhe::TfheParams &params)
     : accel_(std::move(config), params)
@@ -32,44 +77,10 @@ TimingBackend::load(const compiler::Program &program, const Job &job)
             completions_.push_back(r);
         });
 
-    // Coverage: the simulation must have completed every instruction
-    // exactly once — anything else is a scheduler bug.
-    panic_if(completions_.size() != program.size(),
-             "simulation completed ", completions_.size(), " of ",
-             program.size(), " instructions");
-    std::vector<char> seen(program.size(), 0);
-    for (const auto &r : completions_) {
-        panic_if(seen[r.index], "instruction ", r.index,
-                 " completed twice");
-        seen[r.index] = 1;
-    }
-
     // Architectural retirement: per group in program order, each
     // instruction retiring at the running max of its group's
     // completion ticks (ROB view over the overlapping chains).
-    std::vector<std::uint64_t> tick_of(program.size(), 0);
-    for (const auto &r : completions_)
-        tick_of[r.index] = r.tick;
-
-    std::vector<std::uint64_t> group_floor(program.numGroups(), 0);
-    retireOrder_.reserve(program.size());
-    const auto &instrs = program.instructions();
-    for (std::size_t i = 0; i < instrs.size(); ++i) {
-        auto &floor = group_floor[instrs[i].group];
-        floor = std::max(floor, tick_of[i]);
-        RetiredInstruction r;
-        r.index = i;
-        r.inst = instrs[i];
-        r.tick = floor;
-        retireOrder_.push_back(r);
-    }
-    std::stable_sort(retireOrder_.begin(), retireOrder_.end(),
-                     [](const RetiredInstruction &a,
-                        const RetiredInstruction &b) {
-                         return a.tick < b.tick;
-                     });
-    for (std::size_t i = 0; i < retireOrder_.size(); ++i)
-        retireOrder_[i].seq = i;
+    retireOrder_ = architecturalRetirement(program, completions_);
 
     loaded_ = true;
 }

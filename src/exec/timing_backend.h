@@ -27,6 +27,18 @@
 
 namespace morphling::exec {
 
+/**
+ * Coverage-check a raw completion log (every instruction exactly
+ * once) and replay it as the architectural retirement: per group in
+ * program order, each instruction retiring at the running max of its
+ * group's completion ticks (a reorder-buffer view over the HW
+ * scheduler's overlapping chains), globally stable-sorted by retire
+ * tick. Shared by TimingBackend and the fleet-timing sharded mode.
+ */
+std::vector<RetiredInstruction>
+architecturalRetirement(const compiler::Program &program,
+                        const std::vector<RetiredInstruction> &completions);
+
 /** Replays the cycle model's retirement through the backend API. */
 class TimingBackend final : public ExecutionBackend
 {

@@ -15,7 +15,9 @@
 #define MORPHLING_SIM_DMA_H
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/hbm.h"
@@ -59,6 +61,94 @@ class DmaEngine
     unsigned numChannels_;
     unsigned outstanding_ = 0;
     std::uint64_t totalBytes_ = 0;
+    StatSet stats_;
+};
+
+/**
+ * A broadcast DMA engine shared by several consumers.
+ *
+ * Consumers request *tagged* transfers (for the BSK path the tag is
+ * the blind-rotation iteration index: BSK_i is the same data for
+ * every shard). Requests for the same tag coalesce:
+ *
+ *  - if the tag is currently in flight, the consumer joins the
+ *    in-flight multicast and shares its completion tick;
+ *  - if the tag is among the last `residencyDepth` completed tags
+ *    (the shared double-buffer), the request is a residency hit and
+ *    completes next tick without touching HBM;
+ *  - otherwise a fresh striped read is issued and delivered to every
+ *    consumer that joins before it lands.
+ *
+ * `fetchedBytes()` is the actual HBM traffic; `deliveredBytes()` is
+ * what the consumers collectively received. Their ratio is the
+ * broadcast amortization factor.
+ */
+class MulticastDma
+{
+  public:
+    MulticastDma(EventQueue &eq, Hbm &hbm, std::string name,
+                 unsigned first_channel, unsigned num_channels,
+                 unsigned num_consumers, unsigned residency_depth = 2);
+
+    const std::string &name() const { return name_; }
+    unsigned numChannels() const { return numChannels_; }
+    unsigned numConsumers() const { return numConsumers_; }
+
+    /** Sustained bytes/cycle this engine can move. */
+    double bytesPerCycle() const;
+
+    /**
+     * Request delivery of the transfer identified by `tag` to
+     * `consumer`; `on_done` runs when the data is available to that
+     * consumer (shared completion for coalesced requests).
+     */
+    void request(unsigned consumer, std::uint64_t tag,
+                 std::uint64_t bytes, EventQueue::Callback on_done);
+
+    /** Bytes actually read from HBM. */
+    std::uint64_t fetchedBytes() const { return fetchedBytes_; }
+
+    /** Bytes delivered across all consumers (>= fetchedBytes). */
+    std::uint64_t deliveredBytes() const { return deliveredBytes_; }
+
+    /** Bytes delivered to one consumer. */
+    std::uint64_t
+    deliveredBytes(unsigned consumer) const
+    {
+        return perConsumerBytes_.at(consumer);
+    }
+
+    std::uint64_t fetches() const { return fetches_; }
+    std::uint64_t joins() const { return joins_; }
+    std::uint64_t residencyHits() const { return residencyHits_; }
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Inflight
+    {
+        std::uint64_t tag;
+        std::vector<EventQueue::Callback> waiters;
+    };
+
+    void recordDelivery(unsigned consumer, std::uint64_t bytes);
+
+    EventQueue &eq_;
+    Hbm &hbm_;
+    std::string name_;
+    unsigned firstChannel_;
+    unsigned numChannels_;
+    unsigned numConsumers_;
+    unsigned residencyDepth_;
+    std::vector<Inflight> inflight_;
+    std::deque<std::uint64_t> resident_; //!< most-recent completed tags
+    std::uint64_t fetchedBytes_ = 0;
+    std::uint64_t deliveredBytes_ = 0;
+    std::uint64_t fetches_ = 0;
+    std::uint64_t joins_ = 0;
+    std::uint64_t residencyHits_ = 0;
+    std::vector<std::uint64_t> perConsumerBytes_;
     StatSet stats_;
 };
 

@@ -64,6 +64,31 @@ Hbm::accessStriped(unsigned first_channel, unsigned num_channels,
 }
 
 Tick
+Hbm::accessStripedMulticast(unsigned first_channel,
+                            unsigned num_channels, std::uint64_t bytes,
+                            std::vector<EventQueue::Callback> consumers)
+{
+    const Tick last =
+        accessStriped(first_channel, num_channels, bytes, nullptr);
+    ++stats_.scalar("multicast_transfers",
+                    "multicast reads (one occupancy, N deliveries)");
+    stats_.scalar("multicast_deliveries",
+                  "consumer callbacks served by multicast reads") +=
+        static_cast<double>(consumers.size());
+    if (consumers.size() > 1) {
+        stats_.scalar("multicast_bytes_saved",
+                      "bytes NOT re-read thanks to multicast") +=
+            static_cast<double>(bytes) *
+            static_cast<double>(consumers.size() - 1);
+    }
+    for (auto &cb : consumers) {
+        if (cb)
+            eq_.schedule(last, std::move(cb));
+    }
+    return last;
+}
+
+Tick
 Hbm::channelFreeAt(unsigned channel) const
 {
     panic_if(channel >= config_.channels, "channel out of range");

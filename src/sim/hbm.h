@@ -65,6 +65,21 @@ class Hbm
                        std::uint64_t bytes,
                        EventQueue::Callback on_done = nullptr);
 
+    /**
+     * Multicast read: one striped transfer's worth of channel
+     * occupancy delivering the same data to several consumers. The
+     * bytes cross the HBM interface exactly once; every consumer
+     * callback fires at the tick the last stripe lands. This is the
+     * fabric primitive behind BSK broadcast — N accelerators fed by
+     * one read instead of N copies of the same stream.
+     *
+     * @return completion tick
+     */
+    Tick accessStripedMulticast(unsigned first_channel,
+                                unsigned num_channels,
+                                std::uint64_t bytes,
+                                std::vector<EventQueue::Callback> consumers);
+
     /** Earliest tick at which the given channel is free. */
     Tick channelFreeAt(unsigned channel) const;
 

@@ -214,6 +214,36 @@ TEST(AcceleratorSim, NocIsProvisionedWithHeadroom)
               r.nocUtilization.at("xpu_to_shared_xbar"));
 }
 
+TEST(AcceleratorSim, BskPrefetchHidesStreamWithoutChangingTraffic)
+{
+    // Same program with the double buffer off (depth 1) and on
+    // (depth 2): the BSK bytes moved are identical — prefetch changes
+    // *when* slices are fetched, never *how much* — while the XPU
+    // stall fraction and makespan strictly shrink with the buffer on.
+    ArchConfig serial = kDefault;
+    serial.bskPrefetchDepth = 1;
+    const auto off = simulate(serial, tfhe::paramsSetI());
+    const auto on = simulate(kDefault, tfhe::paramsSetI());
+
+    EXPECT_EQ(off.bskBytes, on.bskBytes);
+    EXPECT_EQ(off.bootstraps, on.bootstraps);
+    EXPECT_GT(off.xpuStallFrac, on.xpuStallFrac);
+    EXPECT_GT(off.cycles, on.cycles);
+    // With the double buffer, the stream is essentially hidden.
+    EXPECT_LT(on.xpuStallFrac, 0.01);
+    EXPECT_GT(off.xpuStallFrac, 0.05);
+}
+
+TEST(AcceleratorSim, DeeperPrefetchNeverSlowsDown)
+{
+    ArchConfig deep = kDefault;
+    deep.bskPrefetchDepth = 3;
+    const auto d2 = simulate(kDefault, tfhe::paramsSetI());
+    const auto d3 = simulate(deep, tfhe::paramsSetI());
+    EXPECT_EQ(d2.bskBytes, d3.bskBytes);
+    EXPECT_LE(d3.cycles, d2.cycles);
+}
+
 TEST(AcceleratorSim, ThroughputScalesDownWithoutKskReuse)
 {
     // Ablation: disabling KSK reuse floods the VPU DMA path.

@@ -282,6 +282,59 @@ TEST_F(SchedulerFixture, GroupsRoundRobin)
     }
 }
 
+TEST_F(SchedulerFixture, GroupInterleavedMatchesRoundRobinOnCanonical)
+{
+    // On the canonical superbatch (64 LWEs, 4 groups of 16) one round
+    // of equal chunks IS the round-robin emission — the interleaved
+    // mode must produce a byte-identical program, so everything
+    // derived from the canonical schedule (goldens, Table V rows) is
+    // unchanged.
+    SchedulerConfig ileave;
+    ileave.interleave = InterleaveMode::kGroupInterleaved;
+    const Program rr = scheduler.scheduleBootstrapBatch(64);
+    const Program gi =
+        SwScheduler(params, ileave).scheduleBootstrapBatch(64);
+    ASSERT_EQ(gi.size(), rr.size());
+    for (std::size_t i = 0; i < rr.size(); ++i)
+        EXPECT_EQ(gi.at(i), rr.at(i)) << i;
+    EXPECT_EQ(gi.serialize(), rr.serialize());
+}
+
+TEST_F(SchedulerFixture, GroupInterleavedEmitsPhaseAlignedRounds)
+{
+    // 70 LWEs over 4 groups: the interleaved mode balances the tail
+    // round (18,18,17,17 -> chunks 16+2/16+2/16+1/16+1 across two
+    // rounds of 16,16,16,16 then 2,2,1,1) instead of round-robin's
+    // 16,16,16,16,6 — every group stays within one chunk of the
+    // others, so shards sliced from the groups stay phase-aligned.
+    SchedulerConfig ileave;
+    ileave.interleave = InterleaveMode::kGroupInterleaved;
+    const Program prog =
+        SwScheduler(params, ileave).scheduleBootstrapBatch(70);
+    EXPECT_EQ(prog.totalBlindRotations(), 70u);
+    std::vector<std::vector<unsigned>> rounds(4);
+    for (const auto &inst : prog.instructions()) {
+        if (inst.op == Opcode::XpuBlindRotate)
+            rounds[inst.group].push_back(inst.count);
+    }
+    // Same number of chunks in every group's stream.
+    for (std::uint8_t g = 1; g < 4; ++g)
+        EXPECT_EQ(rounds[g].size(), rounds[0].size()) << int(g);
+    ASSERT_EQ(rounds[0].size(), 2u);
+    EXPECT_EQ(rounds[0][0], 16u);
+    EXPECT_EQ(rounds[0][1], 2u);
+    EXPECT_EQ(rounds[2][1], 1u);
+    // Within a round, chunk sizes differ by at most one.
+    for (std::size_t r = 0; r < 2; ++r) {
+        unsigned lo = ~0u, hi = 0;
+        for (std::uint8_t g = 0; g < 4; ++g) {
+            lo = std::min(lo, rounds[g][r]);
+            hi = std::max(hi, rounds[g][r]);
+        }
+        EXPECT_LE(hi - lo, 1u) << "round " << r;
+    }
+}
+
 TEST_F(SchedulerFixture, PartialTailChunk)
 {
     const Program prog = scheduler.scheduleBootstrapBatch(70);

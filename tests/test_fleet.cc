@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the shared-memory-fabric fleet (arch::AcceleratorFleet via
+ * exec::ShardedBackend::fleetTiming): one-shard equivalence with the
+ * private-memory timing backend, broadcast byte conservation, the
+ * makespan speedup over the BSK-streaming bound, retirement parity
+ * with private-memory shards, and more-shards-than-groups coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.h"
+#include "compiler/sw_scheduler.h"
+#include "exec/sharded_backend.h"
+#include "exec/timing_backend.h"
+
+namespace morphling::exec {
+namespace {
+
+const arch::ArchConfig kDefault = arch::ArchConfig::morphlingDefault();
+
+/** 16 groups of 16, rounds phase-aligned across groups — the schedule
+ *  that lets fleet shards coalesce their BSK fetches. */
+compiler::Program
+interleavedProgram(const tfhe::TfheParams &params, std::uint64_t batch)
+{
+    compiler::SchedulerConfig sc;
+    sc.numGroups = 16;
+    sc.groupSize = 16;
+    sc.interleave = compiler::InterleaveMode::kGroupInterleaved;
+    return compiler::SwScheduler(params, sc)
+        .scheduleBootstrapBatch(batch);
+}
+
+TEST(FleetTiming, OneShardMatchesPrivateTiming)
+{
+    // A one-consumer fleet is the private memory system: same channel
+    // layout, every "broadcast" serves exactly one shard. The shared
+    // clock must agree cycle-for-cycle with TimingBackend.
+    const auto &params = tfhe::paramsSetI();
+    const auto program =
+        compiler::SwScheduler(params).scheduleBootstrapBatch(64);
+
+    TimingBackend mono(kDefault, params);
+    const auto whole = mono.run(program, Job{});
+
+    auto fleet = ShardedBackend::fleetTiming(kDefault, params, 1);
+    const auto result = fleet.run(program, Job{});
+
+    EXPECT_EQ(result.report.cycles, whole.report.cycles);
+    EXPECT_EQ(result.report.bskBytes, whole.report.bskBytes);
+    EXPECT_EQ(result.report.bootstraps, whole.report.bootstraps);
+    EXPECT_DOUBLE_EQ(fleet.fleetReport().broadcastAmortization, 1.0);
+}
+
+TEST(FleetTiming, BroadcastByteConservation)
+{
+    // Phase-aligned shards coalesce on every BSK slice: the fabric
+    // reads each slice once and delivers it N times, so delivered
+    // bytes are exactly N x fetched bytes and every shard sees the
+    // same BSK traffic it would have streamed privately.
+    const auto &params = tfhe::paramsSetI();
+    const auto program = interleavedProgram(params, 256);
+    const unsigned n = 4;
+
+    auto priv = ShardedBackend::timing(kDefault, params, n);
+    const auto priv_result = priv.run(program, Job{});
+
+    auto fleet = ShardedBackend::fleetTiming(kDefault, params, n);
+    const auto result = fleet.run(program, Job{});
+    const auto &fr = fleet.fleetReport();
+
+    EXPECT_EQ(fr.bskDeliveredBytes, n * fr.bskFetchedBytes);
+    EXPECT_DOUBLE_EQ(fr.broadcastAmortization, double(n));
+    ASSERT_EQ(fr.shards.size(), n);
+    // Per-shard delivered traffic matches the private-memory stream
+    // (the broadcast changes who pays for the read, not who gets it).
+    std::uint64_t delivered = 0;
+    for (const auto &shard : fr.shards)
+        delivered += shard.bskBytes;
+    EXPECT_EQ(delivered, fr.bskDeliveredBytes);
+    EXPECT_EQ(delivered, priv_result.report.bskBytes);
+    // The fabric itself only paid 1/N of that.
+    EXPECT_EQ(fr.bskFetchedBytes * n, priv_result.report.bskBytes);
+    (void)result;
+}
+
+TEST(FleetTiming, FourShardFleetBreaksTheStreamingBound)
+{
+    // The headline: four shards on one fabric with broadcast and
+    // prefetch finish the superbatch in well under half the mono
+    // makespan (the private-memory split was stuck near 1.2x).
+    const auto &params = tfhe::paramsSetI();
+    const auto mono_program =
+        compiler::SwScheduler(params).scheduleBootstrapBatch(1024);
+    const auto fleet_program = interleavedProgram(params, 1024);
+
+    auto mono = ShardedBackend::fleetTiming(kDefault, params, 1);
+    const std::uint64_t mono_cycles =
+        mono.run(mono_program, Job{}).report.cycles;
+
+    auto fleet = ShardedBackend::fleetTiming(kDefault, params, 4);
+    const auto result = fleet.run(fleet_program, Job{});
+    ASSERT_TRUE(result.hasReport);
+    EXPECT_GE(static_cast<double>(mono_cycles) /
+                  static_cast<double>(result.report.cycles),
+              2.0);
+    // The stream is hidden, not merely amortized.
+    EXPECT_LT(result.report.xpuStallFrac, 0.01);
+}
+
+TEST(FleetTiming, RetirementParityWithPrivateShards)
+{
+    // The merged retirement sequence is a deterministic function of
+    // the program's barrier structure, not of who owns the memory:
+    // fleet-timing and private-timing shards must emit the same
+    // instruction order.
+    const auto &params = tfhe::paramsSetI();
+    const auto program = interleavedProgram(params, 64);
+
+    auto priv = ShardedBackend::timing(kDefault, params, 4);
+    const auto a = priv.run(program, Job{});
+    auto fleet = ShardedBackend::fleetTiming(kDefault, params, 4);
+    const auto b = fleet.run(program, Job{});
+
+    ASSERT_EQ(a.retired.size(), program.size());
+    ASSERT_EQ(b.retired.size(), program.size());
+    for (std::size_t i = 0; i < a.retired.size(); ++i) {
+        EXPECT_EQ(a.retired[i].index, b.retired[i].index) << i;
+        EXPECT_EQ(a.retired[i].inst, b.retired[i].inst) << i;
+        EXPECT_EQ(b.retired[i].seq, i);
+    }
+}
+
+TEST(FleetTiming, MoreShardsThanGroupsLeavesIdleShardsEmpty)
+{
+    const auto &params = tfhe::paramsSetI();
+    // 4 groups, 6 shards: shards 4 and 5 own no groups.
+    const auto program =
+        compiler::SwScheduler(params).scheduleBootstrapBatch(64);
+    auto fleet = ShardedBackend::fleetTiming(kDefault, params, 6);
+    const auto result = fleet.run(program, Job{});
+    ASSERT_TRUE(result.hasReport);
+    EXPECT_EQ(result.report.bootstraps, 64u);
+    const auto &stats = fleet.shardStats();
+    ASSERT_EQ(stats.size(), 6u);
+    EXPECT_FALSE(stats[4].hasReport);
+    EXPECT_FALSE(stats[5].hasReport);
+    EXPECT_EQ(stats[4].instructions, 0u);
+}
+
+TEST(FleetTiming, DeterministicAcrossRuns)
+{
+    const auto &params = tfhe::paramsSetI();
+    const auto program = interleavedProgram(params, 64);
+    auto a = ShardedBackend::fleetTiming(kDefault, params, 4);
+    auto b = ShardedBackend::fleetTiming(kDefault, params, 4);
+    const auto ra = a.run(program, Job{});
+    const auto rb = b.run(program, Job{});
+    EXPECT_EQ(ra.report.cycles, rb.report.cycles);
+    ASSERT_EQ(ra.retired.size(), rb.retired.size());
+    for (std::size_t i = 0; i < ra.retired.size(); ++i) {
+        EXPECT_EQ(ra.retired[i].index, rb.retired[i].index);
+        EXPECT_EQ(ra.retired[i].tick, rb.retired[i].tick);
+    }
+}
+
+} // namespace
+} // namespace morphling::exec

@@ -158,6 +158,98 @@ TEST(Dma, LoadStripesAndCompletes)
     EXPECT_EQ(dma.totalBytes(), std::uint64_t{6} << 20);
 }
 
+TEST(Hbm, StripedMulticastDeliversAllAtOneOccupancy)
+{
+    EventQueue eq;
+    Hbm uni(eq, testHbm());
+    const std::uint64_t bytes = 4 << 20;
+    const Tick unicast = uni.accessStriped(0, 8, bytes, nullptr);
+
+    EventQueue eq2;
+    Hbm hbm(eq2, testHbm());
+    unsigned fired = 0;
+    std::vector<EventQueue::Callback> consumers;
+    for (unsigned i = 0; i < 3; ++i)
+        consumers.push_back([&fired]() { ++fired; });
+    const Tick done =
+        hbm.accessStripedMulticast(0, 8, bytes, std::move(consumers));
+    // One channel occupancy no matter how many consumers listen.
+    EXPECT_EQ(done, unicast);
+    // A follow-up transfer queues behind exactly one occupancy —
+    // identical timeline to the unicast channel.
+    EXPECT_EQ(hbm.accessStriped(0, 8, bytes, nullptr),
+              uni.accessStriped(0, 8, bytes, nullptr));
+    eq2.runAll();
+    EXPECT_EQ(fired, 3u);
+}
+
+TEST(MulticastDma, JoinInFlightCoalesces)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    MulticastDma bus(eq, hbm, "bsk_bus", 0, 8, 2);
+    const std::uint64_t bytes = 1 << 20;
+
+    Tick done0 = 0;
+    Tick done1 = 0;
+    bus.request(0, 7, bytes, [&]() { done0 = eq.now(); });
+    bus.request(1, 7, bytes, [&]() { done1 = eq.now(); });
+    eq.runAll();
+
+    // One HBM read, both consumers complete together.
+    EXPECT_EQ(bus.fetches(), 1u);
+    EXPECT_EQ(bus.joins(), 1u);
+    EXPECT_EQ(bus.fetchedBytes(), bytes);
+    EXPECT_EQ(bus.deliveredBytes(), 2 * bytes);
+    EXPECT_EQ(bus.deliveredBytes(0), bytes);
+    EXPECT_EQ(bus.deliveredBytes(1), bytes);
+    EXPECT_GT(done0, Tick{0});
+    EXPECT_EQ(done0, done1);
+}
+
+TEST(MulticastDma, ResidencyServesLateConsumerForFree)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    MulticastDma bus(eq, hbm, "bsk_bus", 0, 8, 2);
+    const std::uint64_t bytes = 1 << 20;
+
+    bus.request(0, 3, bytes, nullptr);
+    eq.runAll();
+    ASSERT_EQ(bus.fetches(), 1u);
+
+    // The tag is resident: the straggler completes at `now` without
+    // touching HBM again.
+    Tick late = 0;
+    const Tick asked = eq.now();
+    bus.request(1, 3, bytes, [&]() { late = eq.now(); });
+    eq.runAll();
+    EXPECT_EQ(bus.fetches(), 1u);
+    EXPECT_EQ(bus.residencyHits(), 1u);
+    EXPECT_EQ(bus.fetchedBytes(), bytes);
+    EXPECT_EQ(bus.deliveredBytes(), 2 * bytes);
+    EXPECT_EQ(late, asked);
+}
+
+TEST(MulticastDma, EvictedTagRefetches)
+{
+    EventQueue eq;
+    Hbm hbm(eq, testHbm());
+    MulticastDma bus(eq, hbm, "bsk_bus", 0, 8, 1,
+                     /*residency_depth=*/1);
+    const std::uint64_t bytes = 1 << 20;
+
+    bus.request(0, 0, bytes, nullptr);
+    eq.runAll();
+    bus.request(0, 1, bytes, nullptr); // evicts tag 0
+    eq.runAll();
+    bus.request(0, 0, bytes, nullptr); // must re-read HBM
+    eq.runAll();
+    EXPECT_EQ(bus.fetches(), 3u);
+    EXPECT_EQ(bus.residencyHits(), 0u);
+    EXPECT_EQ(bus.fetchedBytes(), 3 * bytes);
+}
+
 TEST(Dma, ChannelPartitionIsolation)
 {
     // XPU loads on channels 6..7 must not slow VPU loads on 0..5.

@@ -398,6 +398,32 @@ TEST_F(ShardedFixture, CosimAcceptsShardedTimingReference)
     EXPECT_TRUE(report.timing.hasReport);
 }
 
+TEST_F(ShardedFixture, CosimAcceptsFleetTimingReference)
+{
+    // Shared-fabric shards have no inner TimingBackend; the
+    // co-simulator's sharded checks must still verify their raw
+    // shared-clock completion logs and come back green.
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(64);
+    const auto inputs = encryptBatch(64);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    Job job;
+    job.inputs = &inputs;
+    job.lut = &lut;
+
+    FunctionalBackend functional(evalKeys());
+    auto sharded = ShardedBackend::fleetTiming(
+        arch::ArchConfig::morphlingDefault(), keys().params, 4);
+    EXPECT_TRUE(sharded.fleetMode());
+    LockstepCosim cosim(functional, sharded);
+    const auto report = cosim.run(program, job);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_TRUE(report.timing.hasReport);
+    EXPECT_EQ(sharded.shardCompletions().size(), 4u);
+}
+
 using ShardedDeathTest = ShardedFixture;
 
 TEST_F(ShardedDeathTest, FinishBeforeFullReplayIsRejected)
