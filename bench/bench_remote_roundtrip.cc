@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Remote execution round trip over a loopback TCP socket, against the
+ * in-process baseline:
+ *
+ *  1. Baseline: a FunctionalBackend runs a 64-LWE superbatch in
+ *     process; mean per-superbatch latency sets the reference.
+ *  2. Remote: the same program/job ships to an exec::RemoteServer on
+ *     127.0.0.1 (framed protocol: serialized program + ciphertexts +
+ *     LUT up, streamed retirements + outputs back) through an
+ *     exec::RemoteBackend. The cold first request (connect, handshake,
+ *     wire key enrollment) is reported separately from the warm
+ *     steady state.
+ *
+ * The headline is remote_overhead_ratio (warm remote / local), gated
+ * at <= 1.5x by scripts/check_remote_bench.py in the perf-smoke CI
+ * leg: on loopback the wire cost of a superbatch (~17 KiB each way
+ * for TEST params) must stay small next to 64 blind rotations.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "compiler/sw_scheduler.h"
+#include "exec/functional_backend.h"
+#include "exec/remote_backend.h"
+#include "exec/remote_server.h"
+#include "tfhe/encoding.h"
+
+using namespace morphling;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr unsigned kSuperbatch = 64;
+constexpr unsigned kIters = 8;
+
+double
+micros(Clock::duration d)
+{
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Report report(argc, argv, "remote_roundtrip");
+    bench::banner("Remote round trip",
+                  "64-LWE superbatch over loopback TCP vs. the "
+                  "in-process FunctionalBackend");
+
+    const tfhe::TfheParams &params = tfhe::paramsTest();
+    Rng rng(0x4E3B);
+    const tfhe::KeySet keys = tfhe::KeySet::generate(params, rng);
+    const auto eval = tfhe::EvaluationKeys::fromKeySet(keys);
+
+    std::vector<tfhe::LweCiphertext> inputs;
+    for (unsigned i = 0; i < kSuperbatch; ++i)
+        inputs.push_back(tfhe::encryptPadded(keys, i % 4, 4, rng));
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 1) % 4;
+    });
+    const auto program = compiler::SwScheduler(params)
+                             .scheduleBootstrapBatch(kSuperbatch);
+    const exec::Job job = exec::Job::batch(inputs, lut);
+
+    // --- in-process baseline ------------------------------------------
+    exec::FunctionalBackend local(eval);
+    local.run(program, job); // warm caches / FFT dispatch
+    const auto t0 = Clock::now();
+    for (unsigned i = 0; i < kIters; ++i)
+        local.run(program, job);
+    const double local_us = micros(Clock::now() - t0) / kIters;
+
+    // --- remote over loopback -----------------------------------------
+    // The server starts empty: the first request pays connect +
+    // handshake + wire key enrollment (the cold path a new tenant
+    // sees); warm iterations reuse the connection and the enrolled
+    // key.
+    exec::RemoteServerConfig serverConfig;
+    serverConfig.inner.kind = exec::BackendKind::kFunctional;
+    exec::RemoteServer server(serverConfig);
+    server.start();
+
+    exec::RemoteClientConfig clientConfig;
+    clientConfig.port = server.port();
+    exec::RemoteBackend remote(eval, clientConfig);
+
+    const auto c0 = Clock::now();
+    remote.run(program, job);
+    const double cold_us = micros(Clock::now() - c0);
+
+    const auto r0 = Clock::now();
+    for (unsigned i = 0; i < kIters; ++i)
+        remote.run(program, job);
+    const double remote_us = micros(Clock::now() - r0) / kIters;
+    const double bytes_up = static_cast<double>(remote.lastBytesSent());
+    const double bytes_down =
+        static_cast<double>(remote.lastBytesReceived());
+
+    const auto stats = server.stats();
+    server.stop();
+
+    const double overhead = remote_us / local_us;
+
+    Table t({"Backend", "us/superbatch", "us/LWE", "wire up KiB",
+             "wire down KiB"});
+    t.addRow({"functional (local)", Table::fmt(local_us, 0),
+              Table::fmt(local_us / kSuperbatch, 1), "-", "-"});
+    t.addRow({"remote (loopback)", Table::fmt(remote_us, 0),
+              Table::fmt(remote_us / kSuperbatch, 1),
+              Table::fmt(bytes_up / 1024.0, 1),
+              Table::fmt(bytes_down / 1024.0, 1)});
+    t.print(std::cout);
+    bench::note("overhead = " + bench::times(overhead, 2) +
+                " (CI gate: <= 1.5x warm); cold first request " +
+                Table::fmt(cold_us, 0) +
+                " us including connect + key enrollment");
+    bench::note("server saw " + std::to_string(stats.requests) +
+                " requests / " + std::to_string(stats.executions) +
+                " executions, " + std::to_string(stats.replays) +
+                " replays");
+
+    report.add("local_superbatch_us", "TEST params, batch=64",
+               local_us, "us");
+    report.add("remote_superbatch_us",
+               "TEST params, batch=64, loopback warm", remote_us, "us");
+    report.add("remote_cold_us",
+               "TEST params, batch=64, connect+enroll", cold_us, "us");
+    report.add("remote_overhead_ratio", "warm remote / local",
+               overhead, "x");
+    report.add("wire_bytes_up", "per superbatch request", bytes_up,
+               "bytes");
+    report.add("wire_bytes_down", "per superbatch response",
+               bytes_down, "bytes");
+    report.add("server_executions", "loopback server",
+               static_cast<double>(stats.executions), "count");
+    report.add("server_replays", "loopback server",
+               static_cast<double>(stats.replays), "count");
+    return 0;
+}

@@ -1,27 +1,39 @@
 /**
  * @file
- * The deployment split every FHE service uses — now multi-tenant,
- * served through the front door, service::MultiTenantService: each
- * client keeps its own secret key; the server enrolls each tenant's
+ * The deployment split every FHE service uses — now across two real
+ * processes. The parent runs the multi-tenant front door
+ * (service::MultiTenantService); a forked child runs the execution
+ * server (exec::RemoteServer) on a localhost TCP port. Each client
+ * keeps its own secret key; the front door enrolls each tenant's
  * evaluation keys (BSK + KSK) behind a content-derived fingerprint,
  * routes ciphertext queries by tenant id, and batches each tenant's
- * queries into Morphling-style 64-LWE superbatches (tenants never
- * share a superbatch — one bootstrapping key per batch). Per-tenant
- * token buckets bound how hard one tenant can push, and per-tenant
- * stats expose p50/p99 latency the way a production scrape would.
- * Wire format: this library's versioned binary serialization
- * (tfhe/serialize.h).
+ * queries into Morphling-style 64-LWE superbatches — but every
+ * superbatch now ships over the wire (compiled program, ciphertexts
+ * and LUT in one framed request; exec::RemoteBackend) and executes in
+ * the server process, with tenant keys auto-enrolled over TCP on
+ * first use. Per-tenant token buckets bound how hard one tenant can
+ * push, and per-tenant stats expose p50/p99 latency the way a
+ * production scrape would. Wire formats: this library's versioned
+ * binary serialization (tfhe/serialize.h) and the framed remote
+ * protocol (exec/remote_protocol.h).
  *
  * Build & run:  ./build/examples/client_server
  */
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <future>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/remote_server.h"
 #include "service/multi_tenant_service.h"
 #include "tfhe/encoding.h"
 #include "tfhe/serialize.h"
@@ -44,21 +56,67 @@ struct Client {
 };
 
 /**
- * What the untrusted server runs: no KeySet, no secret bits. One
+ * The execution-server process: hosts a functional backend behind the
+ * remote protocol, with no key material of its own — tenants'
+ * evaluation keys arrive over the wire (auto-enrollment). Reports its
+ * ephemeral port through `port_fd`, serves until `quit_fd` reaches
+ * EOF, then exits.
+ */
+int
+executionServerProcess(int port_fd, int quit_fd)
+{
+    exec::RemoteServerConfig config;
+    config.inner.kind = exec::BackendKind::kFunctional;
+    exec::RemoteServer server(config);
+    server.start();
+
+    const std::uint16_t port = server.port();
+    if (::write(port_fd, &port, sizeof(port)) != sizeof(port))
+        return 2;
+    ::close(port_fd);
+
+    // Block until the front-door process says goodbye (closes the
+    // pipe); a byte or EOF both mean "stop serving".
+    char byte;
+    while (::read(quit_fd, &byte, 1) < 0 && errno == EINTR) {
+    }
+    ::close(quit_fd);
+
+    const auto stats = server.stats();
+    std::cout << "server process: " << stats.requests << " requests, "
+              << stats.executions << " executions, "
+              << stats.enrollments << " keys enrolled over the wire, "
+              << stats.bytesIn / 1024 << " KiB in / "
+              << stats.bytesOut / 1024 << " KiB out\n";
+    server.stop();
+    return 0;
+}
+
+/**
+ * What the untrusted front door runs: no KeySet, no secret bits. One
  * MultiTenantService fronts every tenant; enrollment hands it only
  * serialized evaluation keys, and each query carries its tenant id.
+ * Execution happens in the server process at `server_port` — the
+ * front door's workers ship every superbatch over TCP.
  */
 std::vector<std::vector<std::string>>
-serverSide(const std::vector<std::pair<TenantId, std::string>> &enrollments,
-           const std::vector<std::pair<TenantId, std::string>> &queries)
+frontDoorSide(
+    std::uint16_t server_port,
+    const std::vector<std::pair<TenantId, std::string>> &enrollments,
+    const std::vector<std::pair<TenantId, std::string>> &queries)
 {
     MultiTenantConfig config;
     config.service.maxWait = std::chrono::milliseconds(5);
+    config.service.backend = exec::BackendKind::kRemote;
+    config.service.remote.port = server_port;
     MultiTenantService front(config);
 
     // Enroll every tenant. The registry fingerprints the keys
     // (content-derived, stable across restarts) and keeps the hot set
-    // resident; a modest rate quota bounds each tenant's burst.
+    // resident; a modest rate quota bounds each tenant's burst. The
+    // execution server learns each tenant's keys lazily: the first
+    // superbatch under an unknown fingerprint triggers wire
+    // enrollment.
     TenantQuota quota;
     quota.ratePerSec = 1000;
     quota.burst = 64;
@@ -66,7 +124,7 @@ serverSide(const std::vector<std::pair<TenantId, std::string>> &enrollments,
         std::istringstream keys_in(wire);
         const auto fp = front.addTenant(
             tenant, loadEvaluationKeys(keys_in), quota);
-        std::cout << "server: enrolled '" << tenant
+        std::cout << "front door: enrolled '" << tenant
                   << "' (key fingerprint " << std::hex << fp << std::dec
                   << ")\n";
     }
@@ -105,9 +163,10 @@ serverSide(const std::vector<std::pair<TenantId, std::string>> &enrollments,
 
     for (const auto &[tenant, wire] : enrollments) {
         const auto stats = front.stats(tenant);
-        std::cout << "server: '" << tenant << "': " << stats.completed
-                  << " bootstraps, p99 " << stats.p99LatencyUs
-                  << " us, " << stats.throttled << " throttled\n";
+        std::cout << "front door: '" << tenant << "': "
+                  << stats.completed << " bootstraps, p99 "
+                  << stats.p99LatencyUs << " us, " << stats.throttled
+                  << " throttled\n";
     }
     front.shutdown();
     return out;
@@ -158,8 +217,51 @@ main()
             break;
     }
 
-    // --- Server: blind, batched, multi-tenant computation --------------
-    const auto answer_wires = serverSide(enrollments, query_wires);
+    // --- Fork the execution-server process (before any threads) -------
+    std::cout.flush(); // don't let the child re-flush buffered lines
+    int port_pipe[2];  // child -> parent: the bound port
+    int quit_pipe[2];  // parent -> child: EOF means stop
+    if (::pipe(port_pipe) != 0 || ::pipe(quit_pipe) != 0) {
+        std::perror("pipe");
+        return 1;
+    }
+    const pid_t child = ::fork();
+    if (child < 0) {
+        std::perror("fork");
+        return 1;
+    }
+    if (child == 0) {
+        ::close(port_pipe[0]);
+        ::close(quit_pipe[1]);
+        const int rc =
+            executionServerProcess(port_pipe[1], quit_pipe[0]);
+        std::exit(rc);
+    }
+    ::close(port_pipe[1]);
+    ::close(quit_pipe[0]);
+
+    std::uint16_t server_port = 0;
+    if (::read(port_pipe[0], &server_port, sizeof(server_port)) !=
+        sizeof(server_port)) {
+        std::cerr << "server process failed to report its port\n";
+        return 1;
+    }
+    ::close(port_pipe[0]);
+    std::cout << "server process " << child
+              << " listening on 127.0.0.1:" << server_port << "\n";
+
+    // --- Front door: blind, batched, multi-tenant, over TCP -----------
+    const auto answer_wires =
+        frontDoorSide(server_port, enrollments, query_wires);
+
+    // Tell the server process to stop, and collect its exit status.
+    ::close(quit_pipe[1]);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    const bool server_ok =
+        WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!server_ok)
+        std::cout << "server process exited abnormally\n";
 
     // --- Clients: decrypt their own responses --------------------------
     bool all_correct = true;
@@ -182,5 +284,5 @@ main()
         std::cout << "MISMATCH: at least one verdict was wrong\n";
         return 1;
     }
-    return 0;
+    return server_ok ? 0 : 1;
 }

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate the remote-overhead gate in BENCH_remote_roundtrip.json.
+
+Run by the perf-smoke CI leg after `bench_remote_roundtrip --json`.
+Checks:
+
+  1. The report carries a context stamp (git_sha) and every required
+     metric row.
+  2. Overhead: the warm remote superbatch (loopback TCP through
+     exec::RemoteBackend/RemoteServer) costs at most MAX_OVERHEAD of
+     the in-process FunctionalBackend. The superbatch itself is 64
+     blind rotations (tens of ms under TEST params), so framing +
+     serialization + a loopback hop must disappear into it; 1.5x only
+     trips when the transport re-serializes keys per request, stalls
+     on Nagle-style buffering, or re-executes instead of replaying.
+  3. Idempotency never regressed into re-execution: the server
+     reports zero replays in this clean-path run, and execution count
+     matches request volume (cold enrollment adds one rejected
+     request, no extra execution).
+  4. Sanity: wire bytes are positive and plausibly sized (a superbatch
+     request is KiB-scale, not bytes and not GiB).
+
+Exits non-zero with a diagnostic on any failure.
+"""
+
+import json
+import sys
+
+# Warm loopback remote over local. See the module docstring for why
+# this is 1.5x and not tighter.
+MAX_OVERHEAD = 1.5
+
+REQUIRED = (
+    "local_superbatch_us",
+    "remote_superbatch_us",
+    "remote_cold_us",
+    "remote_overhead_ratio",
+    "wire_bytes_up",
+    "wire_bytes_down",
+    "server_executions",
+    "server_replays",
+)
+
+
+def fail(msg):
+    print(f"check_remote_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_remote_roundtrip.json")
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    sha = report.get("git_sha", "")
+    if not sha or sha == "unknown":
+        fail("report lacks a git_sha context stamp")
+    print(f"ok: context stamp git_sha={sha}")
+
+    rows = {m["name"]: m["value"] for m in report.get("metrics", [])}
+    for name in REQUIRED:
+        if name not in rows:
+            fail(f"metric {name} missing from report")
+    print(f"ok: all {len(REQUIRED)} required metrics present")
+
+    local = rows["local_superbatch_us"]
+    remote = rows["remote_superbatch_us"]
+    if local <= 0 or remote <= 0:
+        fail(f"non-positive latency: local={local} remote={remote}")
+    ratio = remote / local
+    if abs(ratio - rows["remote_overhead_ratio"]) > 1e-6:
+        fail(f"remote_overhead_ratio {rows['remote_overhead_ratio']:.4f}"
+             f" disagrees with recomputed {ratio:.4f}")
+    print(f"ok: warm remote/local = {ratio:.2f}x")
+    if ratio > MAX_OVERHEAD:
+        fail(f"warm remote superbatch is {ratio:.2f}x local "
+             f"(> {MAX_OVERHEAD}x): the transport is not disappearing "
+             "into the blind rotations")
+
+    if rows["server_replays"] != 0:
+        fail(f"{rows['server_replays']} cache replays on the clean "
+             "path: the client is retrying requests it should not")
+    if rows["server_executions"] <= 0:
+        fail("server reports zero executions")
+
+    for name in ("wire_bytes_up", "wire_bytes_down"):
+        size = rows[name]
+        if not 1024 <= size <= 64 * 1024 * 1024:
+            fail(f"{name} = {size} bytes is implausible for a "
+                 "64-LWE superbatch request")
+    print("ok: wire sizes plausible "
+          f"({rows['wire_bytes_up'] / 1024:.1f} KiB up, "
+          f"{rows['wire_bytes_down'] / 1024:.1f} KiB down)")
+
+
+if __name__ == "__main__":
+    main()

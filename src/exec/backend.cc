@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "exec/functional_backend.h"
+#include "exec/remote_backend.h"
 #include "exec/sharded_backend.h"
 #include "exec/timing_backend.h"
 
@@ -39,6 +40,11 @@ makeBackendImpl(const Keys &keys, const BackendSpec &spec)
         panic_if(spec.numShards == 0, "sharded backend needs >= 1 shard");
         return std::make_unique<ShardedBackend>(
             ShardedBackend::functional(keys, spec.numShards));
+      case BackendKind::kRemote:
+        fatal_if(spec.remote.port == 0,
+                 "kRemote needs BackendSpec::remote.port (the "
+                 "RemoteServer's TCP port)");
+        return std::make_unique<RemoteBackend>(keys, spec.remote);
       case BackendKind::kCosim:
         panic("kCosim is not a standalone backend; drive a "
               "LockstepCosim (exec/cosim.h) instead");
@@ -60,6 +66,8 @@ backendKindName(BackendKind kind)
         return "cosim";
       case BackendKind::kShardedFunctional:
         return "sharded-functional";
+      case BackendKind::kRemote:
+        return "remote";
     }
     panic("unknown backend kind ", static_cast<int>(kind));
 }

@@ -19,10 +19,12 @@
 #ifndef MORPHLING_EXEC_BACKEND_H
 #define MORPHLING_EXEC_BACKEND_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "compiler/program.h"
 #include "tfhe/batch.h"
 #include "tfhe/lwe.h"
+#include "tfhe/serialize.h"
 
 namespace morphling::exec {
 
@@ -42,7 +45,11 @@ enum class BackendKind
     kCosim,      //!< functional + timing in lockstep, cross-checked
     /** Superbatch fanned out across ServiceConfig::numShards
      *  functional workers (exec::ShardedBackend). */
-    kShardedFunctional
+    kShardedFunctional,
+    /** Execute on a RemoteServer over TCP (exec::RemoteBackend):
+     *  the program, ciphertexts and LUT ship over the wire and
+     *  retirements stream back. Configured by BackendSpec::remote. */
+    kRemote
 };
 
 /** Stable name for logs and config dumps. */
@@ -163,6 +170,47 @@ class ExecutionBackend
 };
 
 /**
+ * How a RemoteBackend reaches its RemoteServer and how hard it tries.
+ * Lives here (rather than remote_backend.h) so BackendSpec — and
+ * through it ServiceConfig — can carry it without pulling in the
+ * transport headers.
+ */
+struct RemoteClientConfig
+{
+    std::string host = "127.0.0.1";
+
+    /** Server TCP port; kRemote refuses to build with 0. */
+    std::uint16_t port = 0;
+
+    /** Per-request deadline covering connect, send, execution and the
+     *  full response stream — including retries; a request never
+     *  outlives it. */
+    std::chrono::milliseconds requestTimeout{60000};
+
+    /** Bound on one TCP connect attempt (also clipped by the request
+     *  deadline). */
+    std::chrono::milliseconds connectTimeout{2000};
+
+    /** Total tries per request (first attempt + retries) on
+     *  connection-level failures. Non-transport errors (version
+     *  mismatch, bad program, server error) never retry. */
+    unsigned maxAttempts = 4;
+
+    /** Capped exponential backoff between retries. */
+    std::chrono::milliseconds backoffBase{50};
+    std::chrono::milliseconds backoffCap{2000};
+
+    /** Enroll this client's evaluation keys over the wire when the
+     *  server rejects the fingerprint as unknown, then resend. */
+    bool autoEnroll = true;
+
+    /** Precomputed key fingerprint. Supplying it skips the (BSK-sized)
+     *  canonical serialization fingerprintEvaluationKeys performs —
+     *  the service computes it once per tenant, not once per batch. */
+    std::optional<tfhe::KeyFingerprint> fingerprint;
+};
+
+/**
  * Everything needed to stand up one execution backend — the single
  * spec the service and the circuit executor build backends from
  * instead of per-kind constructor piles.
@@ -176,6 +224,9 @@ struct BackendSpec
 
     /** Accelerator geometry for kTiming. */
     arch::ArchConfig timing;
+
+    /** Server coordinates and retry policy for kRemote. */
+    RemoteClientConfig remote;
 };
 
 /**

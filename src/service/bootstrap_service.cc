@@ -90,11 +90,20 @@ requireKeys(const std::shared_ptr<const tfhe::EvaluationKeys> &keys)
 }
 
 ServiceConfig
-normalized(ServiceConfig config)
+normalized(ServiceConfig config,
+           const std::shared_ptr<const tfhe::EvaluationKeys> &keys)
 {
     if (config.numWorkers == 0) {
         config.numWorkers =
             std::max(1u, std::thread::hardware_concurrency());
+    }
+    // Fingerprint once per service, not once per batch: every worker
+    // backend the kRemote path builds would otherwise re-serialize
+    // the BSK just to identify the keys.
+    if (config.backend == exec::BackendKind::kRemote &&
+        !config.remote.fingerprint.has_value() && keys != nullptr) {
+        config.remote.fingerprint =
+            tfhe::fingerprintEvaluationKeys(*keys);
     }
     return config;
 }
@@ -128,6 +137,15 @@ ServiceConfig::validate() const
                "flag a thin noise margin; use a positive threshold or "
                "disable checkNoise";
     }
+    if (backend == exec::BackendKind::kRemote && remote.port == 0) {
+        return "BackendKind::kRemote needs remote.port (the "
+               "RemoteServer's TCP port; 0 is not a destination)";
+    }
+    if (backend == exec::BackendKind::kRemote &&
+        remote.maxAttempts == 0) {
+        return "remote.maxAttempts must be >= 1 (a request needs at "
+               "least one attempt)";
+    }
     return std::nullopt;
 }
 
@@ -142,7 +160,7 @@ BootstrapService::BootstrapService(tfhe::EvaluationKeys keys,
 BootstrapService::BootstrapService(
     std::shared_ptr<const tfhe::EvaluationKeys> keys,
     ServiceConfig config)
-    : keys_(std::move(keys)), config_(normalized(config)),
+    : keys_(std::move(keys)), config_(normalized(config, keys_)),
       start_(ServiceClock::now()), scheduler_(requireKeys(keys_).params)
 {
     // A misconfigured service is the caller's error to report, not a
@@ -514,6 +532,7 @@ BootstrapService::makeWorkerBackend() const
                     : config_.backend;
     spec.numShards = config_.numShards;
     spec.timing = config_.timing;
+    spec.remote = config_.remote;
     return exec::makeBackend(*keys_, spec);
 }
 

@@ -128,6 +128,16 @@ struct ServiceConfig
      *  paper's one-shard-per-group split of the 4-group superbatch. */
     unsigned numShards = compiler::kNumGroups;
 
+    /**
+     * Server coordinates and retry policy for kRemote: each worker
+     * executes its batches through an exec::RemoteBackend against the
+     * exec::RemoteServer at remote.host:remote.port. validate()
+     * requires a non-zero port. The service computes the key
+     * fingerprint once at construction (when not already supplied),
+     * so per-batch backend creation stays cheap.
+     */
+    exec::RemoteClientConfig remote;
+
     /** Accelerator geometry for the kCosim timing side. */
     arch::ArchConfig timing;
 

@@ -71,22 +71,34 @@ TfheParams::summary() const
     return oss.str();
 }
 
+const char *
+TfheParams::firstProblem() const
+{
+    if (!isPowerOfTwo(polyDegree))
+        return "N must be a power of two";
+    if (polyDegree < 16)
+        return "N too small";
+    if (lweDimension == 0)
+        return "n must be positive";
+    if (glweDimension == 0)
+        return "k must be positive";
+    if (bskLevels == 0 || bskBaseBits == 0)
+        return "bad BSK gadget";
+    if (bskLevels * bskBaseBits > 32)
+        return "BSK gadget exceeds 32-bit torus";
+    if (kskLevels == 0 || kskBaseBits == 0)
+        return "bad KSK gadget";
+    if (kskLevels * kskBaseBits > 32)
+        return "KSK gadget exceeds 32-bit torus";
+    if (lweNoiseStd <= 0.0 || glweNoiseStd <= 0.0)
+        return "noise stddevs must be positive";
+    return nullptr;
+}
+
 void
 TfheParams::validate() const
 {
-    fatal_if(!isPowerOfTwo(polyDegree), "N must be a power of two");
-    fatal_if(polyDegree < 16, "N too small");
-    fatal_if(lweDimension == 0, "n must be positive");
-    fatal_if(glweDimension == 0, "k must be positive");
-    fatal_if(bskLevels == 0 || bskBaseBits == 0, "bad BSK gadget");
-    fatal_if(bskLevels * bskBaseBits > 32,
-             "BSK gadget exceeds 32-bit torus: l_b * log2(beta) = ",
-             bskLevels * bskBaseBits);
-    fatal_if(kskLevels == 0 || kskBaseBits == 0, "bad KSK gadget");
-    fatal_if(kskLevels * kskBaseBits > 32,
-             "KSK gadget exceeds 32-bit torus");
-    fatal_if(lweNoiseStd <= 0.0 || glweNoiseStd <= 0.0,
-             "noise stddevs must be positive");
+    fatal_if(firstProblem() != nullptr, firstProblem());
 }
 
 namespace {

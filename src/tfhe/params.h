@@ -77,6 +77,11 @@ struct TfheParams
     /** Sanity-check structural invariants (powers of two, level/base
      *  fits in 32 bits, ...); fatal() on violation. */
     void validate() const;
+
+    /** First violated structural invariant, or nullptr when the set is
+     *  well-formed — the non-fatal face of validate(), for code
+     *  decoding untrusted parameter blobs (tryLoadEvaluationKeys). */
+    const char *firstProblem() const;
 };
 
 /** Named parameter sets from Table III (I-IV with k = 1; A-C). */

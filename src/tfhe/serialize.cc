@@ -14,6 +14,37 @@ namespace {
 
 constexpr char kMagic[4] = {'M', 'R', 'P', 'H'};
 
+/**
+ * Internal exception for tryLoadEvaluationKeys: the read-side checks
+ * below throw it instead of fatal()ing while a TryParseScope is
+ * active, so decoding an untrusted blob (a remote enrollment frame)
+ * reports failure instead of terminating the server.
+ */
+struct ParseError
+{
+    std::string message;
+};
+
+thread_local bool tl_tryParse = false;
+
+struct TryParseScope
+{
+    TryParseScope() { tl_tryParse = true; }
+    ~TryParseScope() { tl_tryParse = false; }
+};
+
+/** Read-side validation: fatal() by default (the documented contract
+ *  of the load* entry points), ParseError under tryLoad*. */
+void
+parseCheck(bool ok, const std::string &message)
+{
+    if (ok)
+        return;
+    if (tl_tryParse)
+        throw ParseError{message};
+    fatal(message);
+}
+
 void
 writeBytes(std::ostream &os, const void *data, std::size_t size)
 {
@@ -27,8 +58,8 @@ readBytes(std::istream &is, void *data, std::size_t size)
 {
     is.read(static_cast<char *>(data),
             static_cast<std::streamsize>(size));
-    fatal_if(!is || is.gcount() != static_cast<std::streamsize>(size),
-             "truncated or unreadable serialized stream");
+    parseCheck(is && is.gcount() == static_cast<std::streamsize>(size),
+               "truncated or unreadable serialized stream");
 }
 
 void
@@ -84,7 +115,7 @@ std::string
 readString(std::istream &is)
 {
     const std::uint32_t size = readU32(is);
-    fatal_if(size > 4096, "implausible string length in stream");
+    parseCheck(size <= 4096, "implausible string length in stream");
     std::string s(size, '\0');
     readBytes(is, s.data(), size);
     return s;
@@ -103,14 +134,16 @@ readHeader(std::istream &is, std::uint32_t expected_tag)
 {
     char magic[4];
     readBytes(is, magic, sizeof(magic));
-    fatal_if(std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
-             "bad magic: not a Morphling serialized stream");
+    parseCheck(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "bad magic: not a Morphling serialized stream");
     const std::uint32_t version = readU32(is);
-    fatal_if(version != kSerializeVersion,
-             "unsupported serialization version ", version);
+    parseCheck(version == kSerializeVersion,
+               morphling::detail::concat("unsupported serialization version ",
+                              version));
     const std::uint32_t tag = readU32(is);
-    fatal_if(tag != expected_tag, "serialized object has type tag ",
-             tag, ", expected ", expected_tag);
+    parseCheck(tag == expected_tag,
+               morphling::detail::concat("serialized object has type tag ", tag,
+                              ", expected ", expected_tag));
 }
 
 // Type tags.
@@ -133,8 +166,8 @@ FourierPolynomial
 readFourierPoly(std::istream &is)
 {
     const std::uint32_t degree = readU32(is);
-    fatal_if(degree < 4 || degree > (1u << 20),
-             "implausible ring degree ", degree);
+    parseCheck(degree >= 4 && degree <= (1u << 20),
+               morphling::detail::concat("implausible ring degree ", degree));
     FourierPolynomial fp(degree);
     for (unsigned i = 0; i < fp.size(); ++i) {
         fp.re(i) = readDouble(is);
@@ -154,8 +187,8 @@ LweCiphertext
 readLwe(std::istream &is)
 {
     const std::uint32_t dim = readU32(is);
-    fatal_if(dim == 0 || dim > (1u << 24), "implausible LWE dimension ",
-             dim);
+    parseCheck(dim != 0 && dim <= (1u << 24),
+               morphling::detail::concat("implausible LWE dimension ", dim));
     LweCiphertext ct(dim);
     readBytes(is, ct.raw().data(), ct.raw().size() * sizeof(Torus32));
     return ct;
@@ -281,7 +314,8 @@ loadParams(std::istream &is)
     p.lweNoiseStd = readDouble(is);
     p.glweNoiseStd = readDouble(is);
     p.securityBits = readU32(is);
-    p.validate();
+    parseCheck(p.firstProblem() == nullptr,
+               p.firstProblem() ? p.firstProblem() : "");
     return p;
 }
 
@@ -361,8 +395,8 @@ loadEvaluationKeys(std::istream &is)
     keys.params = loadParams(is);
 
     const std::uint32_t bsk_size = readU32(is);
-    fatal_if(bsk_size != keys.params.lweDimension,
-             "BSK entry count does not match n");
+    parseCheck(bsk_size == keys.params.lweDimension,
+               "BSK entry count does not match n");
     std::vector<FourierGgsw> entries;
     entries.reserve(bsk_size);
     for (std::uint32_t i = 0; i < bsk_size; ++i) {
@@ -370,9 +404,12 @@ loadEvaluationKeys(std::istream &is)
         const std::uint32_t levels = readU32(is);
         const std::uint32_t rows = readU32(is);
         const std::uint32_t cols = readU32(is);
-        fatal_if(rows != (keys.params.glweDimension + 1) * levels ||
-                     cols != keys.params.glweDimension + 1,
-                 "GGSW shape mismatch in stream");
+        parseCheck(rows == (keys.params.glweDimension + 1) * levels &&
+                       cols == keys.params.glweDimension + 1,
+                   "GGSW shape mismatch in stream");
+        parseCheck(levels != 0 && levels <= 32 && base_bits != 0 &&
+                       base_bits <= 32,
+                   "implausible GGSW gadget in stream");
         std::vector<std::vector<FourierPolynomial>> data(rows);
         for (auto &row : data) {
             row.reserve(cols);
@@ -388,10 +425,12 @@ loadEvaluationKeys(std::istream &is)
     const std::uint32_t target_dim = readU32(is);
     const std::uint32_t levels = readU32(is);
     const std::uint32_t base_bits = readU32(is);
-    fatal_if(source_dim != keys.params.extractedLweDimension(),
-             "KSK source dimension mismatch");
-    fatal_if(target_dim != keys.params.lweDimension,
-             "KSK target dimension mismatch");
+    parseCheck(source_dim == keys.params.extractedLweDimension(),
+               "KSK source dimension mismatch");
+    parseCheck(target_dim == keys.params.lweDimension,
+               "KSK target dimension mismatch");
+    parseCheck(levels != 0 && levels <= 32,
+               "implausible KSK level count in stream");
     std::vector<LweCiphertext> ksk_entries;
     ksk_entries.reserve(std::size_t{source_dim} * levels);
     for (std::uint32_t i = 0; i < source_dim * levels; ++i)
@@ -400,6 +439,25 @@ loadEvaluationKeys(std::istream &is)
                                          base_bits,
                                          std::move(ksk_entries));
     return keys;
+}
+
+std::optional<EvaluationKeys>
+tryLoadEvaluationKeys(std::istream &is, std::string *error)
+{
+    TryParseScope scope;
+    try {
+        return loadEvaluationKeys(is);
+    } catch (const ParseError &e) {
+        if (error)
+            *error = e.message;
+    } catch (const std::bad_alloc &) {
+        // The per-field plausibility caps bound each allocation, but a
+        // well-formed header can still promise more material than the
+        // host has memory for.
+        if (error)
+            *error = "serialized keys exceed available memory";
+    }
+    return std::nullopt;
 }
 
 LweCiphertext

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "tfhe/keyset.h"
@@ -55,6 +56,18 @@ LweKey loadLweKey(std::istream &is, const TfheParams &params);
 void saveEvaluationKeys(std::ostream &os, const EvaluationKeys &keys);
 EvaluationKeys loadEvaluationKeys(std::istream &is);
 /** @} */
+
+/**
+ * Decode evaluation keys without trusting the stream: returns nullopt
+ * (with a diagnostic in *error when given) on a truncated stream, a
+ * bad magic/version/tag, an implausible dimension or gadget, or
+ * parameter sets violating their structural invariants — instead of
+ * the fatal() the load* entry points reserve for local usage errors.
+ * This is the surface a network server decodes key-enrollment frames
+ * through (exec::RemoteServer).
+ */
+std::optional<EvaluationKeys>
+tryLoadEvaluationKeys(std::istream &is, std::string *error = nullptr);
 
 /**
  * Content-derived fingerprint of one tenant's evaluation-key material.

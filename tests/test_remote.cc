@@ -1,0 +1,620 @@
+/**
+ * @file
+ * Tests of the remote execution backend (src/exec/remote_*): loopback
+ * bit-identity against the local FunctionalBackend (outputs AND
+ * retirement log) for superbatches and circuits, idempotent retry
+ * after a forced mid-stream disconnect, transport failure paths
+ * (truncated payload, version mismatch, silent server, refused
+ * connect), over-the-wire key enrollment, and the service layer
+ * running over BackendKind::kRemote.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "compiler/sw_scheduler.h"
+#include "exec/backend.h"
+#include "exec/circuit_executor.h"
+#include "exec/functional_backend.h"
+#include "exec/remote_backend.h"
+#include "exec/remote_protocol.h"
+#include "exec/remote_server.h"
+#include "exec/sharded_backend.h"
+#include "service/bootstrap_service.h"
+#include "tfhe/encoding.h"
+#include "tfhe/serialize.h"
+
+namespace morphling::exec {
+namespace {
+
+using remote::FrameType;
+using remote::RemoteError;
+using remote::RemoteErrorKind;
+
+class RemoteFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Rng rng(0x4E307E);
+        keys_ = new tfhe::KeySet(
+            tfhe::KeySet::generate(tfhe::paramsTest(), rng));
+        evalKeys_ = new tfhe::EvaluationKeys(
+            tfhe::EvaluationKeys::fromKeySet(*keys_));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete evalKeys_;
+        delete keys_;
+        keys_ = nullptr;
+        evalKeys_ = nullptr;
+    }
+
+    const tfhe::KeySet &keys() { return *keys_; }
+    const tfhe::EvaluationKeys &evalKeys() { return *evalKeys_; }
+
+    Rng rng{0x5EED7};
+
+    std::vector<tfhe::LweCiphertext>
+    encryptBatch(std::size_t count)
+    {
+        std::vector<tfhe::LweCiphertext> out;
+        out.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            out.push_back(tfhe::encryptPadded(
+                keys(), static_cast<std::uint32_t>(i % 4), 4, rng));
+        }
+        return out;
+    }
+
+    std::vector<tfhe::LweCiphertext>
+    encryptBits(unsigned value, unsigned bits)
+    {
+        std::vector<tfhe::LweCiphertext> out;
+        for (unsigned i = 0; i < bits; ++i)
+            out.push_back(
+                tfhe::encryptBit(keys(), (value >> i) & 1, rng));
+        return out;
+    }
+
+    static circuit::Circuit
+    adder(unsigned bits)
+    {
+        circuit::Circuit c;
+        std::vector<circuit::Wire> a, b, sum;
+        for (unsigned i = 0; i < bits; ++i)
+            a.push_back(c.bitInput());
+        for (unsigned i = 0; i < bits; ++i)
+            b.push_back(c.bitInput());
+        const auto carry = circuit::buildRippleAdder(c, a, b, sum);
+        for (auto w : sum)
+            c.markOutput(w);
+        c.markOutput(carry);
+        return c;
+    }
+
+    /** Server pre-loaded with the suite's keys. */
+    std::unique_ptr<RemoteServer>
+    startServer(RemoteServerConfig config = {})
+    {
+        auto server = std::make_unique<RemoteServer>(std::move(config));
+        server->addKeys(evalKeys());
+        server->start();
+        return server;
+    }
+
+    /** Client config with test-friendly timeouts. */
+    static RemoteClientConfig
+    clientConfig(std::uint16_t port)
+    {
+        RemoteClientConfig config;
+        config.port = port;
+        config.requestTimeout = std::chrono::seconds(120);
+        config.connectTimeout = std::chrono::milliseconds(500);
+        config.backoffBase = std::chrono::milliseconds(20);
+        return config;
+    }
+
+    /** Full bit-identity of two execution results: outputs and the
+     *  complete retirement log (index, instruction, seq, tick). */
+    static void
+    expectIdentical(const ExecutionResult &got,
+                    const ExecutionResult &want)
+    {
+        ASSERT_EQ(got.hasOutputs, want.hasOutputs);
+        ASSERT_EQ(got.outputs.size(), want.outputs.size());
+        for (std::size_t i = 0; i < got.outputs.size(); ++i)
+            EXPECT_EQ(got.outputs[i].raw(), want.outputs[i].raw())
+                << "output " << i << " differs";
+        ASSERT_EQ(got.retired.size(), want.retired.size());
+        for (std::size_t i = 0; i < got.retired.size(); ++i) {
+            EXPECT_EQ(got.retired[i].index, want.retired[i].index)
+                << "retirement " << i;
+            EXPECT_EQ(got.retired[i].inst, want.retired[i].inst)
+                << "retirement " << i;
+            EXPECT_EQ(got.retired[i].seq, want.retired[i].seq)
+                << "retirement " << i;
+            EXPECT_EQ(got.retired[i].tick, want.retired[i].tick)
+                << "retirement " << i;
+        }
+    }
+
+    static tfhe::KeySet *keys_;
+    static tfhe::EvaluationKeys *evalKeys_;
+};
+
+tfhe::KeySet *RemoteFixture::keys_ = nullptr;
+tfhe::EvaluationKeys *RemoteFixture::evalKeys_ = nullptr;
+
+TEST_F(RemoteFixture, SuperbatchBitIdenticalToLocalFunctional)
+{
+    auto server = startServer();
+    const auto inputs = encryptBatch(64);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 1) % 4;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(64);
+    const Job job = Job::batch(inputs, lut);
+
+    FunctionalBackend local(evalKeys());
+    const auto reference = local.run(program, job);
+
+    RemoteBackend remote(evalKeys(), clientConfig(server->port()));
+    const auto result = remote.run(program, job);
+
+    EXPECT_EQ(result.backend, "remote");
+    expectIdentical(result, reference);
+    EXPECT_EQ(remote.lastServerExecutions(), 1u);
+    EXPECT_EQ(server->stats().executions, 1u);
+    for (std::size_t i = 0; i < result.outputs.size(); ++i)
+        EXPECT_EQ(tfhe::decryptPadded(keys(), result.outputs[i], 4),
+                  (i % 4 + 1) % 4);
+}
+
+TEST_F(RemoteFixture, SignLutJobMatchesLocal)
+{
+    auto server = startServer();
+    const auto inputs = encryptBatch(16);
+    const std::vector<tfhe::Torus32> mu = {tfhe::boolMu()};
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(16);
+    const Job job = Job::sign(inputs, mu);
+
+    FunctionalBackend local(evalKeys());
+    const auto reference = local.run(program, job);
+    RemoteBackend remote(evalKeys(), clientConfig(server->port()));
+    expectIdentical(remote.run(program, job), reference);
+}
+
+TEST_F(RemoteFixture, AdderCircuitBitIdenticalOverTheWire)
+{
+    // The 8-bit adder rides submitCircuit's machinery: an
+    // exec::CircuitExecutor drives the backend level by level. A
+    // mid-stream disconnect is injected into one of the level
+    // programs' retirement streams; the retry must leave the final
+    // sums bit-identical to the all-local run.
+    RemoteServerConfig sconfig;
+    sconfig.retireChunk = 4;
+    sconfig.dropAfterRetireFrames = 1;
+    auto server = startServer(sconfig);
+
+    const auto c = adder(8);
+    const unsigned x = 200, y = 88;
+    auto inputs = encryptBits(x, 8);
+    for (const auto &ct : encryptBits(y, 8))
+        inputs.push_back(ct);
+
+    FunctionalBackend local(evalKeys());
+    CircuitExecutor localExec(keys().params, local);
+    const auto reference = localExec.run(c, inputs);
+
+    RemoteBackend remote(evalKeys(), clientConfig(server->port()));
+    CircuitExecutor remoteExec(keys().params, remote);
+    const auto result = remoteExec.run(c, inputs);
+
+    ASSERT_EQ(result.outputs.size(), reference.outputs.size());
+    for (std::size_t i = 0; i < result.outputs.size(); ++i)
+        EXPECT_EQ(result.outputs[i].raw(), reference.outputs[i].raw())
+            << "output " << i;
+    EXPECT_GE(server->stats().dropped, 1u) << "injected drop not hit";
+
+    unsigned sum = 0;
+    for (std::size_t i = 0; i + 1 < result.outputs.size(); ++i)
+        sum |= tfhe::decryptBit(keys(), result.outputs[i]) << i;
+    sum |= tfhe::decryptBit(keys(),
+                            result.outputs[result.outputs.size() - 1])
+           << (result.outputs.size() - 1);
+    EXPECT_EQ(sum, x + y);
+}
+
+TEST_F(RemoteFixture, MidStreamDisconnectRetriesWithoutReexecution)
+{
+    RemoteServerConfig sconfig;
+    sconfig.retireChunk = 8; // several frames per superbatch
+    sconfig.dropAfterRetireFrames = 2;
+    auto server = startServer(sconfig);
+
+    const auto inputs = encryptBatch(64);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return 3 - m;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(64);
+    const Job job = Job::batch(inputs, lut);
+
+    FunctionalBackend local(evalKeys());
+    const auto reference = local.run(program, job);
+
+    RemoteBackend remote(evalKeys(), clientConfig(server->port()));
+    const auto result = remote.run(program, job);
+
+    expectIdentical(result, reference);
+    EXPECT_GE(remote.lastAttempts(), 2u)
+        << "the injected drop should have forced a retry";
+    EXPECT_EQ(remote.lastServerExecutions(), 1u)
+        << "retry must replay the cached result, not re-execute";
+    EXPECT_EQ(server->executionsFor(remote.lastRequestId()), 1u);
+    EXPECT_GE(server->stats().replays, 1u);
+}
+
+TEST_F(RemoteFixture, TruncatedPayloadRejectedAndServerKeepsServing)
+{
+    auto server = startServer();
+    const auto deadline =
+        remote::deadlineAfter(std::chrono::seconds(10));
+
+    // Handshake by hand, then send an execute payload that lies about
+    // its ciphertext dimension and stops mid-ciphertext.
+    remote::Socket raw = remote::connectTcp(
+        "127.0.0.1", server->port(), std::chrono::seconds(5));
+    remote::sendHello(raw, FrameType::kHello, deadline);
+    remote::checkHello(remote::recvFrame(raw, deadline),
+                       FrameType::kHelloAck);
+
+    remote::WireWriter w;
+    w.u64(1);                  // request id
+    w.u64(0);                  // fingerprint (never reached)
+    w.u8(0);                   // signLut
+    w.u32(1);                  // threads
+    w.u8(0);                   // checkNoise
+    w.f64(4.0);                // minSlotSigmas
+    w.u32(1);                  // LUT entries
+    w.u32(0x12345678);         // the entry
+    w.u64(4);                  // program words
+    for (int i = 0; i < 4; ++i)
+        w.u64(0);
+    w.u32(3);                  // claims 3 input ciphertexts...
+    w.u32(600);                // ...first claims dim 600...
+    w.u32(0xDEAD);             // ...but the frame ends here
+    remote::sendFrame(raw, FrameType::kExecute, w.take(), deadline);
+
+    const auto reply = remote::recvFrame(raw, deadline);
+    ASSERT_EQ(reply.type, FrameType::kError);
+    EXPECT_EQ(remote::decodeError(reply).kind(),
+              RemoteErrorKind::kMalformedFrame);
+
+    // Same server, same connection stream position: a well-formed
+    // request from a real client still succeeds.
+    const auto inputs = encryptBatch(8);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(8);
+    RemoteBackend remote(evalKeys(), clientConfig(server->port()));
+    const auto result = remote.run(program, Job::batch(inputs, lut));
+    EXPECT_TRUE(result.hasOutputs);
+    EXPECT_GE(server->stats().rejected, 1u);
+}
+
+TEST_F(RemoteFixture, BadProgramRejectedTyped)
+{
+    auto server = startServer();
+    const auto fp = tfhe::fingerprintEvaluationKeys(evalKeys());
+    const auto deadline =
+        remote::deadlineAfter(std::chrono::seconds(10));
+
+    remote::Socket raw = remote::connectTcp(
+        "127.0.0.1", server->port(), std::chrono::seconds(5));
+    remote::sendHello(raw, FrameType::kHello, deadline);
+    remote::checkHello(remote::recvFrame(raw, deadline),
+                       FrameType::kHelloAck);
+
+    remote::WireWriter w;
+    w.u64(2);
+    w.u64(fp);
+    w.u8(0);
+    w.u32(1);
+    w.u8(0);
+    w.f64(4.0);
+    w.u32(1);
+    w.u32(0x12345678);
+    w.u64(4); // four garbage words: not a framed program
+    for (int i = 0; i < 4; ++i)
+        w.u64(0xFFFFFFFFFFFFFFFFull);
+    w.u32(0); // no inputs
+    remote::sendFrame(raw, FrameType::kExecute, w.take(), deadline);
+
+    const auto reply = remote::recvFrame(raw, deadline);
+    ASSERT_EQ(reply.type, FrameType::kError);
+    EXPECT_EQ(remote::decodeError(reply).kind(),
+              RemoteErrorKind::kBadProgram)
+        << remote::decodeError(reply).what();
+    // The rejection must not poison the idempotency cache.
+    EXPECT_EQ(server->executionsFor(2), 0u);
+}
+
+TEST_F(RemoteFixture, VersionMismatchRejectedAtHandshake)
+{
+    auto server = startServer();
+    const auto deadline =
+        remote::deadlineAfter(std::chrono::seconds(10));
+
+    remote::Socket raw = remote::connectTcp(
+        "127.0.0.1", server->port(), std::chrono::seconds(5));
+    remote::WireWriter w;
+    w.u32(remote::kProtocolMagic);
+    w.u32(remote::kProtocolVersion + 7);
+    remote::sendFrame(raw, FrameType::kHello, w.take(), deadline);
+
+    const auto reply = remote::recvFrame(raw, deadline);
+    ASSERT_EQ(reply.type, FrameType::kError);
+    EXPECT_EQ(remote::decodeError(reply).kind(),
+              RemoteErrorKind::kVersionMismatch);
+}
+
+TEST_F(RemoteFixture, SilentServerSurfacesTypedTimeout)
+{
+    // A hand-rolled listener that accepts, completes the handshake,
+    // then never answers: the simplest stalled peer.
+    std::promise<std::uint16_t> portPromise;
+    auto portFuture = portPromise.get_future();
+    std::thread silent([&portPromise] {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ASSERT_EQ(::listen(fd, 1), 0);
+        socklen_t len = sizeof(addr);
+        ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+        portPromise.set_value(ntohs(addr.sin_port));
+        const int client = ::accept(fd, nullptr, nullptr);
+        if (client >= 0) {
+            remote::Socket sock(client);
+            const auto deadline =
+                remote::deadlineAfter(std::chrono::seconds(10));
+            try {
+                remote::recvFrame(sock, deadline); // their Hello
+                remote::sendHello(sock, FrameType::kHelloAck, deadline);
+                // Keep reading (and answering nothing) until the
+                // client gives up and closes.
+                for (;;) {
+                    remote::recvFrame(
+                        sock,
+                        remote::deadlineAfter(std::chrono::seconds(30)));
+                }
+            } catch (const RemoteError &) {
+            }
+        }
+        ::close(fd);
+    });
+    RemoteClientConfig config = clientConfig(portFuture.get());
+    config.requestTimeout = std::chrono::milliseconds(400);
+    config.maxAttempts = 1;
+
+    const auto inputs = encryptBatch(4);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(4);
+    RemoteBackend remote(evalKeys(), config);
+    try {
+        remote.run(program, Job::batch(inputs, lut));
+        FAIL() << "silent server should have produced kTimeout";
+    } catch (const RemoteError &e) {
+        EXPECT_EQ(e.kind(), RemoteErrorKind::kTimeout) << e.what();
+    }
+    silent.join();
+}
+
+TEST_F(RemoteFixture, ReconnectBackoffReachesLateServer)
+{
+    // Reserve a port, free it, point the client at it, and only start
+    // the real server after the client has begun retrying.
+    std::uint16_t port = 0;
+    {
+        auto probe = startServer();
+        port = probe->port();
+        probe->stop();
+    }
+
+    RemoteClientConfig config = clientConfig(port);
+    config.maxAttempts = 20;
+    config.backoffBase = std::chrono::milliseconds(30);
+
+    const auto inputs = encryptBatch(4);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 1) % 4;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(4);
+
+    RemoteBackend remote(evalKeys(), config);
+    std::future<ExecutionResult> pending =
+        std::async(std::launch::async, [&] {
+            return remote.run(program, Job::batch(inputs, lut));
+        });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    RemoteServerConfig sconfig;
+    sconfig.port = port;
+    auto server = std::make_unique<RemoteServer>(sconfig);
+    server->addKeys(evalKeys());
+    server->start();
+
+    const auto result = pending.get();
+    EXPECT_TRUE(result.hasOutputs);
+    EXPECT_GE(remote.lastAttempts(), 2u)
+        << "the client should have burned attempts on refused "
+           "connects before the server came up";
+}
+
+TEST_F(RemoteFixture, AutoEnrollsKeysOverTheWire)
+{
+    RemoteServerConfig sconfig;
+    auto server = std::make_unique<RemoteServer>(sconfig);
+    server->start(); // no keys pre-provisioned
+
+    const auto inputs = encryptBatch(8);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(8);
+
+    FunctionalBackend local(evalKeys());
+    const Job job = Job::batch(inputs, lut);
+    const auto reference = local.run(program, job);
+
+    RemoteBackend remote(evalKeys(), clientConfig(server->port()));
+    expectIdentical(remote.run(program, job), reference);
+    EXPECT_EQ(server->stats().enrollments, 1u);
+    // Second run reuses the enrolled keys: no new enrollment.
+    RemoteBackend second(evalKeys(), clientConfig(server->port()));
+    second.run(program, job);
+    EXPECT_EQ(server->stats().enrollments, 1u);
+    server->stop();
+}
+
+TEST_F(RemoteFixture, UnknownKeyWithoutAutoEnrollIsTyped)
+{
+    RemoteServerConfig sconfig;
+    auto server = std::make_unique<RemoteServer>(sconfig);
+    server->start(); // no keys
+
+    RemoteClientConfig config = clientConfig(server->port());
+    config.autoEnroll = false;
+
+    const auto inputs = encryptBatch(4);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return m;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(4);
+    RemoteBackend remote(evalKeys(), config);
+    try {
+        remote.run(program, Job::batch(inputs, lut));
+        FAIL() << "unenrolled key should be rejected";
+    } catch (const RemoteError &e) {
+        EXPECT_EQ(e.kind(), RemoteErrorKind::kUnknownKey) << e.what();
+    }
+    server->stop();
+}
+
+TEST_F(RemoteFixture, ShardedInnerBackendMatchesLocalSharded)
+{
+    RemoteServerConfig sconfig;
+    sconfig.inner.kind = BackendKind::kShardedFunctional;
+    sconfig.inner.numShards = 4;
+    auto server = startServer(sconfig);
+
+    const auto inputs = encryptBatch(64);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return (m + 2) % 4;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(64);
+    const Job job = Job::batch(inputs, lut);
+
+    ShardedBackend local = ShardedBackend::functional(evalKeys(), 4);
+    const auto reference = local.run(program, job);
+
+    RemoteBackend remote(evalKeys(), clientConfig(server->port()));
+    const auto result = remote.run(program, job);
+    expectIdentical(result, reference);
+}
+
+TEST_F(RemoteFixture, BackendSpecBuildsRemote)
+{
+    auto server = startServer();
+    BackendSpec spec;
+    spec.kind = BackendKind::kRemote;
+    spec.remote = clientConfig(server->port());
+    auto backend = makeBackend(evalKeys(), spec);
+    EXPECT_EQ(backend->name(), "remote");
+    EXPECT_STREQ(backendKindName(BackendKind::kRemote), "remote");
+
+    const auto inputs = encryptBatch(8);
+    const auto lut = tfhe::makePaddedLut(4, [](std::uint32_t m) {
+        return 3 - m;
+    });
+    const auto program =
+        compiler::SwScheduler(keys().params).scheduleBootstrapBatch(8);
+    const auto result = backend->run(program, Job::batch(inputs, lut));
+    ASSERT_TRUE(result.hasOutputs);
+    for (std::size_t i = 0; i < result.outputs.size(); ++i)
+        EXPECT_EQ(tfhe::decryptPadded(keys(), result.outputs[i], 4),
+                  3 - (i % 4));
+}
+
+TEST_F(RemoteFixture, ServiceRunsOverRemoteBackend)
+{
+    auto server = startServer();
+
+    service::ServiceConfig config;
+    config.backend = BackendKind::kRemote;
+    config.remote = clientConfig(server->port());
+    config.numWorkers = 2;
+    config.maxWait = std::chrono::milliseconds(5);
+    service::BootstrapService svc(evalKeys(), config);
+
+    const auto lut = svc.registerLut(
+        tfhe::makePaddedLut(4, [](std::uint32_t m) {
+            return (m + 1) % 4;
+        }));
+    std::vector<std::future<tfhe::LweCiphertext>> futures;
+    for (unsigned i = 0; i < 16; ++i)
+        futures.push_back(svc.submit(
+            tfhe::encryptPadded(keys(), i % 4, 4, rng), lut));
+    for (unsigned i = 0; i < 16; ++i) {
+        const auto ct = futures[i].get();
+        EXPECT_EQ(tfhe::decryptPadded(keys(), ct, 4), (i % 4 + 1) % 4);
+    }
+    svc.shutdown();
+    EXPECT_GE(server->stats().executions, 1u);
+}
+
+TEST_F(RemoteFixture, ServiceConfigValidatesRemote)
+{
+    service::ServiceConfig config;
+    config.backend = BackendKind::kRemote;
+    config.remote.port = 0;
+    EXPECT_TRUE(config.validate().has_value());
+    config.remote.port = 1234;
+    EXPECT_FALSE(config.validate().has_value());
+    config.remote.maxAttempts = 0;
+    EXPECT_TRUE(config.validate().has_value());
+}
+
+} // namespace
+} // namespace morphling::exec

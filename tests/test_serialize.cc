@@ -191,5 +191,85 @@ TEST_F(SerializeFixture, RejectsWrongObjectType)
                 "type tag");
 }
 
+// --- tryLoadEvaluationKeys: the non-fatal decode surface a network
+// --- server parses untrusted enrollment blobs through.
+
+TEST_F(SerializeFixture, TryLoadRoundTripsGoodKeys)
+{
+    std::stringstream ss;
+    saveEvaluationKeys(ss, EvaluationKeys::fromKeySet(keys()));
+    std::string error;
+    const auto back = tryLoadEvaluationKeys(ss, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(fingerprintEvaluationKeys(*back),
+              fingerprintEvaluationKeys(
+                  EvaluationKeys::fromKeySet(keys())));
+}
+
+TEST_F(SerializeFixture, TryLoadSurvivesTruncatedStream)
+{
+    std::stringstream ss;
+    saveEvaluationKeys(ss, EvaluationKeys::fromKeySet(keys()));
+    const std::string full = ss.str();
+    // Cut at several depths: header, mid-BSK, just before the end.
+    for (const std::size_t cut :
+         {std::size_t{3}, full.size() / 2, full.size() - 5}) {
+        std::stringstream truncated;
+        truncated << full.substr(0, cut);
+        std::string error;
+        const auto back = tryLoadEvaluationKeys(truncated, &error);
+        EXPECT_FALSE(back.has_value()) << "cut at " << cut;
+        EXPECT_FALSE(error.empty()) << "cut at " << cut;
+    }
+}
+
+TEST_F(SerializeFixture, TryLoadRejectsGarbageWithoutExiting)
+{
+    std::stringstream ss;
+    ss << "JUNKJUNKJUNKJUNKJUNKJUNKJUNK";
+    std::string error;
+    const auto back = tryLoadEvaluationKeys(ss, &error);
+    EXPECT_FALSE(back.has_value());
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(SerializeFixture, TryLoadRejectsCorruptedDimensions)
+{
+    std::stringstream ss;
+    saveEvaluationKeys(ss, EvaluationKeys::fromKeySet(keys()));
+    std::string wire = ss.str();
+    // Stamp an implausible value over bytes early in the params
+    // block; whatever field it lands on must be rejected, not
+    // crashed on or allocated for.
+    for (std::size_t at = 16; at < 64 && at + 4 <= wire.size();
+         at += 8) {
+        std::string corrupt = wire;
+        corrupt[at] = '\xFF';
+        corrupt[at + 1] = '\xFF';
+        corrupt[at + 2] = '\xFF';
+        corrupt[at + 3] = '\x7F';
+        std::stringstream in(corrupt);
+        std::string error;
+        const auto back = tryLoadEvaluationKeys(in, &error);
+        if (back.has_value())
+            continue; // landed on a field where the value is legal
+        EXPECT_FALSE(error.empty()) << "corruption at byte " << at;
+    }
+}
+
+TEST_F(SerializeFixture, FatalLoadStillFatalsAfterTryLoad)
+{
+    // The thread-local try-parse mode must not leak: a tryLoad
+    // followed by a trusting load keeps the fatal() behaviour.
+    std::stringstream bad;
+    bad << "JUNKJUNKJUNKJUNK";
+    std::string error;
+    EXPECT_FALSE(tryLoadEvaluationKeys(bad, &error).has_value());
+    std::stringstream alsoBad;
+    alsoBad << "JUNKJUNKJUNKJUNK";
+    EXPECT_EXIT(loadParams(alsoBad), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
 } // namespace
 } // namespace morphling::tfhe
